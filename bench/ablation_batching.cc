@@ -1,0 +1,51 @@
+// Ablation: how much of DINOMO's write performance comes from batching
+// log entries into a single one-sided RDMA write (§3.6)?  Sweeps the
+// group-commit threshold from 1 (no batching) upward on a write-heavy
+// workload and reports throughput and write-side round trips per op.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dinomo;
+
+struct Point {
+  double mops;
+  double rts_per_op;
+};
+
+Point RunOne(size_t batch_ops) {
+  auto spec = workload::WorkloadSpec::WriteHeavyUpdate(bench::kRecords, 0.99);
+  spec.value_size = bench::kValueSize;
+  auto opt = bench::BaseDinomo(SystemVariant::kDinomo, /*kns=*/4, spec);
+  opt.kn.batch_max_ops = batch_ops;
+  opt.kn.batch_max_bytes = batch_ops * (bench::kValueSize + 128);
+  sim::DinomoSim sim(opt);
+  sim.Preload();
+  sim.Run(80e3, 40e3);
+  return Point{sim.ThroughputMops(), sim.CollectProfile().rts_per_op};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: write batching (one-sided batched log writes, Sec 3.6)\n"
+      "4 KNs, 50r/50u Zipf 0.99");
+  std::printf("%-12s %12s %14s\n", "batch ops", "Mops/s", "RTs/op");
+  std::vector<size_t> batches = {1, 2, 4, 8, 16, 32};
+  double base = 0;
+  for (size_t b : batches) {
+    const Point p = RunOne(b);
+    if (b == 1) base = p.mops;
+    std::printf("%-12zu %12.3f %14.2f\n", b, p.mops, p.rts_per_op);
+    std::fflush(stdout);
+  }
+  const Point best = RunOne(8);
+  std::printf("\nbatch=8 vs batch=1 speedup: %.2fx\n",
+              base > 0 ? best.mops / base : 0.0);
+  return 0;
+}

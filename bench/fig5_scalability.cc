@@ -1,0 +1,72 @@
+// Reproduces Figure 5: end-to-end throughput scalability of DINOMO,
+// DINOMO-S, DINOMO-N and Clover from 1 to 16 KNs across the paper's five
+// request mixes at moderate skew (Zipf 0.99).
+//
+// Expected shape (§5.2): DINOMO scales to 16 KNs; Clover stops scaling by
+// ~4 KNs (metadata-server CPU / network); DINOMO-S stops scaling in
+// read-dominated mixes once the shared link saturates (~8 KNs); DINOMO and
+// DINOMO-N are nearly on par; at 16 KNs DINOMO >= ~3.8x Clover.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dinomo;
+
+constexpr double kDuration = 80e3;
+constexpr double kWarmup = 40e3;
+
+double RunDinomoVariant(SystemVariant variant, int kns,
+                        const workload::WorkloadSpec& spec) {
+  auto opt = bench::BaseDinomo(variant, kns, spec);
+  sim::DinomoSim sim(opt);
+  sim.Preload();
+  sim.Run(kDuration, kWarmup);
+  return sim.ThroughputMops();
+}
+
+double RunClover(int kns, const workload::WorkloadSpec& spec) {
+  auto opt = bench::BaseClover(kns, spec);
+  sim::CloverSim sim(opt);
+  sim.Preload();
+  sim.Run(kDuration, kWarmup);
+  return sim.ThroughputMops();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5: performance scalability, Zipf 0.99 (Mops/s)");
+
+  const std::vector<int> kn_counts = {1, 2, 4, 8, 16};
+  double dinomo16 = 0;
+  double clover16 = 0;
+
+  for (const auto& spec : bench::PaperMixes(0.99)) {
+    std::printf("\nworkload %s\n", spec.MixName());
+    std::printf("%-6s %12s %12s %12s %12s\n", "KNs", "DINOMO", "DINOMO-S",
+                "DINOMO-N", "Clover");
+    for (int kns : kn_counts) {
+      const double d = RunDinomoVariant(SystemVariant::kDinomo, kns, spec);
+      const double ds = RunDinomoVariant(SystemVariant::kDinomoS, kns, spec);
+      const double dn = RunDinomoVariant(SystemVariant::kDinomoN, kns, spec);
+      const double c = RunClover(kns, spec);
+      std::printf("%-6d %12.3f %12.3f %12.3f %12.3f\n", kns, d, ds, dn, c);
+      std::fflush(stdout);
+      if (kns == 16) {
+        dinomo16 += d;
+        clover16 += c;
+      }
+    }
+  }
+
+  std::printf(
+      "\nAcross all mixes at 16 KNs: DINOMO/Clover = %.2fx "
+      "(paper: >= 3.8x)\n",
+      clover16 > 0 ? dinomo16 / clover16 : 0.0);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks of the KN-side caches: DAC against the static policies,
+// on hit and miss-admission paths.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/dac.h"
+#include "cache/static_cache.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace {
+
+using namespace dinomo;
+using namespace dinomo::cache;
+
+dpm::ValuePtr Ptr(uint64_t i) { return dpm::ValuePtr::Pack(64 + i * 8, 128); }
+
+void BM_DacValueHit(benchmark::State& state) {
+  DacCache cache(64 * 1024 * 1024);
+  const std::string value(1024, 'v');
+  for (uint64_t k = 1; k <= 10000; ++k) cache.AdmitOnMiss(k, value, Ptr(k), 2);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(1 + rng.Uniform(10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DacValueHit);
+
+void BM_DacMissAdmission(benchmark::State& state) {
+  DacCache cache(1024 * 1024);  // small: constant demote/evict pressure
+  const std::string value(1024, 'v');
+  uint64_t key = 1;
+  for (auto _ : state) {
+    cache.Lookup(key);
+    cache.AdmitOnMiss(key, value, Ptr(key), 2);
+    key++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DacMissAdmission);
+
+void BM_DacZipfianSteadyState(benchmark::State& state) {
+  DacCache cache(4 * 1024 * 1024);
+  const std::string value(1024, 'v');
+  ZipfianGenerator zipf(100000, 0.99, 1);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t k = 1 + zipf.Next();
+    auto r = cache.Lookup(k);
+    if (r.kind == HitKind::kMiss) cache.AdmitOnMiss(k, value, Ptr(k), 2);
+  }
+  for (auto _ : state) {
+    const uint64_t k = 1 + zipf.Next();
+    auto r = cache.Lookup(k);
+    if (r.kind == HitKind::kMiss) {
+      cache.AdmitOnMiss(k, value, Ptr(k), 2);
+    } else if (r.kind == HitKind::kShortcutHit) {
+      cache.OnShortcutHit(k, value, Ptr(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_ratio"] = cache.stats().HitRatio();
+}
+BENCHMARK(BM_DacZipfianSteadyState);
+
+void BM_StaticShortcutHit(benchmark::State& state) {
+  StaticCache cache(64 * 1024 * 1024, 0.0);
+  const std::string value(1024, 'v');
+  for (uint64_t k = 1; k <= 10000; ++k) cache.AdmitOnMiss(k, value, Ptr(k), 2);
+  Random rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(1 + rng.Uniform(10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaticShortcutHit);
+
+void BM_StaticLruChurn(benchmark::State& state) {
+  StaticCache cache(1024 * 1024, 1.0);
+  const std::string value(1024, 'v');
+  uint64_t key = 1;
+  for (auto _ : state) {
+    cache.AdmitOnMiss(key++, value, Ptr(key), 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaticLruChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Microbenchmarks of the P-CLHT metadata index: local upserts/lookups
+// (the DPM-processor merge path) and remote traversal cost in round trips
+// (the KN miss path).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "index/clht.h"
+#include "net/fabric.h"
+#include "pm/pm_allocator.h"
+#include "pm/pm_pool.h"
+
+namespace {
+
+using namespace dinomo;
+
+constexpr size_t kMiB = 1024 * 1024;
+
+struct IndexFixture {
+  IndexFixture()
+      : pool(512 * kMiB), alloc(&pool, 64, 512 * kMiB - 64), fabric(&pool) {
+    auto created = index::Clht::Create(&pool, &alloc, 12);
+    table.reset(created.value());
+  }
+
+  pm::PmPool pool;
+  pm::PmAllocator alloc;
+  net::Fabric fabric;
+  std::unique_ptr<index::Clht> table;
+};
+
+void BM_ClhtUpsert(benchmark::State& state) {
+  IndexFixture fx;
+  uint64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.table->Upsert(key, 1024 + key * 8));
+    key++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClhtUpsert);
+
+void BM_ClhtUpdateExisting(benchmark::State& state) {
+  IndexFixture fx;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    (void)fx.table->Upsert(k, 1024 + k * 8);
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    const uint64_t k = 1 + rng.Uniform(100000);
+    benchmark::DoNotOptimize(fx.table->Upsert(k, 2048));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClhtUpdateExisting);
+
+void BM_ClhtLookupHit(benchmark::State& state) {
+  IndexFixture fx;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    (void)fx.table->Upsert(k, 1024 + k * 8);
+  }
+  Random rng(2);
+  for (auto _ : state) {
+    const uint64_t k = 1 + rng.Uniform(100000);
+    benchmark::DoNotOptimize(fx.table->Lookup(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClhtLookupHit);
+
+void BM_ClhtLookupMiss(benchmark::State& state) {
+  IndexFixture fx;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    (void)fx.table->Upsert(k, 1024 + k * 8);
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    const uint64_t k = 200000 + rng.Uniform(100000);
+    benchmark::DoNotOptimize(fx.table->Lookup(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClhtLookupMiss);
+
+void BM_ClhtRemoteLookup(benchmark::State& state) {
+  IndexFixture fx;
+  for (uint64_t k = 1; k <= 100000; ++k) {
+    (void)fx.table->Upsert(k, 1024 + k * 8);
+  }
+  auto handle = fx.table->FetchRemoteHandle(&fx.fabric, 0);
+  Random rng(4);
+  uint64_t hops = 0;
+  uint64_t lookups = 0;
+  for (auto _ : state) {
+    const uint64_t k = 1 + rng.Uniform(100000);
+    auto r = fx.table->RemoteLookup(&fx.fabric, 0, handle, k);
+    benchmark::DoNotOptimize(r);
+    hops += r.hops;
+    lookups++;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rts_per_lookup"] =
+      lookups > 0 ? static_cast<double>(hops) / lookups : 0;
+}
+BENCHMARK(BM_ClhtRemoteLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Microbenchmarks of the log-entry codec and batch builder (the KN write
+// path's CPU component) and the Bloom filters guarding cached segments.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/bloom.h"
+#include "common/hash.h"
+#include "dpm/log.h"
+
+namespace {
+
+using namespace dinomo;
+using namespace dinomo::dpm;
+
+void BM_EncodeEntry1K(benchmark::State& state) {
+  const std::string key(8, 'k');
+  const std::string value(1024, 'v');
+  std::string buf(EncodedEntrySize(8, 1024), '\0');
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EncodeEntry(buf.data(), LogOp::kPut, ++seq, 42, key, value));
+  }
+  state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_EncodeEntry1K);
+
+void BM_DecodeEntry1K(benchmark::State& state) {
+  const std::string key(8, 'k');
+  const std::string value(1024, 'v');
+  std::string buf(EncodedEntrySize(8, 1024), '\0');
+  EncodeEntry(buf.data(), LogOp::kPut, 1, 42, key, value);
+  for (auto _ : state) {
+    LogRecord rec;
+    size_t consumed;
+    benchmark::DoNotOptimize(
+        DecodeEntry(buf.data(), buf.size(), &rec, &consumed));
+  }
+  state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_DecodeEntry1K);
+
+void BM_LogBuilderBatch(benchmark::State& state) {
+  const std::string key(8, 'k');
+  const std::string value(1024, 'v');
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LogBuilder builder;
+    for (int i = 0; i < batch; ++i) {
+      builder.AddPut(i, 42 + i, key, value);
+    }
+    benchmark::DoNotOptimize(builder.bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LogBuilderBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LogIterate(benchmark::State& state) {
+  const std::string key(8, 'k');
+  const std::string value(1024, 'v');
+  LogBuilder builder;
+  for (int i = 0; i < 64; ++i) builder.AddPut(i, 42 + i, key, value);
+  for (auto _ : state) {
+    LogIterator it(builder.data(), builder.bytes());
+    LogRecord rec;
+    int n = 0;
+    while (it.Next(&rec)) n++;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LogIterate);
+
+void BM_BloomAdd(benchmark::State& state) {
+  BloomFilter bf(100000);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    bf.Add(Slice(reinterpret_cast<const char*>(&key), 8));
+    key++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomQueryNegative(benchmark::State& state) {
+  BloomFilter bf(100000);
+  for (uint64_t k = 0; k < 100000; ++k) {
+    bf.Add(Slice(reinterpret_cast<const char*>(&k), 8));
+  }
+  uint64_t key = 1u << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bf.MayContain(Slice(reinterpret_cast<const char*>(&key), 8)));
+    key++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQueryNegative);
+
+void BM_Crc32c1K(benchmark::State& state) {
+  const std::string payload(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Crc32c1K);
+
+}  // namespace
+
+BENCHMARK_MAIN();

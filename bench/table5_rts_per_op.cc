@@ -1,0 +1,98 @@
+// Reproduces Table 5: network round trips per operation for each caching
+// strategy across cache sizes of 1% - 16% of the dataset (same setup as
+// Figure 3). The paper's claim: DAC has the lowest RTs/op in every
+// setting; shortcut-only is pinned near 1 RT/op plus index traversals;
+// value-only thrashes at small sizes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dinomo;
+
+struct PolicyConfig {
+  const char* name;
+  kn::CachePolicyKind kind;
+  double fraction;
+};
+
+constexpr uint64_t kRecords = 100000;
+constexpr size_t kValueSize = 64;
+
+double MeasureRts(const PolicyConfig& policy, double cache_pct) {
+  workload::WorkloadSpec spec =
+      workload::WorkloadSpec::ReadOnly(kRecords, 0.0);
+  spec.value_size = kValueSize;
+  spec.working_set_count = kRecords / 20;
+
+  sim::DinomoSimOptions opt;
+  opt.variant = SystemVariant::kDinomo;
+  opt.num_kns = 1;
+  opt.dpm.pool_size = 512 * bench::kMiB;
+  opt.dpm.index_log2_buckets = 14;
+  opt.dpm.segment_size = 1 * bench::kMiB;
+  opt.kn.num_workers = 8;
+  opt.kn.policy = policy.kind;
+  opt.kn.static_value_fraction = policy.fraction;
+  const size_t dataset =
+      kRecords * (kValueSize + cache::kValueEntryOverhead);
+  opt.kn.cache_bytes = static_cast<size_t>(dataset * cache_pct / 100.0);
+  opt.spec = spec;
+  opt.client_threads = 48;
+
+  sim::DinomoSim sim(opt);
+  sim.Preload();
+  sim.Run(1000e3, 0);
+  return sim.CollectProfile().rts_per_op;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 5: round trips per operation across caching strategies\n"
+      "(read-only, uniform 5% working set; lower is better)");
+
+  const std::vector<PolicyConfig> policies = {
+      {"shortcut-only", kn::CachePolicyKind::kShortcutOnly, 0.0},
+      {"static-25", kn::CachePolicyKind::kStatic, 0.25},
+      {"static-50", kn::CachePolicyKind::kStatic, 0.50},
+      {"static-75", kn::CachePolicyKind::kStatic, 0.75},
+      {"value-only", kn::CachePolicyKind::kValueOnly, 1.0},
+      {"DAC", kn::CachePolicyKind::kDac, 0.0},
+  };
+  const std::vector<double> cache_pcts = {1, 2, 4, 8, 16};
+
+  std::printf("%-8s", "cache%");
+  for (const auto& p : policies) std::printf("%15s", p.name);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> rts(cache_pcts.size());
+  for (size_t c = 0; c < cache_pcts.size(); ++c) {
+    std::printf("%-7.0f%%", cache_pcts[c]);
+    std::fflush(stdout);
+    for (const auto& policy : policies) {
+      const double r = MeasureRts(policy, cache_pcts[c]);
+      rts[c].push_back(r);
+      std::printf("%15.2f", r);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDAC has lowest (or tied-lowest) RTs/op per row:\n");
+  for (size_t c = 0; c < cache_pcts.size(); ++c) {
+    double best_other = 1e9;
+    for (size_t p = 0; p + 1 < policies.size(); ++p) {
+      best_other = std::min(best_other, rts[c][p]);
+    }
+    const double dac = rts[c].back();
+    std::printf("  %4.0f%%: DAC=%.2f, best-static=%.2f -> %s\n",
+                cache_pcts[c], dac, best_other,
+                dac <= best_other * 1.05 + 0.05 ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+# Benchmark targets, included from the top-level CMakeLists so that
+# build/bench/ contains only runnable binaries (the experiment scripts
+# iterate `for b in build/bench/*`).
+
+# One binary per paper table/figure, plus micro/ablation benchmarks.
+
+function(dinomo_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE dinomo)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+dinomo_bench(fig3_cache_policies)
+dinomo_bench(fig4_dpm_compute)
+dinomo_bench(fig5_scalability)
+dinomo_bench(fig6_autoscaling)
+dinomo_bench(fig7_load_balancing)
+dinomo_bench(fig8_fault_tolerance)
+dinomo_bench(table5_rts_per_op)
+dinomo_bench(table6_profiling)
+
+function(dinomo_gbench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE dinomo benchmark::benchmark)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+dinomo_gbench(micro_index)
+dinomo_gbench(micro_cache)
+dinomo_gbench(micro_log)
+dinomo_bench(ablation_batching)
+dinomo_bench(ablation_cache_size)

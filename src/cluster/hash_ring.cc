@@ -1,0 +1,78 @@
+#include "cluster/hash_ring.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dinomo {
+namespace cluster {
+
+HashRing::HashRing(int virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  DINOMO_CHECK(virtual_nodes > 0);
+}
+
+void HashRing::AddNode(uint64_t node_id) {
+  if (nodes_.count(node_id) != 0) return;
+  nodes_[node_id] = 1;
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    const uint64_t point =
+        HashSeeded(&node_id, sizeof(node_id), static_cast<uint64_t>(v));
+    // Collisions across nodes are possible in principle; skew the point
+    // deterministically until free so both sides agree on the layout.
+    uint64_t p = point;
+    while (points_.count(p) != 0) p = Mix64(p + 1);
+    points_[p] = node_id;
+  }
+}
+
+void HashRing::RemoveNode(uint64_t node_id) {
+  if (nodes_.erase(node_id) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == node_id) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::HasNode(uint64_t node_id) const {
+  return nodes_.count(node_id) != 0;
+}
+
+uint64_t HashRing::OwnerOf(uint64_t key_hash) const {
+  DINOMO_CHECK(!points_.empty());
+  auto it = points_.lower_bound(key_hash);
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<uint64_t> HashRing::Nodes() const {
+  std::vector<uint64_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, rc] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::map<uint64_t, double> HashRing::OwnershipShares() const {
+  std::map<uint64_t, double> shares;
+  if (points_.empty()) return shares;
+  const double total = 18446744073709551615.0;  // 2^64 - 1
+  uint64_t prev = points_.rbegin()->first;      // wrap segment start
+  bool first = true;
+  for (const auto& [point, node] : points_) {
+    uint64_t span;
+    if (first) {
+      // Segment wrapping from the highest point through 0 to the first.
+      span = point + (~prev) + 1;
+      first = false;
+    } else {
+      span = point - prev;
+    }
+    shares[node] += span / total;
+    prev = point;
+  }
+  return shares;
+}
+
+}  // namespace cluster
+}  // namespace dinomo

@@ -1,0 +1,53 @@
+#ifndef DINOMO_CLUSTER_HASH_RING_H_
+#define DINOMO_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dinomo {
+namespace cluster {
+
+/// Consistent-hash ring assigning key hashes to node ids (paper §3.4:
+/// "DINOMO uses consistent hashing to assign the primary owners for key
+/// ranges"). Each node projects `virtual_nodes` points onto the ring so
+/// ownership spreads evenly and membership changes move only ~1/n of the
+/// key space.
+///
+/// The same structure is used twice: the *global* ring maps keys to KNs,
+/// and each KN's *local* ring maps its keys onto worker threads.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64);
+
+  /// Adds a node; no-op if present.
+  void AddNode(uint64_t node_id);
+  /// Removes a node; no-op if absent.
+  void RemoveNode(uint64_t node_id);
+  bool HasNode(uint64_t node_id) const;
+
+  /// The node owning this key hash. Ring must be non-empty.
+  uint64_t OwnerOf(uint64_t key_hash) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  std::vector<uint64_t> Nodes() const;
+
+  /// Fraction of the hash space owned by each node (diagnostics/tests).
+  std::map<uint64_t, double> OwnershipShares() const;
+
+  bool operator==(const HashRing& other) const {
+    return points_ == other.points_;
+  }
+
+ private:
+  int virtual_nodes_;
+  std::map<uint64_t, uint64_t> points_;  // ring point -> node id
+  std::map<uint64_t, int> nodes_;        // node id -> refcount (1 if present)
+};
+
+}  // namespace cluster
+}  // namespace dinomo
+
+#endif  // DINOMO_CLUSTER_HASH_RING_H_

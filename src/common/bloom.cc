@@ -1,0 +1,51 @@
+#include "common/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dinomo {
+
+BloomFilter::BloomFilter(size_t expected_items, int bits_per_key)
+    : added_(0) {
+  if (expected_items == 0) expected_items = 1;
+  size_t bits = expected_items * static_cast<size_t>(bits_per_key);
+  bits = std::max<size_t>(bits, 64);
+  bits_.assign((bits + 63) / 64, 0);
+  // k = ln(2) * bits_per_key, clamped to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+uint64_t BloomFilter::BitIndex(uint64_t h, int probe) const {
+  // Double hashing: h1 + i*h2, standard Bloom probe scheme.
+  const uint64_t h1 = h;
+  const uint64_t h2 = Mix64(h);
+  return (h1 + static_cast<uint64_t>(probe) * h2) % (bits_.size() * 64);
+}
+
+void BloomFilter::Add(const Slice& key) {
+  const uint64_t h = HashSlice(key);
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = BitIndex(h, i);
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  added_++;
+}
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  const uint64_t h = HashSlice(key);
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = BitIndex(h, i);
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  added_ = 0;
+}
+
+}  // namespace dinomo

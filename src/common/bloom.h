@@ -1,0 +1,40 @@
+#ifndef DINOMO_COMMON_BLOOM_H_
+#define DINOMO_COMMON_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace dinomo {
+
+/// Bloom filter over keys. The KNs build one per cached un-merged log
+/// segment so that a DAC miss can check "might this segment hold the latest
+/// value?" without scanning the segment (paper §4, "DPM log segments").
+class BloomFilter {
+ public:
+  /// expected_items sizes the filter at ~bits_per_key bits per item
+  /// (10 bits/key gives ~1% false-positive rate).
+  explicit BloomFilter(size_t expected_items, int bits_per_key = 10);
+
+  void Add(const Slice& key);
+
+  /// True if the key may have been added; false means definitely not.
+  bool MayContain(const Slice& key) const;
+
+  void Clear();
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  size_t added() const { return added_; }
+
+ private:
+  uint64_t BitIndex(uint64_t h, int probe) const;
+
+  int num_probes_;
+  size_t added_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace dinomo
+
+#endif  // DINOMO_COMMON_BLOOM_H_

@@ -1,0 +1,51 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace dinomo {
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashSeeded(const void* data, size_t len, uint64_t seed) {
+  return Mix64(Fnv1a64(data, len) ^ Mix64(seed));
+}
+
+namespace {
+
+// Table-driven CRC-32C (Castagnoli), generated at first use.
+struct Crc32cTable {
+  std::array<uint32_t, 256> entries;
+
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reversed 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  static const Crc32cTable table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace dinomo

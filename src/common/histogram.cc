@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace dinomo {
+
+namespace {
+
+// Bucket limits grow geometrically: 14 buckets per decade over
+// [1, 1e11), plus an underflow bucket for [0, 1). 154 buckets total.
+constexpr double kGrowth = 1.17876863448;  // 10^(1/14)
+
+}  // namespace
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0.0),
+      min_(std::numeric_limits<double>::max()),
+      max_(0.0),
+      buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  int idx = 1 + static_cast<int>(std::log(value) / std::log(kGrowth));
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+double Histogram::BucketLimit(int i) {
+  if (i <= 0) return 1.0;
+  return std::pow(kGrowth, i);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = count_ * (p / 100.0);
+  double cumulative = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      const double lo = (i == 0) ? 0.0 : BucketLimit(i - 1);
+      const double hi = BucketLimit(i);
+      // Interpolate within the bucket.
+      const double in_bucket = buckets_[i];
+      const double before = cumulative - in_bucket;
+      const double frac =
+          in_bucket > 0 ? (threshold - before) / in_bucket : 1.0;
+      double v = lo + (hi - lo) * frac;
+      return std::min(std::max(v, min()), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f p50=%.2f p99=%.2f min=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Average(), P50(),
+                P99(), min(), max_);
+  return buf;
+}
+
+}  // namespace dinomo

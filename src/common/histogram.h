@@ -1,0 +1,59 @@
+#ifndef DINOMO_COMMON_HISTOGRAM_H_
+#define DINOMO_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dinomo {
+
+/// Log-bucketed latency histogram (microsecond resolution) for computing
+/// average and tail latencies. The M-node's SLO checks and the experiment
+/// harnesses both consume these. Not thread-safe; each worker keeps its own
+/// histogram and they are merged.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (any non-negative value; typically latency in us).
+  void Add(double value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Average() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Value at the given percentile in [0, 100]. Interpolates within the
+  /// containing bucket.
+  double Percentile(double p) const;
+
+  double P50() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// One-line summary for experiment logs.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+
+  /// Index of the bucket containing value.
+  static int BucketFor(double value);
+  /// Upper bound of bucket index i.
+  static double BucketLimit(int i);
+
+  uint64_t count_;
+  double sum_;
+  double min_;
+  double max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace dinomo
+
+#endif  // DINOMO_COMMON_HISTOGRAM_H_

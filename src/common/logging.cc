@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace dinomo {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace dinomo

@@ -1,0 +1,69 @@
+#ifndef DINOMO_COMMON_LOGGING_H_
+#define DINOMO_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dinomo {
+
+/// Minimal leveled logging. Severity is filtered by a process-wide level so
+/// benchmarks can run quietly; FATAL always aborts.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is printed (default: kWarn, so library
+/// use is quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// A no-op sink used when the message is below the active level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dinomo
+
+#define DINOMO_LOG(level)                                            \
+  (::dinomo::LogLevel::k##level < ::dinomo::GetLogLevel())           \
+      ? (void)0                                                      \
+      : (void)(::dinomo::internal::LogMessage(                       \
+                   ::dinomo::LogLevel::k##level, __FILE__, __LINE__) \
+                   .stream())
+
+#define DINOMO_LOG_STREAM(level)                                    \
+  ::dinomo::internal::LogMessage(::dinomo::LogLevel::k##level,      \
+                                 __FILE__, __LINE__)                \
+      .stream()
+
+/// CHECK-style invariant assertion that stays on in release builds.
+#define DINOMO_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,   \
+                   __LINE__);                                                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // DINOMO_COMMON_LOGGING_H_

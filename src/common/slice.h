@@ -1,0 +1,77 @@
+#ifndef DINOMO_COMMON_SLICE_H_
+#define DINOMO_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dinomo {
+
+/// A non-owning view of a byte range (the RocksDB Slice idiom). Used for
+/// keys and values everywhere data is passed without copying. The caller
+/// must keep the underlying storage alive for the lifetime of the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  /// Drops the first n bytes. n must be <= size().
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way comparison: <0, 0, >0 as in memcmp.
+  int compare(const Slice& other) const;
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+inline int Slice::compare(const Slice& other) const {
+  const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+  int r = std::memcmp(data_, other.data_, min_len);
+  if (r == 0) {
+    if (size_ < other.size_) {
+      r = -1;
+    } else if (size_ > other.size_) {
+      r = 1;
+    }
+  }
+  return r;
+}
+
+}  // namespace dinomo
+
+#endif  // DINOMO_COMMON_SLICE_H_

@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace dinomo {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kOutOfMemory:
+      return "OutOfMemory";
+    case Status::Code::kWrongOwner:
+      return "WrongOwner";
+    case Status::Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace dinomo

@@ -1,0 +1,51 @@
+#include "common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace dinomo {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t item_count, double theta,
+                                   uint64_t seed)
+    : items_(item_count), theta_(theta), rng_(seed) {
+  assert(item_count > 0);
+  zetan_ = Zeta(items_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // For the large item counts and high thetas the paper uses, the series
+  // converges fast; computing it exactly keeps the generator simple and is
+  // a one-time cost per workload.
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(v);
+  if (rank >= items_) rank = items_ - 1;
+  return rank;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  const uint64_t rank = zipf_.Next();
+  // XOR with a golden-ratio constant before mixing: Mix64(0) == 0, and we
+  // want rank 0 (the hottest item) scattered like every other rank.
+  return Mix64(rank ^ 0x9e3779b97f4a7c15ULL) % items_;
+}
+
+}  // namespace dinomo

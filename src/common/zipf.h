@@ -1,0 +1,69 @@
+#ifndef DINOMO_COMMON_ZIPF_H_
+#define DINOMO_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace dinomo {
+
+/// YCSB-style Zipfian generator over [0, item_count). theta is the Zipfian
+/// coefficient: the paper uses 0.5 (low skew, near uniform), 0.99 (moderate
+/// skew, the YCSB default) and 2.0 (high skew). Uses the Gray et al.
+/// rejection-free method with precomputed zeta, as in the YCSB reference
+/// implementation.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t item_count, double theta, uint64_t seed = 12345);
+
+  /// Next sample in [0, item_count). Popular items are the small ranks;
+  /// callers should scatter ranks onto the key space (see ScrambledZipfian).
+  uint64_t Next();
+
+  uint64_t item_count() const { return items_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+/// Zipfian ranks scrambled over the key space with a 64-bit mix so hot keys
+/// are spread uniformly across hash-ring partitions (as YCSB's
+/// ScrambledZipfianGenerator does). Produces values in [0, item_count).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t item_count, double theta,
+                            uint64_t seed = 12345)
+      : zipf_(item_count, theta, seed), items_(item_count) {}
+
+  uint64_t Next();
+
+ private:
+  ZipfianGenerator zipf_;
+  uint64_t items_;
+};
+
+/// Uniform generator with the same interface, for theta == 0 workloads.
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t item_count, uint64_t seed = 12345)
+      : items_(item_count), rng_(seed) {}
+
+  uint64_t Next() { return rng_.Uniform(items_); }
+
+ private:
+  uint64_t items_;
+  Random rng_;
+};
+
+}  // namespace dinomo
+
+#endif  // DINOMO_COMMON_ZIPF_H_

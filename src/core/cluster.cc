@@ -1,0 +1,479 @@
+#include "core/cluster.h"
+
+#include "core/migration.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <future>
+
+#include "common/logging.h"
+
+namespace dinomo {
+
+namespace {
+
+using cluster::RoutingTable;
+
+void SpinFor(double us) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(static_cast<long>(us * 1000));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+// ----- Client -----
+
+Client::Client(Cluster* cluster)
+    : cluster_(cluster),
+      table_(cluster->routing()->Snapshot()),
+      salt_(reinterpret_cast<uintptr_t>(this)) {}
+
+Result<std::string> Client::Get(const Slice& key) {
+  return Execute(kn::Request::Type::kGet, key, Slice());
+}
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  return Execute(kn::Request::Type::kPut, key, value).status();
+}
+
+Status Client::Delete(const Slice& key) {
+  return Execute(kn::Request::Type::kDelete, key, Slice()).status();
+}
+
+Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
+                                    const Slice& value) {
+  const uint64_t key_hash = kn::KeyHash(key);
+  Status last = Status::Unavailable("no KNs");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    // Stale routing is refreshed from the RN after a rejection, as a real
+    // client would (§3.4: "the KN they contact will direct them to a
+    // routing node to get the latest mapping information").
+    if (attempt > 0) {
+      table_ = cluster_->routing()->Snapshot();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (table_->global_ring.empty()) continue;
+    const uint64_t kn_id = table_->RouteFor(key_hash, salt_++);
+    kn::KvsNode* node = cluster_->kn(kn_id);
+    if (node == nullptr) {
+      last = Status::Unavailable("routed to departed KN");
+      continue;
+    }
+    std::promise<kn::OpResult> promise;
+    auto future = promise.get_future();
+    kn::Request req;
+    req.type = type;
+    req.key = key.ToString();
+    req.value = value.ToString();
+    req.done = [&promise](kn::OpResult r) {
+      promise.set_value(std::move(r));
+    };
+    node->Submit(*table_, std::move(req));
+    kn::OpResult result = future.get();
+    if (result.status.IsWrongOwner() || result.status.IsUnavailable()) {
+      last = result.status;
+      continue;
+    }
+    last_latency_us_ =
+        result.LatencyUs(cluster_->dpm()->fabric()->profile());
+    if (cluster_->options().inject_latency) SpinFor(last_latency_us_);
+    cluster_->RecordLatency(last_latency_us_);
+    if (!result.status.ok()) return result.status;
+    if (type == kn::Request::Type::kGet) {
+      return std::move(result.value);
+    }
+    return std::string();
+  }
+  return last;
+}
+
+// ----- Cluster -----
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      routing_(options.kn.num_workers),
+      policy_(options.policy) {
+  ClusterOptions& opt = options_;
+  if (opt.variant == SystemVariant::kDinomoN) {
+    opt.dpm.partitioned_metadata = true;
+    opt.kn.dinomo_n = true;
+  }
+  if (opt.variant == SystemVariant::kDinomoS) {
+    opt.kn.policy = kn::CachePolicyKind::kShortcutOnly;
+  }
+  dpm_ = std::make_unique<dpm::DpmNode>(opt.dpm);
+}
+
+Cluster::~Cluster() { Stop(); }
+
+kn::KnOptions Cluster::MakeKnOptions(uint64_t kn_id) const {
+  kn::KnOptions kno = options_.kn;
+  kno.kn_id = kn_id;
+  kno.fabric_node = static_cast<int>(kn_id % net::Fabric::kMaxNodes);
+  return kno;
+}
+
+Status Cluster::Start() {
+  if (started_.exchange(true)) return Status::Ok();
+  dpm_->merge()->SetMergeCallback([this](uint64_t owner) {
+    const uint64_t kn_id = owner >> 8;
+    kn::KvsNode* node = kn(kn_id);
+    if (node != nullptr) node->OnBatchMerged(owner);
+  });
+  dpm_->merge()->StartThreads(options_.dpm_merge_threads);
+
+  for (int i = 0; i < options_.initial_kns; ++i) {
+    const uint64_t id = next_kn_id_++;
+    auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), dpm_.get());
+    node->Start();
+    {
+      std::lock_guard<std::mutex> lock(kns_mu_);
+      kns_[id] = std::move(node);
+    }
+    routing_.AddKn(id);
+  }
+  PushRoutingToAll();
+
+  if (options_.start_mnode) {
+    mnode_running_ = true;
+    mnode_thread_ = std::thread([this] { MnodeLoop(); });
+  }
+  return Status::Ok();
+}
+
+void Cluster::Stop() {
+  if (!started_.exchange(false)) return;
+  if (mnode_running_.exchange(false) && mnode_thread_.joinable()) {
+    mnode_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(kns_mu_);
+    for (auto& [id, node] : kns_) node->Stop();
+  }
+  dpm_->merge()->StopThreads();
+  Status st = dpm_->merge()->DrainAll();
+  if (!st.ok()) {
+    DINOMO_LOG_STREAM(Warn) << "final drain failed: " << st.ToString();
+  }
+}
+
+std::vector<uint64_t> Cluster::ActiveKns() const {
+  std::lock_guard<std::mutex> lock(kns_mu_);
+  std::vector<uint64_t> out;
+  for (const auto& [id, node] : kns_) {
+    if (!node->failed()) out.push_back(id);
+  }
+  return out;
+}
+
+kn::KvsNode* Cluster::kn(uint64_t kn_id) {
+  std::lock_guard<std::mutex> lock(kns_mu_);
+  auto it = kns_.find(kn_id);
+  return it == kns_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::PushRoutingToAll() {
+  auto table = routing_.Snapshot();
+  std::vector<kn::KvsNode*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(kns_mu_);
+    for (auto& [id, node] : kns_) {
+      if (!node->failed()) nodes.push_back(node.get());
+    }
+  }
+  for (auto* node : nodes) {
+    const uint64_t id = node->kn_id();
+    node->RunOnAllWorkers([table, id](kn::KnWorker* w) {
+      w->SetRouting(table);
+      // Empty exactly the partitions this KN no longer owns (§3.4:
+      // "the current owner empties its cache").
+      w->cache()->InvalidateIf([table, id](uint64_t key_hash) {
+        return !table->IsOwner(key_hash, id);
+      });
+    });
+  }
+}
+
+Status Cluster::QuiesceKns(const std::vector<uint64_t>& kn_ids) {
+  for (uint64_t id : kn_ids) {
+    kn::KvsNode* node = kn(id);
+    if (node == nullptr || node->failed()) continue;
+    node->SetAvailable(false);
+    node->RunOnAllWorkers([](kn::KnWorker* w) {
+      Status st = w->DrainLog();
+      if (!st.ok()) {
+        DINOMO_LOG_STREAM(Warn) << "drain failed: " << st.ToString();
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+void Cluster::ResumeKns(const std::vector<uint64_t>& kn_ids) {
+  for (uint64_t id : kn_ids) {
+    kn::KvsNode* node = kn(id);
+    if (node != nullptr && !node->failed()) node->SetAvailable(true);
+  }
+}
+
+Result<uint64_t> Cluster::MigrateData(uint64_t from_kn,
+                                      const RoutingTable& new_table) {
+  auto stats = MigratePartitionData(dpm_.get(), from_kn, new_table);
+  if (!stats.ok()) return stats.status();
+  return stats.value().keys_moved;
+}
+
+Result<uint64_t> Cluster::AddKn() {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  const uint64_t id = next_kn_id_++;
+  auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), dpm_.get());
+  node->SetAvailable(false);
+  node->Start();
+  {
+    std::lock_guard<std::mutex> lock(kns_mu_);
+    kns_[id] = std::move(node);
+  }
+
+  // Protocol steps 1-3: every KN that loses a range participates.
+  const std::vector<uint64_t> participants = ActiveKns();
+  std::vector<uint64_t> old_kns;
+  for (uint64_t p : participants) {
+    if (p != id) old_kns.push_back(p);
+  }
+  DINOMO_RETURN_IF_ERROR(QuiesceKns(old_kns));
+
+  // Step 4: publish the new mapping.
+  routing_.AddKn(id);
+
+  if (options_.variant == SystemVariant::kDinomoN) {
+    auto table = routing_.Snapshot();
+    for (uint64_t p : old_kns) {
+      auto migrated = MigrateData(p, *table);
+      if (!migrated.ok()) return migrated.status();
+    }
+  }
+
+  // Steps 5-7: push mappings, resume everyone, new KN goes live.
+  PushRoutingToAll();
+  ResumeKns(old_kns);
+  ResumeKns({id});
+  return id;
+}
+
+Status Cluster::RemoveKn(uint64_t kn_id) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  kn::KvsNode* node = kn(kn_id);
+  if (node == nullptr) return Status::NotFound("unknown KN");
+  if (ActiveKns().size() <= 1) {
+    return Status::InvalidArgument("cannot remove the last KN");
+  }
+
+  DINOMO_RETURN_IF_ERROR(QuiesceKns({kn_id}));
+  routing_.RemoveKn(kn_id);
+
+  if (options_.variant == SystemVariant::kDinomoN) {
+    auto table = routing_.Snapshot();
+    auto migrated = MigrateData(kn_id, *table);
+    if (!migrated.ok()) return migrated.status();
+  }
+
+  PushRoutingToAll();
+  node->Stop();
+  {
+    std::lock_guard<std::mutex> lock(kns_mu_);
+    kns_.erase(kn_id);
+  }
+  return Status::Ok();
+}
+
+Status Cluster::KillKn(uint64_t kn_id) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  kn::KvsNode* node = kn(kn_id);
+  if (node == nullptr) return Status::NotFound("unknown KN");
+
+  // Fail-stop: DRAM contents (cache, un-flushed batches) are gone.
+  node->Fail();
+
+  // Failure handling (§3.5): merge the failed KN's pending log segments,
+  // then repartition ownership among the alive KNs.
+  for (int w = 0; w < options_.kn.num_workers; ++w) {
+    const uint64_t owner = (kn_id << 8) | w;
+    DINOMO_RETURN_IF_ERROR(dpm_->DrainOwner(owner));
+    dpm_->ReleaseOwnerSegments(owner);
+  }
+  routing_.RemoveKn(kn_id);
+
+  if (options_.variant == SystemVariant::kDinomoN) {
+    auto table = routing_.Snapshot();
+    auto migrated = MigrateData(kn_id, *table);
+    if (!migrated.ok()) return migrated.status();
+  }
+
+  PushRoutingToAll();
+  {
+    std::lock_guard<std::mutex> lock(kns_mu_);
+    kns_.erase(kn_id);
+  }
+  return Status::Ok();
+}
+
+Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (options_.variant == SystemVariant::kDinomoN) {
+    return Status::NotSupported("DINOMO-N has no selective replication");
+  }
+  auto table = routing_.Snapshot();
+  const uint64_t primary = table->PrimaryOwner(key_hash);
+
+  // Build the owner set: primary plus the next distinct KNs.
+  std::vector<uint64_t> owners{primary};
+  for (uint64_t id : ActiveKns()) {
+    if (static_cast<int>(owners.size()) >= replication) break;
+    if (id != primary) owners.push_back(id);
+  }
+  if (owners.size() <= 1) return Status::Ok();  // nothing to share with
+
+  // The primary is the only node that may hold the value in cache: pause
+  // it, land its writes, install the indirect slot, then publish.
+  DINOMO_RETURN_IF_ERROR(QuiesceKns({primary}));
+  auto slot = dpm_->InstallIndirect(
+      static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
+  if (!slot.ok()) {
+    ResumeKns({primary});
+    return slot.status();
+  }
+  routing_.SetReplication(key_hash, owners);
+  PushRoutingToAll();
+  kn::KvsNode* node = kn(primary);
+  if (node != nullptr && !node->failed()) {
+    node->RunOnAllWorkers(
+        [key_hash](kn::KnWorker* w) { w->cache()->Invalidate(key_hash); });
+  }
+  ResumeKns({primary});
+  return Status::Ok();
+}
+
+Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  auto table = routing_.Snapshot();
+  const std::vector<uint64_t> owners = table->OwnersOf(key_hash);
+  if (owners.size() <= 1) return Status::Ok();
+
+  // Stop all owners from racing the write-back, drop their cached
+  // shortcuts, collapse the slot, then publish the single-owner mapping.
+  DINOMO_RETURN_IF_ERROR(QuiesceKns(owners));
+  for (uint64_t id : owners) {
+    kn::KvsNode* node = kn(id);
+    if (node != nullptr && !node->failed()) {
+      node->RunOnAllWorkers([key_hash](kn::KnWorker* w) {
+        w->cache()->Invalidate(key_hash);
+      });
+    }
+  }
+  Status st = dpm_->RemoveIndirect(0, key_hash);
+  if (!st.ok() && !st.IsNotFound()) {
+    ResumeKns(owners);
+    return st;
+  }
+  routing_.ClearReplication(key_hash);
+  PushRoutingToAll();
+  ResumeKns(owners);
+  return Status::Ok();
+}
+
+void Cluster::RecordLatency(double us) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_hist_.Add(us);
+}
+
+mnode::ClusterMetrics Cluster::CollectMetrics(double epoch_seconds) {
+  mnode::ClusterMetrics metrics;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    metrics.avg_latency_us = latency_hist_.Average();
+    metrics.p99_latency_us = latency_hist_.P99();
+    latency_hist_.Reset();
+  }
+  const double epoch_us = epoch_seconds * 1e6;
+  std::map<uint64_t, uint64_t> key_counts;
+  for (uint64_t id : ActiveKns()) {
+    kn::KvsNode* node = kn(id);
+    if (node == nullptr) continue;
+    kn::WorkerStats stats = node->AggregateStats(/*reset=*/true);
+    metrics.occupancy[id] =
+        epoch_us > 0 ? std::min(1.0, stats.busy_us / epoch_us) : 0.0;
+    for (const auto& [key, count] : stats.hot_keys) {
+      key_counts[key] += count;
+    }
+    metrics.key_freq_mean += stats.key_freq_mean;
+    metrics.key_freq_stddev += stats.key_freq_stddev;
+  }
+  const size_t n = metrics.occupancy.size();
+  if (n > 0) {
+    metrics.key_freq_mean /= n;
+    metrics.key_freq_stddev /= n;
+  }
+  for (const auto& [key, count] : key_counts) {
+    metrics.hot_keys.emplace_back(key, count);
+  }
+  std::sort(metrics.hot_keys.begin(), metrics.hot_keys.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (metrics.hot_keys.size() > 32) metrics.hot_keys.resize(32);
+
+  auto table = routing_.Snapshot();
+  for (const auto& [key, owners] : table->replicated) {
+    metrics.replicated_keys[key] = static_cast<int>(owners.size());
+  }
+  return metrics;
+}
+
+mnode::PolicyAction Cluster::RunPolicyOnce(double now_s, double epoch_s) {
+  mnode::ClusterMetrics metrics = CollectMetrics(epoch_s);
+  mnode::PolicyAction action = policy_.Evaluate(metrics, now_s);
+  switch (action.kind) {
+    case mnode::PolicyAction::Kind::kAddKn: {
+      auto r = AddKn();
+      if (r.ok()) policy_.NoteMembershipChange(now_s);
+      break;
+    }
+    case mnode::PolicyAction::Kind::kRemoveKn: {
+      if (RemoveKn(action.kn_id).ok()) policy_.NoteMembershipChange(now_s);
+      break;
+    }
+    case mnode::PolicyAction::Kind::kReplicateKey: {
+      Status st =
+          ReplicateKeyHash(action.key_hash, action.replication_factor);
+      if (!st.ok()) {
+        DINOMO_LOG_STREAM(Warn) << "replicate failed: " << st.ToString();
+      }
+      break;
+    }
+    case mnode::PolicyAction::Kind::kDereplicateKey: {
+      Status st = DereplicateKeyHash(action.key_hash);
+      if (!st.ok()) {
+        DINOMO_LOG_STREAM(Warn) << "dereplicate failed: " << st.ToString();
+      }
+      break;
+    }
+    case mnode::PolicyAction::Kind::kNone:
+      break;
+  }
+  return action;
+}
+
+void Cluster::MnodeLoop() {
+  using namespace std::chrono;
+  const auto start = steady_clock::now();
+  while (mnode_running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        microseconds(static_cast<long>(options_.mnode_epoch_ms * 1000)));
+    const double now_s =
+        duration_cast<duration<double>>(steady_clock::now() - start).count();
+    RunPolicyOnce(now_s, options_.mnode_epoch_ms / 1000.0);
+  }
+}
+
+}  // namespace dinomo

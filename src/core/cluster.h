@@ -1,0 +1,177 @@
+#ifndef DINOMO_CORE_CLUSTER_H_
+#define DINOMO_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dpm/dpm_node.h"
+#include "kn/kvs_node.h"
+#include "mnode/policy.h"
+
+namespace dinomo {
+
+/// Which system of the paper's evaluation a cluster instantiates (§5,
+/// "Comparison points").
+enum class SystemVariant {
+  kDinomo,   // OP + DAC + selective replication
+  kDinomoS,  // shortcut-only cache, otherwise DINOMO
+  kDinomoN,  // shared-nothing: partitioned data/metadata, no replication
+};
+
+/// Configuration of a DINOMO cluster.
+struct ClusterOptions {
+  SystemVariant variant = SystemVariant::kDinomo;
+  dpm::DpmOptions dpm;
+  /// Template for every KN; kn_id/fabric_node/policy fields are filled in
+  /// per node (policy is forced by `variant`).
+  kn::KnOptions kn;
+  int initial_kns = 1;
+  /// DPM processor threads merging logs (paper: 4 for 16 KNs).
+  int dpm_merge_threads = 2;
+  mnode::PolicyParams policy;
+  /// Spawn the M-node monitoring loop (real-thread runtime only).
+  bool start_mnode = false;
+  double mnode_epoch_ms = 100.0;
+  /// Clients spin for the op's modeled latency, so latency SLOs are
+  /// meaningful in the real-thread runtime.
+  bool inject_latency = false;
+};
+
+class Cluster;
+
+/// A client handle (paper Figure 1): routes requests to owner KNs using a
+/// cached routing snapshot, refreshing it when a KN answers WrongOwner or
+/// is unavailable, exactly as §3.4 describes. Thread-compatible: use one
+/// Client per application thread.
+class Client {
+ public:
+  explicit Client(Cluster* cluster);
+
+  Result<std::string> Get(const Slice& key);
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+
+  /// Last operation's modeled service latency, us.
+  double last_latency_us() const { return last_latency_us_; }
+
+ private:
+  friend class Cluster;
+
+  Result<std::string> Execute(kn::Request::Type type, const Slice& key,
+                              const Slice& value);
+
+  Cluster* cluster_;
+  std::shared_ptr<const cluster::RoutingTable> table_;
+  uint64_t salt_;
+  double last_latency_us_ = 0.0;
+};
+
+/// The DINOMO cluster (real-thread runtime): DPM node, KVS nodes, routing
+/// service and (optionally) the M-node monitoring loop, all in-process.
+/// The virtual-time engine in src/sim reuses the same components but
+/// drives them through a discrete-event scheduler instead.
+///
+/// All reconfigurations follow the protocol of §3.5: participants become
+/// unavailable, their logs merge synchronously, the mapping is published,
+/// and they resume — no data is copied (except in DINOMO-N mode, where
+/// reorganization physically moves entries, which is exactly the cost the
+/// paper charges AsymNVM-style designs).
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Status Start();
+  void Stop();
+
+  std::unique_ptr<Client> NewClient() {
+    return std::make_unique<Client>(this);
+  }
+
+  // ----- Administrative / reconfiguration operations -----
+
+  /// Scales out by one KN. Returns the new KN's id.
+  Result<uint64_t> AddKn();
+  /// Gracefully removes a KN (scale-in).
+  Status RemoveKn(uint64_t kn_id);
+  /// Fail-stop kills a KN and runs the failure-handling path of §3.5.
+  Status KillKn(uint64_t kn_id);
+  /// Replicates a hot key's ownership across `replication` KNs.
+  Status ReplicateKey(const Slice& key, int replication) {
+    return ReplicateKeyHash(kn::KeyHash(key), replication);
+  }
+  /// Collapses a key back to a single owner.
+  Status DereplicateKey(const Slice& key) {
+    return DereplicateKeyHash(kn::KeyHash(key));
+  }
+  /// Hash-based forms used by the policy engine (which tracks keys by
+  /// their 64-bit fingerprints).
+  Status ReplicateKeyHash(uint64_t key_hash, int replication);
+  Status DereplicateKeyHash(uint64_t key_hash);
+
+  // ----- Introspection -----
+
+  dpm::DpmNode* dpm() { return dpm_.get(); }
+  cluster::RoutingService* routing() { return &routing_; }
+  const ClusterOptions& options() const { return options_; }
+  std::vector<uint64_t> ActiveKns() const;
+  kn::KvsNode* kn(uint64_t kn_id);
+
+  /// Gathers the monitoring metrics the M-node consumes (resets the
+  /// per-epoch counters).
+  mnode::ClusterMetrics CollectMetrics(double epoch_seconds);
+
+  /// Client latency reporting (feeds SLO checks).
+  void RecordLatency(double us);
+
+  /// Runs one M-node decision epoch by hand (tests / manual driving).
+  mnode::PolicyAction RunPolicyOnce(double now_s, double epoch_s);
+
+ private:
+  friend class Client;
+
+  kn::KnOptions MakeKnOptions(uint64_t kn_id) const;
+  void PushRoutingToAll();
+  /// Executes protocol steps 1-3 for the given participants: unavailable,
+  /// flush, synchronous merge.
+  Status QuiesceKns(const std::vector<uint64_t>& kn_ids);
+  void ResumeKns(const std::vector<uint64_t>& kn_ids);
+  /// DINOMO-N only: physically moves entries whose owner changed from
+  /// `from_kn` under `new_table`. Returns the number of keys moved.
+  Result<uint64_t> MigrateData(uint64_t from_kn,
+                               const cluster::RoutingTable& new_table);
+
+  void MnodeLoop();
+
+  ClusterOptions options_;
+  std::unique_ptr<dpm::DpmNode> dpm_;
+  cluster::RoutingService routing_;
+  mnode::PolicyEngine policy_;
+
+  mutable std::mutex kns_mu_;
+  std::map<uint64_t, std::unique_ptr<kn::KvsNode>> kns_;
+  uint64_t next_kn_id_ = 1;
+
+  std::mutex admin_mu_;  // serializes reconfigurations
+
+  std::mutex latency_mu_;
+  Histogram latency_hist_;
+
+  std::thread mnode_thread_;
+  std::atomic<bool> mnode_running_{false};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace dinomo
+
+#endif  // DINOMO_CORE_CLUSTER_H_

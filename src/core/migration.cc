@@ -1,0 +1,100 @@
+#include "core/migration.h"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "dpm/log.h"
+#include "net/fabric.h"
+
+namespace dinomo {
+
+namespace {
+constexpr size_t kSegmentHeaderSize = pm::kCacheLineSize;
+}  // namespace
+
+Result<MigrationStats> MigratePartitionData(
+    dpm::DpmNode* dpm, uint64_t from_kn,
+    const cluster::RoutingTable& new_table) {
+  MigrationStats stats;
+  index::Clht* from_index = dpm->IndexFor(from_kn);
+  struct Moved {
+    uint64_t key_hash;
+    pm::PmPtr value;
+  };
+  // Group the moved keys by their new owner so whole segments fill up.
+  std::map<uint64_t, std::vector<Moved>> by_dest;
+  from_index->ForEach([&](uint64_t key_hash, pm::PmPtr value) {
+    const uint64_t owner = new_table.PrimaryOwner(key_hash);
+    if (owner != from_kn && !dpm::ValuePtr(value).indirect()) {
+      by_dest[owner].push_back({key_hash, value});
+    }
+  });
+
+  const size_t seg_capacity =
+      dpm->options().segment_size - kSegmentHeaderSize;
+
+  for (const auto& [dest, moved] : by_dest) {
+    const uint64_t dst_owner = dest << 8;  // worker 0's log
+    const int dst_node = static_cast<int>(dest % net::Fabric::kMaxNodes);
+    pm::PmPtr segment = pm::kNullPmPtr;
+    size_t seg_used = 0;
+    dpm::LogBuilder batch;
+
+    auto flush = [&]() -> Status {
+      if (batch.entries() == 0) return Status::Ok();
+      if (segment == pm::kNullPmPtr ||
+          seg_used + batch.bytes() > seg_capacity) {
+        if (segment != pm::kNullPmPtr) {
+          DINOMO_RETURN_IF_ERROR(
+              dpm->SealSegment(dst_node, dst_owner, segment));
+        }
+        auto seg = dpm->AllocateSegment(dst_node, dst_owner);
+        if (!seg.ok()) return seg.status();
+        segment = seg.value();
+        seg_used = 0;
+      }
+      const pm::PmPtr dst = segment + kSegmentHeaderSize + seg_used;
+      std::memcpy(dpm->pool()->Translate(dst), batch.data(), batch.bytes());
+      dpm->pool()->Persist(dst, batch.bytes());
+      auto submit = dpm->SubmitBatch(dst_node, dst_owner, segment, dst,
+                                     batch.bytes(), batch.puts());
+      if (!submit.ok()) return submit.status();
+      seg_used += batch.bytes();
+      stats.bytes_moved += batch.bytes();
+      batch.Clear();
+      // Keep the unmerged backlog bounded (reorganization is synchronous
+      // anyway — that is exactly why it is expensive).
+      return dpm->DrainOwner(dst_owner);
+    };
+
+    for (const Moved& m : moved) {
+      dpm::ValuePtr vp(m.value);
+      const char* entry = dpm->pool()->Translate(vp.offset());
+      dpm::LogRecord rec;
+      size_t consumed = 0;
+      DINOMO_RETURN_IF_ERROR(
+          dpm::DecodeEntry(entry, vp.entry_size(), &rec, &consumed));
+      const size_t need =
+          dpm::EncodedEntrySize(rec.key.size(), rec.value.size());
+      if (batch.bytes() + need > seg_capacity ||
+          batch.bytes() >= 256 * 1024) {
+        DINOMO_RETURN_IF_ERROR(flush());
+      }
+      batch.AddPut(0, rec.key_hash, rec.key, rec.value);
+      stats.keys_moved++;
+    }
+    DINOMO_RETURN_IF_ERROR(flush());
+
+    // Remove the moved keys from the source partition only after the
+    // destination has them merged (no window where neither index serves
+    // the key).
+    for (const Moved& m : moved) {
+      auto removed = from_index->Remove(m.key_hash);
+      if (!removed.ok()) return removed.status();
+    }
+  }
+  return stats;
+}
+
+}  // namespace dinomo

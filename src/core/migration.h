@@ -1,0 +1,31 @@
+#ifndef DINOMO_CORE_MIGRATION_H_
+#define DINOMO_CORE_MIGRATION_H_
+
+#include <cstdint>
+
+#include "cluster/routing.h"
+#include "common/status.h"
+#include "dpm/dpm_node.h"
+
+namespace dinomo {
+
+/// Result of a DINOMO-N data reorganization.
+struct MigrationStats {
+  uint64_t keys_moved = 0;
+  uint64_t bytes_moved = 0;
+};
+
+/// Physically reorganizes a DINOMO-N partition: every entry in
+/// `from_kn`'s private index whose primary owner under `new_table` is a
+/// different KN is re-logged under that owner's partition and removed
+/// from the source. This is the expensive data copying that shared-data
+/// DINOMO avoids during reconfiguration (§3.4/§5.3) — both the real-thread
+/// cluster and the virtual-time engine use it, the latter charging
+/// `bytes_moved` against the link and `keys_moved` against DPM CPU.
+Result<MigrationStats> MigratePartitionData(
+    dpm::DpmNode* dpm, uint64_t from_kn,
+    const cluster::RoutingTable& new_table);
+
+}  // namespace dinomo
+
+#endif  // DINOMO_CORE_MIGRATION_H_

@@ -1,0 +1,533 @@
+#include "dpm/dpm_node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace dpm {
+
+namespace {
+
+// Persistent segment header occupying the first cache line of a segment.
+struct SegmentPmHeader {
+  uint64_t capacity;
+  uint64_t owner;
+  uint64_t state;
+  uint64_t used_bytes;
+  uint64_t merged_bytes;
+  uint64_t puts_total;
+  uint64_t puts_invalid;
+  uint64_t pad;
+};
+static_assert(sizeof(SegmentPmHeader) == pm::kCacheLineSize);
+
+constexpr size_t kSegmentHeaderSize = pm::kCacheLineSize;
+
+// Recovery superblock: the first allocation of a fresh pool, so its
+// offset is deterministic (region start + allocator block header).
+struct alignas(pm::kCacheLineSize) Superblock {
+  uint64_t magic;
+  pm::PmPtr index_header;
+  pm::PmPtr segdir;
+  uint64_t segdir_slots;
+  pm::PmPtr high_water;  // allocator bump high-water (absolute offset)
+  uint64_t pad[3];
+};
+static_assert(sizeof(Superblock) == pm::kCacheLineSize);
+
+constexpr uint64_t kSuperMagic = 0xD120130FEED5EEDULL;
+constexpr uint64_t kSegDirSlots = 8192;
+
+// Persistent segment-directory entry; live iff base != 0.
+struct SegDirEntry {
+  pm::PmPtr base;
+  uint64_t owner;
+};
+
+}  // namespace
+
+DpmNode::DpmNode(const DpmOptions& options) : options_(options) {
+  pool_ = std::make_unique<pm::PmPool>(options_.pool_size, options_.crash_sim);
+  InitFresh();
+}
+
+DpmNode::DpmNode(const DpmOptions& options, std::unique_ptr<pm::PmPool> pool)
+    : options_(options), pool_(std::move(pool)) {}
+
+void DpmNode::InitFresh() {
+  alloc_ = std::make_unique<pm::PmAllocator>(pool_.get(), pm::kCacheLineSize,
+                                             options_.pool_size -
+                                                 pm::kCacheLineSize);
+  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile);
+
+  auto sb_alloc = alloc_->Alloc(sizeof(Superblock));
+  DINOMO_CHECK(sb_alloc.ok());
+  superblock_ = sb_alloc.value();
+  auto dir_alloc = alloc_->Alloc(kSegDirSlots * sizeof(SegDirEntry));
+  DINOMO_CHECK(dir_alloc.ok());
+
+  auto idx = index::Clht::Create(pool_.get(), alloc_.get(),
+                                 options_.index_log2_buckets);
+  DINOMO_CHECK(idx.ok());
+  index_.reset(idx.value());
+
+  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  sb->index_header = index_->header_ptr();
+  sb->segdir = dir_alloc.value();
+  sb->segdir_slots = kSegDirSlots;
+  sb->high_water = alloc_->region_start() + alloc_->high_water();
+  sb->magic = kSuperMagic;  // written last: the commit point
+  pool_->Persist(superblock_, sizeof(Superblock));
+
+  alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
+  PersistHighWater();
+  merge_ = std::make_unique<MergeService>(this, options_.merge_profile);
+}
+
+void DpmNode::PersistHighWater() {
+  if (superblock_ == pm::kNullPmPtr) return;
+  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  const pm::PmPtr hw = alloc_->region_start() + alloc_->high_water();
+  if (hw > sb->high_water) {
+    sb->high_water = hw;
+    pool_->Persist(superblock_, sizeof(Superblock));
+  }
+}
+
+Result<std::unique_ptr<DpmNode>> DpmNode::Recover(
+    const DpmOptions& options, std::unique_ptr<pm::PmPool> pool) {
+  if (options.partitioned_metadata) {
+    return Status::NotSupported(
+        "recovery of partitioned (DINOMO-N) metadata is not implemented");
+  }
+  std::unique_ptr<DpmNode> node(new DpmNode(options, std::move(pool)));
+  DINOMO_RETURN_IF_ERROR(node->InitRecovered());
+  return node;
+}
+
+std::unique_ptr<pm::PmPool> DpmNode::DetachPool() && {
+  merge_->StopThreads();
+  return std::move(pool_);
+}
+
+Status DpmNode::InitRecovered() {
+  // The superblock is the first allocation of a fresh pool: its offset is
+  // region start (one cache line) + the allocator block header.
+  superblock_ = 2 * pm::kCacheLineSize;
+  if (!pool_->Contains(superblock_, sizeof(Superblock))) {
+    return Status::Corruption("pool too small for a superblock");
+  }
+  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  if (sb->magic != kSuperMagic) {
+    return Status::Corruption("bad superblock magic");
+  }
+  // Resume allocation above everything ever handed out before the crash
+  // (memory freed pre-crash is leaked — a bounded, documented cost).
+  const pm::PmPtr resume =
+      (sb->high_water + pm::kCacheLineSize - 1) & ~(pm::kCacheLineSize - 1);
+  if (resume >= options_.pool_size) {
+    return Status::Corruption("high-water beyond pool");
+  }
+  alloc_ = std::make_unique<pm::PmAllocator>(pool_.get(), resume,
+                                             options_.pool_size - resume);
+  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile);
+
+  auto idx = index::Clht::Recover(pool_.get(), alloc_.get(),
+                                  sb->index_header);
+  if (!idx.ok()) return idx.status();
+  index_.reset(idx.value());
+  merge_ = std::make_unique<MergeService>(this, options_.merge_profile);
+  alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
+
+  // Rebuild the segment registry from the persistent directory and queue
+  // the un-merged committed log suffixes for (idempotent) replay.
+  const auto* dir = reinterpret_cast<const SegDirEntry*>(
+      pool_->Translate(sb->segdir));
+  for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
+    if (dir[slot].base == pm::kNullPmPtr) continue;
+    const pm::PmPtr base = dir[slot].base;
+    if (!pool_->Contains(base, options_.segment_size)) {
+      return Status::Corruption("segment directory entry out of range");
+    }
+    const auto* hdr =
+        reinterpret_cast<const SegmentPmHeader*>(pool_->Translate(base));
+    SegmentInfo info;
+    info.owner = hdr->owner;
+    info.state = static_cast<SegmentState>(hdr->state);
+    info.used_bytes = hdr->used_bytes;
+    info.merged_bytes = hdr->merged_bytes;
+    info.puts_total = hdr->puts_total;
+    info.puts_invalid = hdr->puts_invalid;
+    {
+      std::lock_guard<std::mutex> lock(seg_mu_);
+      segments_[base] = info;
+      segment_dir_slots_[base] = static_cast<int>(slot);
+      segments_allocated_++;
+    }
+    if (info.merged_bytes < info.used_bytes) {
+      MergeTask task;
+      task.owner = info.owner;
+      task.segment = base;
+      task.data = base + kSegmentHeaderSize + info.merged_bytes;
+      task.bytes = info.used_bytes - info.merged_bytes;
+      task.puts = 0;
+      {
+        std::lock_guard<std::mutex> lock(seg_mu_);
+        segments_[base].unmerged_batches = 1;
+      }
+      merge_->Enqueue(task);
+    }
+  }
+  DINOMO_RETURN_IF_ERROR(merge_->DrainAll());
+
+  // Rebuild the shared-key directory from the indirect markers the index
+  // still carries (the slots themselves are persistent).
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  index_->ForEach([&](uint64_t key_hash, pm::PmPtr value) {
+    ValuePtr vp(value);
+    if (vp.indirect()) shared_slots_[key_hash] = vp.offset();
+  });
+  return Status::Ok();
+}
+
+DpmNode::~DpmNode() = default;
+
+Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
+  auto seg = alloc_->Alloc(options_.segment_size);
+  if (!seg.ok()) return seg.status();
+  const pm::PmPtr base = seg.value();
+
+  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(base));
+  hdr->capacity = options_.segment_size - kSegmentHeaderSize;
+  hdr->owner = owner;
+  hdr->state = static_cast<uint64_t>(SegmentState::kActive);
+  pool_->Persist(base, sizeof(SegmentPmHeader));
+
+  DINOMO_RETURN_IF_ERROR(DirectoryAdd(base, owner));
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    SegmentInfo info;
+    info.owner = owner;
+    segments_[base] = info;
+    segments_allocated_++;
+  }
+  // Segment pre-allocation is a two-sided operation (paper §4: "KNs
+  // proactively preallocate log segments for their own use using
+  // two-sided operations").
+  fabric_->ChargeRpc(kn_node, /*req=*/24, /*resp=*/16,
+                     options_.alloc_rpc_cpu_us);
+  return base;
+}
+
+Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
+                                                   uint64_t owner,
+                                                   pm::PmPtr segment,
+                                                   pm::PmPtr data,
+                                                   size_t bytes,
+                                                   uint64_t puts) {
+  (void)kn_node;  // No fabric charge: the batch itself was the one-sided
+                  // write; the DPM processors discover sealed batches by
+                  // polling segment headers, off the KN's critical path.
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    auto it = segments_.find(segment);
+    if (it == segments_.end()) {
+      return Status::InvalidArgument("unknown segment");
+    }
+    SegmentInfo& info = it->second;
+    if (info.owner != owner) {
+      return Status::WrongOwner("segment owned by another KN");
+    }
+    if (info.state != SegmentState::kActive) {
+      return Status::InvalidArgument("segment not active");
+    }
+    const size_t rel_end = (data + bytes) - (segment + kSegmentHeaderSize);
+    if (data < segment + kSegmentHeaderSize ||
+        rel_end > options_.segment_size - kSegmentHeaderSize) {
+      return Status::InvalidArgument("batch outside segment");
+    }
+    info.used_bytes = std::max(info.used_bytes, rel_end);
+    info.puts_total += puts;
+    info.unmerged_batches++;
+
+    auto* hdr =
+        reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
+    hdr->used_bytes = info.used_bytes;
+    hdr->puts_total = info.puts_total;
+    pool_->Persist(segment, sizeof(SegmentPmHeader));
+  }
+
+  MergeTask task;
+  task.owner = owner;
+  task.segment = segment;
+  task.data = data;
+  task.bytes = bytes;
+  task.puts = puts;
+  merge_->Enqueue(task);
+
+  SubmitResult result;
+  result.index_epoch = index_->Epoch();
+  result.unmerged_segments = UnmergedSegments(owner);
+  return result;
+}
+
+Status DpmNode::SealSegment(int kn_node, uint64_t owner, pm::PmPtr segment) {
+  (void)kn_node;
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return Status::InvalidArgument("unknown segment");
+  if (it->second.owner != owner) return Status::WrongOwner();
+  it->second.state = SegmentState::kSealed;
+  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
+  hdr->state = static_cast<uint64_t>(SegmentState::kSealed);
+  pool_->Persist(segment, sizeof(SegmentPmHeader));
+  MaybeGcLocked(segment, &it->second);
+  return Status::Ok();
+}
+
+int DpmNode::UnmergedSegments(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  int n = 0;
+  for (const auto& [base, info] : segments_) {
+    if (info.owner == owner && info.unmerged_batches > 0) n++;
+  }
+  return n;
+}
+
+DpmNode::SegmentInfo* DpmNode::SegmentContaining(pm::PmPtr ptr) {
+  auto it = segments_.upper_bound(ptr);
+  if (it == segments_.begin()) return nullptr;
+  --it;
+  if (ptr >= it->first && ptr < it->first + options_.segment_size) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+index::Clht* DpmNode::IndexFor(uint64_t kn_id) {
+  if (!options_.partitioned_metadata) return index_.get();
+  std::lock_guard<std::mutex> lock(part_mu_);
+  auto it = partition_index_.find(kn_id);
+  if (it != partition_index_.end()) return it->second.get();
+  auto created = index::Clht::Create(pool_.get(), alloc_.get(),
+                                     options_.index_log2_buckets);
+  DINOMO_CHECK(created.ok());
+  auto* raw = created.value();
+  partition_index_[kn_id] = std::unique_ptr<index::Clht>(raw);
+  return raw;
+}
+
+namespace {
+// Log owners encode (kn_id << 8) | worker; partition indexes are per KN.
+inline uint64_t KnOfOwner(uint64_t owner) { return owner >> 8; }
+}  // namespace
+
+void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
+                          pm::PmPtr entry_ptr, uint32_t entry_size) {
+  index::Clht* index = IndexFor(KnOfOwner(owner));
+  const ValuePtr packed = ValuePtr::Pack(entry_ptr, entry_size);
+
+  // Selectively-replicated keys are published through their indirect slot
+  // by the writing KN's one-sided CAS; the merge only settles GC state.
+  pm::PmPtr slot = SharedSlot(rec.key_hash);
+  if (slot != pm::kNullPmPtr) {
+    auto* slot_word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
+    const uint64_t current =
+        std::atomic_ref<uint64_t>(*slot_word).load(std::memory_order_acquire);
+    if (rec.op == LogOp::kPut && current != packed.raw()) {
+      // This version was already superseded through the slot.
+      std::lock_guard<std::mutex> lock(seg_mu_);
+      SegmentInfo* info = SegmentContaining(entry_ptr);
+      if (info != nullptr) {
+        info->puts_invalid++;
+        auto it = segments_.upper_bound(entry_ptr);
+        --it;
+        MaybeGcLocked(it->first, info);
+      }
+    }
+    return;
+  }
+
+  if (rec.op == LogOp::kDelete) {
+    auto old = index->Remove(rec.key_hash);
+    DINOMO_CHECK(old.ok());
+    if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
+      std::lock_guard<std::mutex> lock(seg_mu_);
+      SegmentInfo* info = SegmentContaining(ValuePtr(old.value()).offset());
+      if (info != nullptr) {
+        info->puts_invalid++;
+        auto it = segments_.upper_bound(ValuePtr(old.value()).offset());
+        --it;
+        MaybeGcLocked(it->first, info);
+      }
+    }
+    return;
+  }
+
+  auto old = index->Upsert(rec.key_hash, packed.raw());
+  DINOMO_CHECK(old.ok());
+  if (old.value() == packed.raw()) return;  // crash-recovery replay
+  if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    const pm::PmPtr old_off = ValuePtr(old.value()).offset();
+    SegmentInfo* info = SegmentContaining(old_off);
+    if (info != nullptr) {
+      info->puts_invalid++;
+      auto it = segments_.upper_bound(old_off);
+      --it;
+      MaybeGcLocked(it->first, info);
+    }
+  }
+}
+
+void DpmNode::CompleteBatch(uint64_t owner, pm::PmPtr segment, pm::PmPtr data,
+                            size_t bytes) {
+  (void)owner;
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;  // segment already GCed
+  SegmentInfo& info = it->second;
+  const size_t rel_end = (data + bytes) - (segment + kSegmentHeaderSize);
+  info.merged_bytes = std::max(info.merged_bytes, rel_end);
+  info.unmerged_batches--;
+  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
+  hdr->merged_bytes = info.merged_bytes;
+  hdr->puts_invalid = info.puts_invalid;
+  pool_->Persist(segment, sizeof(SegmentPmHeader));
+  MaybeGcLocked(segment, &info);
+}
+
+void DpmNode::MaybeGcLocked(pm::PmPtr base, SegmentInfo* info) {
+  if (info->state != SegmentState::kSealed) return;
+  if (info->unmerged_batches != 0) return;
+  if (info->puts_invalid < info->puts_total) return;
+  // Every value in the segment is superseded and everything merged:
+  // reclaim (paper §4, per-log-segment valid/invalid counters).
+  DirectoryRemove(base);
+  alloc_->Free(base);
+  segments_.erase(base);
+  segments_gced_++;
+}
+
+Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
+  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  auto* dir = reinterpret_cast<SegDirEntry*>(pool_->Translate(sb->segdir));
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
+    if (dir[slot].base != pm::kNullPmPtr) continue;
+    dir[slot].owner = owner;
+    dir[slot].base = base;  // written last: the commit point
+    pool_->Persist(sb->segdir + slot * sizeof(SegDirEntry),
+                   sizeof(SegDirEntry));
+    segment_dir_slots_[base] = static_cast<int>(slot);
+    return Status::Ok();
+  }
+  return Status::OutOfMemory("segment directory full");
+}
+
+void DpmNode::DirectoryRemove(pm::PmPtr base) {
+  // Caller holds seg_mu_.
+  auto it = segment_dir_slots_.find(base);
+  if (it == segment_dir_slots_.end()) return;
+  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  auto* dir = reinterpret_cast<SegDirEntry*>(pool_->Translate(sb->segdir));
+  dir[it->second].base = pm::kNullPmPtr;
+  pool_->Persist(sb->segdir + it->second * sizeof(SegDirEntry),
+                 sizeof(SegDirEntry));
+  segment_dir_slots_.erase(it);
+}
+
+Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  auto it = shared_slots_.find(key_hash);
+  if (it != shared_slots_.end()) return it->second;  // idempotent
+
+  const pm::PmPtr current = index_->Lookup(key_hash);
+  if (current == pm::kNullPmPtr) {
+    return Status::NotFound("cannot share a non-existent key");
+  }
+  auto slot_alloc = alloc_->Alloc(pm::kCacheLineSize);
+  if (!slot_alloc.ok()) return slot_alloc.status();
+  const pm::PmPtr slot = slot_alloc.value();
+
+  auto* word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
+  std::atomic_ref<uint64_t>(*word).store(current, std::memory_order_release);
+  pool_->Persist(slot, sizeof(uint64_t));
+
+  // Re-point the index at the slot, flagged indirect. Readers that came
+  // through the index now take one extra hop (the cost shared keys pay,
+  // §3.4).
+  auto old = index_->Upsert(key_hash,
+                            ValuePtr::Pack(slot, 8, /*indirect=*/true).raw());
+  DINOMO_CHECK(old.ok());
+  shared_slots_[key_hash] = slot;
+  fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+  return slot;
+}
+
+Status DpmNode::RemoveIndirect(int kn_node, uint64_t key_hash) {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  auto it = shared_slots_.find(key_hash);
+  if (it == shared_slots_.end()) {
+    return Status::NotFound("key not in shared mode");
+  }
+  const pm::PmPtr slot = it->second;
+  auto* word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
+  const uint64_t final_value =
+      std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
+  auto old = index_->Upsert(key_hash, final_value);
+  DINOMO_CHECK(old.ok());
+  shared_slots_.erase(it);
+  alloc_->Free(slot);
+  fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+  return Status::Ok();
+}
+
+bool DpmNode::IsShared(uint64_t key_hash) const {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  return shared_slots_.count(key_hash) != 0;
+}
+
+pm::PmPtr DpmNode::SharedSlot(uint64_t key_hash) const {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  auto it = shared_slots_.find(key_hash);
+  return it == shared_slots_.end() ? pm::kNullPmPtr : it->second;
+}
+
+void DpmNode::ReleaseOwnerSegments(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  // Seal any still-active segments of the (departed) owner so GC can
+  // eventually reclaim them once their values are superseded.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    auto cur = it++;
+    if (cur->second.owner != owner) continue;
+    if (cur->second.state == SegmentState::kActive) {
+      cur->second.state = SegmentState::kSealed;
+      auto* hdr =
+          reinterpret_cast<SegmentPmHeader*>(pool_->Translate(cur->first));
+      hdr->state = static_cast<uint64_t>(SegmentState::kSealed);
+      pool_->Persist(cur->first, sizeof(SegmentPmHeader));
+    }
+    MaybeGcLocked(cur->first, &cur->second);  // may erase cur
+  }
+}
+
+DpmStats DpmNode::Stats() const {
+  DpmStats stats;
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    stats.segments_allocated = segments_allocated_;
+    stats.segments_gced = segments_gced_;
+    stats.live_segments = segments_.size();
+  }
+  stats.merged_batches = merge_->merged_batches();
+  stats.merged_entries = merge_->merged_entries();
+  stats.index_count = index_->Count();
+  stats.index_epoch = index_->Epoch();
+  return stats;
+}
+
+}  // namespace dpm
+}  // namespace dinomo

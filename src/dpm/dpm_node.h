@@ -1,0 +1,234 @@
+#ifndef DINOMO_DPM_DPM_NODE_H_
+#define DINOMO_DPM_DPM_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "dpm/log.h"
+#include "dpm/merge.h"
+#include "index/clht.h"
+#include "net/fabric.h"
+#include "pm/pm_allocator.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace dpm {
+
+/// Configuration of the DPM node.
+struct DpmOptions {
+  size_t pool_size = 512 * 1024 * 1024;
+  int index_log2_buckets = 12;
+  size_t segment_size = kDefaultSegmentSize;
+  /// KNs block log writes when this many of their segments have unmerged
+  /// data (paper §4: default 2).
+  int unmerged_segment_threshold = 2;
+  bool crash_sim = false;
+  /// DINOMO-N mode: data and metadata are physically partitioned — each
+  /// KN gets its own index, and reconfiguration must reorganize data
+  /// (paper §5, "DINOMO-N ... partitions data and metadata in DPM").
+  bool partitioned_metadata = false;
+  MergeProfile merge_profile = MergeProfile::Dram();
+  net::LinkProfile link_profile;
+  /// DPM processor time to serve a segment-allocation RPC, us.
+  double alloc_rpc_cpu_us = 3.0;
+};
+
+/// State of one log segment, tracked at the DPM.
+enum class SegmentState : uint64_t {
+  kActive = 1,   // owner KN still appends batches
+  kSealed = 2,   // full; no more appends
+  kFreed = 3,    // garbage collected
+};
+
+/// Statistics snapshot of the DPM node.
+struct DpmStats {
+  uint64_t segments_allocated = 0;
+  uint64_t segments_gced = 0;
+  uint64_t live_segments = 0;
+  uint64_t merged_batches = 0;
+  uint64_t merged_entries = 0;
+  uint64_t index_count = 0;
+  uint64_t index_epoch = 0;
+};
+
+/// The disaggregated-PM node: the shared PM pool, the P-CLHT metadata
+/// index, the per-KN log segments, the asynchronous merge service run by
+/// the (weak) DPM processors, segment garbage collection, and the
+/// indirect-pointer directory backing selective replication.
+///
+/// KNs touch this object two ways, mirroring the paper:
+///  * one-sided: through the Fabric (reads of buckets/values, batched log
+///    writes, CAS on indirect slots) — no DpmNode method call at all;
+///  * two-sided: the RPC-shaped methods below (segment allocation, batch
+///    submission, indirect-pointer install/remove), which charge RPC cost
+///    to the calling node and consume DPM processor time.
+class DpmNode {
+ public:
+  explicit DpmNode(const DpmOptions& options = DpmOptions());
+  ~DpmNode();
+
+  /// Re-attaches to an existing pool after a (simulated) crash: recovers
+  /// the metadata index, rebuilds the segment registry from the
+  /// persistent segment directory, replays any un-merged committed log
+  /// prefixes into the index (replay is idempotent), and rebuilds the
+  /// indirect-pointer directory from the index's indirect markers. The
+  /// options must match the ones the pool was created with.
+  static Result<std::unique_ptr<DpmNode>> Recover(
+      const DpmOptions& options, std::unique_ptr<pm::PmPool> pool);
+
+  /// Surrenders the pool (for crash-recovery tests: destroy the node,
+  /// SimulateCrash() on the pool, then DpmNode::Recover with it).
+  std::unique_ptr<pm::PmPool> DetachPool() &&;
+
+  DpmNode(const DpmNode&) = delete;
+  DpmNode& operator=(const DpmNode&) = delete;
+
+  net::Fabric* fabric() { return fabric_.get(); }
+  pm::PmPool* pool() { return pool_.get(); }
+  pm::PmAllocator* allocator() { return alloc_.get(); }
+  index::Clht* index() { return index_.get(); }
+
+  /// The metadata index serving KN `kn_id`: the shared index in DINOMO
+  /// mode, or the KN's private partition index in DINOMO-N mode (created
+  /// on first use).
+  index::Clht* IndexFor(uint64_t kn_id);
+  MergeService* merge() { return merge_.get(); }
+  const DpmOptions& options() const { return options_; }
+
+  // ----- Two-sided RPCs from KNs -----
+
+  /// Allocates a fresh log segment for `owner`. Returns its base PmPtr.
+  /// The first 64 bytes of a segment are its header; entries start at
+  /// base + 64. Charged as an RPC to `kn_node`.
+  Result<pm::PmPtr> AllocateSegment(int kn_node, uint64_t owner);
+
+  /// Result of submitting a batch: the current index epoch is piggybacked
+  /// so the KN can refresh its remote index handle when stale (keeps
+  /// stale-table reads safe across resizes; see index/clht.h).
+  struct SubmitResult {
+    uint64_t index_epoch = 0;
+    /// Segments of this owner that still hold unmerged data, including
+    /// the one just submitted. The KN blocks new segment allocation when
+    /// this reaches the configured threshold.
+    int unmerged_segments = 0;
+  };
+
+  /// Registers a batch the KN already wrote (one-sided) into `segment` at
+  /// [data, data+bytes) for asynchronous merging. `puts` counts PUT
+  /// entries for GC accounting. Cheap (enqueue only); the merge itself is
+  /// the asynchronous post-processing of §3.6.
+  Result<SubmitResult> SubmitBatch(int kn_node, uint64_t owner,
+                                   pm::PmPtr segment, pm::PmPtr data,
+                                   size_t bytes, uint64_t puts);
+
+  /// Marks a segment full; once all its batches merge and all its values
+  /// are superseded it becomes garbage-collectible.
+  Status SealSegment(int kn_node, uint64_t owner, pm::PmPtr segment);
+
+  /// Number of segments of `owner` with unmerged data.
+  int UnmergedSegments(uint64_t owner) const;
+
+  // ----- Selective replication: indirect pointers (§3.4) -----
+
+  /// Converts `key_hash` to shared mode: allocates an indirect slot
+  /// initialized with the key's current index value and re-points the
+  /// index at the slot (with the indirect bit set). Returns the slot's
+  /// PmPtr, which KNs then access with one-sided reads/CAS. Idempotent.
+  Result<pm::PmPtr> InstallIndirect(int kn_node, uint64_t key_hash);
+
+  /// Ends shared mode: writes the slot's final value back into the index
+  /// and frees the slot. Callers must have invalidated KN caches first.
+  Status RemoveIndirect(int kn_node, uint64_t key_hash);
+
+  /// True if the key is currently in shared (replicated) mode.
+  bool IsShared(uint64_t key_hash) const;
+  /// Slot address for a shared key (kNullPmPtr if not shared).
+  pm::PmPtr SharedSlot(uint64_t key_hash) const;
+
+  // ----- Used by MergeService (DPM-processor context) -----
+
+  /// Applies one decoded record (written by log owner `owner`) to the
+  /// appropriate index and updates GC counters.
+  void ApplyRecord(uint64_t owner, const LogRecord& rec, pm::PmPtr entry_ptr,
+                   uint32_t entry_size);
+
+  /// Records that the batch [data, data+bytes) of `segment` finished
+  /// merging; persists merge progress and GC-frees the segment if done.
+  void CompleteBatch(uint64_t owner, pm::PmPtr segment, pm::PmPtr data,
+                     size_t bytes);
+
+  // ----- Failure handling / reconfiguration -----
+
+  /// Synchronously merges all pending batches of `owner` (reconfiguration
+  /// step 3 and the failure path of §3.5).
+  Status DrainOwner(uint64_t owner) { return merge_->DrainOwner(owner); }
+
+  /// Frees every segment still owned by `owner` that is fully merged and
+  /// invalid; used after ownership of a failed KN's range moved on.
+  void ReleaseOwnerSegments(uint64_t owner);
+
+  DpmStats Stats() const;
+
+  /// PM offset of the recovery superblock (fixed; first allocation).
+  pm::PmPtr superblock_ptr() const { return superblock_; }
+
+ private:
+  // Second-phase constructor used by Recover().
+  DpmNode(const DpmOptions& options, std::unique_ptr<pm::PmPool> pool);
+
+  void InitFresh();
+  Status InitRecovered();
+
+  // Persistent segment-directory maintenance.
+  Status DirectoryAdd(pm::PmPtr base, uint64_t owner);
+  void DirectoryRemove(pm::PmPtr base);
+  void PersistHighWater();
+  friend class MergeService;
+
+  struct SegmentInfo {
+    uint64_t owner = 0;
+    SegmentState state = SegmentState::kActive;
+    size_t used_bytes = 0;     // high-water of submitted batches
+    size_t merged_bytes = 0;   // prefix already merged
+    uint64_t puts_total = 0;   // PUT entries submitted
+    uint64_t puts_invalid = 0; // PUT entries superseded
+    int unmerged_batches = 0;
+  };
+
+  // Finds the segment containing `ptr` (segments are contiguous blocks).
+  // Returns nullptr if unknown. Caller must hold seg_mu_.
+  SegmentInfo* SegmentContaining(pm::PmPtr ptr);
+
+  void MaybeGcLocked(pm::PmPtr base, SegmentInfo* info);
+
+  DpmOptions options_;
+  std::unique_ptr<pm::PmPool> pool_;
+  std::unique_ptr<pm::PmAllocator> alloc_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<index::Clht> index_;
+  std::unique_ptr<MergeService> merge_;
+
+  pm::PmPtr superblock_ = pm::kNullPmPtr;
+
+  mutable std::mutex seg_mu_;
+  std::map<pm::PmPtr, SegmentInfo> segments_;  // base -> info
+  std::map<pm::PmPtr, int> segment_dir_slots_;  // base -> directory slot
+  uint64_t segments_allocated_ = 0;
+  uint64_t segments_gced_ = 0;
+
+  mutable std::mutex shared_mu_;
+  std::unordered_map<uint64_t, pm::PmPtr> shared_slots_;  // key -> slot
+
+  mutable std::mutex part_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<index::Clht>> partition_index_;
+};
+
+}  // namespace dpm
+}  // namespace dinomo
+
+#endif  // DINOMO_DPM_DPM_NODE_H_

@@ -1,0 +1,197 @@
+#include "dpm/merge.h"
+
+#include "common/logging.h"
+#include "dpm/dpm_node.h"
+#include "dpm/log.h"
+
+namespace dinomo {
+namespace dpm {
+
+MergeService::MergeService(DpmNode* dpm, MergeProfile profile)
+    : dpm_(dpm), profile_(profile) {}
+
+MergeService::~MergeService() { StopThreads(); }
+
+void MergeService::Enqueue(const MergeTask& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[task.owner].tasks.push_back(task);
+    queued_total_++;
+  }
+  work_cv_.notify_one();
+}
+
+bool MergeService::TryDequeue(MergeTask* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [owner, q] : queues_) {
+    if (!q.busy && !q.tasks.empty()) {
+      *task = q.tasks.front();
+      q.tasks.pop_front();
+      q.busy = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+double MergeService::Execute(const MergeTask& task) {
+  pm::PmPool* pool = dpm_->pool();
+  const char* data = pool->Translate(task.data);
+  LogIterator it(data, task.bytes);
+  LogRecord rec;
+  uint64_t entries = 0;
+  size_t prev = 0;
+  while (it.Next(&rec)) {
+    const size_t entry_size = it.offset() - prev;
+    dpm_->ApplyRecord(task.owner, rec, task.data + prev,
+                      static_cast<uint32_t>(entry_size));
+    prev = it.offset();
+    entries++;
+  }
+  DINOMO_CHECK(it.status().ok());
+  merged_entries_.fetch_add(entries, std::memory_order_relaxed);
+  const double cpu_us = entries * profile_.per_entry_us +
+                        static_cast<double>(task.bytes) * profile_.per_byte_us;
+  double cur = merged_cpu_us_.load(std::memory_order_relaxed);
+  while (!merged_cpu_us_.compare_exchange_weak(cur, cur + cpu_us,
+                                               std::memory_order_relaxed)) {
+  }
+  return cpu_us;
+}
+
+void MergeService::Finish(const MergeTask& task) {
+  dpm_->CompleteBatch(task.owner, task.segment, task.data, task.bytes);
+  std::function<void(uint64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(task.owner);
+    DINOMO_CHECK(it != queues_.end());
+    it->second.busy = false;
+    queued_total_--;
+    cb = merge_cb_;
+  }
+  merged_batches_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+  drain_cv_.notify_all();
+  if (cb) cb(task.owner);
+}
+
+bool MergeService::ProcessOne() {
+  MergeTask task;
+  if (!TryDequeue(&task)) return false;
+  Execute(task);
+  Finish(task);
+  return true;
+}
+
+Status MergeService::DrainOwner(uint64_t owner) {
+  while (true) {
+    MergeTask task;
+    bool run = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = queues_.find(owner);
+      if (it == queues_.end() ||
+          (it->second.tasks.empty() && !it->second.busy)) {
+        return Status::Ok();
+      }
+      auto& q = it->second;
+      if (!q.busy && !q.tasks.empty()) {
+        task = q.tasks.front();
+        q.tasks.pop_front();
+        q.busy = true;
+        run = true;
+      } else {
+        // Another worker is merging this owner's batch; wait for it.
+        drain_cv_.wait(lock);
+      }
+    }
+    if (run) {
+      Execute(task);
+      Finish(task);
+    }
+  }
+}
+
+Status MergeService::DrainAll() {
+  std::vector<uint64_t> owners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [owner, q] : queues_) owners.push_back(owner);
+  }
+  for (uint64_t owner : owners) {
+    DINOMO_RETURN_IF_ERROR(DrainOwner(owner));
+  }
+  return Status::Ok();
+}
+
+uint64_t MergeService::PendingBatches(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(owner);
+  if (it == queues_.end()) return 0;
+  return it->second.tasks.size() + (it->second.busy ? 1 : 0);
+}
+
+uint64_t MergeService::TotalPendingBatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+void MergeService::SetMergeCallback(std::function<void(uint64_t)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  merge_cb_ = std::move(cb);
+}
+
+void MergeService::StartThreads(int n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void MergeService::StopThreads() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void MergeService::WorkerLoop() {
+  while (true) {
+    MergeTask task;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        for (auto& [owner, q] : queues_) {
+          if (!q.busy && !q.tasks.empty()) return true;
+        }
+        return false;
+      });
+      if (stopping_) return;
+      for (auto& [owner, q] : queues_) {
+        if (!q.busy && !q.tasks.empty()) {
+          task = q.tasks.front();
+          q.tasks.pop_front();
+          q.busy = true;
+          have = true;
+          break;
+        }
+      }
+    }
+    if (have) {
+      Execute(task);
+      Finish(task);
+    }
+  }
+}
+
+}  // namespace dpm
+}  // namespace dinomo

@@ -1,0 +1,148 @@
+#ifndef DINOMO_DPM_MERGE_H_
+#define DINOMO_DPM_MERGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace dpm {
+
+class DpmNode;
+
+/// Cost profile for merge work executed by DPM processors. The Figure-4
+/// experiment contrasts a DRAM-backed DPM with an Optane-PM-backed one;
+/// the per-entry cost difference (PM's higher media latency and in-DIMM
+/// write amplification) is what makes the PM profile need more DPM threads
+/// to keep up with the KNs' log-write rate.
+struct MergeProfile {
+  /// DPM processor time to merge one log entry into the index, us.
+  double per_entry_us = 0.73;
+  /// Additional time per payload byte (media write bandwidth), us/byte.
+  double per_byte_us = 0.0002;
+
+  /// Calibrated so that, for the paper's 1 KB entries, 4 DPM threads
+  /// merge at roughly the KNs' log-write max (Figure 4).
+  static MergeProfile Dram() { return MergeProfile{0.73, 0.0002}; }
+  /// Optane PM: higher media latency and in-DIMM write amplification make
+  /// merging slower per entry — with 4 threads it lands ~16% below the
+  /// log-write max (§5.1: "PM merge throughput is lower than DRAM").
+  static MergeProfile OptanePm() { return MergeProfile{0.84, 0.00026}; }
+};
+
+/// One contiguous batch of log entries awaiting merge.
+struct MergeTask {
+  uint64_t owner = 0;       // KN that wrote the batch
+  pm::PmPtr segment = 0;    // segment base
+  pm::PmPtr data = 0;       // start of the batch inside the segment
+  size_t bytes = 0;
+  uint64_t puts = 0;
+};
+
+/// Asynchronous merge service run by the DPM processors (§3.2/§3.6):
+/// consumes sealed log batches and applies them, in per-owner order, to
+/// the metadata index. Batches of *different* owners merge concurrently;
+/// a single owner's batches are strictly serialized, which (together with
+/// ownership partitioning) is what makes writes linearizable.
+///
+/// Two drive modes:
+///  * real-thread: StartThreads(n) spawns n DPM worker threads;
+///  * virtual-time: the cluster simulator calls TryDequeue()/Execute()
+///    itself and uses the returned CPU time as the server's service time.
+class MergeService {
+ public:
+  explicit MergeService(DpmNode* dpm, MergeProfile profile = MergeProfile());
+  ~MergeService();
+
+  MergeService(const MergeService&) = delete;
+  MergeService& operator=(const MergeService&) = delete;
+
+  const MergeProfile& profile() const { return profile_; }
+  void set_profile(MergeProfile p) { profile_ = p; }
+
+  /// Queues a batch for asynchronous merging.
+  void Enqueue(const MergeTask& task);
+
+  /// Dequeues the next runnable task (per-owner ordering respected).
+  /// Returns false if no owner currently has runnable work.
+  bool TryDequeue(MergeTask* task);
+
+  /// Applies the task to the index. Returns the DPM CPU time consumed
+  /// under the current profile. Must be followed by Finish(task).
+  double Execute(const MergeTask& task);
+
+  /// Marks the task's owner runnable again and fires merge callbacks.
+  void Finish(const MergeTask& task);
+
+  /// Convenience for real-thread workers and tests: dequeue + execute +
+  /// finish. Returns false when idle.
+  bool ProcessOne();
+
+  /// Synchronously merges everything queued for `owner`. Used by the
+  /// reconfiguration protocol (step 3: "DPM synchronously merges the data
+  /// in logs for these KNs") and by failure handling.
+  Status DrainOwner(uint64_t owner);
+
+  /// Synchronously merges everything queued for all owners.
+  Status DrainAll();
+
+  /// Number of batches queued (or in flight) for one owner.
+  uint64_t PendingBatches(uint64_t owner) const;
+  uint64_t TotalPendingBatches() const;
+
+  /// Registered callback fired after each batch merge completes, with the
+  /// owner id. The virtual-time engine uses this to wake blocked writers.
+  void SetMergeCallback(std::function<void(uint64_t)> cb);
+
+  /// Background worker management (real-thread mode).
+  void StartThreads(int n);
+  void StopThreads();
+
+  uint64_t merged_batches() const {
+    return merged_batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t merged_entries() const {
+    return merged_entries_.load(std::memory_order_relaxed);
+  }
+  /// Total DPM CPU-time charged for merges so far, us.
+  double merged_cpu_us() const { return merged_cpu_us_.load(); }
+
+ private:
+  struct OwnerQueue {
+    std::deque<MergeTask> tasks;
+    bool busy = false;  // a task of this owner is executing
+  };
+
+  void WorkerLoop();
+
+  DpmNode* dpm_;
+  MergeProfile profile_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::unordered_map<uint64_t, OwnerQueue> queues_;
+  uint64_t queued_total_ = 0;  // queued + in-flight
+  bool stopping_ = false;
+
+  std::function<void(uint64_t)> merge_cb_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> merged_batches_{0};
+  std::atomic<uint64_t> merged_entries_{0};
+  std::atomic<double> merged_cpu_us_{0.0};
+};
+
+}  // namespace dpm
+}  // namespace dinomo
+
+#endif  // DINOMO_DPM_MERGE_H_

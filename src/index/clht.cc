@@ -1,0 +1,476 @@
+#include "index/clht.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dinomo {
+namespace index {
+
+namespace {
+
+inline std::atomic_ref<uint64_t> AtomicAt(uint64_t* p) {
+  return std::atomic_ref<uint64_t>(*p);
+}
+inline std::atomic_ref<const uint64_t> AtomicAt(const uint64_t* p) {
+  return std::atomic_ref<const uint64_t>(*p);
+}
+
+inline uint64_t PackHeader(uint64_t epoch, int log2_buckets) {
+  return (epoch << 8) | static_cast<uint64_t>(log2_buckets);
+}
+inline uint64_t EpochOf(uint64_t packed) { return packed >> 8; }
+inline int Log2Of(uint64_t packed) { return static_cast<int>(packed & 0xff); }
+
+// Resize triggers: occupancy or an over-long chain.
+constexpr double kMaxLoadFactor = 0.70;
+constexpr uint64_t kMaxChainTrigger = 4;
+
+}  // namespace
+
+Clht::Clht(pm::PmPool* pool, pm::PmAllocator* alloc, pm::PmPtr header)
+    : pool_(pool), alloc_(alloc), header_ptr_(header) {}
+
+Clht::~Clht() = default;
+
+Result<Clht*> Clht::Create(pm::PmPool* pool, pm::PmAllocator* alloc,
+                           int log2_buckets) {
+  DINOMO_CHECK(log2_buckets >= 1 && log2_buckets < 40);
+  auto header_alloc = alloc->Alloc(sizeof(Header));
+  if (!header_alloc.ok()) return header_alloc.status();
+  const uint64_t num_buckets = 1ULL << log2_buckets;
+  auto buckets_alloc = alloc->Alloc(num_buckets * sizeof(Bucket));
+  if (!buckets_alloc.ok()) return buckets_alloc.status();
+
+  auto* table = new Clht(pool, alloc, header_alloc.value());
+  Header* h = table->header();
+  h->buckets = buckets_alloc.value();
+  h->count = 0;
+  h->resize_lock = 0;
+  h->packed = PackHeader(/*epoch=*/1, log2_buckets);
+  pool->PersistAddr(h, sizeof(Header));
+  // Bucket array was zeroed by the allocator; persist it so recovery sees
+  // empty (not garbage) buckets.
+  pool->Persist(buckets_alloc.value(), num_buckets * sizeof(Bucket));
+  return table;
+}
+
+Result<Clht*> Clht::Recover(pm::PmPool* pool, pm::PmAllocator* alloc,
+                            pm::PmPtr header_ptr) {
+  if (!pool->Contains(header_ptr, sizeof(Header))) {
+    return Status::InvalidArgument("header outside pool");
+  }
+  auto* table = new Clht(pool, alloc, header_ptr);
+  Header* h = table->header();
+  // A crash may have interrupted a resize: the resize lock is volatile
+  // state; clear it. (The pre-resize table stays authoritative until the
+  // new packed header was persisted, which is the last resize step.)
+  h->resize_lock = 0;
+  pool->PersistAddr(h, sizeof(Header));
+  Status st = table->CheckConsistency();
+  if (!st.ok()) {
+    delete table;
+    return st;
+  }
+  // Recompute the live-entry count, and clear bucket lock words: locks
+  // are volatile state, but a bucket's line is flushed while its writer
+  // still holds the lock, so the durable image can contain held locks.
+  const TableView view = table->CurrentView();
+  uint64_t count = 0;
+  for (uint64_t i = 0; i < view.num_buckets; ++i) {
+    Bucket* b = table->BucketAt(view.buckets, i);
+    while (true) {
+      b->lock = 0;
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] != 0) count++;
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      b = reinterpret_cast<Bucket*>(pool->Translate(b->next));
+    }
+  }
+  table->count_.store(count, std::memory_order_relaxed);
+  return table;
+}
+
+Clht::TableView Clht::CurrentView() const {
+  const Header* h = header();
+  while (true) {
+    const uint64_t p1 = AtomicAt(&h->packed).load(std::memory_order_acquire);
+    const pm::PmPtr buckets =
+        AtomicAt(&h->buckets).load(std::memory_order_acquire);
+    const uint64_t p2 = AtomicAt(&h->packed).load(std::memory_order_acquire);
+    if (p1 == p2) {
+      return TableView{EpochOf(p1), buckets, 1ULL << Log2Of(p1)};
+    }
+  }
+}
+
+void Clht::LockBucket(Bucket* b) {
+  auto lock = AtomicAt(&b->lock);
+  while (true) {
+    uint64_t expected = 0;
+    if (lock.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+      return;
+    }
+    while (lock.load(std::memory_order_relaxed) != 0) {
+      // spin
+    }
+  }
+}
+
+bool Clht::TryLockBucket(Bucket* b) {
+  uint64_t expected = 0;
+  return AtomicAt(&b->lock).compare_exchange_strong(
+      expected, 1, std::memory_order_acquire);
+}
+
+void Clht::UnlockBucket(Bucket* b) {
+  AtomicAt(&b->lock).store(0, std::memory_order_release);
+}
+
+Result<pm::PmPtr> Clht::Upsert(uint64_t key, pm::PmPtr value) {
+  DINOMO_CHECK(key != 0);
+  DINOMO_CHECK(value != pm::kNullPmPtr);
+  while (true) {
+    const TableView view = CurrentView();
+    const uint64_t idx = Mix64(key) & (view.num_buckets - 1);
+    Bucket* head = BucketAt(view.buckets, idx);
+    LockBucket(head);
+    // The table may have been swapped while we were acquiring the lock.
+    if (CurrentView().epoch != view.epoch) {
+      UnlockBucket(head);
+      continue;
+    }
+
+    Bucket* b = head;
+    Bucket* empty_bucket = nullptr;
+    int empty_slot = -1;
+    uint64_t chain_len = 1;
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] == key) {
+          // Log-free in-place update: atomically swing the value pointer.
+          const pm::PmPtr old = b->vals[s];
+          AtomicAt(&b->vals[s]).store(value, std::memory_order_release);
+          pool_->PersistAddr(b, sizeof(Bucket));
+          UnlockBucket(head);
+          return old;
+        }
+        if (b->keys[s] == 0 && empty_slot < 0) {
+          empty_bucket = b;
+          empty_slot = s;
+        }
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      b = reinterpret_cast<Bucket*>(pool_->Translate(b->next));
+      chain_len++;
+    }
+
+    if (empty_slot >= 0) {
+      // Value before key, single cache-line flush: a reader that sees the
+      // key sees the value, and a crash never exposes key-without-value.
+      AtomicAt(&empty_bucket->vals[empty_slot])
+          .store(value, std::memory_order_release);
+      AtomicAt(&empty_bucket->keys[empty_slot])
+          .store(key, std::memory_order_release);
+      pool_->PersistAddr(empty_bucket, sizeof(Bucket));
+    } else {
+      // Chain a fresh overflow bucket; initialize and persist it before
+      // publishing the next pointer.
+      auto nb = alloc_->Alloc(sizeof(Bucket));
+      if (!nb.ok()) {
+        UnlockBucket(head);
+        return nb.status();
+      }
+      Bucket* fresh = reinterpret_cast<Bucket*>(pool_->Translate(nb.value()));
+      fresh->vals[0] = value;
+      fresh->keys[0] = key;
+      pool_->Persist(nb.value(), sizeof(Bucket));
+      AtomicAt(&b->next).store(nb.value(), std::memory_order_release);
+      pool_->PersistAddr(b, sizeof(Bucket));
+      chain_len++;
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev_max = max_chain_.load(std::memory_order_relaxed);
+    while (chain_len > prev_max &&
+           !max_chain_.compare_exchange_weak(prev_max, chain_len,
+                                             std::memory_order_relaxed)) {
+    }
+    UnlockBucket(head);
+    MaybeResize(chain_len);
+    return pm::kNullPmPtr;
+  }
+}
+
+Result<pm::PmPtr> Clht::Remove(uint64_t key) {
+  DINOMO_CHECK(key != 0);
+  while (true) {
+    const TableView view = CurrentView();
+    const uint64_t idx = Mix64(key) & (view.num_buckets - 1);
+    Bucket* head = BucketAt(view.buckets, idx);
+    LockBucket(head);
+    if (CurrentView().epoch != view.epoch) {
+      UnlockBucket(head);
+      continue;
+    }
+    Bucket* b = head;
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] == key) {
+          const pm::PmPtr old = b->vals[s];
+          AtomicAt(&b->keys[s]).store(0, std::memory_order_release);
+          pool_->PersistAddr(b, sizeof(Bucket));
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          UnlockBucket(head);
+          return old;
+        }
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      b = reinterpret_cast<Bucket*>(pool_->Translate(b->next));
+    }
+    UnlockBucket(head);
+    return pm::kNullPmPtr;
+  }
+}
+
+pm::PmPtr Clht::Lookup(uint64_t key) const {
+  DINOMO_CHECK(key != 0);
+  while (true) {
+    const TableView view = CurrentView();
+    const uint64_t idx = Mix64(key) & (view.num_buckets - 1);
+    const Bucket* b = BucketAt(view.buckets, idx);
+    bool retry = false;
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        const uint64_t k =
+            AtomicAt(&b->keys[s]).load(std::memory_order_acquire);
+        if (k != key) continue;
+        const pm::PmPtr v =
+            AtomicAt(&b->vals[s]).load(std::memory_order_acquire);
+        // Atomic snapshot: re-validate the key after reading the value.
+        if (AtomicAt(&b->keys[s]).load(std::memory_order_acquire) == key) {
+          return v;
+        }
+        retry = true;
+        break;
+      }
+      if (retry) break;
+      const pm::PmPtr next =
+          AtomicAt(&b->next).load(std::memory_order_acquire);
+      if (next == pm::kNullPmPtr) break;
+      b = reinterpret_cast<const Bucket*>(pool_->Translate(next));
+    }
+    if (retry) continue;
+    // A concurrent resize may have migrated the key past us.
+    if (CurrentView().epoch != view.epoch) continue;
+    return pm::kNullPmPtr;
+  }
+}
+
+uint64_t Clht::Count() const { return count_.load(std::memory_order_relaxed); }
+
+uint64_t Clht::NumBuckets() const { return CurrentView().num_buckets; }
+
+uint64_t Clht::Epoch() const { return CurrentView().epoch; }
+
+void Clht::MaybeResize(uint64_t chain_len) {
+  const TableView view = CurrentView();
+  const uint64_t capacity = view.num_buckets * kSlotsPerBucket;
+  const bool over_loaded =
+      Count() > static_cast<uint64_t>(capacity * kMaxLoadFactor);
+  if (over_loaded || chain_len >= kMaxChainTrigger) DoResize();
+}
+
+void Clht::DoResize() {
+  Header* h = header();
+  uint64_t expected = 0;
+  if (!AtomicAt(&h->resize_lock)
+           .compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
+    return;  // another thread is resizing
+  }
+
+  const TableView view = CurrentView();
+  const uint64_t old_n = view.num_buckets;
+  const int new_log2 = Log2Of(AtomicAt(&h->packed).load(
+                           std::memory_order_acquire)) + 1;
+  const uint64_t new_n = old_n * 2;
+
+  auto new_alloc = alloc_->Alloc(new_n * sizeof(Bucket));
+  if (!new_alloc.ok()) {
+    // Out of PM for a bigger array: live with longer chains.
+    AtomicAt(&h->resize_lock).store(0, std::memory_order_release);
+    return;
+  }
+  const pm::PmPtr new_array = new_alloc.value();
+
+  // Block writers by holding every head-bucket lock of the old array,
+  // then rehash. Readers continue lock-free against the old array and
+  // re-validate the epoch when they finish.
+  for (uint64_t i = 0; i < old_n; ++i) LockBucket(BucketAt(view.buckets, i));
+
+  std::vector<pm::PmPtr> old_overflow;
+  for (uint64_t i = 0; i < old_n; ++i) {
+    const Bucket* b = BucketAt(view.buckets, i);
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] != 0) {
+          RehashInsert(new_array, new_n, b->keys[s], b->vals[s]);
+        }
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      old_overflow.push_back(b->next);
+      b = reinterpret_cast<const Bucket*>(pool_->Translate(b->next));
+    }
+  }
+  pool_->Persist(new_array, new_n * sizeof(Bucket));
+
+  // Publish: buckets pointer first, then the packed epoch/size word. The
+  // packed word is the commit point for both readers and recovery.
+  AtomicAt(&h->buckets).store(new_array, std::memory_order_release);
+  pool_->PersistAddr(h, sizeof(Header));
+  AtomicAt(&h->packed).store(PackHeader(view.epoch + 1, new_log2),
+                             std::memory_order_release);
+  pool_->PersistAddr(h, sizeof(Header));
+
+  for (uint64_t i = 0; i < old_n; ++i) {
+    UnlockBucket(BucketAt(view.buckets, i));
+  }
+
+  {
+    std::lock_guard<SpinLock> lock(retired_mu_);
+    retired_.push_back(view.buckets);
+    for (pm::PmPtr p : old_overflow) retired_.push_back(p);
+  }
+  AtomicAt(&h->resize_lock).store(0, std::memory_order_release);
+  resizes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Clht::RehashInsert(pm::PmPtr array, uint64_t num_buckets, uint64_t key,
+                        pm::PmPtr value) {
+  const uint64_t idx = Mix64(key) & (num_buckets - 1);
+  Bucket* b = BucketAt(array, idx);
+  while (true) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (b->keys[s] == 0) {
+        b->vals[s] = value;
+        b->keys[s] = key;
+        // Overflow buckets live outside the main array's bulk persist;
+        // flush the line here so rehashed entries are durable.
+        pool_->PersistAddr(b, sizeof(Bucket));
+        return;
+      }
+    }
+    if (b->next == pm::kNullPmPtr) {
+      auto nb = alloc_->Alloc(sizeof(Bucket));
+      DINOMO_CHECK(nb.ok());  // resize sized the region; treat as fatal
+      Bucket* fresh = reinterpret_cast<Bucket*>(pool_->Translate(nb.value()));
+      fresh->vals[0] = value;
+      fresh->keys[0] = key;
+      pool_->Persist(nb.value(), sizeof(Bucket));
+      b->next = nb.value();
+      return;
+    }
+    b = reinterpret_cast<Bucket*>(pool_->Translate(b->next));
+  }
+}
+
+Status Clht::CheckConsistency() const {
+  const TableView view = CurrentView();
+  if (!pool_->Contains(view.buckets, view.num_buckets * sizeof(Bucket))) {
+    return Status::Corruption("bucket array outside pool");
+  }
+  for (uint64_t i = 0; i < view.num_buckets; ++i) {
+    const Bucket* b = BucketAt(view.buckets, i);
+    uint64_t chain = 0;
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] != 0) {
+          // Values are opaque 64-bit payloads (the KVS packs size bits
+          // into them); the only structural invariant is non-null —
+          // writers store the value slot before the key slot.
+          if (b->vals[s] == pm::kNullPmPtr) {
+            return Status::Corruption("live key with null value");
+          }
+        }
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      if (!pool_->Contains(b->next, sizeof(Bucket))) {
+        return Status::Corruption("chain pointer outside pool");
+      }
+      if (++chain > (1u << 20)) {
+        return Status::Corruption("chain cycle suspected");
+      }
+      b = reinterpret_cast<const Bucket*>(pool_->Translate(b->next));
+    }
+  }
+  return Status::Ok();
+}
+
+void Clht::ForEach(
+    const std::function<void(uint64_t, pm::PmPtr)>& fn) const {
+  const TableView view = CurrentView();
+  for (uint64_t i = 0; i < view.num_buckets; ++i) {
+    const Bucket* b = BucketAt(view.buckets, i);
+    while (true) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        if (b->keys[s] != 0) fn(b->keys[s], b->vals[s]);
+      }
+      if (b->next == pm::kNullPmPtr) break;
+      b = reinterpret_cast<const Bucket*>(pool_->Translate(b->next));
+    }
+  }
+}
+
+void Clht::FreeRetiredTables() {
+  std::vector<pm::PmPtr> to_free;
+  {
+    std::lock_guard<SpinLock> lock(retired_mu_);
+    to_free.swap(retired_);
+  }
+  for (pm::PmPtr p : to_free) alloc_->Free(p);
+}
+
+Clht::RemoteHandle Clht::FetchRemoteHandle(net::Fabric* fabric,
+                                           int node) const {
+  // Two reads of the header line; accept when consecutive snapshots agree
+  // (a resize swaps the pointer and the packed word in between).
+  Header snap1;
+  Header snap2;
+  fabric->Read(node, header_ptr_, &snap1, sizeof(Header));
+  while (true) {
+    fabric->Read(node, header_ptr_, &snap2, sizeof(Header));
+    if (snap1.packed == snap2.packed && snap1.buckets == snap2.buckets) {
+      break;
+    }
+    snap1 = snap2;
+  }
+  return RemoteHandle{EpochOf(snap2.packed), snap2.buckets,
+                      1ULL << Log2Of(snap2.packed)};
+}
+
+Clht::RemoteResult Clht::RemoteLookup(net::Fabric* fabric, int node,
+                                      const RemoteHandle& handle,
+                                      uint64_t key) const {
+  DINOMO_CHECK(handle.valid());
+  RemoteResult result;
+  const uint64_t idx = Mix64(key) & (handle.num_buckets - 1);
+  pm::PmPtr bucket_ptr = handle.buckets + idx * sizeof(Bucket);
+  Bucket local;
+  while (bucket_ptr != pm::kNullPmPtr) {
+    fabric->Read(node, bucket_ptr, &local, sizeof(Bucket));
+    result.hops++;
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      if (local.keys[s] == key) {
+        result.found = true;
+        result.value = local.vals[s];
+        return result;
+      }
+    }
+    bucket_ptr = local.next;
+  }
+  return result;
+}
+
+}  // namespace index
+}  // namespace dinomo

@@ -1,0 +1,570 @@
+#include "kn/kn_worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/dac.h"
+#include "cache/static_cache.h"
+#include "common/logging.h"
+
+namespace dinomo {
+namespace kn {
+
+namespace {
+
+std::unique_ptr<cache::KnCache> MakeCache(const KnOptions& options,
+                                          size_t bytes) {
+  switch (options.policy) {
+    case CachePolicyKind::kDac:
+      return std::make_unique<cache::DacCache>(bytes);
+    case CachePolicyKind::kShortcutOnly:
+      return std::make_unique<cache::StaticCache>(bytes, 0.0);
+    case CachePolicyKind::kValueOnly:
+      return std::make_unique<cache::StaticCache>(bytes, 1.0);
+    case CachePolicyKind::kStatic:
+      return std::make_unique<cache::StaticCache>(
+          bytes, options.static_value_fraction);
+  }
+  return nullptr;
+}
+
+constexpr size_t kSegmentHeaderSize = pm::kCacheLineSize;
+constexpr int kReadRetries = 4;
+
+Slice HashKeySlice(const uint64_t& key_hash) {
+  return Slice(reinterpret_cast<const char*>(&key_hash), sizeof(key_hash));
+}
+
+}  // namespace
+
+KnWorker::KnWorker(const KnOptions& options, int worker_idx,
+                   dpm::DpmNode* dpm)
+    : options_(options), worker_idx_(worker_idx), dpm_(dpm) {
+  const size_t shard_bytes =
+      options_.cache_bytes / std::max(1, options_.num_workers);
+  cache_ = MakeCache(options_, shard_bytes);
+  batch_bloom_ = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+}
+
+KnWorker::~KnWorker() = default;
+
+index::Clht* KnWorker::TargetIndex() const {
+  return options_.dinomo_n ? dpm_->IndexFor(options_.kn_id) : dpm_->index();
+}
+
+void KnWorker::RefreshIndexHandle() {
+  index_handle_ =
+      TargetIndex()->FetchRemoteHandle(dpm_->fabric(), options_.fabric_node);
+  known_index_epoch_ = std::max(known_index_epoch_, index_handle_.epoch);
+}
+
+void KnWorker::TrackAccess(uint64_t key_hash) {
+  if (access_counts_.size() < kMaxTrackedKeys ||
+      access_counts_.count(key_hash) != 0) {
+    access_counts_[key_hash]++;
+  }
+}
+
+Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
+                                std::string* value, bool* was_indirect) {
+  *was_indirect = vp.indirect();
+  net::Fabric* fabric = dpm_->fabric();
+  std::string buf;
+  for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+    dpm::ValuePtr direct = vp;
+    if (vp.indirect()) {
+      // Replicated key: one extra round trip through the indirect slot
+      // (the cost shared keys pay, §3.4).
+      const uint64_t raw =
+          fabric->AtomicRead64(options_.fabric_node, vp.offset());
+      if (raw == 0) return Status::NotFound("empty indirect slot");
+      direct = dpm::ValuePtr(raw);
+    }
+    buf.resize(direct.entry_size());
+    fabric->Read(options_.fabric_node, direct.offset(), buf.data(),
+                 direct.entry_size());
+    dpm::LogRecord rec;
+    size_t consumed = 0;
+    Status st = dpm::DecodeEntry(buf.data(), buf.size(), &rec, &consumed);
+    if (st.ok() && rec.key_hash == key_hash &&
+        rec.op == dpm::LogOp::kPut) {
+      value->assign(rec.value.data(), rec.value.size());
+      return Status::Ok();
+    }
+    // Torn/garbage-collected/raced entry. Indirect slots can legitimately
+    // change under us — retry; direct pointers are stale for good.
+    if (!vp.indirect()) {
+      return Status::IoError("stale value pointer");
+    }
+  }
+  return Status::IoError("indirect read kept racing");
+}
+
+Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
+                                     std::string* value, double* cpu_us) {
+  (void)key;
+  auto scan = [&](const char* data, size_t len, std::string* out,
+                  bool* deleted) -> bool {
+    dpm::LogIterator it(data, len);
+    dpm::LogRecord rec;
+    bool found = false;
+    while (it.Next(&rec)) {
+      if (rec.key_hash != key_hash) continue;
+      found = true;
+      if (rec.op == dpm::LogOp::kPut) {
+        out->assign(rec.value.data(), rec.value.size());
+        *deleted = false;
+      } else {
+        *deleted = true;
+      }
+    }
+    return found;
+  };
+
+  bool deleted = false;
+  // Newest first: the in-flight batch, then unmerged flushed batches.
+  if (batch_.entries() > 0 &&
+      batch_bloom_->MayContain(HashKeySlice(key_hash))) {
+    *cpu_us += options_.cpu_segment_scan_us;
+    if (scan(batch_.data(), batch_.bytes(), value, &deleted)) {
+      return deleted ? Status::Aborted("tombstone") : Status::Ok();
+    }
+  }
+  std::lock_guard<std::mutex> lock(batches_mu_);
+  for (auto it = unmerged_batches_.rbegin(); it != unmerged_batches_.rend();
+       ++it) {
+    if (!it->bloom->MayContain(HashKeySlice(key_hash))) continue;
+    *cpu_us += options_.cpu_segment_scan_us;
+    if (scan(it->bytes.data(), it->bytes.size(), value, &deleted)) {
+      return deleted ? Status::Aborted("tombstone") : Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
+  OpResult out;
+  out.cpu_us = options_.cpu_miss_us;
+
+  // The un-merged data this worker wrote is authoritative for its
+  // partition (§4: "un-merged log segments are cached in the KNs that
+  // wrote them ... other KNs won't access these log segments").
+  std::string from_batch;
+  Status st = SearchCachedBatches(key_hash, key, &from_batch, &out.cpu_us);
+  if (st.ok()) {
+    out.value = std::move(from_batch);
+    out.status = Status::Ok();
+    return out;
+  }
+  if (st.IsAborted()) {
+    out.status = Status::NotFound("deleted");
+    return out;
+  }
+
+  net::OpCost* cost = net::Fabric::ThreadOpCost();
+  const uint32_t rts_before = cost != nullptr ? cost->round_trips : 0;
+
+  if (!index_handle_.valid()) RefreshIndexHandle();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto res = TargetIndex()->RemoteLookup(
+        dpm_->fabric(), options_.fabric_node, index_handle_, key_hash);
+    if (!res.found) {
+      // A stale (pre-resize) table can miss keys merged after the resize;
+      // refresh once if the DPM told us about a newer epoch.
+      if (index_handle_.epoch < known_index_epoch_ && attempt == 0) {
+        RefreshIndexHandle();
+        continue;
+      }
+      out.status = Status::NotFound();
+      return out;
+    }
+    dpm::ValuePtr vp(res.value);
+    std::string value;
+    bool was_indirect = false;
+    st = ReadEntryValue(vp, key_hash, &value, &was_indirect);
+    if (st.IsIoError() && attempt == 0) {
+      // GC'd under us: the index has moved on; retry the traversal.
+      continue;
+    }
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    const uint32_t rts_used =
+        cost != nullptr ? cost->round_trips - rts_before : 2;
+    if (was_indirect) {
+      // Replicated keys may only be cached as shortcuts to their slot.
+      cache_->AdmitShortcutOnly(key_hash, vp);
+    } else {
+      cache_->AdmitOnMiss(key_hash, value, vp, rts_used);
+    }
+    out.value = std::move(value);
+    out.status = Status::Ok();
+    return out;
+  }
+  out.status = Status::IoError("miss path kept racing");
+  return out;
+}
+
+OpResult KnWorker::Get(const Slice& key) {
+  OpResult out;
+  net::ScopedOpCost scope(&out.cost);
+  const uint64_t key_hash = KeyHash(key);
+  TrackAccess(key_hash);
+  stats_.reads++;
+
+  if (routing_ != nullptr && !routing_->IsOwner(key_hash, options_.kn_id)) {
+    stats_.wrong_owner++;
+    out.status = Status::WrongOwner();
+    return out;
+  }
+  const bool shared =
+      routing_ != nullptr && routing_->ReplicationFactor(key_hash) > 1;
+
+  auto r = cache_->Lookup(key_hash);
+  if (r.kind == cache::HitKind::kValueHit) {
+    if (!shared) {
+      out.status = Status::Ok();
+      out.value = std::move(r.value);
+      out.cpu_us = options_.cpu_value_hit_us;
+      out.hit = cache::HitKind::kValueHit;
+      stats_.value_hits++;
+      stats_.busy_us += out.cpu_us;
+      return out;
+    }
+    // The key became replicated; a locally cached value may be stale.
+    cache_->Invalidate(key_hash);
+    r.kind = cache::HitKind::kMiss;
+  }
+  if (r.kind == cache::HitKind::kShortcutHit) {
+    std::string value;
+    bool was_indirect = false;
+    Status st = ReadEntryValue(r.ptr, key_hash, &value, &was_indirect);
+    if (st.ok()) {
+      if (!was_indirect) {
+        cache_->OnShortcutHit(key_hash, value, r.ptr);
+      }
+      out.status = Status::Ok();
+      out.value = std::move(value);
+      out.cpu_us = options_.cpu_shortcut_hit_us;
+      out.hit = cache::HitKind::kShortcutHit;
+      stats_.shortcut_hits++;
+      stats_.busy_us += out.cpu_us;
+      return out;
+    }
+    // Stale shortcut (e.g. segment GC'd, or de-replication): drop it.
+    cache_->Invalidate(key_hash);
+  }
+
+  stats_.misses++;
+  OpResult miss = MissPath(key, key_hash);
+  out.status = miss.status;
+  out.value = std::move(miss.value);
+  out.cpu_us = miss.cpu_us;
+  out.hit = cache::HitKind::kMiss;
+  stats_.busy_us += out.cpu_us;
+  return out;
+}
+
+Status KnWorker::EnsureSegmentFor(size_t entry_bytes) {
+  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
+  if (entry_bytes > cap) {
+    return Status::InvalidArgument("entry larger than a log segment");
+  }
+  if (segment_ != pm::kNullPmPtr &&
+      segment_used_ + batch_.bytes() + entry_bytes <= cap) {
+    return Status::Ok();
+  }
+  // The current segment (if any) is full: it must be sealed and replaced.
+  // Respect the unmerged-segment threshold (§4: "KNs can add a new log
+  // segment without blocking until their un-merged log-segment length
+  // reaches a certain threshold (default is 2)").
+  if (dpm_->UnmergedSegments(log_owner()) >=
+      dpm_->options().unmerged_segment_threshold) {
+    return Status::Busy("unmerged-segment threshold reached");
+  }
+  if (segment_ != pm::kNullPmPtr) {
+    DINOMO_RETURN_IF_ERROR(
+        dpm_->SealSegment(options_.fabric_node, log_owner(), segment_));
+  }
+  auto seg = dpm_->AllocateSegment(options_.fabric_node, log_owner());
+  if (!seg.ok()) return seg.status();
+  segment_ = seg.value();
+  segment_used_ = 0;
+  return Status::Ok();
+}
+
+Status KnWorker::AppendWrite(dpm::LogOp op, const Slice& key,
+                             const Slice& value, uint64_t key_hash,
+                             dpm::ValuePtr* out_vp) {
+  const size_t need = dpm::EncodedEntrySize(
+      key.size(), op == dpm::LogOp::kPut ? value.size() : 0);
+  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
+  if (segment_ == pm::kNullPmPtr ||
+      segment_used_ + batch_.bytes() + need > cap) {
+    // Flush what we have into the current segment, then roll over.
+    if (batch_.entries() > 0) {
+      net::OpCost dummy_cost;  // charged to the caller's scoped accumulator
+      (void)dummy_cost;
+      double cpu = 0;
+      DINOMO_RETURN_IF_ERROR(FlushBatchLocked(nullptr, &cpu));
+      stats_.busy_us += cpu;
+    }
+    DINOMO_RETURN_IF_ERROR(EnsureSegmentFor(need));
+  }
+  const pm::PmPtr entry_ptr =
+      segment_ + kSegmentHeaderSize + segment_used_ + batch_.bytes();
+  if (op == dpm::LogOp::kPut) {
+    batch_.AddPut(++next_seq_, key_hash, key, value);
+  } else {
+    batch_.AddDelete(++next_seq_, key_hash, key);
+  }
+  batch_bloom_->Add(HashKeySlice(key_hash));
+  *out_vp = dpm::ValuePtr::Pack(entry_ptr, static_cast<uint32_t>(need));
+  return Status::Ok();
+}
+
+Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
+  (void)cost;
+  if (batch_.entries() == 0) return Status::Ok();
+  DINOMO_CHECK(segment_ != pm::kNullPmPtr);
+  const pm::PmPtr dst = segment_ + kSegmentHeaderSize + segment_used_;
+  // ONE one-sided RDMA write ships the whole batch (§3.6).
+  dpm_->fabric()->Write(options_.fabric_node, batch_.data(), dst,
+                        batch_.bytes());
+  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
+                                  segment_, dst, batch_.bytes(),
+                                  batch_.puts());
+  if (!submit.ok()) return submit.status();
+  if (submit.value().index_epoch > known_index_epoch_) {
+    known_index_epoch_ = submit.value().index_epoch;
+    if (index_handle_.valid() &&
+        index_handle_.epoch < known_index_epoch_) {
+      RefreshIndexHandle();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    CachedBatch cached;
+    cached.bytes.assign(batch_.data(), batch_.bytes());
+    cached.base = dst;
+    cached.bloom = std::move(batch_bloom_);
+    unmerged_batches_.push_back(std::move(cached));
+  }
+  segment_used_ += batch_.bytes();
+  batch_.Clear();
+  batch_bloom_ = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+  *cpu_us += options_.cpu_batch_flush_us;
+  return Status::Ok();
+}
+
+OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
+                               uint64_t key_hash) {
+  OpResult out;
+  out.cpu_us = options_.cpu_write_us;
+
+  // Shared writes are not batched: the new version must be published
+  // immediately through the indirect slot (write value, then CAS, §3.4).
+  double cpu = 0;
+  Status st = FlushBatchLocked(nullptr, &cpu);
+  out.cpu_us += cpu;
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  const size_t need = dpm::EncodedEntrySize(key.size(), value.size());
+  st = EnsureSegmentFor(need);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  const pm::PmPtr entry_ptr = segment_ + kSegmentHeaderSize + segment_used_;
+  std::string buf(need, '\0');
+  dpm::EncodeEntry(buf.data(), dpm::LogOp::kPut, ++next_seq_, key_hash, key,
+                   value);
+  dpm_->fabric()->Write(options_.fabric_node, buf.data(), entry_ptr, need);
+  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
+                                  segment_, entry_ptr, need, /*puts=*/1);
+  if (!submit.ok()) {
+    out.status = submit.status();
+    return out;
+  }
+  segment_used_ += need;
+
+  const pm::PmPtr slot = dpm_->SharedSlot(key_hash);
+  if (slot == pm::kNullPmPtr) {
+    out.status = Status::Unavailable("replication metadata out of date");
+    return out;
+  }
+  const dpm::ValuePtr packed =
+      dpm::ValuePtr::Pack(entry_ptr, static_cast<uint32_t>(need));
+  net::Fabric* fabric = dpm_->fabric();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t cur = fabric->AtomicRead64(options_.fabric_node, slot);
+    if (fabric->CompareAndSwap64(options_.fabric_node, slot, cur,
+                                 packed.raw())) {
+      cache_->AdmitShortcutOnly(
+          key_hash, dpm::ValuePtr::Pack(slot, 8, /*indirect=*/true));
+      out.status = Status::Ok();
+      return out;
+    }
+  }
+  out.status = Status::Busy("indirect slot CAS kept failing");
+  return out;
+}
+
+OpResult KnWorker::Put(const Slice& key, const Slice& value) {
+  OpResult out;
+  net::ScopedOpCost scope(&out.cost);
+  const uint64_t key_hash = KeyHash(key);
+  TrackAccess(key_hash);
+  stats_.writes++;
+
+  if (routing_ != nullptr && !routing_->IsOwner(key_hash, options_.kn_id)) {
+    stats_.wrong_owner++;
+    out.status = Status::WrongOwner();
+    return out;
+  }
+  if (routing_ != nullptr && routing_->ReplicationFactor(key_hash) > 1) {
+    OpResult shared = SharedWrite(key, value, key_hash);
+    stats_.busy_us += shared.cpu_us;
+    shared.cost = out.cost;
+    return shared;
+  }
+
+  dpm::ValuePtr vp;
+  Status st = AppendWrite(dpm::LogOp::kPut, key, value, key_hash, &vp);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  cache_->AdmitOnWrite(key_hash, value, vp);
+  out.cpu_us = options_.cpu_write_us;
+
+  if (batch_.entries() >= options_.batch_max_ops ||
+      batch_.bytes() >= options_.batch_max_bytes) {
+    st = FlushBatchLocked(nullptr, &out.cpu_us);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+  }
+  out.status = Status::Ok();
+  stats_.busy_us += out.cpu_us;
+  return out;
+}
+
+OpResult KnWorker::Delete(const Slice& key) {
+  OpResult out;
+  net::ScopedOpCost scope(&out.cost);
+  const uint64_t key_hash = KeyHash(key);
+  TrackAccess(key_hash);
+  stats_.writes++;
+
+  if (routing_ != nullptr && !routing_->IsOwner(key_hash, options_.kn_id)) {
+    stats_.wrong_owner++;
+    out.status = Status::WrongOwner();
+    return out;
+  }
+
+  dpm::ValuePtr vp;
+  Status st = AppendWrite(dpm::LogOp::kDelete, key, Slice(), key_hash, &vp);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  cache_->Invalidate(key_hash);
+  out.cpu_us = options_.cpu_write_us;
+  if (batch_.entries() >= options_.batch_max_ops ||
+      batch_.bytes() >= options_.batch_max_bytes) {
+    st = FlushBatchLocked(nullptr, &out.cpu_us);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+  }
+  out.status = Status::Ok();
+  stats_.busy_us += out.cpu_us;
+  return out;
+}
+
+OpResult KnWorker::FlushWrites() {
+  OpResult out;
+  net::ScopedOpCost scope(&out.cost);
+  out.status = FlushBatchLocked(nullptr, &out.cpu_us);
+  stats_.busy_us += out.cpu_us;
+  return out;
+}
+
+bool KnWorker::WriteWouldBlock() const {
+  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
+  // Only blocks if a new segment is needed and the threshold is hit.
+  if (segment_ != pm::kNullPmPtr &&
+      segment_used_ + batch_.bytes() + dpm::EncodedEntrySize(64, 4096) <=
+          cap) {
+    return false;
+  }
+  return dpm_->UnmergedSegments(log_owner()) >=
+         dpm_->options().unmerged_segment_threshold;
+}
+
+Status KnWorker::DrainLog() {
+  OpResult flush = FlushWrites();
+  if (!flush.status.ok() && !flush.status.IsBusy()) return flush.status;
+  return dpm_->DrainOwner(log_owner());
+}
+
+void KnWorker::ResetForOwnershipChange() {
+  cache_->Clear();
+  {
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    unmerged_batches_.clear();
+  }
+  RefreshIndexHandle();
+}
+
+void KnWorker::OnOwnerBatchMerged() {
+  std::lock_guard<std::mutex> lock(batches_mu_);
+  if (!unmerged_batches_.empty()) unmerged_batches_.pop_front();
+}
+
+WorkerStats KnWorker::SnapshotStats(bool reset) {
+  WorkerStats out = stats_;
+  const cache::CacheStats& cs = cache_->stats();
+  out.value_hits = cs.value_hits;
+  out.shortcut_hits = cs.shortcut_hits;
+  out.misses = cs.misses;
+
+  // Hot-key summary for the M-node's selective-replication policy.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [key, count] : access_counts_) {
+    sum += count;
+    sum_sq += static_cast<double>(count) * count;
+  }
+  const double n = static_cast<double>(access_counts_.size());
+  if (n > 0) {
+    out.key_freq_mean = sum / n;
+    const double var = sum_sq / n - out.key_freq_mean * out.key_freq_mean;
+    out.key_freq_stddev = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> top(access_counts_.begin(),
+                                                 access_counts_.end());
+  const size_t k = std::min<size_t>(16, top.size());
+  std::partial_sort(top.begin(), top.begin() + k, top.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  top.resize(k);
+  out.hot_keys = std::move(top);
+
+  if (reset) {
+    stats_ = WorkerStats{};
+    cache_->ResetStats();
+    access_counts_.clear();
+  }
+  return out;
+}
+
+}  // namespace kn
+}  // namespace dinomo

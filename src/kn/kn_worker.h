@@ -1,0 +1,242 @@
+#ifndef DINOMO_KN_KN_WORKER_H_
+#define DINOMO_KN_KN_WORKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cluster/routing.h"
+#include "common/bloom.h"
+#include "common/hash.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "dpm/dpm_node.h"
+#include "dpm/log.h"
+#include "index/clht.h"
+#include "net/fabric.h"
+
+namespace dinomo {
+namespace kn {
+
+/// Which cache policy a KN runs (§5 comparison points: DINOMO uses DAC,
+/// DINOMO-S runs shortcut-only, the Figure-3 sweep also uses static-X and
+/// value-only).
+enum class CachePolicyKind {
+  kDac,
+  kShortcutOnly,
+  kValueOnly,
+  kStatic,
+};
+
+/// Configuration of one KVS node.
+struct KnOptions {
+  /// Cluster-visible node id (>= 1).
+  uint64_t kn_id = 1;
+  /// Initiator id used for fabric traffic accounting.
+  int fabric_node = 0;
+  /// Worker threads; each owns a disjoint sub-partition and its own cache
+  /// shard and log (paper §3.4: "within a KN, a key range is further
+  /// partitioned among its various threads").
+  int num_workers = 1;
+  /// Total KN DRAM for caching, split evenly across workers.
+  size_t cache_bytes = 16 * 1024 * 1024;
+  CachePolicyKind policy = CachePolicyKind::kDac;
+  double static_value_fraction = 0.5;
+
+  /// Group-commit thresholds for the one-sided batched log writes (§3.6).
+  size_t batch_max_ops = 8;
+  size_t batch_max_bytes = 64 * 1024;
+
+  /// DINOMO-N: use the KN's private partition index instead of the shared
+  /// one.
+  bool dinomo_n = false;
+
+  /// If false, a Put/Delete that hits the unmerged-segment threshold
+  /// returns Busy instead of blocking (the virtual-time engine reschedules
+  /// it; the real-thread runtime waits on the merge callback and retries).
+  bool blocking_writes = false;
+
+  // --- KN CPU cost model (us), consumed by the virtual-time engine ---
+  // Calibrated so a KN worker thread's request-handling cost (network
+  // stack, protobuf/ZeroMQ framing, cache management) is a few us, as on
+  // the paper's Xeon E5-2670v3 testbed.
+  double cpu_value_hit_us = 1.8;
+  double cpu_shortcut_hit_us = 6.0;
+  double cpu_miss_us = 7.5;
+  double cpu_write_us = 6.0;
+  double cpu_batch_flush_us = 3.0;
+  double cpu_segment_scan_us = 2.0;
+};
+
+/// Outcome of one key-value operation, including everything the runtime
+/// needs to account time: the network cost (round trips, bytes, RPC time)
+/// and the KN CPU time consumed.
+struct OpResult {
+  Status status;
+  std::string value;  // reads only
+  net::OpCost cost;
+  double cpu_us = 0.0;
+  cache::HitKind hit = cache::HitKind::kMiss;
+
+  /// Service latency under a link profile (excludes queueing).
+  double LatencyUs(const net::LinkProfile& profile) const {
+    return cost.LatencyUs(profile) + cpu_us;
+  }
+};
+
+/// Per-worker statistics snapshot for the M-node and the harnesses.
+struct WorkerStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t value_hits = 0;
+  uint64_t shortcut_hits = 0;
+  uint64_t misses = 0;
+  uint64_t round_trips = 0;
+  uint64_t wrong_owner = 0;
+  double busy_us = 0.0;
+  /// Access counts of the hottest keys this epoch (key hash -> count).
+  std::vector<std::pair<uint64_t, uint64_t>> hot_keys;
+  /// Mean and standard deviation over all tracked key access counts.
+  double key_freq_mean = 0.0;
+  double key_freq_stddev = 0.0;
+};
+
+/// Maps a user key onto the 64-bit fingerprint used by the DPM index, the
+/// hash ring and the caches. Zero is reserved (CLHT empty slot).
+inline uint64_t KeyHash(const Slice& key) {
+  const uint64_t h = HashSlice(key);
+  return h == 0 ? 1 : h;
+}
+
+/// One KN worker thread's state and request execution logic. A worker is
+/// single-threaded by contract — the real-thread runtime gives it a
+/// dedicated thread, the virtual-time engine serializes events — except
+/// for OnOwnerBatchMerged, which the merge service may call concurrently
+/// (guarded internally).
+///
+/// Read path (§3.6 "one-sided reads"): value hit -> 0 RTs; shortcut hit ->
+/// 1 RT (2 for replicated keys through their indirect slot); miss -> check
+/// the Bloom-filtered cached un-merged batches, then the remote index
+/// traversal (M RTs) plus one value read.
+///
+/// Write path (§3.6 "asynchronous post-processing"): entries accumulate in
+/// a local batch, shipped with ONE one-sided write at flush, then merged
+/// into the index asynchronously by the DPM processors. Writes to
+/// replicated keys bypass the batch: log the entry, then CAS the key's
+/// indirect slot.
+class KnWorker {
+ public:
+  KnWorker(const KnOptions& options, int worker_idx, dpm::DpmNode* dpm);
+  ~KnWorker();
+
+  KnWorker(const KnWorker&) = delete;
+  KnWorker& operator=(const KnWorker&) = delete;
+
+  /// Installs the routing snapshot used for ownership checks.
+  void SetRouting(std::shared_ptr<const cluster::RoutingTable> routing) {
+    routing_ = std::move(routing);
+  }
+  const cluster::RoutingTable* routing() const { return routing_.get(); }
+
+  OpResult Get(const Slice& key);
+  OpResult Put(const Slice& key, const Slice& value);
+  OpResult Delete(const Slice& key);
+
+  /// Flushes any buffered writes (end of a request burst). Returns the
+  /// flush cost, zero if nothing was pending.
+  OpResult FlushWrites();
+
+  /// True if a write would currently block on the unmerged-segment
+  /// threshold (paper §4: default 2 unmerged segments).
+  bool WriteWouldBlock() const;
+
+  /// Reconfiguration support: flush writes and synchronously merge this
+  /// worker's log (step 3 of §3.5). Cache intact.
+  Status DrainLog();
+  /// Empties the cache (ownership hand-off) and refreshes the index view.
+  void ResetForOwnershipChange();
+  /// Re-reads the remote index header (e.g. after a resize notification).
+  void RefreshIndexHandle();
+
+  /// Called by the merge callback when one of this worker's batches
+  /// merged: drops the oldest cached un-merged batch.
+  void OnOwnerBatchMerged();
+
+  /// Log owner id of this worker: (kn_id << 8) | worker_idx.
+  uint64_t log_owner() const { return (options_.kn_id << 8) | worker_idx_; }
+
+  cache::KnCache* cache() { return cache_.get(); }
+  const KnOptions& options() const { return options_; }
+
+  /// Statistics since the last snapshot; reset=true starts a new epoch.
+  WorkerStats SnapshotStats(bool reset);
+
+ private:
+  struct CachedBatch {
+    std::string bytes;
+    pm::PmPtr base = pm::kNullPmPtr;  // where it lives in DPM
+    std::unique_ptr<BloomFilter> bloom;
+  };
+
+  index::Clht* TargetIndex() const;
+
+  // Reads the log entry behind `vp` (resolving one level of indirect
+  // pointer), verifies the key fingerprint, and appends the value to
+  // *value. Retries transient races a bounded number of times.
+  Status ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
+                        std::string* value, bool* was_indirect);
+
+  // Searches cached un-merged batches (newest first). Returns kNotFound /
+  // Ok(value) / kAborted when a tombstone proves deletion.
+  Status SearchCachedBatches(uint64_t key_hash, const Slice& key,
+                             std::string* value, double* cpu_us);
+
+  // The remote miss path: index traversal + value read.
+  OpResult MissPath(const Slice& key, uint64_t key_hash);
+
+  // Write machinery.
+  Status EnsureSegmentFor(size_t entry_bytes);
+  Status AppendWrite(dpm::LogOp op, const Slice& key, const Slice& value,
+                     uint64_t key_hash, dpm::ValuePtr* out_vp);
+  Status FlushBatchLocked(net::OpCost* cost, double* cpu_us);
+  OpResult SharedWrite(const Slice& key, const Slice& value,
+                       uint64_t key_hash);
+
+  void TrackAccess(uint64_t key_hash);
+
+  KnOptions options_;
+  int worker_idx_;
+  dpm::DpmNode* dpm_;
+  std::shared_ptr<const cluster::RoutingTable> routing_;
+  std::unique_ptr<cache::KnCache> cache_;
+
+  // Remote view of the metadata index.
+  index::Clht::RemoteHandle index_handle_;
+  uint64_t known_index_epoch_ = 0;
+
+  // Current segment + batch under construction.
+  pm::PmPtr segment_ = pm::kNullPmPtr;
+  size_t segment_used_ = 0;  // bytes of flushed batches
+  dpm::LogBuilder batch_;
+  std::unique_ptr<BloomFilter> batch_bloom_;
+  uint64_t next_seq_ = 0;
+
+  // Batches written to DPM but not yet merged (authoritative for reads).
+  mutable std::mutex batches_mu_;
+  std::deque<CachedBatch> unmerged_batches_;
+
+  // Statistics.
+  WorkerStats stats_;
+  std::unordered_map<uint64_t, uint64_t> access_counts_;
+  static constexpr size_t kMaxTrackedKeys = 1 << 16;
+};
+
+}  // namespace kn
+}  // namespace dinomo
+
+#endif  // DINOMO_KN_KN_WORKER_H_

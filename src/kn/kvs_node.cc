@@ -1,0 +1,204 @@
+#include "kn/kvs_node.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace kn {
+
+KvsNode::KvsNode(const KnOptions& options, dpm::DpmNode* dpm)
+    : options_(options), dpm_(dpm) {
+  DINOMO_CHECK(options_.num_workers >= 1);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<KnWorker>(options_, i, dpm));
+    queues_.push_back(std::make_unique<BlockingQueue<Request>>());
+  }
+}
+
+KvsNode::~KvsNode() { Stop(); }
+
+void KvsNode::Start() {
+  if (running_.exchange(true)) return;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void KvsNode::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& q : queues_) q->Close();
+  merge_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  if (!failed_.load()) {
+    // Orderly shutdown flushes buffered writes.
+    for (auto& w : workers_) {
+      OpResult r = w->FlushWrites();
+      if (!r.status.ok() && !r.status.IsBusy()) {
+        DINOMO_LOG_STREAM(Warn)
+            << "flush on shutdown failed: " << r.status.ToString();
+      }
+    }
+  }
+}
+
+void KvsNode::Fail() {
+  failed_.store(true, std::memory_order_release);
+  available_.store(false, std::memory_order_release);
+  if (!running_.exchange(false)) return;
+  for (auto& q : queues_) q->Close();
+  merge_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  // DRAM contents are lost with the node: caches and un-flushed batches.
+  // (Workers stay allocated so late stats queries do not crash, but they
+  // are never driven again.)
+}
+
+void KvsNode::Submit(const cluster::RoutingTable& routing, Request req) {
+  if (failed_.load(std::memory_order_acquire) ||
+      !available_.load(std::memory_order_acquire) ||
+      !running_.load(std::memory_order_acquire)) {
+    if (req.done) {
+      OpResult r;
+      r.status = Status::Unavailable("KN not serving");
+      req.done(std::move(r));
+    }
+    return;
+  }
+  int idx = 0;
+  if (req.type != Request::Type::kControl) {
+    idx = routing.ThreadFor(KeyHash(req.key), options_.kn_id);
+  }
+  queues_[idx]->Push(std::move(req));
+}
+
+void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
+  if (!running_.load(std::memory_order_acquire)) {
+    // Manual mode: run inline.
+    for (auto& w : workers_) fn(w.get());
+    return;
+  }
+  std::atomic<int> remaining{static_cast<int>(workers_.size())};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    Request req;
+    req.type = Request::Type::kControl;
+    req.control = [&, fn](KnWorker* w) {
+      fn(w);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    };
+    queues_[i]->Push(std::move(req));
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void KvsNode::OnBatchMerged(uint64_t log_owner) {
+  const int idx = static_cast<int>(log_owner & 0xff);
+  if (idx < static_cast<int>(workers_.size())) {
+    workers_[idx]->OnOwnerBatchMerged();
+  }
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    merge_events_++;
+  }
+  merge_cv_.notify_all();
+}
+
+void KvsNode::WorkerLoop(int idx) {
+  KnWorker* worker = workers_[idx].get();
+  BlockingQueue<Request>* queue = queues_[idx].get();
+  while (true) {
+    auto item = queue->TryPop();
+    if (!item.has_value()) {
+      // Queue drained: group-commit boundary — flush buffered writes.
+      OpResult flush = worker->FlushWrites();
+      (void)flush;
+      item = queue->Pop();  // blocks
+      if (!item.has_value()) return;  // closed
+    }
+    Request req = std::move(*item);
+    if (req.type == Request::Type::kControl) {
+      if (req.control) req.control(worker);
+      continue;
+    }
+    OpResult result;
+    for (int attempt = 0;; ++attempt) {
+      switch (req.type) {
+        case Request::Type::kGet:
+          result = worker->Get(req.key);
+          break;
+        case Request::Type::kPut:
+          result = worker->Put(req.key, req.value);
+          break;
+        case Request::Type::kDelete:
+          result = worker->Delete(req.key);
+          break;
+        case Request::Type::kControl:
+          break;
+      }
+      if (!result.status.IsBusy()) break;
+      // Log-write blocking (§4): wait for merge progress, then retry.
+      std::unique_lock<std::mutex> lock(merge_mu_);
+      const uint64_t seen = merge_events_;
+      merge_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+        return merge_events_ != seen ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (!running_.load(std::memory_order_acquire)) {
+        result.status = Status::Unavailable("KN stopping");
+        break;
+      }
+    }
+    if (req.done) req.done(std::move(result));
+  }
+}
+
+WorkerStats KvsNode::AggregateStats(bool reset) {
+  WorkerStats total;
+  for (auto& w : workers_) {
+    // Collect on the worker's own thread when running to avoid races.
+    WorkerStats s;
+    if (running_.load(std::memory_order_acquire)) {
+      std::atomic<bool> done{false};
+      std::mutex mu;
+      std::condition_variable cv;
+      Request req;
+      req.type = Request::Type::kControl;
+      req.control = [&](KnWorker* worker) {
+        s = worker->SnapshotStats(reset);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          done = true;
+        }
+        cv.notify_all();
+      };
+      const int idx = static_cast<int>(&w - &workers_[0]);
+      queues_[idx]->Push(std::move(req));
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done.load(); });
+    } else {
+      s = w->SnapshotStats(reset);
+    }
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.value_hits += s.value_hits;
+    total.shortcut_hits += s.shortcut_hits;
+    total.misses += s.misses;
+    total.wrong_owner += s.wrong_owner;
+    total.busy_us += s.busy_us;
+    for (auto& hk : s.hot_keys) total.hot_keys.push_back(hk);
+    total.key_freq_mean += s.key_freq_mean / workers_.size();
+    total.key_freq_stddev += s.key_freq_stddev / workers_.size();
+  }
+  return total;
+}
+
+}  // namespace kn
+}  // namespace dinomo

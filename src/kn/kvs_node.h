@@ -1,0 +1,108 @@
+#ifndef DINOMO_KN_KVS_NODE_H_
+#define DINOMO_KN_KVS_NODE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/concurrency.h"
+#include "kn/kn_worker.h"
+
+namespace dinomo {
+namespace kn {
+
+/// A request submitted to a KVS node in the real-thread runtime.
+struct Request {
+  enum class Type { kGet, kPut, kDelete, kControl };
+  Type type = Type::kGet;
+  std::string key;
+  std::string value;
+  /// Completion callback; invoked on the worker thread.
+  std::function<void(OpResult)> done;
+  /// For kControl: arbitrary work executed on the worker thread (routing
+  /// updates, cache invalidation, quiesce steps).
+  std::function<void(KnWorker*)> control;
+};
+
+/// One KVS node of the real-thread runtime: owns `num_workers` KnWorkers,
+/// their request queues and threads. Requests for a key must be submitted
+/// to the worker the routing table names (Submit does this). Worker
+/// threads retry Busy writes after merge progress (the log-write blocking
+/// of §4) and flush pending batches whenever their queue drains (group
+/// commit).
+///
+/// The same object also serves the virtual-time engine and unit tests in
+/// "manual" mode: skip Start() and drive the workers directly.
+class KvsNode {
+ public:
+  KvsNode(const KnOptions& options, dpm::DpmNode* dpm);
+  ~KvsNode();
+
+  KvsNode(const KvsNode&) = delete;
+  KvsNode& operator=(const KvsNode&) = delete;
+
+  uint64_t kn_id() const { return options_.kn_id; }
+  const KnOptions& options() const { return options_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  KnWorker* worker(int i) { return workers_[i].get(); }
+
+  /// Spawns the worker threads (real-thread mode).
+  void Start();
+  /// Stops and joins worker threads, flushing pending batches.
+  void Stop();
+  /// Simulates a fail-stop crash: threads stop immediately, DRAM state
+  /// (caches, un-flushed batches) is discarded. The node cannot be
+  /// restarted; pending requests complete with Unavailable.
+  void Fail();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// True once the node accepts requests. Reconfiguration toggles this
+  /// (protocol step 2/5 of §3.5).
+  void SetAvailable(bool available) {
+    available_.store(available, std::memory_order_release);
+  }
+  bool available() const {
+    return available_.load(std::memory_order_acquire);
+  }
+
+  /// Enqueues a request onto the worker that owns the key (per `routing`).
+  /// Unavailable/failed nodes complete the request with Unavailable.
+  void Submit(const cluster::RoutingTable& routing, Request req);
+
+  /// Runs `fn` on every worker (on its own thread) and waits.
+  void RunOnAllWorkers(const std::function<void(KnWorker*)>& fn);
+
+  /// Called (from the merge service callback) when one of this node's
+  /// batches merged; wakes Busy writers and trims cached batches.
+  void OnBatchMerged(uint64_t log_owner);
+
+  /// Aggregated statistics across workers.
+  WorkerStats AggregateStats(bool reset);
+
+ private:
+  void WorkerLoop(int idx);
+
+  KnOptions options_;
+  dpm::DpmNode* dpm_;
+  std::vector<std::unique_ptr<KnWorker>> workers_;
+  std::vector<std::unique_ptr<BlockingQueue<Request>>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> available_{true};
+
+  std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  uint64_t merge_events_ = 0;
+};
+
+}  // namespace kn
+}  // namespace dinomo
+
+#endif  // DINOMO_KN_KVS_NODE_H_

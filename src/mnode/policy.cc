@@ -1,0 +1,98 @@
+#include "mnode/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dinomo {
+namespace mnode {
+
+PolicyAction PolicyEngine::Evaluate(const ClusterMetrics& metrics,
+                                    double now_s) {
+  PolicyAction action;
+  if (metrics.occupancy.empty()) return action;
+
+  const bool slo_violated =
+      metrics.avg_latency_us > params_.avg_latency_slo_us ||
+      metrics.p99_latency_us > params_.tail_latency_slo_us;
+
+  double min_occ = 1.0;
+  uint64_t min_occ_kn = 0;
+  for (const auto& [kn, occ] : metrics.occupancy) {
+    if (occ < min_occ) {
+      min_occ = occ;
+      min_occ_kn = kn;
+    }
+  }
+  const int num_kns = static_cast<int>(metrics.occupancy.size());
+
+  const double hot_bound = metrics.key_freq_mean +
+                           params_.hot_sigma * metrics.key_freq_stddev;
+  const double cold_bound = metrics.key_freq_mean -
+                            params_.cold_sigma * metrics.key_freq_stddev;
+
+  if (slo_violated) {
+    // All KNs over-utilized (min occupancy above the over-utilization
+    // lower bound): add a node — but only one per decision epoch, with a
+    // grace period to let the system stabilize (§3.5).
+    if (min_occ > params_.over_utilization_lower_bound) {
+      if (num_kns < params_.max_kns && !InGracePeriod(now_s)) {
+        action.kind = PolicyAction::Kind::kAddKn;
+      }
+      return action;
+    }
+    // Not all over-utilized: the violation is load imbalance from hot
+    // keys — replicate the hottest offender (Table 4 row 3).
+    for (const auto& [key, count] : metrics.hot_keys) {
+      if (static_cast<double>(count) <= hot_bound ||
+          metrics.key_freq_stddev == 0.0) {
+        continue;
+      }
+      auto it = metrics.replicated_keys.find(key);
+      const int current_r =
+          it == metrics.replicated_keys.end() ? 1 : it->second;
+      const int max_r = std::min(params_.max_replication, num_kns);
+      if (current_r >= max_r) continue;
+      // Scale the replication factor by how far latency exceeds the SLO
+      // (§3.5: "based on the ratio between the average latency of the hot
+      // key and the average latency SLO").
+      const double ratio =
+          metrics.avg_latency_us / params_.avg_latency_slo_us;
+      int target = current_r + std::max(1, static_cast<int>(ratio));
+      target = std::min(target, max_r);
+      action.kind = PolicyAction::Kind::kReplicateKey;
+      action.key_hash = key;
+      action.replication_factor = target;
+      return action;
+    }
+    return action;
+  }
+
+  // SLOs satisfied.
+  if (min_occ < params_.under_utilization_upper_bound &&
+      num_kns > params_.min_kns && !InGracePeriod(now_s)) {
+    action.kind = PolicyAction::Kind::kRemoveKn;
+    action.kn_id = min_occ_kn;
+    return action;
+  }
+
+  // Nothing removable: de-replicate cold keys with R > 1 (Table 4 row 4).
+  for (const auto& [key, r] : metrics.replicated_keys) {
+    if (r <= 1) continue;
+    uint64_t count = 0;
+    for (const auto& [hk, c] : metrics.hot_keys) {
+      if (hk == key) {
+        count = c;
+        break;
+      }
+    }
+    if (static_cast<double>(count) < std::max(0.0, cold_bound)) {
+      action.kind = PolicyAction::Kind::kDereplicateKey;
+      action.key_hash = key;
+      return action;
+    }
+  }
+  return action;
+}
+
+}  // namespace mnode
+}  // namespace dinomo

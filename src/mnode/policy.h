@@ -1,0 +1,104 @@
+#ifndef DINOMO_MNODE_POLICY_H_
+#define DINOMO_MNODE_POLICY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dinomo {
+namespace mnode {
+
+/// Tunable policy parameters (paper §3.5 and §5.3, "Policy Variables").
+struct PolicyParams {
+  /// Average-latency SLO, us (paper experiment: 1.2 ms).
+  double avg_latency_slo_us = 1200.0;
+  /// Tail (p99) latency SLO, us (paper experiment: 16 ms).
+  double tail_latency_slo_us = 16000.0;
+  /// "Over-utilization lower bound": adding a KN requires the *minimum*
+  /// occupancy across KNs to exceed this (paper: 20%).
+  double over_utilization_lower_bound = 0.20;
+  /// "Under-utilization upper bound": a KN below this occupancy may be
+  /// removed when SLOs are met (paper: 10%).
+  double under_utilization_upper_bound = 0.10;
+  /// Hot keys are `hot_sigma` standard deviations above the mean access
+  /// frequency (paper: 3); cold keys `cold_sigma` below the mean (paper 1).
+  double hot_sigma = 3.0;
+  double cold_sigma = 1.0;
+  /// Grace period after any membership change before the next decision
+  /// (paper experiment: 90 s).
+  double grace_period_s = 90.0;
+  int min_kns = 1;
+  /// Pool of provisionable KNs (the paper scales to 16).
+  int max_kns = 16;
+  /// Maximum replication factor for a hot key (bounded by cluster size).
+  int max_replication = 16;
+};
+
+/// Metrics the M-node collects each monitoring epoch: client-observed
+/// latencies, per-KN occupancy, and per-key access frequencies (§3.5).
+struct ClusterMetrics {
+  double avg_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  /// kn_id -> occupancy in [0, 1] (CPU working time per epoch).
+  std::unordered_map<uint64_t, double> occupancy;
+  /// Aggregated access frequencies of the hottest keys (key hash ->
+  /// count), plus mean/stddev over all tracked keys.
+  std::vector<std::pair<uint64_t, uint64_t>> hot_keys;
+  double key_freq_mean = 0.0;
+  double key_freq_stddev = 0.0;
+  /// Current replication factor per replicated key.
+  std::unordered_map<uint64_t, int> replicated_keys;
+};
+
+/// What the policy engine decided this epoch (Table 4).
+struct PolicyAction {
+  enum class Kind {
+    kNone,
+    kAddKn,
+    kRemoveKn,
+    kReplicateKey,
+    kDereplicateKey,
+  };
+  Kind kind = Kind::kNone;
+  uint64_t kn_id = 0;           // kRemoveKn
+  uint64_t key_hash = 0;        // k(De)ReplicateKey
+  int replication_factor = 1;   // kReplicateKey
+};
+
+/// The M-node's policy engine (§3.5). Pure decision logic — the cluster
+/// runtimes execute the actions — so it is directly unit-testable and is
+/// shared between the real-thread cluster and the virtual-time engine.
+///
+/// Decision table (Table 4):
+///   SLO satisfied + some KN under-utilized          -> remove that KN
+///   SLO violated  + ALL KNs over-utilized           -> add a KN
+///   SLO violated  + not all over-utilized + hot key -> replicate key
+///   SLO satisfied + nothing removable + cold key    -> de-replicate key
+///
+/// At most one membership change per decision epoch, followed by a grace
+/// period (§3.5, "Cluster membership changes").
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(const PolicyParams& params) : params_(params) {}
+
+  const PolicyParams& params() const { return params_; }
+
+  /// Evaluates the metrics at time `now_s` and returns at most one action.
+  PolicyAction Evaluate(const ClusterMetrics& metrics, double now_s);
+
+  /// Records that a membership change happened (starts the grace period).
+  void NoteMembershipChange(double now_s) { last_change_s_ = now_s; }
+
+  bool InGracePeriod(double now_s) const {
+    return now_s - last_change_s_ < params_.grace_period_s;
+  }
+
+ private:
+  PolicyParams params_;
+  double last_change_s_ = -1e18;
+};
+
+}  // namespace mnode
+}  // namespace dinomo
+
+#endif  // DINOMO_MNODE_POLICY_H_

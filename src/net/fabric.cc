@@ -1,0 +1,122 @@
+#include "net/fabric.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace net {
+
+namespace {
+thread_local OpCost* t_op_cost = nullptr;
+}  // namespace
+
+Fabric::Fabric(pm::PmPool* pool, LinkProfile profile)
+    : pool_(pool), profile_(profile), counters_(kMaxNodes) {
+  DINOMO_CHECK(pool != nullptr);
+}
+
+void Fabric::SetThreadOpCost(OpCost* cost) { t_op_cost = cost; }
+OpCost* Fabric::ThreadOpCost() { return t_op_cost; }
+
+void Fabric::Charge(int node, uint32_t rts, uint64_t bytes) {
+  DINOMO_CHECK(node >= 0 && node < kMaxNodes);
+  counters_[node].round_trips.fetch_add(rts, std::memory_order_relaxed);
+  counters_[node].wire_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (t_op_cost != nullptr) {
+    t_op_cost->round_trips += rts;
+    t_op_cost->wire_bytes += bytes;
+  }
+}
+
+void Fabric::Read(int node, pm::PmPtr src, void* dst, size_t len) {
+  DINOMO_CHECK(pool_->Contains(src, len));
+  std::memcpy(dst, pool_->Translate(src), len);
+  counters_[node].one_sided_reads.fetch_add(1, std::memory_order_relaxed);
+  Charge(node, 1, len);
+}
+
+void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len) {
+  DINOMO_CHECK(pool_->Contains(dst, len));
+  std::memcpy(pool_->Translate(dst), src, len);
+  // Modeled as a *durable* RDMA write (the IETF durable-write commit the
+  // paper anticipates, §4 "DPM persistence"): the payload is flushed as
+  // part of the single round trip, so committed log batches survive the
+  // crash simulator.
+  pool_->Persist(dst, len);
+  counters_[node].one_sided_writes.fetch_add(1, std::memory_order_relaxed);
+  Charge(node, 1, len);
+}
+
+bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
+                              uint64_t desired) {
+  DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
+  DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
+  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+  counters_[node].cas_ops.fetch_add(1, std::memory_order_relaxed);
+  Charge(node, 1, sizeof(uint64_t));
+  uint64_t exp = expected;
+  const bool swapped =
+      std::atomic_ref<uint64_t>(*target).compare_exchange_strong(
+          exp, desired, std::memory_order_acq_rel);
+  if (swapped) pool_->Persist(addr, sizeof(uint64_t));
+  return swapped;
+}
+
+uint64_t Fabric::AtomicRead64(int node, pm::PmPtr addr) {
+  DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
+  DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
+  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+  Charge(node, 1, sizeof(uint64_t));
+  return std::atomic_ref<uint64_t>(*target).load(std::memory_order_acquire);
+}
+
+void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value) {
+  DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
+  DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
+  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+  counters_[node].one_sided_writes.fetch_add(1, std::memory_order_relaxed);
+  Charge(node, 1, sizeof(uint64_t));
+  std::atomic_ref<uint64_t>(*target).store(value, std::memory_order_release);
+  pool_->Persist(addr, sizeof(uint64_t));
+}
+
+void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
+                       double dpm_cpu_us) {
+  counters_[node].rpcs.fetch_add(1, std::memory_order_relaxed);
+  Charge(node, 1, req_bytes + resp_bytes);
+  if (t_op_cost != nullptr) {
+    t_op_cost->dpm_cpu_us += dpm_cpu_us;
+    t_op_cost->extra_latency_us += profile_.rpc_extra_us;
+  }
+}
+
+uint64_t Fabric::TotalRoundTrips() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.round_trips.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Fabric::TotalWireBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : counters_) {
+    total += c.wire_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Fabric::ResetCounters() {
+  for (auto& c : counters_) {
+    c.round_trips.store(0, std::memory_order_relaxed);
+    c.wire_bytes.store(0, std::memory_order_relaxed);
+    c.one_sided_reads.store(0, std::memory_order_relaxed);
+    c.one_sided_writes.store(0, std::memory_order_relaxed);
+    c.cas_ops.store(0, std::memory_order_relaxed);
+    c.rpcs.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace net
+}  // namespace dinomo

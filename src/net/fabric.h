@@ -1,0 +1,150 @@
+#ifndef DINOMO_NET_FABRIC_H_
+#define DINOMO_NET_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace net {
+
+/// Performance profile of the KN <-> DPM interconnect, defaulting to the
+/// paper's testbed: Mellanox FDR 56 Gbps (~7 GB/s usable), one-sided
+/// round-trip latency in the low microseconds.
+struct LinkProfile {
+  /// Latency of one one-sided round trip (RDMA read/write/CAS), in us.
+  double rt_latency_us = 2.0;
+  /// Usable link bandwidth in GB/s (bytes stream at this rate on top of
+  /// the base latency).
+  double bandwidth_gbps = 7.0;
+  /// Extra latency of a two-sided operation (RPC handled by a DPM
+  /// processor) beyond a one-sided round trip, in us.
+  double rpc_extra_us = 2.0;
+
+  /// Time for `bytes` payload bytes on the wire, in us.
+  double TransferUs(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (bandwidth_gbps * 1e3);
+  }
+};
+
+/// Cost of one key-value operation, accumulated across every fabric access
+/// the operation performs. The KN sets a thread-local accumulator around
+/// each request; the virtual-time engine converts the cost to service time,
+/// and the profiling harness reports round trips per operation (Table 5/6).
+struct OpCost {
+  uint32_t round_trips = 0;
+  uint64_t wire_bytes = 0;
+  /// DPM processor time consumed synchronously (two-sided ops), us.
+  double dpm_cpu_us = 0.0;
+  /// Extra latency already determined (e.g. RPC overheads), us.
+  double extra_latency_us = 0.0;
+
+  void Clear() { *this = OpCost{}; }
+
+  /// End-to-end network latency this cost implies under `profile`.
+  double LatencyUs(const LinkProfile& profile) const {
+    return round_trips * profile.rt_latency_us + profile.TransferUs(wire_bytes) +
+           extra_latency_us;
+  }
+};
+
+/// Simulated RDMA interconnect between KVS nodes and the DPM pool.
+///
+/// Substitution for the paper's InfiniBand verbs: every one-sided operation
+/// performs the real data movement against the PmPool (so all data
+/// structures behave exactly as they would remotely) and charges round
+/// trips and wire bytes to (a) a thread-local per-operation OpCost, if one
+/// is installed, and (b) per-initiator cumulative counters. CAS is executed
+/// with a real atomic on the pool memory, giving the same linearization
+/// guarantees one-sided RDMA CAS provides.
+class Fabric {
+ public:
+  static constexpr int kMaxNodes = 64;
+
+  Fabric(pm::PmPool* pool, LinkProfile profile = LinkProfile{});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const LinkProfile& profile() const { return profile_; }
+  pm::PmPool* pool() { return pool_; }
+
+  /// One-sided RDMA read: copies [src, src+len) from DPM into dst.
+  /// 1 round trip + len wire bytes.
+  void Read(int node, pm::PmPtr src, void* dst, size_t len);
+
+  /// One-sided RDMA write: copies [src, src+len) into DPM at dst.
+  /// 1 round trip + len wire bytes.
+  void Write(int node, const void* src, pm::PmPtr dst, size_t len);
+
+  /// One-sided 8-byte atomic compare-and-swap at a 8-aligned DPM address.
+  /// Returns true and installs desired iff *addr == expected.
+  /// 1 round trip.
+  bool CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
+                        uint64_t desired);
+
+  /// One-sided 8-byte atomic read. 1 round trip.
+  uint64_t AtomicRead64(int node, pm::PmPtr addr);
+
+  /// One-sided 8-byte atomic write. 1 round trip.
+  void AtomicWrite64(int node, pm::PmPtr addr, uint64_t value);
+
+  /// Charges the cost of a two-sided operation (an RPC executed by a DPM
+  /// processor on the caller's behalf): 1 round trip, request/response
+  /// bytes, RPC overhead, and `dpm_cpu_us` of DPM processor time.
+  void ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
+                 double dpm_cpu_us);
+
+  /// Installs `cost` as the accumulator all fabric calls on this thread
+  /// charge into (nullptr to uninstall). Scoped helper below.
+  static void SetThreadOpCost(OpCost* cost);
+  static OpCost* ThreadOpCost();
+
+  /// Cumulative traffic counters for one initiating node.
+  struct NodeCounters {
+    std::atomic<uint64_t> round_trips{0};
+    std::atomic<uint64_t> wire_bytes{0};
+    std::atomic<uint64_t> one_sided_reads{0};
+    std::atomic<uint64_t> one_sided_writes{0};
+    std::atomic<uint64_t> cas_ops{0};
+    std::atomic<uint64_t> rpcs{0};
+  };
+
+  const NodeCounters& counters(int node) const { return counters_[node]; }
+
+  uint64_t TotalRoundTrips() const;
+  uint64_t TotalWireBytes() const;
+
+  /// Zeroes all per-node counters (between experiment phases).
+  void ResetCounters();
+
+ private:
+  void Charge(int node, uint32_t rts, uint64_t bytes);
+
+  pm::PmPool* pool_;
+  LinkProfile profile_;
+  std::vector<NodeCounters> counters_;
+};
+
+/// RAII scope installing an OpCost accumulator on the current thread.
+class ScopedOpCost {
+ public:
+  explicit ScopedOpCost(OpCost* cost) : prev_(Fabric::ThreadOpCost()) {
+    cost->Clear();
+    Fabric::SetThreadOpCost(cost);
+  }
+  ~ScopedOpCost() { Fabric::SetThreadOpCost(prev_); }
+
+  ScopedOpCost(const ScopedOpCost&) = delete;
+  ScopedOpCost& operator=(const ScopedOpCost&) = delete;
+
+ private:
+  OpCost* prev_;
+};
+
+}  // namespace net
+}  // namespace dinomo
+
+#endif  // DINOMO_NET_FABRIC_H_

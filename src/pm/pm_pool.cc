@@ -1,0 +1,56 @@
+#include "pm/pm_pool.h"
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace pm {
+
+PmPool::AlignedBuffer PmPool::AllocateAligned(size_t capacity) {
+  auto* raw = static_cast<char*>(
+      ::operator new[](capacity, std::align_val_t(kCacheLineSize)));
+  std::memset(raw, 0, capacity);
+  return AlignedBuffer(raw);
+}
+
+PmPool::PmPool(size_t capacity, bool crash_sim) : capacity_(capacity) {
+  DINOMO_CHECK(capacity >= kCacheLineSize);
+  base_ = AllocateAligned(capacity_);
+  if (crash_sim) {
+    durable_ = AllocateAligned(capacity_);
+  }
+}
+
+PmPool::~PmPool() = default;
+
+#ifndef NDEBUG
+void PmPool::DCHECK_VALID(PmPtr p) const {
+  DINOMO_CHECK(p != kNullPmPtr);
+  DINOMO_CHECK(p < capacity_);
+}
+#endif
+
+void PmPool::Persist(PmPtr p, size_t len) {
+  DINOMO_CHECK(Contains(p, len));
+  persist_count_.fetch_add(1, std::memory_order_relaxed);
+  // Round out to whole cache lines, as CLWB flushes full lines.
+  const PmPtr line_start = p & ~(kCacheLineSize - 1);
+  const PmPtr line_end =
+      (p + len + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+  persisted_bytes_.fetch_add(line_end - line_start,
+                             std::memory_order_relaxed);
+  if (durable_ != nullptr) {
+    std::memcpy(durable_.get() + line_start, base_.get() + line_start,
+                line_end - line_start);
+  }
+}
+
+Status PmPool::SimulateCrash() {
+  if (durable_ == nullptr) {
+    return Status::NotSupported("pool built without crash simulation");
+  }
+  std::memcpy(base_.get(), durable_.get(), capacity_);
+  return Status::Ok();
+}
+
+}  // namespace pm
+}  // namespace dinomo

@@ -1,0 +1,120 @@
+#ifndef DINOMO_PM_PM_POOL_H_
+#define DINOMO_PM_PM_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "common/status.h"
+
+namespace dinomo {
+namespace pm {
+
+/// Offset into the persistent-memory pool. Offset 0 is reserved as the null
+/// pointer, so all PM-resident data structures are position independent —
+/// exactly what real PM pools mapped at different addresses require, and
+/// what lets "remote" (fabric) and "local" (DPM processor) code share one
+/// representation.
+using PmPtr = uint64_t;
+inline constexpr PmPtr kNullPmPtr = 0;
+
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Emulated disaggregated persistent-memory pool.
+///
+/// The paper's testbed emulates PM with DRAM ("performance is constrained
+/// by the network rather than PM or DRAM", §5); we do the same, but add a
+/// crash-simulation mode the paper's setup cannot offer: when enabled, the
+/// pool keeps a second "durable" image, `Persist()` copies flushed cache
+/// lines into it, and `SimulateCrash()` rolls the working image back to the
+/// durable one — discarding every store that was never explicitly flushed.
+/// Recovery-path tests run against this to verify crash consistency of the
+/// index and log commit markers.
+///
+/// Thread safety: concurrent access to disjoint ranges is safe (plain
+/// memory); `Persist` and `SimulateCrash` synchronize internally. Callers
+/// provide their own synchronization for overlapping data, as with real PM.
+class PmPool {
+ public:
+  /// Creates a pool of `capacity` bytes. If `crash_sim` is true, a durable
+  /// shadow image is maintained (doubling memory use).
+  explicit PmPool(size_t capacity, bool crash_sim = false);
+  ~PmPool();
+
+  PmPool(const PmPool&) = delete;
+  PmPool& operator=(const PmPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  bool crash_sim_enabled() const { return durable_ != nullptr; }
+
+  /// Translates a pool offset to a local address. p must be a valid offset
+  /// (non-null, within capacity).
+  char* Translate(PmPtr p) {
+    DCHECK_VALID(p);
+    return base_.get() + p;
+  }
+  const char* Translate(PmPtr p) const {
+    DCHECK_VALID(p);
+    return base_.get() + p;
+  }
+
+  /// Inverse of Translate for addresses inside the pool.
+  PmPtr OffsetOf(const void* addr) const {
+    const char* c = static_cast<const char*>(addr);
+    return static_cast<PmPtr>(c - base_.get());
+  }
+
+  bool Contains(PmPtr p, size_t len) const {
+    return p != kNullPmPtr && p + len <= capacity_;
+  }
+
+  /// Models CLWB + sfence over [p, p+len): marks those cache lines durable.
+  /// Counted for the PM-bandwidth cost model (Figure 4). No-op on data when
+  /// crash simulation is off.
+  void Persist(PmPtr p, size_t len);
+
+  /// Convenience: persist a local address range inside the pool.
+  void PersistAddr(const void* addr, size_t len) {
+    Persist(OffsetOf(addr), len);
+  }
+
+  /// Crash-sim only: discards all stores that were never persisted by
+  /// rolling the working image back to the durable image.
+  Status SimulateCrash();
+
+  /// Number of Persist calls (flush+fence pairs) since construction.
+  uint64_t persist_count() const {
+    return persist_count_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes covered by Persist calls.
+  uint64_t persisted_bytes() const {
+    return persisted_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+#ifdef NDEBUG
+  void DCHECK_VALID(PmPtr) const {}
+#else
+  void DCHECK_VALID(PmPtr p) const;
+#endif
+
+  struct AlignedFree {
+    void operator()(char* p) const { ::operator delete[](p, std::align_val_t(kCacheLineSize)); }
+  };
+  using AlignedBuffer = std::unique_ptr<char[], AlignedFree>;
+
+  static AlignedBuffer AllocateAligned(size_t capacity);
+
+  size_t capacity_;
+  AlignedBuffer base_;
+  AlignedBuffer durable_;  // null unless crash_sim
+  std::atomic<uint64_t> persist_count_{0};
+  std::atomic<uint64_t> persisted_bytes_{0};
+};
+
+}  // namespace pm
+}  // namespace dinomo
+
+#endif  // DINOMO_PM_PM_POOL_H_

@@ -1,0 +1,250 @@
+#include "sim/clover_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kn/kn_worker.h"
+
+namespace dinomo {
+namespace sim {
+
+CloverSim::CloverSim(const CloverSimOptions& options)
+    : options_(options),
+      link_(options.clover.link_profile.bandwidth_gbps),
+      ms_pool_(options.clover.ms_workers),
+      windows_(options.stats_window_us) {
+  store_ = std::make_unique<clover::CloverStore>(options_.clover);
+  for (int i = 0; i < options_.num_kns; ++i) {
+    auto kn_sim = std::make_unique<KnSim>();
+    for (int w = 0; w < options_.workers_per_kn; ++w) {
+      auto ws = std::make_unique<WorkerSim>();
+      const int fabric_node =
+          (i * options_.workers_per_kn + w) % net::Fabric::kMaxNodes;
+      ws->kn = std::make_unique<clover::CloverKn>(
+          store_.get(), fabric_node,
+          options_.cache_bytes_per_kn / options_.workers_per_kn);
+      kn_sim->workers.push_back(std::move(ws));
+    }
+    kns_.push_back(std::move(kn_sim));
+  }
+  streams_.resize(options_.client_threads);
+  for (int i = 0; i < options_.client_threads; ++i) {
+    streams_[i].gen = std::make_unique<workload::WorkloadGenerator>(
+        options_.spec, options_.seed + i);
+  }
+}
+
+CloverSim::~CloverSim() = default;
+
+int CloverSim::NumActiveKns() const {
+  int n = 0;
+  for (const auto& k : kns_) {
+    if (!k->failed) n++;
+  }
+  return n;
+}
+
+void CloverSim::Preload() {
+  clover::CloverKn* loader = kns_[0]->workers[0]->kn.get();
+  const std::string value(options_.spec.value_size, 'p');
+  for (uint64_t rec = 0; rec < options_.spec.record_count; ++rec) {
+    kn::OpResult r = loader->Put(workload::KeyForRecord(rec), value);
+    DINOMO_CHECK(r.status.ok());
+  }
+  store_->fabric()->ResetCounters();
+  for (auto& k : kns_) {
+    for (auto& ws : k->workers) ws->kn->ResetStats();
+  }
+  ops_executed_ = 0;
+}
+
+void CloverSim::Run(double duration_us, double warmup_us) {
+  const double now = engine_.now_us();
+  run_until_ = now + duration_us;
+  warmup_until_ = now + warmup_us;
+  if (!gc_running_) {
+    gc_running_ = true;
+    engine_.ScheduleAfter(options_.gc_interval_us, [this] { GcTick(); });
+  }
+  for (int i = 0; i < static_cast<int>(streams_.size()); ++i) {
+    if (!streams_[i].active) {
+      streams_[i].active = true;
+      IssueNext(i);
+    }
+  }
+  engine_.RunUntil(run_until_);
+}
+
+void CloverSim::GcTick() {
+  store_->RunGcOnce();
+  if (engine_.now_us() < run_until_) {
+    engine_.ScheduleAfter(options_.gc_interval_us, [this] { GcTick(); });
+  } else {
+    gc_running_ = false;
+  }
+}
+
+void CloverSim::IssueNext(int stream_idx) {
+  Stream& s = streams_[stream_idx];
+  if (!s.active || engine_.now_us() >= run_until_) return;
+  const workload::WorkloadOp op = s.gen->Next();
+  ExecuteOp(stream_idx, op, engine_.now_us(), 0);
+}
+
+void CloverSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
+                          double issue_time, int attempt) {
+  if (!streams_[stream_idx].active) return;
+  const double now = engine_.now_us();
+  if (attempt > 100) {
+    CompleteOp(stream_idx, issue_time, now);
+    return;
+  }
+  // Shared-everything: any KN serves any key; clients spread requests
+  // round-robin across the KNs they believe are alive.
+  std::vector<KnSim*> routable;
+  for (auto& k : kns_) {
+    if (k->routable) routable.push_back(k.get());
+  }
+  if (routable.empty()) {
+    engine_.ScheduleAfter(options_.request_timeout_us, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  KnSim* k = routable[salt_ % routable.size()];
+  WorkerSim* ws =
+      k->workers[(salt_ / routable.size()) % k->workers.size()].get();
+  salt_++;
+  if (k->failed) {
+    // Client does not yet know: the request times out first (§5.3).
+    engine_.ScheduleAfter(options_.request_timeout_us, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+
+  kn::OpResult r;
+  switch (op.type) {
+    case workload::OpType::kRead:
+      r = ws->kn->Get(op.key);
+      break;
+    case workload::OpType::kUpdate:
+    case workload::OpType::kInsert:
+      r = ws->kn->Put(op.key, streams_[stream_idx].gen->Value());
+      break;
+  }
+  if (!r.status.ok() && !r.status.IsNotFound()) {
+    engine_.ScheduleAfter(1000.0, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  ops_executed_++;
+
+  const net::LinkProfile& profile = options_.clover.link_profile;
+  const double start = std::max(now, ws->free_until);
+  const double cpu_done = start + r.cpu_us;
+  double after_link = cpu_done;
+  if (r.cost.wire_bytes > 0) {
+    after_link = link_.Reserve(cpu_done, r.cost.wire_bytes);
+  }
+  double finish = after_link + r.cost.round_trips * profile.rt_latency_us +
+                  r.cost.extra_latency_us;
+  if (r.cost.dpm_cpu_us > 0) {
+    // Metadata-server involvement: Clover's scaling bottleneck.
+    finish = std::max(finish,
+                      ms_pool_.Reserve(cpu_done, r.cost.dpm_cpu_us) +
+                          profile.rt_latency_us);
+  }
+  ws->free_until = finish;
+  engine_.ScheduleAt(finish, [=, this] {
+    CompleteOp(stream_idx, issue_time, finish);
+  });
+}
+
+void CloverSim::CompleteOp(int stream_idx, double issue_time,
+                           double finish) {
+  const double latency = finish - issue_time;
+  windows_.Record(finish, latency);
+  if (finish >= warmup_until_) {
+    run_latency_.Add(latency);
+    completed_after_warmup_++;
+  }
+  IssueNext(stream_idx);
+}
+
+double CloverSim::ThroughputMops() const {
+  const double span = run_until_ - warmup_until_;
+  return span > 0 ? completed_after_warmup_ / span : 0.0;
+}
+
+CloverSim::Profile CloverSim::CollectProfile() const {
+  Profile p;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (const auto& k : kns_) {
+    for (const auto& ws : k->workers) {
+      const cache::CacheStats& cs = ws->kn->stats();
+      hits += cs.value_hits + cs.shortcut_hits;
+      misses += cs.misses;
+    }
+  }
+  p.ops = hits + misses;
+  if (p.ops > 0) p.cache_hit_ratio = static_cast<double>(hits) / p.ops;
+  if (ops_executed_ > 0) {
+    p.rts_per_op =
+        static_cast<double>(store_->fabric()->TotalRoundTrips()) /
+        ops_executed_;
+  }
+  return p;
+}
+
+void CloverSim::ScheduleKill(double at_us, int kn_index) {
+  engine_.ScheduleAt(at_us, [this, kn_index] {
+    std::vector<KnSim*> active;
+    for (auto& k : kns_) {
+      if (!k->failed) active.push_back(k.get());
+    }
+    if (kn_index < 0 || kn_index >= static_cast<int>(active.size())) return;
+    KnSim* victim = active[kn_index];
+    victim->failed = true;
+    // Clients keep timing out on it until the membership update lands —
+    // no data reorganization is needed (shared-everything).
+    engine_.ScheduleAfter(options_.membership_update_us,
+                          [victim] { victim->routable = false; });
+  });
+}
+
+void CloverSim::ScheduleLoadChange(double at_us, int client_threads) {
+  engine_.ScheduleAt(at_us, [this, client_threads] {
+    const int current = static_cast<int>(streams_.size());
+    if (client_threads > current) {
+      for (int i = current; i < client_threads; ++i) {
+        Stream s;
+        s.gen = std::make_unique<workload::WorkloadGenerator>(
+            options_.spec, options_.seed + 7000 + i);
+        s.active = true;
+        streams_.push_back(std::move(s));
+        IssueNext(static_cast<int>(streams_.size()) - 1);
+      }
+    } else {
+      for (int i = client_threads; i < current; ++i) {
+        streams_[i].active = false;
+      }
+    }
+  });
+}
+
+void CloverSim::ScheduleWorkloadChange(double at_us,
+                                       const workload::WorkloadSpec& spec) {
+  engine_.ScheduleAt(at_us, [this, spec] {
+    options_.spec = spec;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      streams_[i].gen = std::make_unique<workload::WorkloadGenerator>(
+          spec, options_.seed + 5000 + i);
+    }
+  });
+}
+
+}  // namespace sim
+}  // namespace dinomo

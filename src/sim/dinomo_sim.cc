@@ -1,0 +1,637 @@
+#include "sim/dinomo_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/migration.h"
+
+namespace dinomo {
+namespace sim {
+
+namespace {
+// Fixed protocol overhead of a reconfiguration round (hash-ring updates,
+// membership broadcast), us.
+constexpr double kReconfigOverheadUs = 200.0;
+// Failure-detection delay before the M-node reacts to a dead KN, us
+// (the paper's full recovery takes ~109 ms on a 2-minute timeline; the
+// experiment timelines here are ~50x shorter).
+constexpr double kFailureDetectUs = 5e3;
+// Extra DPM CPU per migrated key in DINOMO-N reorganization, us.
+constexpr double kMigratePerKeyUs = 12.0;
+// DINOMO-N reorganization is a serial copy + index-rebuild pipeline; the
+// paper measures it at roughly 180 MB/s (11 s for a ~2 GB partition).
+constexpr double kMigrateUsPerByte = 1.0 / 180.0;
+}  // namespace
+
+DinomoSim::DinomoSim(const DinomoSimOptions& options)
+    : options_(options),
+      routing_(options.kn.num_workers),
+      policy_(options.policy),
+      link_(options.dpm.link_profile.bandwidth_gbps),
+      dpm_pool_(options.dpm_threads),
+      windows_(options.stats_window_us) {
+  if (options_.variant == SystemVariant::kDinomoN) {
+    options_.dpm.partitioned_metadata = true;
+    options_.kn.dinomo_n = true;
+  }
+  if (options_.variant == SystemVariant::kDinomoS) {
+    options_.kn.policy = kn::CachePolicyKind::kShortcutOnly;
+  }
+  dpm_ = std::make_unique<dpm::DpmNode>(options_.dpm);
+  dpm_->merge()->SetMergeCallback(
+      [this](uint64_t owner) { OnMergeFinished(owner); });
+
+  for (int i = 0; i < options_.num_kns; ++i) AddKnInternal(true);
+  PushRouting();
+
+  streams_.resize(options_.client_threads);
+  for (int i = 0; i < options_.client_threads; ++i) {
+    streams_[i].gen = std::make_unique<workload::WorkloadGenerator>(
+        options_.spec, options_.seed + i);
+  }
+}
+
+DinomoSim::~DinomoSim() = default;
+
+void DinomoSim::AddKnInternal(bool available) {
+  auto kn_sim = std::make_unique<KnSim>();
+  kn_sim->kn_id = next_kn_id_++;
+  kn_sim->unavailable_until = available ? 0.0 : 1e18;
+  kn::KnOptions kno = options_.kn;
+  kno.kn_id = kn_sim->kn_id;
+  kno.fabric_node = static_cast<int>(kn_sim->kn_id % net::Fabric::kMaxNodes);
+  for (int w = 0; w < options_.kn.num_workers; ++w) {
+    auto ws = std::make_unique<WorkerSim>();
+    ws->worker = std::make_unique<kn::KnWorker>(kno, w, dpm_.get());
+    kn_sim->workers.push_back(std::move(ws));
+  }
+  kns_.push_back(std::move(kn_sim));
+  routing_.AddKn(kns_.back()->kn_id);
+}
+
+DinomoSim::KnSim* DinomoSim::FindKn(uint64_t kn_id) {
+  for (auto& k : kns_) {
+    if (k->kn_id == kn_id) return k.get();
+  }
+  return nullptr;
+}
+
+int DinomoSim::NumActiveKns() const {
+  int n = 0;
+  for (const auto& k : kns_) {
+    if (!k->failed) n++;
+  }
+  return n;
+}
+
+std::vector<uint64_t> DinomoSim::ActiveKnIds() const {
+  std::vector<uint64_t> out;
+  for (const auto& k : kns_) {
+    if (!k->failed) out.push_back(k->kn_id);
+  }
+  return out;
+}
+
+void DinomoSim::PushRouting() {
+  auto table = routing_.Snapshot();
+  for (auto& k : kns_) {
+    if (k->failed) continue;
+    const uint64_t id = k->kn_id;
+    for (auto& ws : k->workers) {
+      ws->worker->SetRouting(table);
+      ws->worker->cache()->InvalidateIf([&table, id](uint64_t key_hash) {
+        return !table->IsOwner(key_hash, id);
+      });
+    }
+  }
+}
+
+void DinomoSim::Preload() {
+  auto table = routing_.Snapshot();
+  const std::string value(options_.spec.value_size, 'p');
+  for (uint64_t rec = 0; rec < options_.spec.record_count; ++rec) {
+    const std::string key = workload::KeyForRecord(rec);
+    const uint64_t kh = kn::KeyHash(key);
+    KnSim* k = FindKn(table->PrimaryOwner(kh));
+    DINOMO_CHECK(k != nullptr);
+    kn::KnWorker* w =
+        k->workers[table->ThreadFor(kh, k->kn_id)]->worker.get();
+    for (int tries = 0; tries < 1000; ++tries) {
+      kn::OpResult r = w->Put(key, value);
+      if (r.status.ok()) break;
+      DINOMO_CHECK(r.status.IsBusy());
+      DINOMO_CHECK(dpm_->merge()->ProcessOne());
+    }
+  }
+  for (auto& k : kns_) {
+    for (auto& ws : k->workers) {
+      kn::OpResult r = ws->worker->FlushWrites();
+      DINOMO_CHECK(r.status.ok());
+    }
+  }
+  DINOMO_CHECK(dpm_->merge()->DrainAll().ok());
+  // Measurement starts fresh: keep the warm caches, reset the counters.
+  dpm_->fabric()->ResetCounters();
+  for (auto& k : kns_) {
+    for (auto& ws : k->workers) ws->worker->SnapshotStats(/*reset=*/true);
+  }
+}
+
+void DinomoSim::Run(double duration_us, double warmup_us) {
+  const double now = engine_.now_us();
+  run_until_ = now + duration_us;
+  warmup_until_ = now + warmup_us;
+  for (int i = 0; i < static_cast<int>(streams_.size()); ++i) {
+    if (!streams_[i].active) {
+      streams_[i].active = true;
+      IssueNext(i);
+    }
+  }
+  engine_.RunUntil(run_until_);
+}
+
+void DinomoSim::IssueNext(int stream_idx) {
+  Stream& s = streams_[stream_idx];
+  if (!s.active || engine_.now_us() >= run_until_) return;
+  const workload::WorkloadOp op = s.gen->Next();
+  ExecuteOp(stream_idx, op, engine_.now_us(), 0);
+}
+
+void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
+                          double issue_time, int attempt) {
+  if (!streams_[stream_idx].active) return;
+  const double now = engine_.now_us();
+  if (attempt > 100) {
+    // Give up on this op (e.g. prolonged outage); issue the next one so
+    // the closed loop cannot wedge.
+    CompleteOp(stream_idx, issue_time, now);
+    return;
+  }
+  auto table = routing_.Snapshot();
+  if (table->global_ring.empty()) {
+    engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  const uint64_t kh = kn::KeyHash(op.key);
+  const uint64_t kn_id = table->RouteFor(kh, salt_++);
+  KnSim* k = FindKn(kn_id);
+  if (k == nullptr || k->failed) {
+    // Dead node: the request times out, then the client refreshes.
+    const double delay =
+        k == nullptr ? options_.routing_refresh_us : options_.request_timeout_us;
+    engine_.ScheduleAfter(delay, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  if (k->unavailable_until > now) {
+    const double at = std::max(now + options_.routing_refresh_us,
+                               k->unavailable_until);
+    engine_.ScheduleAt(at, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  const int widx = table->ThreadFor(kh, kn_id);
+  WorkerSim* ws = k->workers[widx].get();
+
+  kn::OpResult r;
+  switch (op.type) {
+    case workload::OpType::kRead:
+      r = ws->worker->Get(op.key);
+      break;
+    case workload::OpType::kUpdate:
+    case workload::OpType::kInsert:
+      r = ws->worker->Put(op.key, streams_[stream_idx].gen->Value());
+      break;
+  }
+  PumpMerges();
+
+  if (r.status.IsBusy()) {
+    // Blocked on the unmerged-segment threshold: wait for merge progress
+    // on this worker's log (the log-write blocking of §4).
+    ws->parked.push_back([=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+  if (r.status.IsWrongOwner() || r.status.IsUnavailable()) {
+    engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+    });
+    return;
+  }
+
+  // Time the operation: worker CPU, then the network (latency per round
+  // trip + the shared pipe for payload bytes), plus any DPM processor
+  // time for two-sided ops (same pool as the merge threads).
+  const net::LinkProfile& profile = options_.dpm.link_profile;
+  const double start = std::max(now, ws->free_until);
+  const double cpu_done = start + r.cpu_us;
+  double after_link = cpu_done;
+  if (r.cost.wire_bytes > 0) {
+    after_link = link_.Reserve(cpu_done, r.cost.wire_bytes);
+  }
+  double finish = after_link + r.cost.round_trips * profile.rt_latency_us +
+                  r.cost.extra_latency_us;
+  if (r.cost.dpm_cpu_us > 0) {
+    finish = std::max(
+        finish, dpm_pool_.Reserve(cpu_done, r.cost.dpm_cpu_us) +
+                    profile.rt_latency_us);
+  }
+  ws->free_until = finish;
+  k->busy_us_epoch += finish - start;
+
+  engine_.ScheduleAt(finish, [=, this] {
+    CompleteOp(stream_idx, issue_time, finish);
+  });
+}
+
+void DinomoSim::CompleteOp(int stream_idx, double issue_time,
+                           double finish) {
+  const double latency = finish - issue_time;
+  windows_.Record(finish, latency);
+  epoch_latency_.Add(latency);
+  if (finish >= warmup_until_) {
+    run_latency_.Add(latency);
+    completed_after_warmup_++;
+  }
+  IssueNext(stream_idx);
+}
+
+void DinomoSim::PumpMerges() {
+  dpm::MergeTask task;
+  while (dpm_->merge()->TryDequeue(&task)) {
+    const double cpu = dpm_->merge()->Execute(task);
+    const double done = dpm_pool_.Reserve(engine_.now_us(), cpu);
+    engine_.ScheduleAt(done, [this, task] {
+      dpm_->merge()->Finish(task);
+      PumpMerges();
+    });
+  }
+}
+
+void DinomoSim::OnMergeFinished(uint64_t owner) {
+  KnSim* k = FindKn(owner >> 8);
+  if (k == nullptr) return;
+  const int widx = static_cast<int>(owner & 0xff);
+  if (widx >= static_cast<int>(k->workers.size())) return;
+  WorkerSim* ws = k->workers[widx].get();
+  ws->worker->OnOwnerBatchMerged();
+  // Wake writers blocked on the threshold.
+  std::deque<std::function<void()>> parked;
+  parked.swap(ws->parked);
+  for (auto& retry : parked) {
+    engine_.ScheduleAfter(0.0, std::move(retry));
+  }
+}
+
+double DinomoSim::ThroughputMops() const {
+  const double span = run_until_ - warmup_until_;
+  return span > 0 ? completed_after_warmup_ / span : 0.0;
+}
+
+DinomoSim::Profile DinomoSim::CollectProfile() const {
+  Profile p;
+  uint64_t value_hits = 0;
+  uint64_t shortcut_hits = 0;
+  uint64_t misses = 0;
+  uint64_t ops = 0;
+  for (const auto& k : kns_) {
+    for (const auto& ws : k->workers) {
+      const cache::CacheStats& cs =
+          const_cast<kn::KnWorker*>(ws->worker.get())->cache()->stats();
+      value_hits += cs.value_hits;
+      shortcut_hits += cs.shortcut_hits;
+      misses += cs.misses;
+    }
+  }
+  ops = value_hits + shortcut_hits + misses;
+  p.ops = ops;
+  if (ops > 0) {
+    p.cache_hit_ratio =
+        static_cast<double>(value_hits + shortcut_hits) / ops;
+  }
+  if (value_hits + shortcut_hits > 0) {
+    p.value_hit_share =
+        static_cast<double>(value_hits) / (value_hits + shortcut_hits);
+  }
+  const uint64_t rts = dpm_->fabric()->TotalRoundTrips();
+  // Round trips per *request*; reads and writes both count.
+  uint64_t requests = 0;
+  for (const auto& k : kns_) {
+    for (const auto& ws : k->workers) {
+      auto stats =
+          const_cast<kn::KnWorker*>(ws->worker.get())->SnapshotStats(false);
+      requests += stats.reads + stats.writes;
+    }
+  }
+  if (requests > 0) p.rts_per_op = static_cast<double>(rts) / requests;
+  return p;
+}
+
+// ----- Elasticity hooks -----
+
+void DinomoSim::ScheduleLoadChange(double at_us, int client_threads) {
+  engine_.ScheduleAt(at_us, [this, client_threads] {
+    const int current = static_cast<int>(streams_.size());
+    if (client_threads > current) {
+      for (int i = current; i < client_threads; ++i) {
+        Stream s;
+        s.gen = std::make_unique<workload::WorkloadGenerator>(
+            options_.spec, options_.seed + 7000 + i);
+        s.active = true;
+        streams_.push_back(std::move(s));
+        IssueNext(static_cast<int>(streams_.size()) - 1);
+      }
+    } else {
+      for (int i = client_threads; i < current; ++i) {
+        streams_[i].active = false;  // dies after its in-flight op
+      }
+    }
+  });
+}
+
+void DinomoSim::ScheduleWorkloadChange(double at_us,
+                                       const workload::WorkloadSpec& spec) {
+  engine_.ScheduleAt(at_us, [this, spec] {
+    options_.spec = spec;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      streams_[i].gen = std::make_unique<workload::WorkloadGenerator>(
+          spec, options_.seed + 5000 + i);
+    }
+  });
+}
+
+void DinomoSim::ScheduleKill(double at_us, int kn_index) {
+  engine_.ScheduleAt(at_us, [this, kn_index] { DoKill(kn_index); });
+}
+
+void DinomoSim::EnableMnode() {
+  if (mnode_enabled_) return;
+  mnode_enabled_ = true;
+  epoch_started_ = engine_.now_us();
+  engine_.ScheduleAfter(options_.mnode_epoch_us, [this] { MnodeEpoch(); });
+}
+
+mnode::ClusterMetrics DinomoSim::CollectEpochMetrics() {
+  mnode::ClusterMetrics metrics;
+  metrics.avg_latency_us = epoch_latency_.Average();
+  metrics.p99_latency_us = epoch_latency_.P99();
+  epoch_latency_.Reset();
+
+  const double epoch_us = engine_.now_us() - epoch_started_;
+  std::unordered_map<uint64_t, uint64_t> key_counts;
+  double mean_sum = 0.0;
+  double std_sum = 0.0;
+  int n = 0;
+  for (auto& k : kns_) {
+    if (k->failed) continue;
+    const double per_worker_us = epoch_us * k->workers.size();
+    metrics.occupancy[k->kn_id] =
+        per_worker_us > 0
+            ? std::min(1.0, k->busy_us_epoch / per_worker_us)
+            : 0.0;
+    k->busy_us_epoch = 0.0;
+    for (auto& ws : k->workers) {
+      auto stats = ws->worker->SnapshotStats(/*reset=*/true);
+      for (const auto& [key, count] : stats.hot_keys) {
+        key_counts[key] += count;
+      }
+      mean_sum += stats.key_freq_mean;
+      std_sum += stats.key_freq_stddev;
+      n++;
+    }
+  }
+  if (n > 0) {
+    metrics.key_freq_mean = mean_sum / n;
+    metrics.key_freq_stddev = std_sum / n;
+  }
+  for (const auto& [key, count] : key_counts) {
+    metrics.hot_keys.emplace_back(key, count);
+  }
+  std::sort(metrics.hot_keys.begin(), metrics.hot_keys.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (metrics.hot_keys.size() > 32) metrics.hot_keys.resize(32);
+  auto table = routing_.Snapshot();
+  for (const auto& [key, owners] : table->replicated) {
+    metrics.replicated_keys[key] = static_cast<int>(owners.size());
+  }
+  return metrics;
+}
+
+void DinomoSim::MnodeEpoch() {
+  const double now = engine_.now_us();
+  mnode::ClusterMetrics metrics = CollectEpochMetrics();
+  epoch_started_ = now;
+  const mnode::PolicyAction action = policy_.Evaluate(metrics, now / 1e6);
+  if (getenv("DINOMO_SIM_DEBUG") != nullptr) {
+    double min_occ = 1.0;
+    for (auto& [id, o] : metrics.occupancy) min_occ = std::min(min_occ, o);
+    fprintf(stderr, "[mnode t=%.0fms] avg=%.1f p99=%.1f minocc=%.3f kns=%zu action=%d\n",
+            now / 1000, metrics.avg_latency_us, metrics.p99_latency_us,
+            min_occ, metrics.occupancy.size(), static_cast<int>(action.kind));
+  }
+  switch (action.kind) {
+    case mnode::PolicyAction::Kind::kAddKn:
+      DoAddKn();
+      policy_.NoteMembershipChange(now / 1e6);
+      break;
+    case mnode::PolicyAction::Kind::kRemoveKn:
+      DoRemoveKn(action.kn_id);
+      policy_.NoteMembershipChange(now / 1e6);
+      break;
+    case mnode::PolicyAction::Kind::kReplicateKey:
+      DoReplicate(action.key_hash, action.replication_factor);
+      break;
+    case mnode::PolicyAction::Kind::kDereplicateKey:
+      DoDereplicate(action.key_hash);
+      break;
+    case mnode::PolicyAction::Kind::kNone:
+      break;
+  }
+  if (now < run_until_) {
+    engine_.ScheduleAfter(options_.mnode_epoch_us, [this] { MnodeEpoch(); });
+  }
+}
+
+void DinomoSim::DoAddKn() {
+  const double now = engine_.now_us();
+  // Step 1-3: flush and synchronously merge every participant's logs.
+  for (auto& k : kns_) {
+    if (k->failed) continue;
+    for (auto& ws : k->workers) {
+      kn::OpResult r = ws->worker->FlushWrites();
+      (void)r;
+    }
+  }
+  double done = now + kReconfigOverheadUs;
+  {
+    dpm::MergeTask task;
+    while (dpm_->merge()->TryDequeue(&task)) {
+      const double cpu = dpm_->merge()->Execute(task);
+      done = std::max(done, dpm_pool_.Reserve(now, cpu));
+      dpm_->merge()->Finish(task);
+    }
+  }
+  // Step 4: new node + new mapping.
+  AddKnInternal(/*available=*/false);
+  KnSim* fresh = kns_.back().get();
+
+  if (options_.variant == SystemVariant::kDinomoN) {
+    // Physical data reorganization: the stall the paper shows in Fig 6.
+    auto table = routing_.Snapshot();
+    uint64_t bytes = 0;
+    uint64_t keys = 0;
+    for (auto& k : kns_) {
+      if (k->failed || k->kn_id == fresh->kn_id) continue;
+      auto stats = MigratePartitionData(dpm_.get(), k->kn_id, *table);
+      DINOMO_CHECK(stats.ok());
+      bytes += stats.value().bytes_moved;
+      keys += stats.value().keys_moved;
+    }
+    done = std::max(done, link_.Reserve(now, bytes));
+    done = std::max(done, dpm_pool_.Reserve(now, keys * kMigratePerKeyUs));
+    done = std::max(done, now + bytes * kMigrateUsPerByte);
+  }
+
+  // Step 5-7: participants resume at `done`; mappings pushed.
+  for (auto& k : kns_) {
+    if (k->failed) continue;
+    k->unavailable_until = std::max(k->unavailable_until, done);
+  }
+  fresh->unavailable_until = done;
+  PushRouting();
+}
+
+void DinomoSim::DoRemoveKn(uint64_t kn_id) {
+  const double now = engine_.now_us();
+  KnSim* k = FindKn(kn_id);
+  if (k == nullptr || k->failed) return;
+  for (auto& ws : k->workers) {
+    kn::OpResult r = ws->worker->FlushWrites();
+    (void)r;
+  }
+  double done = now + kReconfigOverheadUs;
+  {
+    dpm::MergeTask task;
+    while (dpm_->merge()->TryDequeue(&task)) {
+      const double cpu = dpm_->merge()->Execute(task);
+      done = std::max(done, dpm_pool_.Reserve(now, cpu));
+      dpm_->merge()->Finish(task);
+    }
+  }
+  routing_.RemoveKn(kn_id);
+  if (options_.variant == SystemVariant::kDinomoN) {
+    auto table = routing_.Snapshot();
+    auto stats = MigratePartitionData(dpm_.get(), kn_id, *table);
+    DINOMO_CHECK(stats.ok());
+    done = std::max(done, link_.Reserve(now, stats.value().bytes_moved));
+    done = std::max(done, dpm_pool_.Reserve(
+                              now, stats.value().keys_moved *
+                                       kMigratePerKeyUs));
+    done = std::max(done, now + stats.value().bytes_moved * kMigrateUsPerByte);
+    // The gainers stall while data reorganizes.
+    for (auto& other : kns_) {
+      if (!other->failed && other->kn_id != kn_id) {
+        other->unavailable_until =
+            std::max(other->unavailable_until, done);
+      }
+    }
+  }
+  k->failed = true;  // departed
+  PushRouting();
+}
+
+void DinomoSim::DoReplicate(uint64_t key_hash, int replication) {
+  const double now = engine_.now_us();
+  auto table = routing_.Snapshot();
+  const uint64_t primary = table->PrimaryOwner(key_hash);
+  std::vector<uint64_t> owners{primary};
+  for (const auto& k : kns_) {
+    if (static_cast<int>(owners.size()) >= replication) break;
+    if (!k->failed && k->kn_id != primary) owners.push_back(k->kn_id);
+  }
+  if (owners.size() <= 1) return;
+
+  KnSim* p = FindKn(primary);
+  if (p == nullptr || p->failed) return;
+  for (auto& ws : p->workers) {
+    kn::OpResult r = ws->worker->FlushWrites();
+    (void)r;
+    Status st = dpm_->DrainOwner(ws->worker->log_owner());
+    DINOMO_CHECK(st.ok());
+  }
+  auto slot = dpm_->InstallIndirect(
+      static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
+  if (!slot.ok()) return;
+  for (auto& ws : p->workers) ws->worker->cache()->Invalidate(key_hash);
+  routing_.SetReplication(key_hash, owners);
+  // Brief primary pause while ownership metadata propagates ("brief tail
+  // latency spikes ... to retrieve the up-to-date ownership mapping").
+  p->unavailable_until = std::max(p->unavailable_until, now + 1000.0);
+  PushRouting();
+}
+
+void DinomoSim::DoDereplicate(uint64_t key_hash) {
+  auto table = routing_.Snapshot();
+  const auto owners = table->OwnersOf(key_hash);
+  if (owners.size() <= 1) return;
+  for (uint64_t id : owners) {
+    KnSim* k = FindKn(id);
+    if (k == nullptr || k->failed) continue;
+    for (auto& ws : k->workers) ws->worker->cache()->Invalidate(key_hash);
+  }
+  Status st = dpm_->RemoveIndirect(0, key_hash);
+  if (!st.ok() && !st.IsNotFound()) return;
+  routing_.ClearReplication(key_hash);
+  PushRouting();
+}
+
+void DinomoSim::DoKill(int kn_index) {
+  std::vector<KnSim*> active;
+  for (auto& k : kns_) {
+    if (!k->failed) active.push_back(k.get());
+  }
+  if (kn_index < 0 || kn_index >= static_cast<int>(active.size())) return;
+  KnSim* victim = active[kn_index];
+  victim->failed = true;
+
+  // Detection + recovery: the M-node merges the failed KN's pending log
+  // segments and repartitions ownership (§3.5, "Fault tolerance").
+  engine_.ScheduleAfter(kFailureDetectUs, [this, victim] {
+    const double now = engine_.now_us();
+    double done = now + kReconfigOverheadUs;
+    for (auto& ws : victim->workers) {
+      Status st = dpm_->DrainOwner(ws->worker->log_owner());
+      DINOMO_CHECK(st.ok());
+      dpm_->ReleaseOwnerSegments(ws->worker->log_owner());
+    }
+    routing_.RemoveKn(victim->kn_id);
+    if (options_.variant == SystemVariant::kDinomoN) {
+      auto table = routing_.Snapshot();
+      auto stats =
+          MigratePartitionData(dpm_.get(), victim->kn_id, *table);
+      DINOMO_CHECK(stats.ok());
+      done = std::max(done, link_.Reserve(now, stats.value().bytes_moved));
+      done = std::max(done,
+                      dpm_pool_.Reserve(now, stats.value().keys_moved *
+                                                 kMigratePerKeyUs));
+      done = std::max(done,
+                      now + stats.value().bytes_moved * kMigrateUsPerByte);
+      for (auto& other : kns_) {
+        if (!other->failed) {
+          other->unavailable_until =
+              std::max(other->unavailable_until, done);
+        }
+      }
+    }
+    PushRouting();
+    policy_.NoteMembershipChange(now / 1e6);
+  });
+}
+
+}  // namespace sim
+}  // namespace dinomo

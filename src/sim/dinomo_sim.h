@@ -1,0 +1,185 @@
+#ifndef DINOMO_SIM_DINOMO_SIM_H_
+#define DINOMO_SIM_DINOMO_SIM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/routing.h"
+#include "core/cluster.h"
+#include "dpm/dpm_node.h"
+#include "kn/kn_worker.h"
+#include "mnode/policy.h"
+#include "sim/engine.h"
+#include "workload/ycsb.h"
+
+namespace dinomo {
+namespace sim {
+
+/// Configuration of a virtual-time DINOMO cluster run.
+struct DinomoSimOptions {
+  SystemVariant variant = SystemVariant::kDinomo;
+  int num_kns = 4;
+  dpm::DpmOptions dpm;
+  kn::KnOptions kn;  // per-node template (ids filled in)
+  /// DPM processor threads: merge work and two-sided RPCs contend here.
+  int dpm_threads = 4;
+
+  // Closed-loop load (paper: 8 client nodes x 64 threads).
+  int client_threads = 64;
+  workload::WorkloadSpec spec;
+
+  /// Timeline resolution for throughput/latency series.
+  double stats_window_us = 100e3;
+  /// Delay for a client to refresh routing after a rejection, us.
+  double routing_refresh_us = 300.0;
+  /// Client request timeout after which a dead KN's request is retried
+  /// elsewhere (paper §5.3: "user requests are set to time out after
+  /// 500ms").
+  double request_timeout_us = 500e3;
+
+  /// M-node (only used when RunPolicyEpochs is enabled).
+  mnode::PolicyParams policy;
+  double mnode_epoch_us = 1e6;
+
+  uint64_t seed = 42;
+};
+
+/// The paper's DINOMO / DINOMO-S / DINOMO-N systems under the
+/// discrete-event engine: real KnWorker / DpmNode / cache / index code,
+/// virtual time. Used by the Figure-5/6/7/8 and Table-6 harnesses.
+class DinomoSim {
+ public:
+  explicit DinomoSim(const DinomoSimOptions& options);
+  ~DinomoSim();
+
+  DinomoSim(const DinomoSim&) = delete;
+  DinomoSim& operator=(const DinomoSim&) = delete;
+
+  Engine* engine() { return &engine_; }
+  dpm::DpmNode* dpm() { return dpm_.get(); }
+
+  /// Loads spec.record_count records (no virtual time elapses) and
+  /// settles all merges. Caches end up warm, as after the paper's load +
+  /// warm-up phase.
+  void Preload();
+
+  /// Runs the closed loop for `duration_us` of virtual time. Statistics
+  /// ignore the first `warmup_us`.
+  void Run(double duration_us, double warmup_us = 0.0);
+
+  // ----- Results -----
+
+  /// Post-warmup average throughput in Mops/s.
+  double ThroughputMops() const;
+  double AvgLatencyUs() const { return run_latency_.Average(); }
+  double P99LatencyUs() const { return run_latency_.P99(); }
+  const WindowStats& windows() const { return windows_; }
+
+  /// Table-6 style profile, aggregated across all KNs since Preload.
+  struct Profile {
+    double cache_hit_ratio = 0.0;
+    double value_hit_share = 0.0;
+    double rts_per_op = 0.0;
+    uint64_t ops = 0;
+  };
+  Profile CollectProfile() const;
+
+  double LinkUtilization(double elapsed_us) const {
+    return link_.Utilization(elapsed_us);
+  }
+  double DpmUtilization(double elapsed_us) const {
+    return dpm_pool_.Utilization(elapsed_us);
+  }
+
+  // ----- Elasticity experiment hooks (Figures 6-8) -----
+
+  /// Changes the number of active closed-loop client threads at `at_us`.
+  void ScheduleLoadChange(double at_us, int client_threads);
+  /// Fail-stop kills the idx-th active KN at `at_us`.
+  void ScheduleKill(double at_us, int kn_index);
+  /// Switches every client's workload spec at `at_us` (e.g. Zipf 0.5 ->
+  /// Zipf 2 for the load-balancing experiment).
+  void ScheduleWorkloadChange(double at_us, const workload::WorkloadSpec& s);
+  /// Enables the M-node: a policy epoch every options.mnode_epoch_us.
+  void EnableMnode();
+
+  int NumActiveKns() const;
+  /// KN ids currently serving.
+  std::vector<uint64_t> ActiveKnIds() const;
+
+ private:
+  struct WorkerSim {
+    std::unique_ptr<kn::KnWorker> worker;
+    double free_until = 0.0;
+    // Requests parked on the unmerged-segment threshold.
+    std::deque<std::function<void()>> parked;
+  };
+
+  struct KnSim {
+    uint64_t kn_id = 0;
+    std::vector<std::unique_ptr<WorkerSim>> workers;
+    bool failed = false;
+    /// Requests are rejected (Unavailable) until this time
+    /// (reconfiguration windows).
+    double unavailable_until = 0.0;
+    double busy_us_epoch = 0.0;  // occupancy accounting
+  };
+
+  struct Stream {
+    std::unique_ptr<workload::WorkloadGenerator> gen;
+    bool active = false;
+  };
+
+  void AddKnInternal(bool available);
+  KnSim* FindKn(uint64_t kn_id);
+  void PushRouting();
+
+  void IssueNext(int stream_idx);
+  void ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
+                 double issue_time, int attempt);
+  void CompleteOp(int stream_idx, double issue_time, double finish);
+  void PumpMerges();
+  void OnMergeFinished(uint64_t owner);
+
+  // M-node actions in virtual time.
+  void MnodeEpoch();
+  void DoAddKn();
+  void DoRemoveKn(uint64_t kn_id);
+  void DoReplicate(uint64_t key_hash, int replication);
+  void DoDereplicate(uint64_t key_hash);
+  void DoKill(int kn_index);
+  mnode::ClusterMetrics CollectEpochMetrics();
+
+  DinomoSimOptions options_;
+  Engine engine_;
+  std::unique_ptr<dpm::DpmNode> dpm_;
+  cluster::RoutingService routing_;
+  mnode::PolicyEngine policy_;
+
+  LinkModel link_;
+  PoolModel dpm_pool_;
+
+  std::vector<std::unique_ptr<KnSim>> kns_;
+  uint64_t next_kn_id_ = 1;
+
+  std::vector<Stream> streams_;
+  uint64_t salt_ = 0;
+
+  WindowStats windows_;
+  Histogram run_latency_;    // post-warmup
+  Histogram epoch_latency_;  // since last policy epoch
+  double warmup_until_ = 0.0;
+  double run_until_ = 0.0;
+  uint64_t completed_after_warmup_ = 0;
+
+  bool mnode_enabled_ = false;
+  double epoch_started_ = 0.0;
+};
+
+}  // namespace sim
+}  // namespace dinomo
+
+#endif  // DINOMO_SIM_DINOMO_SIM_H_

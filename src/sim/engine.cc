@@ -1,0 +1,21 @@
+#include "sim/engine.h"
+
+namespace dinomo {
+namespace sim {
+
+uint64_t Engine::RunUntil(double until_us) {
+  uint64_t n = 0;
+  while (!events_.empty() && events_.top().at <= until_us) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ev.fn();
+    n++;
+    executed_++;
+  }
+  if (now_ < until_us) now_ = until_us;
+  return n;
+}
+
+}  // namespace sim
+}  // namespace dinomo

@@ -1,0 +1,108 @@
+#include "workload/ycsb.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace workload {
+
+WorkloadSpec WorkloadSpec::ReadOnly(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 1.0;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ReadMostlyUpdate(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 0.95;
+  spec.update_proportion = 0.05;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ReadMostlyInsert(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 0.95;
+  spec.insert_proportion = 0.05;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::WriteHeavyUpdate(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 0.5;
+  spec.update_proportion = 0.5;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::WriteHeavyInsert(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 0.5;
+  spec.insert_proportion = 0.5;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
+const char* WorkloadSpec::MixName() const {
+  if (read_proportion >= 1.0) return "100r";
+  if (read_proportion >= 0.95) {
+    return update_proportion > 0 ? "95r/5u" : "95r/5i";
+  }
+  return update_proportion > 0 ? "50r/50u" : "50r/50i";
+}
+
+std::string KeyForRecord(uint64_t record_id) {
+  std::string key(8, '\0');
+  std::memcpy(key.data(), &record_id, 8);
+  return key;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec,
+                                     uint64_t generator_id)
+    : spec_(spec),
+      generator_id_(generator_id),
+      rng_(spec.seed * 1000003 + generator_id),
+      zipf_(spec.working_set_count > 0 ? spec.working_set_count
+                                       : spec.record_count,
+            spec.zipf_theta > 0 ? spec.zipf_theta : 0.99,
+            spec.seed * 7919 + generator_id),
+      uniform_(spec.working_set_count > 0 ? spec.working_set_count
+                                          : spec.record_count,
+               spec.seed * 104729 + generator_id),
+      value_(spec.value_size, 'v') {
+  DINOMO_CHECK(spec.record_count > 0);
+}
+
+uint64_t WorkloadGenerator::NextRecord() {
+  return spec_.zipf_theta > 0 ? zipf_.Next() : uniform_.Next();
+}
+
+WorkloadOp WorkloadGenerator::Next() {
+  WorkloadOp op;
+  const double p = rng_.NextDouble();
+  if (p < spec_.read_proportion) {
+    op.type = OpType::kRead;
+    op.key = KeyForRecord(NextRecord());
+  } else if (p < spec_.read_proportion + spec_.update_proportion) {
+    op.type = OpType::kUpdate;
+    op.key = KeyForRecord(NextRecord());
+  } else {
+    op.type = OpType::kInsert;
+    // Insert ids live above the preloaded space, partitioned by
+    // generator so parallel clients never collide.
+    const uint64_t id = (1ULL << 48) | (generator_id_ << 32) | inserts_++;
+    op.key = KeyForRecord(id);
+  }
+  return op;
+}
+
+}  // namespace workload
+}  // namespace dinomo

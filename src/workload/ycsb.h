@@ -1,0 +1,80 @@
+#ifndef DINOMO_WORKLOAD_YCSB_H_
+#define DINOMO_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace dinomo {
+namespace workload {
+
+/// Operation mix of a YCSB-style workload (paper §5, "Workloads and
+/// configurations": five request patterns over 8 B keys / 1 KB values
+/// with Zipfian coefficients 0.5 / 0.99 / 2.0).
+struct WorkloadSpec {
+  /// Records preloaded before the measurement phase.
+  uint64_t record_count = 100000;
+  double read_proportion = 1.0;
+  double update_proportion = 0.0;
+  double insert_proportion = 0.0;
+  /// Zipfian theta; <= 0 selects the uniform generator.
+  double zipf_theta = 0.99;
+  /// If non-zero, reads/updates draw only from the first
+  /// `working_set_count` records (the Figure-3 experiment uses a uniform
+  /// working set of 5% of the dataset).
+  uint64_t working_set_count = 0;
+  size_t value_size = 1024;
+  uint64_t seed = 42;
+
+  // The paper's five mixes.
+  static WorkloadSpec ReadOnly(uint64_t records, double theta);
+  static WorkloadSpec ReadMostlyUpdate(uint64_t records, double theta);
+  static WorkloadSpec ReadMostlyInsert(uint64_t records, double theta);
+  static WorkloadSpec WriteHeavyUpdate(uint64_t records, double theta);
+  static WorkloadSpec WriteHeavyInsert(uint64_t records, double theta);
+
+  const char* MixName() const;
+};
+
+enum class OpType { kRead, kUpdate, kInsert };
+
+struct WorkloadOp {
+  OpType type = OpType::kRead;
+  std::string key;
+};
+
+/// 8-byte binary key for a record id, as the paper's 8 B keys.
+std::string KeyForRecord(uint64_t record_id);
+
+/// One client thread's operation stream. Deterministic given (spec, id).
+/// Inserts draw from a per-generator id space so concurrent generators
+/// never collide.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, uint64_t generator_id);
+
+  WorkloadOp Next();
+
+  /// A value payload of spec.value_size bytes (cheap, reused buffer).
+  const std::string& Value() const { return value_; }
+
+  uint64_t inserts_issued() const { return inserts_; }
+
+ private:
+  uint64_t NextRecord();
+
+  WorkloadSpec spec_;
+  uint64_t generator_id_;
+  Random rng_;
+  ScrambledZipfianGenerator zipf_;
+  UniformGenerator uniform_;
+  uint64_t inserts_ = 0;
+  std::string value_;
+};
+
+}  // namespace workload
+}  // namespace dinomo
+
+#endif  // DINOMO_WORKLOAD_YCSB_H_

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/dac.h"
+#include "cache/static_cache.h"
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace dinomo {
+namespace cache {
+namespace {
+
+dpm::ValuePtr Ptr(uint64_t i) { return dpm::ValuePtr::Pack(64 + i * 8, 128); }
+
+// ----- Behaviours every policy must share -----
+
+class AnyCacheTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<KnCache> Make(size_t capacity) {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<DacCache>(capacity);
+      case 1:
+        return std::make_unique<StaticCache>(capacity, 0.0);
+      case 2:
+        return std::make_unique<StaticCache>(capacity, 0.5);
+      default:
+        return std::make_unique<StaticCache>(capacity, 1.0);
+    }
+  }
+};
+
+TEST_P(AnyCacheTest, MissThenAdmitThenHit) {
+  auto cache = Make(64 * 1024);
+  EXPECT_EQ(cache->Lookup(1).kind, HitKind::kMiss);
+  cache->AdmitOnMiss(1, "hello", Ptr(1), 2);
+  auto r = cache->Lookup(1);
+  EXPECT_NE(r.kind, HitKind::kMiss);
+  if (r.kind == HitKind::kValueHit) {
+    EXPECT_EQ(r.value, "hello");
+  } else {
+    EXPECT_EQ(r.ptr.raw(), Ptr(1).raw());
+  }
+}
+
+TEST_P(AnyCacheTest, NeverExceedsCapacity) {
+  auto cache = Make(4096);
+  Random rng(1);
+  const std::string value(100, 'v');
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Uniform(2000);
+    auto r = cache->Lookup(key);
+    if (r.kind == HitKind::kMiss) {
+      cache->AdmitOnMiss(key, value, Ptr(key), 2);
+    } else if (r.kind == HitKind::kShortcutHit) {
+      cache->OnShortcutHit(key, value, Ptr(key));
+    }
+    ASSERT_LE(cache->charge(), cache->capacity())
+        << "after op " << i << " with " << cache->value_entries()
+        << " values, " << cache->shortcut_entries() << " shortcuts";
+  }
+}
+
+TEST_P(AnyCacheTest, InvalidateDropsKey) {
+  auto cache = Make(64 * 1024);
+  cache->AdmitOnMiss(5, "v", Ptr(5), 2);
+  ASSERT_NE(cache->Lookup(5).kind, HitKind::kMiss);
+  cache->Invalidate(5);
+  EXPECT_EQ(cache->Lookup(5).kind, HitKind::kMiss);
+}
+
+TEST_P(AnyCacheTest, ClearEmptiesEverything) {
+  auto cache = Make(64 * 1024);
+  for (uint64_t k = 0; k < 50; ++k) cache->AdmitOnMiss(k, "v", Ptr(k), 2);
+  cache->Clear();
+  EXPECT_EQ(cache->charge(), 0u);
+  EXPECT_EQ(cache->value_entries(), 0u);
+  EXPECT_EQ(cache->shortcut_entries(), 0u);
+  for (uint64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(cache->Lookup(k).kind, HitKind::kMiss);
+  }
+}
+
+TEST_P(AnyCacheTest, WriteAdmissionServesSubsequentReads) {
+  auto cache = Make(64 * 1024);
+  cache->AdmitOnWrite(9, "written", Ptr(9));
+  auto r = cache->Lookup(9);
+  EXPECT_NE(r.kind, HitKind::kMiss);
+}
+
+TEST_P(AnyCacheTest, WriteUpdatesExistingEntryInPlace) {
+  auto cache = Make(64 * 1024);
+  cache->AdmitOnMiss(3, "old", Ptr(3), 2);
+  cache->AdmitOnWrite(3, "new", Ptr(4));
+  auto r = cache->Lookup(3);
+  if (r.kind == HitKind::kValueHit) {
+    EXPECT_EQ(r.value, "new");
+  } else {
+    ASSERT_EQ(r.kind, HitKind::kShortcutHit);
+    EXPECT_EQ(r.ptr.raw(), Ptr(4).raw());
+  }
+}
+
+TEST_P(AnyCacheTest, StatsCountHitsAndMisses) {
+  auto cache = Make(64 * 1024);
+  cache->Lookup(1);  // miss
+  cache->AdmitOnMiss(1, "v", Ptr(1), 2);
+  cache->Lookup(1);  // hit of some kind
+  const CacheStats& s = cache->stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.value_hits + s.shortcut_hits, 1u);
+  EXPECT_EQ(s.lookups(), 2u);
+  cache->ResetStats();
+  EXPECT_EQ(cache->stats().lookups(), 0u);
+}
+
+std::string PolicyName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"DAC", "ShortcutOnly", "Static50",
+                                 "ValueOnly"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AnyCacheTest,
+                         ::testing::Values(0, 1, 2, 3), PolicyName);
+
+// ----- Static-policy specifics -----
+
+TEST(StaticCacheTest, ShortcutOnlyNeverStoresValues) {
+  StaticCache cache(4096, 0.0);
+  for (uint64_t k = 0; k < 100; ++k) {
+    cache.AdmitOnMiss(k, std::string(64, 'v'), Ptr(k), 2);
+  }
+  EXPECT_EQ(cache.value_entries(), 0u);
+  EXPECT_GT(cache.shortcut_entries(), 0u);
+}
+
+TEST(StaticCacheTest, ValueOnlyNeverStoresShortcuts) {
+  StaticCache cache(4096, 1.0);
+  for (uint64_t k = 0; k < 100; ++k) {
+    cache.AdmitOnMiss(k, std::string(64, 'v'), Ptr(k), 2);
+  }
+  EXPECT_EQ(cache.shortcut_entries(), 0u);
+  EXPECT_GT(cache.value_entries(), 0u);
+  // LRU: the most recent keys survive.
+  EXPECT_NE(cache.Lookup(99).kind, HitKind::kMiss);
+  EXPECT_EQ(cache.Lookup(0).kind, HitKind::kMiss);
+}
+
+TEST(StaticCacheTest, EvictedValuesDemoteToShortcutRegion) {
+  StaticCache cache(4096, 0.5);
+  for (uint64_t k = 0; k < 60; ++k) {
+    cache.AdmitOnMiss(k, std::string(64, 'v'), Ptr(k), 2);
+  }
+  // Early keys fell out of the value region but should linger as
+  // shortcuts while the shortcut region has room.
+  EXPECT_GT(cache.shortcut_entries(), 0u);
+  EXPECT_GT(cache.stats().demotions, 0u);
+}
+
+TEST(StaticCacheTest, LruOrderRespectedInValueRegion) {
+  StaticCache cache(10 * ValueCharge(8), 1.0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    cache.AdmitOnMiss(k, "12345678", Ptr(k), 2);
+  }
+  // Touch key 0 so it becomes MRU; key 1 becomes the LRU victim.
+  ASSERT_EQ(cache.Lookup(0).kind, HitKind::kValueHit);
+  cache.AdmitOnMiss(100, "12345678", Ptr(100), 2);
+  EXPECT_EQ(cache.Lookup(1).kind, HitKind::kMiss);
+  EXPECT_EQ(cache.Lookup(0).kind, HitKind::kValueHit);
+}
+
+// ----- DAC-specific behaviour -----
+
+TEST(DacTest, StartsByCachingValues) {
+  DacCache cache(64 * 1024);
+  cache.AdmitOnMiss(1, "value-bytes", Ptr(1), 2);
+  EXPECT_EQ(cache.value_entries(), 1u);
+  EXPECT_EQ(cache.Lookup(1).kind, HitKind::kValueHit);
+}
+
+TEST(DacTest, FallsBackToShortcutsWhenFull) {
+  const std::string value(200, 'v');
+  DacCache cache(8 * ValueCharge(200));
+  // Fill with values, then keep admitting: later keys become shortcuts.
+  for (uint64_t k = 0; k < 100; ++k) {
+    cache.AdmitOnMiss(k, value, Ptr(k), 2);
+  }
+  EXPECT_GT(cache.shortcut_entries(), 0u);
+  EXPECT_LE(cache.charge(), cache.capacity());
+}
+
+TEST(DacTest, DemotionsConvertValuesToShortcuts) {
+  const std::string value(200, 'v');
+  DacCache cache(4 * ValueCharge(200));
+  for (uint64_t k = 0; k < 50; ++k) {
+    cache.AdmitOnMiss(k, value, Ptr(k), 2);
+  }
+  EXPECT_GT(cache.stats().demotions, 0u);
+  // A demoted key is still present as a shortcut (kept its pointer).
+  uint64_t shortcut_hits = 0;
+  for (uint64_t k = 0; k < 50; ++k) {
+    if (cache.Lookup(k).kind == HitKind::kShortcutHit) shortcut_hits++;
+  }
+  EXPECT_GT(shortcut_hits, 0u);
+}
+
+TEST(DacTest, HotShortcutGetsPromoted) {
+  const std::string value(100, 'v');
+  // Small cache: a handful of values fit.
+  DacCache cache(2048);
+  // Create pressure: many keys so the cache is all shortcuts.
+  for (uint64_t k = 0; k < 200; ++k) {
+    cache.AdmitOnMiss(k, value, Ptr(k), /*miss_rts=*/3);
+  }
+  ASSERT_GT(cache.shortcut_entries(), 0u);
+
+  // Hammer one key through the shortcut-hit path; its hit count grows
+  // until Eq. 1 favours promotion over the cold LFU shortcuts.
+  uint64_t hot = 0;
+  for (uint64_t k = 0; k < 200; ++k) {
+    if (cache.Lookup(k).kind == HitKind::kShortcutHit) {
+      hot = k;
+      break;
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto r = cache.Lookup(hot);
+    if (r.kind == HitKind::kValueHit) break;
+    ASSERT_EQ(r.kind, HitKind::kShortcutHit);
+    cache.OnShortcutHit(hot, value, Ptr(hot));
+  }
+  EXPECT_EQ(cache.Lookup(hot).kind, HitKind::kValueHit);
+  EXPECT_GT(cache.stats().promotions, 0u);
+}
+
+TEST(DacTest, PromotionInheritsAccessHistory) {
+  DacCache cache(64 * 1024);
+  cache.AdmitOnMiss(1, "v", Ptr(1), 2);
+  // Free-space promotion path: admit as value directly when space exists;
+  // verify no crash and hit counting continues monotonically.
+  for (int i = 0; i < 10; ++i) cache.Lookup(1);
+  EXPECT_EQ(cache.stats().value_hits, 10u);
+}
+
+TEST(DacTest, MissAverageTracksObservedCosts) {
+  DacCache cache(1024);
+  const double before = cache.avg_miss_rts();
+  for (int i = 0; i < 200; ++i) {
+    cache.AdmitOnMiss(1000 + i, "v", Ptr(i), /*miss_rts=*/10);
+  }
+  EXPECT_GT(cache.avg_miss_rts(), before);
+  EXPECT_LE(cache.avg_miss_rts(), 10.0);
+}
+
+TEST(DacTest, AdaptsTowardValuesWhenWorkingSetFits) {
+  // Working set of 32 hot keys, cache big enough for all values: DAC
+  // should converge to caching (nearly) all of them as values.
+  const std::string value(100, 'v');
+  DacCache cache(64 * ValueCharge(100));
+  ZipfianGenerator zipf(32, 0.99, 7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = zipf.Next();
+    auto r = cache.Lookup(key);
+    if (r.kind == HitKind::kMiss) {
+      cache.AdmitOnMiss(key, value, Ptr(key), 2);
+    } else if (r.kind == HitKind::kShortcutHit) {
+      cache.OnShortcutHit(key, value, Ptr(key));
+    }
+  }
+  cache.ResetStats();
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = zipf.Next();
+    auto r = cache.Lookup(key);
+    if (r.kind == HitKind::kMiss) cache.AdmitOnMiss(key, value, Ptr(key), 2);
+  }
+  EXPECT_GT(cache.stats().ValueHitShare(), 0.9);
+  EXPECT_GT(cache.stats().HitRatio(), 0.95);
+}
+
+TEST(DacTest, KeepsShortcutsWhenWorkingSetOverflows) {
+  // Working set 10x larger than value capacity, uniform: shortcut entries
+  // must dominate (value-only would thrash).
+  const std::string value(200, 'v');
+  DacCache cache(20 * ValueCharge(200));
+  UniformGenerator gen(2000, 11);
+  for (int i = 0; i < 40000; ++i) {
+    const uint64_t key = gen.Next();
+    auto r = cache.Lookup(key);
+    if (r.kind == HitKind::kMiss) {
+      cache.AdmitOnMiss(key, value, Ptr(key), 3);
+    } else if (r.kind == HitKind::kShortcutHit) {
+      cache.OnShortcutHit(key, value, Ptr(key));
+    }
+  }
+  EXPECT_GT(cache.shortcut_entries(), cache.value_entries());
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace dinomo

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clover/clover.h"
+
+namespace dinomo {
+namespace clover {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+CloverOptions SmallOptions() {
+  CloverOptions opt;
+  opt.pool_size = 64 * kMiB;
+  return opt;
+}
+
+class CloverTest : public ::testing::Test {
+ protected:
+  CloverTest() : store_(SmallOptions()), kn_(&store_, 0, 256 * 1024) {}
+
+  CloverStore store_;
+  CloverKn kn_;
+};
+
+TEST_F(CloverTest, InsertThenGet) {
+  ASSERT_TRUE(kn_.Put("k", "v1").status.ok());
+  auto get = kn_.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST_F(CloverTest, MissingKeyNotFound) {
+  auto get = kn_.Get("absent");
+  EXPECT_TRUE(get.status.IsNotFound());
+}
+
+TEST_F(CloverTest, UpdatesFormVersionChains) {
+  ASSERT_TRUE(kn_.Put("k", "v1").status.ok());
+  ASSERT_TRUE(kn_.Put("k", "v2").status.ok());
+  ASSERT_TRUE(kn_.Put("k", "v3").status.ok());
+  auto get = kn_.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v3");
+}
+
+TEST_F(CloverTest, StaleShortcutWalksChain) {
+  // KN A caches a pointer; KN B updates; A's next read must walk forward
+  // and pay extra round trips.
+  CloverKn kn_b(&store_, 1, 256 * 1024);
+  ASSERT_TRUE(kn_.Put("k", "v1").status.ok());
+  ASSERT_TRUE(kn_.Get("k").status.ok());  // A caches the v1 pointer
+  ASSERT_TRUE(kn_b.Put("k", "v2").status.ok());
+  ASSERT_TRUE(kn_b.Put("k", "v3").status.ok());
+
+  auto get = kn_.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v3");
+  // Chain walk: strictly more than one round trip.
+  EXPECT_GT(get.cost.round_trips, 1u);
+}
+
+TEST_F(CloverTest, MsRpcChargedOnMiss) {
+  ASSERT_TRUE(kn_.Put("k", "v").status.ok());
+  CloverKn cold(&store_, 2, 256 * 1024);
+  auto get = cold.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_GT(get.cost.dpm_cpu_us, 0.0);  // MS worker time consumed
+  // Second read hits the shortcut: no MS involvement.
+  auto get2 = cold.Get("k");
+  ASSERT_TRUE(get2.status.ok());
+  EXPECT_EQ(get2.cost.dpm_cpu_us, 0.0);
+}
+
+TEST_F(CloverTest, RedundantCachingAcrossKns) {
+  // The same key occupies cache space on every KN that reads it — the
+  // shared-everything pathology of Table 6.
+  ASSERT_TRUE(kn_.Put("popular", "v").status.ok());
+  std::vector<std::unique_ptr<CloverKn>> kns;
+  for (int i = 0; i < 4; ++i) {
+    kns.push_back(std::make_unique<CloverKn>(&store_, 3 + i, 64 * 1024));
+    ASSERT_TRUE(kns.back()->Get("popular").status.ok());
+  }
+  for (auto& k : kns) {
+    EXPECT_EQ(k->cache()->shortcut_entries(), 1u);
+  }
+}
+
+TEST_F(CloverTest, GcTruncatesLongChains) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kn_.Put("k", "v" + std::to_string(i)).status.ok());
+  }
+  const uint64_t freed = store_.RunGcOnce();
+  EXPECT_GT(freed, 0u);
+  // Data still correct after truncation.
+  auto get = kn_.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v9");
+}
+
+TEST_F(CloverTest, StalePointerIntoGcedMemoryRecovers) {
+  CloverKn other(&store_, 1, 256 * 1024);
+  ASSERT_TRUE(kn_.Put("k", "v0").status.ok());
+  ASSERT_TRUE(other.Get("k").status.ok());  // other caches v0 pointer
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(kn_.Put("k", "v" + std::to_string(i)).status.ok());
+  }
+  store_.RunGcOnce();  // v0 recycled; other's shortcut now dangles
+  auto get = other.Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v10");
+}
+
+TEST_F(CloverTest, ConcurrentWritersOnOneKeyAllLand) {
+  ASSERT_TRUE(kn_.Put("contended", "base").status.ok());
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 100;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      CloverKn writer(&store_, 10 + t, 128 * 1024);
+      for (int i = 0; i < kWrites; ++i) {
+        if (!writer.Put("contended", "t" + std::to_string(t)).status.ok()) {
+          failures++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The chain holds every version (modulo GC); a read returns one of the
+  // writers' values.
+  auto get = kn_.Get("contended");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value.substr(0, 1), "t");
+}
+
+TEST_F(CloverTest, ManyKeys) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        kn_.Put("key" + std::to_string(i), "val" + std::to_string(i))
+            .status.ok());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    auto get = kn_.Get("key" + std::to_string(i));
+    ASSERT_TRUE(get.status.ok()) << i;
+    EXPECT_EQ(get.value, "val" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace clover
+}  // namespace dinomo

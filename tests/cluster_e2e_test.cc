@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace dinomo {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+ClusterOptions SmallCluster(SystemVariant variant = SystemVariant::kDinomo,
+                            int kns = 2) {
+  ClusterOptions opt;
+  opt.variant = variant;
+  opt.dpm.pool_size = 256 * kMiB;
+  opt.dpm.index_log2_buckets = 6;
+  opt.dpm.segment_size = 256 * 1024;
+  opt.kn.num_workers = 2;
+  opt.kn.cache_bytes = 1 * kMiB;
+  opt.kn.batch_max_ops = 4;
+  opt.initial_kns = kns;
+  opt.dpm_merge_threads = 1;
+  return opt;
+}
+
+TEST(ClusterE2eTest, PutGetDeleteRoundTrip) {
+  Cluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+
+  ASSERT_TRUE(client->Put("hello", "world").ok());
+  auto got = client->Get("hello");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "world");
+
+  ASSERT_TRUE(client->Delete("hello").ok());
+  EXPECT_TRUE(client->Get("hello").status().IsNotFound());
+  cluster.Stop();
+}
+
+TEST(ClusterE2eTest, ManyKeysAcrossKns) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(client
+                    ->Put("key" + std::to_string(i),
+                          "value" + std::to_string(i))
+                    .ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto got = client->Get("key" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "key" << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), "value" + std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterE2eTest, ConcurrentClients) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 2));
+  ASSERT_TRUE(cluster.Start().ok());
+  constexpr int kClients = 4;
+  constexpr int kOps = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = cluster.NewClient();
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "c" + std::to_string(c) + "-" +
+                                std::to_string(i % 50);
+        if (!client->Put(key, "v" + std::to_string(i)).ok()) {
+          failures++;
+          continue;
+        }
+        auto got = client->Get(key);
+        if (!got.ok() || got.value() != "v" + std::to_string(i)) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  cluster.Stop();
+}
+
+TEST(ClusterE2eTest, UpdatesAreReadYourWrites) {
+  Cluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client->Put("counter", std::to_string(i)).ok());
+    auto got = client->Get("counter");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+class ClusterVariantTest : public ::testing::TestWithParam<SystemVariant> {};
+
+TEST_P(ClusterVariantTest, BasicWorkloadOnEveryVariant) {
+  Cluster cluster(SmallCluster(GetParam(), 2));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        client->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto got = client->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+std::string VariantName(const ::testing::TestParamInfo<SystemVariant>& info) {
+  switch (info.param) {
+    case SystemVariant::kDinomo:
+      return "Dinomo";
+    case SystemVariant::kDinomoS:
+      return "DinomoS";
+    case SystemVariant::kDinomoN:
+      return "DinomoN";
+  }
+  return "?";
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ClusterVariantTest,
+                         ::testing::Values(SystemVariant::kDinomo,
+                                           SystemVariant::kDinomoS,
+                                           SystemVariant::kDinomoN),
+                         VariantName);
+
+// ----- Reconfiguration -----
+
+TEST(ClusterReconfigTest, AddKnPreservesAllData) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 1));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        client->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  auto added = cluster.AddKn();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(cluster.ActiveKns().size(), 2u);
+  for (int i = 0; i < 300; ++i) {
+    auto got = client->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "k" << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i));
+  }
+  // Writes still work and land on the right owners.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client->Put("new" + std::to_string(i), "nv").ok());
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterReconfigTest, RemoveKnPreservesAllData) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        client->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  const auto kns = cluster.ActiveKns();
+  ASSERT_TRUE(cluster.RemoveKn(kns[1]).ok());
+  EXPECT_EQ(cluster.ActiveKns().size(), 2u);
+  for (int i = 0; i < 300; ++i) {
+    auto got = client->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "k" << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterReconfigTest, AddKnOnDinomoNMigratesData) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomoN, 1));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        client->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  auto added = cluster.AddKn();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  for (int i = 0; i < 200; ++i) {
+    auto got = client->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "k" << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterReconfigTest, KillKnLosesNoCommittedData) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        client->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  // Let queued group commits land before the crash: anything acked after
+  // a flush is durable; un-flushed writes were never acked.
+  for (uint64_t id : cluster.ActiveKns()) {
+    cluster.kn(id)->RunOnAllWorkers(
+        [](kn::KnWorker* w) { w->FlushWrites(); });
+  }
+  const auto kns = cluster.ActiveKns();
+  ASSERT_TRUE(cluster.KillKn(kns[0]).ok());
+  EXPECT_EQ(cluster.ActiveKns().size(), 2u);
+  for (int i = 0; i < 300; ++i) {
+    auto got = client->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "k" << i << ": " << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i));
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterReconfigTest, ReplicateAndDereplicateHotKey) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  ASSERT_TRUE(client->Put("hot", "v0").ok());
+
+  ASSERT_TRUE(cluster.ReplicateKey("hot", 3).ok());
+  auto table = cluster.routing()->Snapshot();
+  EXPECT_EQ(table->ReplicationFactor(kn::KeyHash(Slice("hot"))), 3);
+
+  // Reads spread across owners and stay correct; writes publish via CAS.
+  for (int i = 0; i < 30; ++i) {
+    auto got = client->Get("hot");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), "v" + std::to_string(i / 10));
+    if (i % 10 == 9) {
+      ASSERT_TRUE(
+          client->Put("hot", "v" + std::to_string(i / 10 + 1)).ok());
+    }
+  }
+
+  ASSERT_TRUE(cluster.DereplicateKey("hot").ok());
+  table = cluster.routing()->Snapshot();
+  EXPECT_EQ(table->ReplicationFactor(kn::KeyHash(Slice("hot"))), 1);
+  auto got = client->Get("hot");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "v3");
+  cluster.Stop();
+}
+
+TEST(ClusterReconfigTest, TrafficContinuesDuringAddKn) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 2));
+  ASSERT_TRUE(cluster.Start().ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> ops{0};
+  std::thread traffic([&] {
+    auto client = cluster.NewClient();
+    int i = 0;
+    while (!stop.load()) {
+      const std::string key = "t" + std::to_string(i % 100);
+      if (!client->Put(key, "x" + std::to_string(i)).ok()) errors++;
+      auto got = client->Get(key);
+      if (!got.ok()) errors++;
+      ops++;
+      i++;
+    }
+  });
+  // Two scale-outs while traffic flows.
+  ASSERT_TRUE(cluster.AddKn().ok());
+  ASSERT_TRUE(cluster.AddKn().ok());
+  stop = true;
+  traffic.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(ops.load(), 0);
+  EXPECT_EQ(cluster.ActiveKns().size(), 4u);
+  cluster.Stop();
+}
+
+TEST(ClusterMetricsTest, CollectsOccupancyAndHotKeys) {
+  Cluster cluster(SmallCluster(SystemVariant::kDinomo, 2));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client->Put("hotkey", "v").ok());
+  }
+  auto metrics = cluster.CollectMetrics(1.0);
+  EXPECT_EQ(metrics.occupancy.size(), 2u);
+  ASSERT_FALSE(metrics.hot_keys.empty());
+  EXPECT_EQ(metrics.hot_keys[0].first, kn::KeyHash(Slice("hotkey")));
+  EXPECT_GT(metrics.avg_latency_us, 0.0);
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace dinomo

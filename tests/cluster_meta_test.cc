@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/hash_ring.h"
+#include "cluster/routing.h"
+#include "common/random.h"
+#include "mnode/policy.h"
+
+namespace dinomo {
+namespace {
+
+using cluster::HashRing;
+using cluster::RoutingService;
+using cluster::RoutingTable;
+
+// ----- HashRing -----
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.AddNode(1);
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ring.OwnerOf(rng.Next()), 1u);
+  }
+}
+
+TEST(HashRingTest, OwnershipIsAPartition) {
+  HashRing ring;
+  for (uint64_t n = 1; n <= 8; ++n) ring.AddNode(n);
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t owner = ring.OwnerOf(rng.Next());
+    EXPECT_GE(owner, 1u);
+    EXPECT_LE(owner, 8u);
+  }
+}
+
+TEST(HashRingTest, SharesAreRoughlyBalanced) {
+  HashRing ring(/*virtual_nodes=*/128);
+  for (uint64_t n = 1; n <= 8; ++n) ring.AddNode(n);
+  auto shares = ring.OwnershipShares();
+  ASSERT_EQ(shares.size(), 8u);
+  double total = 0.0;
+  for (const auto& [node, share] : shares) {
+    EXPECT_GT(share, 0.04);  // ideal 0.125; allow wide variance
+    EXPECT_LT(share, 0.30);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRingTest, AddingNodeMovesBoundedFraction) {
+  HashRing ring(128);
+  for (uint64_t n = 1; n <= 8; ++n) ring.AddNode(n);
+  Random rng(3);
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> owners_before;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(rng.Next());
+    owners_before.push_back(ring.OwnerOf(keys.back()));
+  }
+  ring.AddNode(9);
+  int moved = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint64_t owner = ring.OwnerOf(keys[i]);
+    if (owner != owners_before[i]) {
+      // Consistent hashing: keys only ever move TO the new node.
+      EXPECT_EQ(owner, 9u);
+      moved++;
+    }
+  }
+  // Ideal share for the 9th node is 1/9 ~ 11%; allow generous slack.
+  EXPECT_GT(moved, 100);
+  EXPECT_LT(moved, static_cast<int>(keys.size()) / 4);
+}
+
+TEST(HashRingTest, RemoveRestoresPriorOwnership) {
+  HashRing ring(64);
+  for (uint64_t n = 1; n <= 4; ++n) ring.AddNode(n);
+  Random rng(4);
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> before;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(rng.Next());
+    before.push_back(ring.OwnerOf(keys.back()));
+  }
+  ring.AddNode(5);
+  ring.RemoveNode(5);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.OwnerOf(keys[i]), before[i]);
+  }
+}
+
+TEST(HashRingTest, DuplicateAddIsNoop) {
+  HashRing ring;
+  ring.AddNode(1);
+  ring.AddNode(1);
+  ring.AddNode(2);
+  EXPECT_EQ(ring.NumNodes(), 2u);
+  ring.RemoveNode(1);
+  EXPECT_FALSE(ring.HasNode(1));
+  EXPECT_TRUE(ring.HasNode(2));
+}
+
+// ----- RoutingService / RoutingTable -----
+
+TEST(RoutingTest, VersionAdvancesOnEveryChange) {
+  RoutingService svc(/*threads_per_kn=*/2);
+  EXPECT_EQ(svc.version(), 0u);
+  svc.AddKn(1);
+  EXPECT_EQ(svc.version(), 1u);
+  svc.AddKn(2);
+  svc.SetReplication(42, {1, 2});
+  EXPECT_EQ(svc.version(), 3u);
+}
+
+TEST(RoutingTest, SnapshotsAreImmutable) {
+  RoutingService svc(1);
+  svc.AddKn(1);
+  auto snap = svc.Snapshot();
+  svc.AddKn(2);
+  EXPECT_EQ(snap->global_ring.NumNodes(), 1u);
+  EXPECT_EQ(svc.Snapshot()->global_ring.NumNodes(), 2u);
+}
+
+TEST(RoutingTest, ReplicatedKeysRouteAcrossOwners) {
+  RoutingService svc(1);
+  svc.AddKn(1);
+  svc.AddKn(2);
+  svc.AddKn(3);
+  svc.SetReplication(99, {1, 3});
+  auto snap = svc.Snapshot();
+  std::set<uint64_t> seen;
+  for (uint64_t salt = 0; salt < 10; ++salt) {
+    seen.insert(snap->RouteFor(99, salt));
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{1, 3}));
+  EXPECT_TRUE(snap->IsOwner(99, 1));
+  EXPECT_TRUE(snap->IsOwner(99, 3));
+  EXPECT_FALSE(snap->IsOwner(99, 2));
+  EXPECT_EQ(snap->ReplicationFactor(99), 2);
+}
+
+TEST(RoutingTest, ClearReplicationRestoresSingleOwner) {
+  RoutingService svc(1);
+  svc.AddKn(1);
+  svc.AddKn(2);
+  svc.SetReplication(7, {1, 2});
+  svc.ClearReplication(7);
+  auto snap = svc.Snapshot();
+  EXPECT_EQ(snap->ReplicationFactor(7), 1);
+  EXPECT_EQ(snap->OwnersOf(7).size(), 1u);
+}
+
+TEST(RoutingTest, RemoveKnDropsItFromReplicaSets) {
+  RoutingService svc(1);
+  svc.AddKn(1);
+  svc.AddKn(2);
+  svc.AddKn(3);
+  svc.SetReplication(7, {2, 3});
+  svc.RemoveKn(3);
+  auto snap = svc.Snapshot();
+  auto owners = snap->OwnersOf(7);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0], 2u);
+}
+
+TEST(RoutingTest, ThreadMappingIsStablePerKey) {
+  RoutingService svc(/*threads_per_kn=*/4);
+  svc.AddKn(1);
+  auto snap = svc.Snapshot();
+  for (uint64_t key = 1; key < 100; ++key) {
+    const int t1 = snap->ThreadFor(key, 1);
+    const int t2 = snap->ThreadFor(key, 1);
+    EXPECT_EQ(t1, t2);
+    EXPECT_GE(t1, 0);
+    EXPECT_LT(t1, 4);
+  }
+}
+
+// ----- Policy engine (Table 4) -----
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : engine_(Params()) {}
+
+  static mnode::PolicyParams Params() {
+    mnode::PolicyParams p;
+    p.avg_latency_slo_us = 1000;
+    p.tail_latency_slo_us = 10000;
+    p.grace_period_s = 10.0;
+    p.max_kns = 4;
+    return p;
+  }
+
+  static mnode::ClusterMetrics BaseMetrics(double occ) {
+    mnode::ClusterMetrics m;
+    m.avg_latency_us = 500;
+    m.p99_latency_us = 5000;
+    m.occupancy = {{1, occ}, {2, occ}};
+    m.key_freq_mean = 10;
+    m.key_freq_stddev = 2;
+    return m;
+  }
+
+  mnode::PolicyEngine engine_;
+};
+
+TEST_F(PolicyTest, NoActionWhenHealthy) {
+  auto m = BaseMetrics(0.5);
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kNone);
+}
+
+TEST_F(PolicyTest, AddsKnWhenSloViolatedAndAllBusy) {
+  auto m = BaseMetrics(0.5);
+  m.avg_latency_us = 2000;  // SLO violated
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kAddKn);
+}
+
+TEST_F(PolicyTest, TailSloAloneTriggersScaling) {
+  auto m = BaseMetrics(0.6);
+  m.p99_latency_us = 50000;
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kAddKn);
+}
+
+TEST_F(PolicyTest, RespectsMaxKns) {
+  auto m = BaseMetrics(0.9);
+  m.avg_latency_us = 9999;
+  m.occupancy = {{1, 0.9}, {2, 0.9}, {3, 0.9}, {4, 0.9}};
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kNone);
+}
+
+TEST_F(PolicyTest, GracePeriodSuppressesMembershipChanges) {
+  engine_.NoteMembershipChange(95.0);
+  auto m = BaseMetrics(0.9);
+  m.avg_latency_us = 9999;
+  auto a = engine_.Evaluate(m, 100.0);  // 5s into a 10s grace window
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kNone);
+  a = engine_.Evaluate(m, 106.0);  // grace elapsed
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kAddKn);
+}
+
+TEST_F(PolicyTest, RemovesUnderUtilizedKnWhenSloMet) {
+  auto m = BaseMetrics(0.5);
+  m.occupancy[2] = 0.02;
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kRemoveKn);
+  EXPECT_EQ(a.kn_id, 2u);
+}
+
+TEST_F(PolicyTest, NeverRemovesLastKn) {
+  auto m = BaseMetrics(0.02);
+  m.occupancy = {{1, 0.02}};
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kNone);
+}
+
+TEST_F(PolicyTest, ReplicatesHotKeyWhenNotAllBusy) {
+  auto m = BaseMetrics(0.5);
+  m.avg_latency_us = 3000;      // SLO violated
+  m.occupancy[2] = 0.05;        // not all over-utilized -> imbalance
+  m.hot_keys = {{777, 100}};    // way above mean 10 + 3*2
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kReplicateKey);
+  EXPECT_EQ(a.key_hash, 777u);
+  EXPECT_GT(a.replication_factor, 1);
+  EXPECT_LE(a.replication_factor, 2);  // bounded by cluster size
+}
+
+TEST_F(PolicyTest, ReplicationFactorScalesWithLatencyRatio) {
+  auto m = BaseMetrics(0.5);
+  m.occupancy = {{1, 0.5}, {2, 0.05}, {3, 0.5}, {4, 0.5}};
+  m.avg_latency_us = 3500;  // 3.5x the SLO
+  m.hot_keys = {{777, 100}};
+  auto a = engine_.Evaluate(m, 100.0);
+  ASSERT_EQ(a.kind, mnode::PolicyAction::Kind::kReplicateKey);
+  EXPECT_GE(a.replication_factor, 4);
+}
+
+TEST_F(PolicyTest, DereplicatesColdKeys) {
+  auto m = BaseMetrics(0.5);
+  m.key_freq_mean = 100;
+  m.key_freq_stddev = 10;
+  m.replicated_keys = {{777, 4}};
+  m.hot_keys = {{777, 5}};  // now far below mean - 1 sigma
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kDereplicateKey);
+  EXPECT_EQ(a.key_hash, 777u);
+}
+
+TEST_F(PolicyTest, HotKeyBelowThresholdNotReplicated) {
+  auto m = BaseMetrics(0.5);
+  m.avg_latency_us = 3000;
+  m.occupancy[2] = 0.05;
+  m.hot_keys = {{777, 12}};  // mean 10, sigma 2 -> bound 16
+  auto a = engine_.Evaluate(m, 100.0);
+  EXPECT_EQ(a.kind, mnode::PolicyAction::Kind::kNone);
+}
+
+}  // namespace
+}  // namespace dinomo

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace net {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : pool_(4 * kMiB), fabric_(&pool_) {}
+
+  pm::PmPool pool_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, OneSidedWriteThenRead) {
+  const char msg[] = "hello dpm";
+  fabric_.Write(/*node=*/0, msg, /*dst=*/256, sizeof(msg));
+  char buf[16] = {};
+  fabric_.Read(0, 256, buf, sizeof(msg));
+  EXPECT_STREQ(buf, "hello dpm");
+}
+
+TEST_F(FabricTest, ChargesOneRoundTripPerOp) {
+  char buf[64] = {};
+  fabric_.Read(1, 64, buf, 64);
+  fabric_.Write(1, buf, 128, 64);
+  EXPECT_EQ(fabric_.counters(1).round_trips.load(), 2u);
+  EXPECT_EQ(fabric_.counters(1).wire_bytes.load(), 128u);
+  EXPECT_EQ(fabric_.counters(1).one_sided_reads.load(), 1u);
+  EXPECT_EQ(fabric_.counters(1).one_sided_writes.load(), 1u);
+}
+
+TEST_F(FabricTest, PerNodeCountersAreIndependent) {
+  char buf[8] = {};
+  fabric_.Read(2, 64, buf, 8);
+  fabric_.Read(3, 64, buf, 8);
+  fabric_.Read(3, 64, buf, 8);
+  EXPECT_EQ(fabric_.counters(2).round_trips.load(), 1u);
+  EXPECT_EQ(fabric_.counters(3).round_trips.load(), 2u);
+  EXPECT_EQ(fabric_.TotalRoundTrips(), 3u);
+}
+
+TEST_F(FabricTest, OpCostAccumulatesWithinScope) {
+  OpCost cost;
+  {
+    ScopedOpCost scope(&cost);
+    char buf[32] = {};
+    fabric_.Read(0, 64, buf, 32);
+    fabric_.Read(0, 128, buf, 32);
+  }
+  EXPECT_EQ(cost.round_trips, 2u);
+  EXPECT_EQ(cost.wire_bytes, 64u);
+
+  // Outside the scope, fabric calls no longer charge this accumulator.
+  char buf[8] = {};
+  fabric_.Read(0, 64, buf, 8);
+  EXPECT_EQ(cost.round_trips, 2u);
+}
+
+TEST_F(FabricTest, ScopedOpCostNests) {
+  OpCost outer, inner;
+  ScopedOpCost outer_scope(&outer);
+  char buf[8] = {};
+  fabric_.Read(0, 64, buf, 8);
+  {
+    ScopedOpCost inner_scope(&inner);
+    fabric_.Read(0, 64, buf, 8);
+  }
+  fabric_.Read(0, 64, buf, 8);
+  EXPECT_EQ(inner.round_trips, 1u);
+  EXPECT_EQ(outer.round_trips, 2u);
+}
+
+TEST_F(FabricTest, CasSucceedsOnExpectedValue) {
+  const pm::PmPtr addr = 512;
+  fabric_.AtomicWrite64(0, addr, 10);
+  EXPECT_TRUE(fabric_.CompareAndSwap64(0, addr, 10, 20));
+  EXPECT_EQ(fabric_.AtomicRead64(0, addr), 20u);
+  EXPECT_FALSE(fabric_.CompareAndSwap64(0, addr, 10, 30));
+  EXPECT_EQ(fabric_.AtomicRead64(0, addr), 20u);
+}
+
+TEST_F(FabricTest, ConcurrentCasIsLinearizable) {
+  // N threads CAS-increment the same counter; every increment must land.
+  const pm::PmPtr addr = 1024;
+  fabric_.AtomicWrite64(0, addr, 0);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        while (true) {
+          const uint64_t cur = fabric_.AtomicRead64(t, addr);
+          if (fabric_.CompareAndSwap64(t, addr, cur, cur + 1)) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fabric_.AtomicRead64(0, addr),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(FabricTest, RpcChargesDpmCpuAndExtraLatency) {
+  OpCost cost;
+  {
+    ScopedOpCost scope(&cost);
+    fabric_.ChargeRpc(0, 100, 200, /*dpm_cpu_us=*/5.0);
+  }
+  EXPECT_EQ(cost.round_trips, 1u);
+  EXPECT_EQ(cost.wire_bytes, 300u);
+  EXPECT_DOUBLE_EQ(cost.dpm_cpu_us, 5.0);
+  EXPECT_GT(cost.extra_latency_us, 0.0);
+  EXPECT_EQ(fabric_.counters(0).rpcs.load(), 1u);
+}
+
+TEST_F(FabricTest, LatencyModelComposesRtsAndBytes) {
+  LinkProfile profile;
+  profile.rt_latency_us = 2.0;
+  profile.bandwidth_gbps = 7.0;
+  OpCost cost;
+  cost.round_trips = 3;
+  cost.wire_bytes = 7000;  // 7 KB at 7 GB/s = 1 us
+  EXPECT_NEAR(cost.LatencyUs(profile), 3 * 2.0 + 1.0, 1e-9);
+}
+
+TEST_F(FabricTest, ResetCountersZeroesEverything) {
+  char buf[8] = {};
+  fabric_.Read(0, 64, buf, 8);
+  fabric_.ChargeRpc(1, 10, 10, 1.0);
+  fabric_.ResetCounters();
+  EXPECT_EQ(fabric_.TotalRoundTrips(), 0u);
+  EXPECT_EQ(fabric_.TotalWireBytes(), 0u);
+  EXPECT_EQ(fabric_.counters(1).rpcs.load(), 0u);
+}
+
+TEST_F(FabricTest, TransferTimeScalesWithBytes) {
+  LinkProfile profile;
+  EXPECT_GT(profile.TransferUs(8 * 1024 * 1024), profile.TransferUs(64));
+  // An 8 MB segment at 7 GB/s takes ~1.2 ms.
+  EXPECT_NEAR(profile.TransferUs(8 * 1024 * 1024), 1198.0, 50.0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dinomo

@@ -1,0 +1,230 @@
+// Randomized invariant (property) tests over the substrates: for any
+// operation sequence, structural invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "cache/dac.h"
+#include "cache/static_cache.h"
+#include "cluster/hash_ring.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "dpm/dpm_node.h"
+#include "kn/kn_worker.h"
+
+namespace dinomo {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+// ----- DAC internal-consistency property -----
+
+class DacPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DacPropertyTest, ChargeAndEntriesStayConsistent) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  const size_t capacity = 2048 + rng.Uniform(16384);
+  cache::DacCache cache(capacity);
+
+  std::set<uint64_t> inserted;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t key = 1 + rng.Uniform(500);
+    const size_t vlen = 16 + rng.Uniform(400);
+    const std::string value(vlen, 'v');
+    const auto ptr = dpm::ValuePtr::Pack(64 + key * 8, 512);
+    switch (rng.Uniform(6)) {
+      case 0:
+      case 1: {
+        auto r = cache.Lookup(key);
+        if (r.kind == cache::HitKind::kMiss) {
+          cache.AdmitOnMiss(key, value, ptr, 1 + rng.Uniform(5));
+        } else if (r.kind == cache::HitKind::kShortcutHit) {
+          cache.OnShortcutHit(key, value, ptr);
+        }
+        break;
+      }
+      case 2:
+        cache.AdmitOnWrite(key, value, ptr);
+        break;
+      case 3:
+        cache.AdmitShortcutOnly(key, ptr);
+        break;
+      case 4:
+        cache.Invalidate(key);
+        break;
+      case 5:
+        if (rng.Uniform(100) == 0) cache.Clear();
+        break;
+    }
+    // Invariants after every operation:
+    ASSERT_LE(cache.charge(), cache.capacity()) << "seed " << seed;
+    // charge lower bound: every entry costs at least a shortcut.
+    ASSERT_GE(cache.charge(),
+              (cache.value_entries() + cache.shortcut_entries()) *
+                  cache::kShortcutCharge * 0)  // structural sanity
+        << "seed " << seed;
+  }
+  // A key is never simultaneously a value and a shortcut: looking it up
+  // returns exactly one kind; invalidate removes it completely.
+  for (uint64_t key = 1; key <= 500; ++key) {
+    cache.Invalidate(key);
+    ASSERT_EQ(cache.Lookup(key).kind, cache::HitKind::kMiss);
+  }
+  EXPECT_EQ(cache.value_entries(), 0u);
+  EXPECT_EQ(cache.shortcut_entries(), 0u);
+  EXPECT_EQ(cache.charge(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DacPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ----- Hash-ring consistency property -----
+
+class RingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingPropertyTest, MembershipChangesOnlyMoveKeysToOrFromTheNode) {
+  const int n = GetParam();
+  cluster::HashRing ring(64);
+  for (int i = 1; i <= n; ++i) ring.AddNode(i);
+
+  Random rng(n);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(rng.Next());
+
+  std::vector<uint64_t> before;
+  for (uint64_t k : keys) before.push_back(ring.OwnerOf(k));
+
+  // Adding node n+1: every moved key moves TO n+1.
+  ring.AddNode(n + 1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint64_t owner = ring.OwnerOf(keys[i]);
+    if (owner != before[i]) {
+      ASSERT_EQ(owner, static_cast<uint64_t>(n + 1));
+    }
+  }
+  // Removing it again: exact restoration.
+  ring.RemoveNode(n + 1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(ring.OwnerOf(keys[i]), before[i]);
+  }
+  // Removing an existing node: its keys scatter, others never move.
+  if (n == 1) return;  // removing the only node leaves nothing to own keys
+  ring.RemoveNode(1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] != 1) {
+      ASSERT_EQ(ring.OwnerOf(keys[i]), before[i]);
+    } else {
+      ASSERT_NE(ring.OwnerOf(keys[i]), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+// ----- Histogram percentile ordering property -----
+
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, PercentilesMonotoneAndBounded) {
+  Random rng(GetParam());
+  Histogram h;
+  double max_v = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed sample: exercises many buckets.
+    const double v = rng.NextDouble() < 0.1
+                         ? rng.Uniform(1000000)
+                         : rng.Uniform(100);
+    h.Add(v);
+    max_v = std::max(max_v, v);
+  }
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double v = h.Percentile(p);
+    ASSERT_GE(v, prev) << "p=" << p;
+    ASSERT_LE(v, max_v * 1.0001) << "p=" << p;
+    ASSERT_GE(v, h.min() * 0.9999) << "p=" << p;
+    prev = v;
+  }
+  ASSERT_GE(h.Average(), h.min());
+  ASSERT_LE(h.Average(), h.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ----- KN worker vs model (sequential linearizability oracle) -----
+
+class WorkerModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkerModelTest, RandomOpsMatchInMemoryModel) {
+  const uint64_t seed = GetParam();
+  dpm::DpmOptions dopt;
+  dopt.pool_size = 256 * kMiB;
+  dopt.index_log2_buckets = 6;
+  dopt.segment_size = 128 * 1024;
+  dpm::DpmNode dpm(dopt);
+  kn::KnOptions kopt;
+  kopt.kn_id = 1;
+  kopt.cache_bytes = 64 * 1024;  // small: plenty of evictions
+  kopt.batch_max_ops = 3;
+  kn::KnWorker worker(kopt, 0, &dpm);
+
+  std::map<std::string, std::string> model;
+  Random rng(seed);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "key" + std::to_string(rng.Uniform(200));
+    switch (rng.Uniform(10)) {
+      case 0: {  // delete
+        ASSERT_TRUE(worker.Delete(key).status.ok());
+        model.erase(key);
+        break;
+      }
+      case 1:
+      case 2:
+      case 3: {  // write
+        const std::string value =
+            "v" + std::to_string(i) + std::string(rng.Uniform(300), 'x');
+        ASSERT_TRUE(worker.Put(key, value).status.ok());
+        model[key] = value;
+        break;
+      }
+      default: {  // read
+        auto r = worker.Get(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          ASSERT_TRUE(r.status.IsNotFound())
+              << "seed " << seed << " op " << i << " key " << key << ": "
+              << r.status.ToString();
+        } else {
+          ASSERT_TRUE(r.status.ok())
+              << "seed " << seed << " op " << i << " key " << key << ": "
+              << r.status.ToString();
+          ASSERT_EQ(r.value, it->second) << "seed " << seed << " op " << i;
+        }
+        break;
+      }
+    }
+    // Periodically churn the machinery.
+    if (i % 97 == 0) ASSERT_TRUE(worker.FlushWrites().status.ok());
+    if (i % 211 == 0) ASSERT_TRUE(dpm.merge()->DrainAll().ok());
+    if (i % 503 == 0) worker.cache()->Clear();
+  }
+  // Final sweep.
+  ASSERT_TRUE(worker.DrainLog().ok());
+  for (const auto& [key, value] : model) {
+    auto r = worker.Get(key);
+    ASSERT_TRUE(r.status.ok()) << key;
+    ASSERT_EQ(r.value, value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkerModelTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dinomo

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dpm/dpm_node.h"
+#include "kn/kn_worker.h"
+
+namespace dinomo {
+namespace kn {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+dpm::DpmOptions SmallDpm() {
+  dpm::DpmOptions opt;
+  opt.pool_size = 128 * kMiB;
+  opt.index_log2_buckets = 6;
+  opt.segment_size = 256 * 1024;
+  return opt;
+}
+
+class KnWorkerTest : public ::testing::Test {
+ protected:
+  KnWorkerTest() : dpm_(SmallDpm()) {
+    KnOptions kno;
+    kno.kn_id = 1;
+    kno.fabric_node = 1;
+    kno.num_workers = 1;
+    kno.cache_bytes = 1 * kMiB;
+    kno.batch_max_ops = 4;
+    worker_ = std::make_unique<KnWorker>(kno, 0, &dpm_);
+  }
+
+  void DrainAll() { ASSERT_TRUE(dpm_.merge()->DrainAll().ok()); }
+
+  dpm::DpmNode dpm_;
+  std::unique_ptr<KnWorker> worker_;
+};
+
+TEST_F(KnWorkerTest, PutThenGetFromCache) {
+  auto put = worker_->Put("alpha", "one");
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+  auto get = worker_->Get("alpha");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "one");
+  // Fresh write: served from cache, zero round trips.
+  EXPECT_EQ(get.cost.round_trips, 0u);
+  EXPECT_EQ(get.hit, cache::HitKind::kValueHit);
+}
+
+TEST_F(KnWorkerTest, GetMissingKeyReturnsNotFound) {
+  worker_->FlushWrites();
+  auto get = worker_->Get("no-such-key");
+  EXPECT_TRUE(get.status.IsNotFound());
+}
+
+TEST_F(KnWorkerTest, ReadYourWritesBeforeFlush) {
+  // The write sits in the un-flushed batch; a read must still see it.
+  ASSERT_TRUE(worker_->Put("k", "v1").status.ok());
+  worker_->cache()->Invalidate(KeyHash(Slice("k")));  // defeat the cache
+  auto get = worker_->Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST_F(KnWorkerTest, ReadYourWritesAfterFlushBeforeMerge) {
+  ASSERT_TRUE(worker_->Put("k", "v2").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  worker_->cache()->Invalidate(KeyHash(Slice("k")));
+  // Not merged yet: must come from the cached un-merged batch.
+  EXPECT_GT(dpm_.merge()->TotalPendingBatches(), 0u);
+  auto get = worker_->Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v2");
+}
+
+TEST_F(KnWorkerTest, ReadAfterMergeUsesIndex) {
+  ASSERT_TRUE(worker_->Put("k", "v3").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  DrainAll();
+  worker_->OnOwnerBatchMerged();  // drop the cached batch
+  worker_->cache()->Invalidate(KeyHash(Slice("k")));
+  auto get = worker_->Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v3");
+  // Remote path: at least index hop + value read.
+  EXPECT_GE(get.cost.round_trips, 2u);
+}
+
+TEST_F(KnWorkerTest, DeleteMakesKeyNotFound) {
+  ASSERT_TRUE(worker_->Put("k", "v").status.ok());
+  ASSERT_TRUE(worker_->Delete("k").status.ok());
+  auto get = worker_->Get("k");
+  EXPECT_TRUE(get.status.IsNotFound());
+  // Also after everything merges.
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  DrainAll();
+  worker_->OnOwnerBatchMerged();
+  worker_->OnOwnerBatchMerged();
+  get = worker_->Get("k");
+  EXPECT_TRUE(get.status.IsNotFound());
+}
+
+TEST_F(KnWorkerTest, BatchFlushesAtOpThreshold) {
+  const uint64_t before = dpm_.fabric()->counters(1).one_sided_writes.load();
+  for (int i = 0; i < 4; ++i) {  // batch_max_ops = 4
+    ASSERT_TRUE(
+        worker_->Put("key" + std::to_string(i), "value").status.ok());
+  }
+  const uint64_t after = dpm_.fabric()->counters(1).one_sided_writes.load();
+  // Exactly one one-sided batch write for the 4 puts (§3.6).
+  EXPECT_EQ(after - before, 1u);
+  EXPECT_GT(dpm_.merge()->TotalPendingBatches(), 0u);
+}
+
+TEST_F(KnWorkerTest, UpdatesReturnLatestValueThroughAllPaths) {
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(
+        worker_->Put("key", "v" + std::to_string(round)).status.ok());
+    auto get = worker_->Get("key");
+    ASSERT_TRUE(get.status.ok());
+    EXPECT_EQ(get.value, "v" + std::to_string(round));
+    if (round % 3 == 0) {
+      ASSERT_TRUE(worker_->FlushWrites().status.ok());
+    }
+    if (round % 5 == 0) {
+      DrainAll();
+    }
+  }
+  DrainAll();
+  worker_->cache()->Clear();
+  auto get = worker_->Get("key");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v19");
+}
+
+TEST_F(KnWorkerTest, WrongOwnerRejected) {
+  auto routing = std::make_shared<cluster::RoutingTable>();
+  routing->global_ring.AddNode(2);  // some other KN owns everything
+  routing->threads_per_kn = 1;
+  worker_->SetRouting(routing);
+  EXPECT_TRUE(worker_->Get("k").status.IsWrongOwner());
+  EXPECT_TRUE(worker_->Put("k", "v").status.IsWrongOwner());
+  EXPECT_TRUE(worker_->Delete("k").status.IsWrongOwner());
+  EXPECT_EQ(worker_->SnapshotStats(false).wrong_owner, 3u);
+}
+
+TEST_F(KnWorkerTest, OwnershipAcceptedWhenRingNamesThisKn) {
+  auto routing = std::make_shared<cluster::RoutingTable>();
+  routing->global_ring.AddNode(1);
+  routing->threads_per_kn = 1;
+  worker_->SetRouting(routing);
+  EXPECT_TRUE(worker_->Put("k", "v").status.ok());
+  EXPECT_TRUE(worker_->Get("k").status.ok());
+}
+
+TEST_F(KnWorkerTest, BusyWhenUnmergedThresholdReached) {
+  // Tiny segments + no merging: the worker must hit the threshold.
+  dpm::DpmOptions opt = SmallDpm();
+  opt.segment_size = 4096;
+  opt.unmerged_segment_threshold = 2;
+  dpm::DpmNode dpm(opt);
+  KnOptions kno;
+  kno.kn_id = 1;
+  kno.batch_max_ops = 1;  // flush every op
+  KnWorker worker(kno, 0, &dpm);
+
+  const std::string value(1024, 'x');
+  bool saw_busy = false;
+  for (int i = 0; i < 64; ++i) {
+    auto r = worker.Put("key" + std::to_string(i), value);
+    if (r.status.IsBusy()) {
+      saw_busy = true;
+      break;
+    }
+    ASSERT_TRUE(r.status.ok());
+  }
+  ASSERT_TRUE(saw_busy);
+  EXPECT_TRUE(worker.WriteWouldBlock());
+  // Merge progress unblocks the writer (the log-write blocking of §4).
+  ASSERT_TRUE(dpm.merge()->DrainAll().ok());
+  EXPECT_FALSE(worker.WriteWouldBlock());
+  EXPECT_TRUE(worker.Put("more", value).status.ok());
+}
+
+TEST_F(KnWorkerTest, DrainLogFlushesAndMerges) {
+  ASSERT_TRUE(worker_->Put("k", "v").status.ok());
+  ASSERT_TRUE(worker_->DrainLog().ok());
+  EXPECT_EQ(dpm_.merge()->PendingBatches(worker_->log_owner()), 0u);
+  EXPECT_NE(dpm_.index()->Lookup(KeyHash(Slice("k"))), pm::kNullPmPtr);
+}
+
+TEST_F(KnWorkerTest, ResetForOwnershipChangeEmptiesCache) {
+  ASSERT_TRUE(worker_->Put("k", "v").status.ok());
+  ASSERT_TRUE(worker_->DrainLog().ok());
+  worker_->OnOwnerBatchMerged();
+  worker_->ResetForOwnershipChange();
+  EXPECT_EQ(worker_->cache()->charge(), 0u);
+  // Data still readable remotely.
+  auto get = worker_->Get("k");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v");
+  EXPECT_GE(get.cost.round_trips, 2u);
+}
+
+TEST_F(KnWorkerTest, StatsTrackHotKeys) {
+  for (int i = 0; i < 50; ++i) worker_->Put("hot", "v");
+  worker_->Put("cold", "v");
+  auto stats = worker_->SnapshotStats(true);
+  ASSERT_FALSE(stats.hot_keys.empty());
+  EXPECT_EQ(stats.hot_keys[0].first, KeyHash(Slice("hot")));
+  EXPECT_EQ(stats.hot_keys[0].second, 50u);
+  EXPECT_GT(stats.key_freq_mean, 0.0);
+  // Reset: second snapshot is empty.
+  auto stats2 = worker_->SnapshotStats(false);
+  EXPECT_TRUE(stats2.hot_keys.empty());
+}
+
+TEST_F(KnWorkerTest, LargeValuesRoundTrip) {
+  const std::string big(200 * 1024, 'B');
+  ASSERT_TRUE(worker_->Put("big", big).status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  DrainAll();
+  worker_->OnOwnerBatchMerged();
+  worker_->cache()->Clear();
+  auto get = worker_->Get("big");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, big);
+}
+
+TEST_F(KnWorkerTest, EntryLargerThanSegmentRejected) {
+  const std::string huge(300 * 1024, 'X');  // segment is 256 KiB
+  auto r = worker_->Put("huge", huge);
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+}
+
+// Shared (selectively replicated) keys.
+class SharedKeyTest : public KnWorkerTest {
+ protected:
+  void SetUp() override {
+    // Install the key, merge, and convert it to shared mode.
+    ASSERT_TRUE(worker_->Put("hot", "v0").status.ok());
+    ASSERT_TRUE(worker_->DrainLog().ok());
+    worker_->OnOwnerBatchMerged();
+    key_hash_ = KeyHash(Slice("hot"));
+    auto slot = dpm_.InstallIndirect(1, key_hash_);
+    ASSERT_TRUE(slot.ok());
+
+    auto routing = std::make_shared<cluster::RoutingTable>();
+    routing->global_ring.AddNode(1);
+    routing->threads_per_kn = 1;
+    routing->replicated[key_hash_] = {1, 2};
+    worker_->SetRouting(routing);
+    worker_->cache()->Invalidate(key_hash_);
+  }
+
+  uint64_t key_hash_;
+};
+
+TEST_F(SharedKeyTest, SharedReadGoesThroughSlot) {
+  auto get = worker_->Get("hot");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "v0");
+  // Never cached as a value: a repeat read costs slot + value reads.
+  auto get2 = worker_->Get("hot");
+  ASSERT_TRUE(get2.status.ok());
+  EXPECT_EQ(get2.cost.round_trips, 2u);
+}
+
+TEST_F(SharedKeyTest, SharedWritePublishesViaCas) {
+  auto put = worker_->Put("hot", "v1");
+  ASSERT_TRUE(put.status.ok()) << put.status.ToString();
+  auto get = worker_->Get("hot");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v1");
+  // The slot now points at the new version; the index merge must not
+  // clobber it.
+  ASSERT_TRUE(dpm_.merge()->DrainAll().ok());
+  auto get2 = worker_->Get("hot");
+  ASSERT_TRUE(get2.status.ok());
+  EXPECT_EQ(get2.value, "v1");
+}
+
+TEST_F(SharedKeyTest, TwoWorkersShareTheKeyConsistently) {
+  KnOptions kno2;
+  kno2.kn_id = 2;
+  kno2.fabric_node = 2;
+  KnWorker worker2(kno2, 0, &dpm_);
+  auto routing = std::make_shared<cluster::RoutingTable>();
+  routing->global_ring.AddNode(1);  // primary
+  routing->threads_per_kn = 1;
+  routing->replicated[key_hash_] = {1, 2};
+  worker2.SetRouting(routing);
+
+  // Secondary owner reads the key.
+  auto get = worker2.Get("hot");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_EQ(get.value, "v0");
+
+  // Both owners write alternately; reads on either must see the latest.
+  ASSERT_TRUE(worker_->Put("hot", "from1").status.ok());
+  EXPECT_EQ(worker2.Get("hot").value, "from1");
+  ASSERT_TRUE(worker2.Put("hot", "from2").status.ok());
+  EXPECT_EQ(worker_->Get("hot").value, "from2");
+}
+
+}  // namespace
+}  // namespace kn
+}  // namespace dinomo

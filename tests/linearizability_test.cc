@@ -1,0 +1,286 @@
+// Linearizability-oriented property tests over the full stack (paper §3.2:
+// "DINOMO guarantees linearizability, the strongest consistency level for
+// non-transactional stores").
+//
+// The checkable consequences tested here:
+//  * per-key monotonicity: with a single writer producing versions
+//    0,1,2,..., every reader observes a non-decreasing version sequence
+//    (reads never travel back in time), across cache hits, un-merged
+//    batches, and remote index reads;
+//  * read-your-writes through every path transition (cache eviction,
+//    flush, merge);
+//  * the same properties while the cluster reconfigures (add/kill KNs)
+//    and while a key's replication factor changes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace dinomo {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+ClusterOptions Options(int kns) {
+  ClusterOptions opt;
+  opt.dpm.pool_size = 512 * kMiB;
+  opt.dpm.index_log2_buckets = 6;
+  opt.dpm.segment_size = 256 * 1024;
+  opt.kn.num_workers = 2;
+  opt.kn.cache_bytes = 1 * kMiB;
+  opt.kn.batch_max_ops = 4;
+  opt.initial_kns = kns;
+  opt.dpm_merge_threads = 1;
+  return opt;
+}
+
+uint64_t ParseVersion(const std::string& value) {
+  return std::stoull(value);
+}
+
+TEST(LinearizabilityTest, SingleWriterReadersSeeMonotonicVersions) {
+  Cluster cluster(Options(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  {
+    auto client = cluster.NewClient();
+    ASSERT_TRUE(client->Put("counter", "0").ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::atomic<uint64_t> last_written{0};
+
+  std::thread writer([&] {
+    auto client = cluster.NewClient();
+    for (uint64_t v = 1; v <= 3000; ++v) {
+      ASSERT_TRUE(client->Put("counter", std::to_string(v)).ok());
+      last_written.store(v, std::memory_order_release);
+    }
+    stop = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      auto client = cluster.NewClient();
+      uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto got = client->Get("counter");
+        if (!got.ok()) {
+          violation = true;
+          return;
+        }
+        const uint64_t seen = ParseVersion(got.value());
+        // Monotonic per reader; also never ahead of the writer.
+        if (seen < last_seen ||
+            seen > last_written.load(std::memory_order_acquire) + 1) {
+          violation = true;
+          return;
+        }
+        last_seen = seen;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(violation.load());
+
+  auto client = cluster.NewClient();
+  auto got = client->Get("counter");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ParseVersion(got.value()), 3000u);
+  cluster.Stop();
+}
+
+TEST(LinearizabilityTest, ReadYourWritesAcrossPathTransitions) {
+  Cluster cluster(Options(1));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  kn::KvsNode* node = cluster.kn(cluster.ActiveKns()[0]);
+
+  for (uint64_t v = 1; v <= 200; ++v) {
+    ASSERT_TRUE(client->Put("k", std::to_string(v)).ok());
+    // Adversarially churn the serving state between write and read.
+    switch (v % 4) {
+      case 0:  // drop the cached copy: forces batch/index read
+        node->RunOnAllWorkers([](kn::KnWorker* w) {
+          w->cache()->Invalidate(kn::KeyHash(Slice("k")));
+        });
+        break;
+      case 1:  // force the group commit out
+        node->RunOnAllWorkers(
+            [](kn::KnWorker* w) { (void)w->FlushWrites(); });
+        break;
+      case 2:  // merge everything into the index
+        node->RunOnAllWorkers([](kn::KnWorker* w) {
+          ASSERT_TRUE(w->DrainLog().ok());
+        });
+        break;
+      default:
+        break;
+    }
+    auto got = client->Get("k");
+    ASSERT_TRUE(got.ok()) << "v=" << v << ": " << got.status().ToString();
+    ASSERT_EQ(ParseVersion(got.value()), v);
+  }
+  cluster.Stop();
+}
+
+TEST(LinearizabilityTest, MonotonicAcrossScaleOut) {
+  Cluster cluster(Options(1));
+  ASSERT_TRUE(cluster.Start().ok());
+  {
+    auto client = cluster.NewClient();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          client->Put("key" + std::to_string(i), "0").ok());
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  std::thread writer([&] {
+    auto client = cluster.NewClient();
+    uint64_t v = 1;
+    while (!stop.load()) {
+      for (int i = 0; i < 50 && !stop.load(); ++i) {
+        if (!client->Put("key" + std::to_string(i), std::to_string(v))
+                 .ok()) {
+          violation = true;
+          return;
+        }
+      }
+      v++;
+    }
+  });
+  std::thread reader([&] {
+    auto client = cluster.NewClient();
+    std::vector<uint64_t> last_seen(50, 0);
+    while (!stop.load()) {
+      for (int i = 0; i < 50; ++i) {
+        auto got = client->Get("key" + std::to_string(i));
+        if (!got.ok()) {
+          violation = true;
+          return;
+        }
+        const uint64_t seen = ParseVersion(got.value());
+        if (seen < last_seen[i]) {
+          violation = true;
+          return;
+        }
+        last_seen[i] = seen;
+      }
+    }
+  });
+
+  // Two online scale-outs and one scale-in under write+read traffic.
+  ASSERT_TRUE(cluster.AddKn().ok());
+  ASSERT_TRUE(cluster.AddKn().ok());
+  const auto kns = cluster.ActiveKns();
+  ASSERT_TRUE(cluster.RemoveKn(kns[1]).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+  cluster.Stop();
+}
+
+TEST(LinearizabilityTest, MonotonicAcrossReplicationChanges) {
+  Cluster cluster(Options(3));
+  ASSERT_TRUE(cluster.Start().ok());
+  {
+    auto client = cluster.NewClient();
+    ASSERT_TRUE(client->Put("hot", "0").ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::atomic<uint64_t> written{0};
+
+  std::thread writer([&] {
+    auto client = cluster.NewClient();
+    uint64_t v = 1;
+    while (!stop.load()) {
+      if (!client->Put("hot", std::to_string(v)).ok()) {
+        violation = true;
+        return;
+      }
+      written = v;
+      v++;
+    }
+  });
+  std::thread reader([&] {
+    auto client = cluster.NewClient();
+    uint64_t last_seen = 0;
+    while (!stop.load()) {
+      auto got = client->Get("hot");
+      if (!got.ok()) {
+        violation = true;
+        return;
+      }
+      const uint64_t seen = ParseVersion(got.value());
+      if (seen < last_seen) {
+        violation = true;
+        return;
+      }
+      last_seen = seen;
+    }
+  });
+
+  // Replicate out to all 3 KNs, then collapse back, twice, while the
+  // writer and reader hammer the key.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(cluster.ReplicateKey("hot", 3).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(cluster.DereplicateKey("hot").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+
+  // Final value equals the last write.
+  auto client = cluster.NewClient();
+  auto got = client->Get("hot");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ParseVersion(got.value()), written.load());
+  cluster.Stop();
+}
+
+TEST(LinearizabilityTest, NoCommittedWriteLostOnFailureEvenWithTraffic) {
+  Cluster cluster(Options(3));
+  ASSERT_TRUE(cluster.Start().ok());
+  auto client = cluster.NewClient();
+  // Commit with explicit flushes so every acked write is durable.
+  std::vector<uint64_t> versions(100, 0);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t v = round * 1000 + i;
+      ASSERT_TRUE(
+          client->Put("k" + std::to_string(i), std::to_string(v)).ok());
+      versions[i] = v;
+    }
+    for (uint64_t id : cluster.ActiveKns()) {
+      cluster.kn(id)->RunOnAllWorkers(
+          [](kn::KnWorker* w) { (void)w->FlushWrites(); });
+    }
+    ASSERT_TRUE(cluster.KillKn(cluster.ActiveKns()[0]).ok());
+    for (int i = 0; i < 100; ++i) {
+      auto got = client->Get("k" + std::to_string(i));
+      ASSERT_TRUE(got.ok()) << "round " << round << " key " << i;
+      EXPECT_EQ(ParseVersion(got.value()), versions[i]);
+    }
+    // Re-grow the cluster for the next round.
+    ASSERT_TRUE(cluster.AddKn().ok());
+  }
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace dinomo

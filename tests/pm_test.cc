@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pm/pm_allocator.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace pm {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+TEST(PmPoolTest, TranslateRoundTrips) {
+  PmPool pool(kMiB);
+  char* addr = pool.Translate(128);
+  EXPECT_EQ(pool.OffsetOf(addr), 128u);
+}
+
+TEST(PmPoolTest, BaseIsCacheLineAligned) {
+  PmPool pool(kMiB);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(pool.Translate(64)) % 64, 0u);
+}
+
+TEST(PmPoolTest, ContainsBoundsCheck) {
+  PmPool pool(kMiB);
+  EXPECT_TRUE(pool.Contains(64, 100));
+  EXPECT_FALSE(pool.Contains(kNullPmPtr, 1));
+  EXPECT_FALSE(pool.Contains(kMiB - 4, 8));
+}
+
+TEST(PmPoolTest, ZeroInitialized) {
+  PmPool pool(kMiB);
+  const char* p = pool.Translate(64);
+  for (int i = 0; i < 1024; ++i) EXPECT_EQ(p[i], 0);
+}
+
+TEST(PmPoolTest, PersistCountsFlushes) {
+  PmPool pool(kMiB);
+  EXPECT_EQ(pool.persist_count(), 0u);
+  pool.Persist(64, 8);
+  EXPECT_EQ(pool.persist_count(), 1u);
+  // 8 bytes rounds to one 64-byte line.
+  EXPECT_EQ(pool.persisted_bytes(), 64u);
+  pool.Persist(64, 65);  // spans two lines
+  EXPECT_EQ(pool.persisted_bytes(), 64u + 128u);
+}
+
+TEST(PmPoolCrashTest, UnpersistedWritesAreLost) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  char* p = pool.Translate(64);
+  std::memcpy(p, "durable", 7);
+  pool.Persist(64, 7);
+  std::memcpy(p + 64, "volatile", 8);  // never persisted
+
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(std::memcmp(pool.Translate(64), "durable", 7), 0);
+  const char* lost = pool.Translate(128);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(lost[i], 0);
+}
+
+TEST(PmPoolCrashTest, PersistGranularityIsCacheLine) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  char* p = pool.Translate(64);
+  std::memcpy(p, "AAAA", 4);
+  std::memcpy(p + 32, "BBBB", 4);  // same cache line as offset 64
+  pool.Persist(64, 1);             // flushing 1 byte flushes the whole line
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(std::memcmp(pool.Translate(64), "AAAA", 4), 0);
+  EXPECT_EQ(std::memcmp(pool.Translate(96), "BBBB", 4), 0);
+}
+
+TEST(PmPoolCrashTest, CrashWithoutSimModeFails) {
+  PmPool pool(kMiB);
+  EXPECT_TRUE(pool.SimulateCrash().IsNotSupported());
+}
+
+TEST(PmPoolCrashTest, RepeatedCrashesIdempotent) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  std::memcpy(pool.Translate(64), "X", 1);
+  pool.Persist(64, 1);
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(*pool.Translate(64), 'X');
+}
+
+// ----- Allocator -----
+
+class PmAllocatorTest : public ::testing::Test {
+ protected:
+  PmAllocatorTest() : pool_(16 * kMiB), alloc_(&pool_, 64, 16 * kMiB - 64) {}
+
+  PmPool pool_;
+  PmAllocator alloc_;
+};
+
+TEST_F(PmAllocatorTest, AllocReturnsAlignedZeroedBlocks) {
+  auto r = alloc_.Alloc(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value(), kNullPmPtr);
+  EXPECT_EQ(r.value() % 64, 0u);
+  const char* p = pool_.Translate(r.value());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p[i], 0);
+}
+
+TEST_F(PmAllocatorTest, DistinctBlocksDoNotOverlap) {
+  std::vector<PmPtr> blocks;
+  for (int i = 0; i < 100; ++i) {
+    auto r = alloc_.Alloc(128);
+    ASSERT_TRUE(r.ok());
+    blocks.push_back(r.value());
+  }
+  std::set<PmPtr> unique(blocks.begin(), blocks.end());
+  EXPECT_EQ(unique.size(), blocks.size());
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    // 128-byte user blocks: starts must be >= 128 apart.
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_GE(std::max(blocks[i], blocks[j]) -
+                    std::min(blocks[i], blocks[j]),
+                128u);
+    }
+  }
+}
+
+TEST_F(PmAllocatorTest, FreeEnablesReuse) {
+  auto a = alloc_.Alloc(256);
+  ASSERT_TRUE(a.ok());
+  const size_t used_after_a = alloc_.high_water();
+  alloc_.Free(a.value());
+  auto b = alloc_.Alloc(256);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), a.value());  // same class, reused
+  EXPECT_EQ(alloc_.high_water(), used_after_a);
+}
+
+TEST_F(PmAllocatorTest, LargeBlocksRoundTrip) {
+  auto a = alloc_.Alloc(3 * kMiB);
+  ASSERT_TRUE(a.ok());
+  alloc_.Free(a.value());
+  auto b = alloc_.Alloc(3 * kMiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), a.value());
+}
+
+TEST_F(PmAllocatorTest, ExhaustionReturnsOutOfMemory) {
+  // Region is 16 MiB; two 12 MiB allocations cannot both fit.
+  auto a = alloc_.Alloc(12 * kMiB);
+  ASSERT_TRUE(a.ok());
+  auto b = alloc_.Alloc(12 * kMiB);
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(b.status().IsOutOfMemory());
+}
+
+TEST_F(PmAllocatorTest, ZeroSizeRejected) {
+  auto r = alloc_.Alloc(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(PmAllocatorTest, AllocatedBytesTracked) {
+  EXPECT_EQ(alloc_.allocated_bytes(), 0u);
+  auto a = alloc_.Alloc(64);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc_.allocated_bytes(), 64u);
+  alloc_.Free(a.value());
+  EXPECT_EQ(alloc_.allocated_bytes(), 0u);
+}
+
+TEST_F(PmAllocatorTest, ConcurrentAllocFree) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<PmPtr> mine;
+      for (int i = 0; i < kIters; ++i) {
+        auto r = alloc_.Alloc(64 + (i % 4) * 64);
+        if (!r.ok()) {
+          failed = true;
+          return;
+        }
+        // Write a thread-unique pattern and verify it survives.
+        char* p = pool_.Translate(r.value());
+        std::memset(p, 'A' + t, 64);
+        mine.push_back(r.value());
+        if (mine.size() > 16) {
+          PmPtr victim = mine.front();
+          mine.erase(mine.begin());
+          if (pool_.Translate(victim)[0] != 'A' + t) {
+            failed = true;
+            return;
+          }
+          alloc_.Free(victim);
+        }
+      }
+      for (PmPtr p : mine) alloc_.Free(p);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(alloc_.allocated_bytes(), 0u);
+}
+
+// Parameterized sweep: every size class allocates, frees, and reuses.
+class PmAllocatorSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PmAllocatorSizeSweep, RoundTrip) {
+  PmPool pool(64 * kMiB);
+  PmAllocator alloc(&pool, 64, 64 * kMiB - 64);
+  const size_t size = GetParam();
+  auto a = alloc.Alloc(size);
+  ASSERT_TRUE(a.ok());
+  char* p = pool.Translate(a.value());
+  std::memset(p, 0x5A, size);
+  alloc.Free(a.value());
+  auto b = alloc.Alloc(size);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), a.value());
+  // Reused blocks are zeroed again.
+  EXPECT_EQ(pool.Translate(b.value())[0], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PmAllocatorSizeSweep,
+                         ::testing::Values(1, 63, 64, 65, 128, 1000, 4096,
+                                           65536, 65537, 1 << 20, 8 << 20));
+
+}  // namespace
+}  // namespace pm
+}  // namespace dinomo

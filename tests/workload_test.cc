@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/ycsb.h"
+
+namespace dinomo {
+namespace workload {
+namespace {
+
+TEST(WorkloadSpecTest, PaperMixesSumToOne) {
+  for (const auto& spec :
+       {WorkloadSpec::ReadOnly(100, 0.99),
+        WorkloadSpec::ReadMostlyUpdate(100, 0.99),
+        WorkloadSpec::ReadMostlyInsert(100, 0.99),
+        WorkloadSpec::WriteHeavyUpdate(100, 0.99),
+        WorkloadSpec::WriteHeavyInsert(100, 0.99)}) {
+    EXPECT_NEAR(spec.read_proportion + spec.update_proportion +
+                    spec.insert_proportion,
+                1.0, 1e-9);
+  }
+}
+
+TEST(WorkloadSpecTest, MixNames) {
+  EXPECT_STREQ(WorkloadSpec::ReadOnly(1, 0.99).MixName(), "100r");
+  EXPECT_STREQ(WorkloadSpec::ReadMostlyUpdate(1, 0.99).MixName(), "95r/5u");
+  EXPECT_STREQ(WorkloadSpec::ReadMostlyInsert(1, 0.99).MixName(), "95r/5i");
+  EXPECT_STREQ(WorkloadSpec::WriteHeavyUpdate(1, 0.99).MixName(), "50r/50u");
+  EXPECT_STREQ(WorkloadSpec::WriteHeavyInsert(1, 0.99).MixName(), "50r/50i");
+}
+
+TEST(WorkloadTest, KeysAreEightBytes) {
+  EXPECT_EQ(KeyForRecord(0).size(), 8u);
+  EXPECT_EQ(KeyForRecord(123456789).size(), 8u);
+  EXPECT_NE(KeyForRecord(1), KeyForRecord(2));
+}
+
+TEST(WorkloadTest, MixProportionsRoughlyHold) {
+  WorkloadGenerator gen(WorkloadSpec::WriteHeavyUpdate(1000, 0.99), 1);
+  int reads = 0;
+  int updates = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    const auto op = gen.Next();
+    if (op.type == OpType::kRead) reads++;
+    if (op.type == OpType::kUpdate) updates++;
+  }
+  EXPECT_NEAR(reads / static_cast<double>(kOps), 0.5, 0.03);
+  EXPECT_NEAR(updates / static_cast<double>(kOps), 0.5, 0.03);
+}
+
+TEST(WorkloadTest, InsertsNeverCollideWithPreloadOrEachOther) {
+  WorkloadGenerator a(WorkloadSpec::WriteHeavyInsert(1000, 0.99), 1);
+  WorkloadGenerator b(WorkloadSpec::WriteHeavyInsert(1000, 0.99), 2);
+  std::set<std::string> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    for (auto* gen : {&a, &b}) {
+      const auto op = gen->Next();
+      if (op.type != OpType::kInsert) continue;
+      EXPECT_TRUE(inserted.insert(op.key).second) << "duplicate insert";
+      uint64_t id;
+      memcpy(&id, op.key.data(), 8);
+      EXPECT_GE(id, 1ULL << 48) << "insert landed in preload space";
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadGenerator a(WorkloadSpec::ReadOnly(1000, 0.99), 7);
+  WorkloadGenerator b(WorkloadSpec::ReadOnly(1000, 0.99), 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next().key, b.Next().key);
+  }
+}
+
+TEST(WorkloadTest, HighSkewConcentrates) {
+  WorkloadGenerator gen(WorkloadSpec::ReadOnly(100000, 2.0), 1);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next().key]++;
+  int hottest = 0;
+  for (const auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, 2000);  // one key dominates at theta=2
+}
+
+TEST(WorkloadTest, UniformWhenThetaZero) {
+  auto spec = WorkloadSpec::ReadOnly(100, 0.0);
+  WorkloadGenerator gen(spec, 1);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next().key]++;
+  EXPECT_GT(counts.size(), 95u);  // nearly all keys touched
+  int hottest = 0;
+  for (const auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_LT(hottest, 300);
+}
+
+TEST(WorkloadTest, ValueHasConfiguredSize) {
+  auto spec = WorkloadSpec::ReadOnly(10, 0.99);
+  spec.value_size = 1024;
+  WorkloadGenerator gen(spec, 1);
+  EXPECT_EQ(gen.Value().size(), 1024u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace dinomo
