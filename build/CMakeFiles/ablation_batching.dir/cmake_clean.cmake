@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batching.dir/bench/ablation_batching.cc.o"
+  "CMakeFiles/ablation_batching.dir/bench/ablation_batching.cc.o.d"
+  "bench/ablation_batching"
+  "bench/ablation_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_size.dir/bench/ablation_cache_size.cc.o"
+  "CMakeFiles/ablation_cache_size.dir/bench/ablation_cache_size.cc.o.d"
+  "bench/ablation_cache_size"
+  "bench/ablation_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

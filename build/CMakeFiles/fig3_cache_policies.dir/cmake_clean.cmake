@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cache_policies.dir/bench/fig3_cache_policies.cc.o"
+  "CMakeFiles/fig3_cache_policies.dir/bench/fig3_cache_policies.cc.o.d"
+  "bench/fig3_cache_policies"
+  "bench/fig3_cache_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dpm_compute.dir/bench/fig4_dpm_compute.cc.o"
+  "CMakeFiles/fig4_dpm_compute.dir/bench/fig4_dpm_compute.cc.o.d"
+  "bench/fig4_dpm_compute"
+  "bench/fig4_dpm_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dpm_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

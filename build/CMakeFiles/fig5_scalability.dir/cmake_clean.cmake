@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scalability.dir/bench/fig5_scalability.cc.o"
+  "CMakeFiles/fig5_scalability.dir/bench/fig5_scalability.cc.o.d"
+  "bench/fig5_scalability"
+  "bench/fig5_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

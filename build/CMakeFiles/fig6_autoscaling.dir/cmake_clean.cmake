@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_autoscaling.dir/bench/fig6_autoscaling.cc.o"
+  "CMakeFiles/fig6_autoscaling.dir/bench/fig6_autoscaling.cc.o.d"
+  "bench/fig6_autoscaling"
+  "bench/fig6_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

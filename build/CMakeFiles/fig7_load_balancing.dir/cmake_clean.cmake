@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_load_balancing.dir/bench/fig7_load_balancing.cc.o"
+  "CMakeFiles/fig7_load_balancing.dir/bench/fig7_load_balancing.cc.o.d"
+  "bench/fig7_load_balancing"
+  "bench/fig7_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fault_tolerance.dir/bench/fig8_fault_tolerance.cc.o"
+  "CMakeFiles/fig8_fault_tolerance.dir/bench/fig8_fault_tolerance.cc.o.d"
+  "bench/fig8_fault_tolerance"
+  "bench/fig8_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_log.dir/bench/micro_log.cc.o"
+  "CMakeFiles/micro_log.dir/bench/micro_log.cc.o.d"
+  "bench/micro_log"
+  "bench/micro_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rts_per_op.dir/bench/table5_rts_per_op.cc.o"
+  "CMakeFiles/table5_rts_per_op.dir/bench/table5_rts_per_op.cc.o.d"
+  "bench/table5_rts_per_op"
+  "bench/table5_rts_per_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rts_per_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_profiling.dir/bench/table6_profiling.cc.o"
+  "CMakeFiles/table6_profiling.dir/bench/table6_profiling.cc.o.d"
+  "bench/table6_profiling"
+  "bench/table6_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

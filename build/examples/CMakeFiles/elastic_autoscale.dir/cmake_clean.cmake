@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_autoscale.dir/elastic_autoscale.cpp.o"
+  "CMakeFiles/elastic_autoscale.dir/elastic_autoscale.cpp.o.d"
+  "elastic_autoscale"
+  "elastic_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/dac.cc" "src/CMakeFiles/dinomo.dir/cache/dac.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/cache/dac.cc.o.d"
+  "/root/repo/src/cache/static_cache.cc" "src/CMakeFiles/dinomo.dir/cache/static_cache.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/cache/static_cache.cc.o.d"
+  "/root/repo/src/clover/clover.cc" "src/CMakeFiles/dinomo.dir/clover/clover.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/clover/clover.cc.o.d"
+  "/root/repo/src/cluster/hash_ring.cc" "src/CMakeFiles/dinomo.dir/cluster/hash_ring.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/cluster/hash_ring.cc.o.d"
+  "/root/repo/src/cluster/routing.cc" "src/CMakeFiles/dinomo.dir/cluster/routing.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/cluster/routing.cc.o.d"
+  "/root/repo/src/common/bloom.cc" "src/CMakeFiles/dinomo.dir/common/bloom.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/bloom.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/dinomo.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/dinomo.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dinomo.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dinomo.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/dinomo.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/common/zipf.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/dinomo.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/CMakeFiles/dinomo.dir/core/migration.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/core/migration.cc.o.d"
+  "/root/repo/src/dpm/dpm_node.cc" "src/CMakeFiles/dinomo.dir/dpm/dpm_node.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/dpm/dpm_node.cc.o.d"
+  "/root/repo/src/dpm/log.cc" "src/CMakeFiles/dinomo.dir/dpm/log.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/dpm/log.cc.o.d"
+  "/root/repo/src/dpm/merge.cc" "src/CMakeFiles/dinomo.dir/dpm/merge.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/dpm/merge.cc.o.d"
+  "/root/repo/src/index/clht.cc" "src/CMakeFiles/dinomo.dir/index/clht.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/index/clht.cc.o.d"
+  "/root/repo/src/kn/kn_worker.cc" "src/CMakeFiles/dinomo.dir/kn/kn_worker.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/kn/kn_worker.cc.o.d"
+  "/root/repo/src/kn/kvs_node.cc" "src/CMakeFiles/dinomo.dir/kn/kvs_node.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/kn/kvs_node.cc.o.d"
+  "/root/repo/src/mnode/policy.cc" "src/CMakeFiles/dinomo.dir/mnode/policy.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/mnode/policy.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/dinomo.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/net/fabric.cc.o.d"
+  "/root/repo/src/pm/pm_allocator.cc" "src/CMakeFiles/dinomo.dir/pm/pm_allocator.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/pm/pm_allocator.cc.o.d"
+  "/root/repo/src/pm/pm_pool.cc" "src/CMakeFiles/dinomo.dir/pm/pm_pool.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/pm/pm_pool.cc.o.d"
+  "/root/repo/src/sim/clover_sim.cc" "src/CMakeFiles/dinomo.dir/sim/clover_sim.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/sim/clover_sim.cc.o.d"
+  "/root/repo/src/sim/dinomo_sim.cc" "src/CMakeFiles/dinomo.dir/sim/dinomo_sim.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/sim/dinomo_sim.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/dinomo.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/sim/engine.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/dinomo.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/dinomo.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

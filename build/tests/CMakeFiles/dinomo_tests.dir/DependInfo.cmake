@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/dinomo_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/clht_test.cc" "tests/CMakeFiles/dinomo_tests.dir/clht_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/clht_test.cc.o.d"
+  "/root/repo/tests/clover_test.cc" "tests/CMakeFiles/dinomo_tests.dir/clover_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/clover_test.cc.o.d"
+  "/root/repo/tests/cluster_e2e_test.cc" "tests/CMakeFiles/dinomo_tests.dir/cluster_e2e_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/cluster_e2e_test.cc.o.d"
+  "/root/repo/tests/cluster_meta_test.cc" "tests/CMakeFiles/dinomo_tests.dir/cluster_meta_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/cluster_meta_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dinomo_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/dinomo_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/dpm_node_test.cc" "tests/CMakeFiles/dinomo_tests.dir/dpm_node_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/dpm_node_test.cc.o.d"
+  "/root/repo/tests/dpm_recovery_test.cc" "tests/CMakeFiles/dinomo_tests.dir/dpm_recovery_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/dpm_recovery_test.cc.o.d"
+  "/root/repo/tests/fabric_test.cc" "tests/CMakeFiles/dinomo_tests.dir/fabric_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/fabric_test.cc.o.d"
+  "/root/repo/tests/invariants_test.cc" "tests/CMakeFiles/dinomo_tests.dir/invariants_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/invariants_test.cc.o.d"
+  "/root/repo/tests/kn_worker_test.cc" "tests/CMakeFiles/dinomo_tests.dir/kn_worker_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/kn_worker_test.cc.o.d"
+  "/root/repo/tests/linearizability_test.cc" "tests/CMakeFiles/dinomo_tests.dir/linearizability_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/linearizability_test.cc.o.d"
+  "/root/repo/tests/log_test.cc" "tests/CMakeFiles/dinomo_tests.dir/log_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/log_test.cc.o.d"
+  "/root/repo/tests/pm_test.cc" "tests/CMakeFiles/dinomo_tests.dir/pm_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/pm_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/dinomo_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/dinomo_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/dinomo_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dinomo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
