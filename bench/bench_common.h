@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/clover_sim.h"
 #include "sim/dinomo_sim.h"
 #include "workload/ycsb.h"

@@ -1,0 +1,133 @@
+#ifndef DINOMO_BENCH_BENCH_JSON_H_
+#define DINOMO_BENCH_BENCH_JSON_H_
+
+// Machine-readable run reports for the bench binaries.
+//
+// Every bench constructs a BenchReporter from (name, argc, argv) and gains
+// two flags:
+//   --json_out=<path>  write a "dinomo-bench-v1" JSON report on Finish():
+//                      run config, per-point results, and a full snapshot
+//                      of the process metrics registry (src/obs/).
+//   --quick            CI smoke mode; benches consult quick() and shrink
+//                      durations / sweep points so the binary finishes in
+//                      seconds. Results keep the same schema.
+//
+// scripts/check_bench_json.py consumes these reports in CI and gates on
+// drift of key steady-state figures (e.g. DINOMO round trips per op).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace dinomo {
+namespace bench {
+
+/// Commit the binary was built from: CI env (GITHUB_SHA) or an explicit
+/// DINOMO_GIT_SHA env override win over the compile-time stamp, so cached
+/// build trees cannot report a stale SHA in CI.
+inline std::string GitSha() {
+  if (const char* env = std::getenv("DINOMO_GIT_SHA")) return env;
+  if (const char* env = std::getenv("GITHUB_SHA")) return env;
+#ifdef DINOMO_BUILD_GIT_SHA
+  return DINOMO_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+class BenchReporter {
+ public:
+  BenchReporter(const std::string& bench_name, int argc, char** argv)
+      : name_(bench_name),
+        config_(obs::Json::Object()),
+        results_(obs::Json::Array()) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json_out=", 11) == 0) {
+        json_out_ = arg + 11;
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        quick_ = true;
+      } else {
+        std::fprintf(stderr,
+                     "%s: unknown flag '%s' (supported: --json_out=<path>, "
+                     "--quick)\n",
+                     bench_name.c_str(), arg);
+        std::exit(2);
+      }
+    }
+  }
+
+  ~BenchReporter() {
+    if (!finished_) Finish();
+  }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  bool quick() const { return quick_; }
+  const std::string& json_out() const { return json_out_; }
+
+  /// Scales a duration/count down in --quick mode.
+  double Scaled(double full, double quick) const {
+    return quick_ ? quick : full;
+  }
+  uint64_t Scaled(uint64_t full, uint64_t quick) const {
+    return quick_ ? quick : full;
+  }
+
+  /// Records one run-configuration entry (workload, node counts, seed...).
+  BenchReporter& Config(const std::string& key, obs::Json value) {
+    config_.Set(key, std::move(value));
+    return *this;
+  }
+
+  /// Appends one result row (an object built by the bench).
+  BenchReporter& Add(obs::Json row) {
+    results_.Append(std::move(row));
+    return *this;
+  }
+
+  /// Writes the report (if --json_out was given). Called automatically on
+  /// destruction; call explicitly to check for write errors.
+  bool Finish(const obs::MetricsRegistry& registry =
+                  obs::MetricsRegistry::Global()) {
+    finished_ = true;
+    if (json_out_.empty()) return true;
+    obs::Json root = obs::Json::Object();
+    root.Set("schema", "dinomo-bench-v1");
+    root.Set("bench", name_);
+    root.Set("quick", quick_);
+    root.Set("git_sha", GitSha());
+    root.Set("config", config_);
+    root.Set("results", results_);
+    root.Set("metrics", registry.Snapshot().ToJson());
+    std::ofstream out(json_out_, std::ios::trunc);
+    out << root.Dump(2) << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "%s: failed to write %s\n", name_.c_str(),
+                   json_out_.c_str());
+      return false;
+    }
+    std::printf("\n[json_out] %s\n", json_out_.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string json_out_;
+  bool quick_ = false;
+  bool finished_ = false;
+  obs::Json config_;
+  obs::Json results_;
+};
+
+}  // namespace bench
+}  // namespace dinomo
+
+#endif  // DINOMO_BENCH_BENCH_JSON_H_

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -31,7 +32,7 @@ constexpr uint64_t kFig3Records = 100000;
 constexpr size_t kFig3ValueSize = 64;
 
 double RunOne(const PolicyConfig& policy, double cache_pct,
-              double* rts_per_op) {
+              double duration_us, double* rts_per_op) {
   workload::WorkloadSpec spec =
       workload::WorkloadSpec::ReadOnly(kFig3Records, /*theta=*/0.0);
   spec.value_size = kFig3ValueSize;
@@ -56,7 +57,7 @@ double RunOne(const PolicyConfig& policy, double cache_pct,
   sim::DinomoSim sim(opt);
   sim.Preload();
   // Long enough for DAC to adapt; shortcut/value-only converge instantly.
-  sim.Run(/*duration_us=*/1200e3, /*warmup_us=*/600e3);
+  sim.Run(duration_us, /*warmup_us=*/duration_us / 2);
   if (rts_per_op != nullptr) {
     *rts_per_op = sim.CollectProfile().rts_per_op;
   }
@@ -65,7 +66,8 @@ double RunOne(const PolicyConfig& policy, double cache_pct,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig3_cache_policies", argc, argv);
   bench::PrintHeader(
       "Figure 3: cache-policy comparison (read-only, uniform 5% working "
       "set, single KN)\nThroughput in Mops/s vs cache size as % of dataset");
@@ -78,7 +80,17 @@ int main() {
       {"value-only", kn::CachePolicyKind::kValueOnly, 1.0},
       {"DAC", kn::CachePolicyKind::kDac, 0.0},
   };
-  const std::vector<double> cache_pcts = {1, 2, 4, 8, 16};
+  const std::vector<double> cache_pcts =
+      reporter.quick() ? std::vector<double>{2, 8}
+                       : std::vector<double>{1, 2, 4, 8, 16};
+  const double duration_us = reporter.Scaled(1200e3, 150e3);
+  reporter.Config("records", kFig3Records)
+      .Config("value_size", kFig3ValueSize)
+      .Config("num_kns", 1)
+      .Config("workers_per_kn", 8)
+      .Config("client_threads", 48)
+      .Config("duration_us", duration_us)
+      .Config("seed", sim::DinomoSimOptions().seed);
 
   std::printf("%-14s", "cache%");
   for (double pct : cache_pcts) std::printf("%10.0f%%", pct);
@@ -89,10 +101,16 @@ int main() {
     std::printf("%-14s", policies[p].name);
     std::fflush(stdout);
     for (double pct : cache_pcts) {
-      const double mops = RunOne(policies[p], pct, nullptr);
+      double rts = 0;
+      const double mops = RunOne(policies[p], pct, duration_us, &rts);
       results[p].push_back(mops);
       std::printf("%11.3f", mops);
       std::fflush(stdout);
+      reporter.Add(obs::Json::Object()
+                       .Set("policy", policies[p].name)
+                       .Set("cache_pct", pct)
+                       .Set("mops", mops)
+                       .Set("rts_per_op", rts));
     }
     std::printf("\n");
   }
@@ -114,5 +132,5 @@ int main() {
                 cache_pcts[c], policies[best_p].name, best, dac,
                 best > 0 ? dac / best : 0.0);
   }
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

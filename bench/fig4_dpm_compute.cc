@@ -12,12 +12,14 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
 using namespace dinomo;
 
-double RunInsertOnly(int dpm_threads, dpm::MergeProfile profile) {
+double RunInsertOnly(int dpm_threads, dpm::MergeProfile profile,
+                     double duration_us) {
   workload::WorkloadSpec spec;
   spec.record_count = 1000;  // small preload; inserts dominate
   spec.read_proportion = 0.0;
@@ -33,7 +35,7 @@ double RunInsertOnly(int dpm_threads, dpm::MergeProfile profile) {
 
   sim::DinomoSim sim(opt);
   sim.Preload();
-  sim.Run(/*duration_us=*/100e3, /*warmup_us=*/30e3);
+  sim.Run(duration_us, /*warmup_us=*/duration_us * 0.3);
   return sim.ThroughputMops();
 }
 
@@ -49,29 +51,46 @@ double MergeThroughputMops(int threads, dpm::MergeProfile profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig4_dpm_compute", argc, argv);
   bench::PrintHeader(
       "Figure 4: performance impact of DPM compute capacity\n"
       "(insert-only, 16 KNs, 1 KB values; Mops/s)");
 
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<int> thread_counts =
+      reporter.quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const double duration_us = reporter.Scaled(100e3, 30e3);
+  reporter.Config("num_kns", 16)
+      .Config("value_size", bench::kValueSize)
+      .Config("duration_us", duration_us)
+      .Config("seed", sim::DinomoSimOptions().seed);
 
   // Log-write max: merging effectively unconstrained.
   const double log_write_max =
-      RunInsertOnly(/*dpm_threads=*/64, dpm::MergeProfile::Dram());
+      RunInsertOnly(/*dpm_threads=*/64, dpm::MergeProfile::Dram(),
+                    duration_us);
+  reporter.Config("log_write_max_mops", log_write_max);
   std::printf("log-write max (unthrottled): %.3f Mops/s\n\n", log_write_max);
 
   std::printf("%-12s %18s %18s %18s %18s\n", "DPM threads",
               "log-write (DRAM)", "merge (DRAM)", "log-write (PM)",
               "merge (PM)");
   for (int t : thread_counts) {
-    const double lw_dram = RunInsertOnly(t, dpm::MergeProfile::Dram());
+    const double lw_dram =
+        RunInsertOnly(t, dpm::MergeProfile::Dram(), duration_us);
     const double mg_dram = MergeThroughputMops(t, dpm::MergeProfile::Dram());
-    const double lw_pm = RunInsertOnly(t, dpm::MergeProfile::OptanePm());
+    const double lw_pm =
+        RunInsertOnly(t, dpm::MergeProfile::OptanePm(), duration_us);
     const double mg_pm =
         MergeThroughputMops(t, dpm::MergeProfile::OptanePm());
     std::printf("%-12d %18.3f %18.3f %18.3f %18.3f\n", t, lw_dram, mg_dram,
                 lw_pm, mg_pm);
+    reporter.Add(obs::Json::Object()
+                     .Set("dpm_threads", t)
+                     .Set("log_write_dram_mops", lw_dram)
+                     .Set("merge_dram_mops", mg_dram)
+                     .Set("log_write_pm_mops", lw_pm)
+                     .Set("merge_pm_mops", mg_pm));
   }
 
   const double dram4 = MergeThroughputMops(4, dpm::MergeProfile::Dram());
@@ -82,5 +101,5 @@ int main() {
       dram4 / log_write_max, pm4 / log_write_max);
   std::printf(
       "(paper: DRAM ~ at max with 4 threads; PM ~16%% below max)\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -11,52 +11,72 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
 using namespace dinomo;
 
-constexpr double kDuration = 80e3;
-constexpr double kWarmup = 40e3;
-
 double RunDinomoVariant(SystemVariant variant, int kns,
-                        const workload::WorkloadSpec& spec) {
+                        const workload::WorkloadSpec& spec,
+                        double duration_us) {
   auto opt = bench::BaseDinomo(variant, kns, spec);
   sim::DinomoSim sim(opt);
   sim.Preload();
-  sim.Run(kDuration, kWarmup);
+  sim.Run(duration_us, duration_us / 2);
   return sim.ThroughputMops();
 }
 
-double RunClover(int kns, const workload::WorkloadSpec& spec) {
+double RunClover(int kns, const workload::WorkloadSpec& spec,
+                 double duration_us) {
   auto opt = bench::BaseClover(kns, spec);
   sim::CloverSim sim(opt);
   sim.Preload();
-  sim.Run(kDuration, kWarmup);
+  sim.Run(duration_us, duration_us / 2);
   return sim.ThroughputMops();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig5_scalability", argc, argv);
   bench::PrintHeader(
       "Figure 5: performance scalability, Zipf 0.99 (Mops/s)");
 
-  const std::vector<int> kn_counts = {1, 2, 4, 8, 16};
+  const std::vector<int> kn_counts =
+      reporter.quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  const double duration_us = reporter.Scaled(80e3, 40e3);
+  auto mixes = bench::PaperMixes(0.99);
+  if (reporter.quick()) mixes.resize(1);
+  reporter.Config("records", bench::kRecords)
+      .Config("value_size", bench::kValueSize)
+      .Config("zipf_theta", 0.99)
+      .Config("duration_us", duration_us)
+      .Config("seed", sim::DinomoSimOptions().seed);
   double dinomo16 = 0;
   double clover16 = 0;
 
-  for (const auto& spec : bench::PaperMixes(0.99)) {
+  for (const auto& spec : mixes) {
     std::printf("\nworkload %s\n", spec.MixName());
     std::printf("%-6s %12s %12s %12s %12s\n", "KNs", "DINOMO", "DINOMO-S",
                 "DINOMO-N", "Clover");
     for (int kns : kn_counts) {
-      const double d = RunDinomoVariant(SystemVariant::kDinomo, kns, spec);
-      const double ds = RunDinomoVariant(SystemVariant::kDinomoS, kns, spec);
-      const double dn = RunDinomoVariant(SystemVariant::kDinomoN, kns, spec);
-      const double c = RunClover(kns, spec);
+      const double d =
+          RunDinomoVariant(SystemVariant::kDinomo, kns, spec, duration_us);
+      const double ds =
+          RunDinomoVariant(SystemVariant::kDinomoS, kns, spec, duration_us);
+      const double dn =
+          RunDinomoVariant(SystemVariant::kDinomoN, kns, spec, duration_us);
+      const double c = RunClover(kns, spec, duration_us);
       std::printf("%-6d %12.3f %12.3f %12.3f %12.3f\n", kns, d, ds, dn, c);
       std::fflush(stdout);
+      reporter.Add(obs::Json::Object()
+                       .Set("mix", spec.MixName())
+                       .Set("kns", kns)
+                       .Set("dinomo_mops", d)
+                       .Set("dinomo_s_mops", ds)
+                       .Set("dinomo_n_mops", dn)
+                       .Set("clover_mops", c));
       if (kns == 16) {
         dinomo16 += d;
         clover16 += c;
@@ -68,5 +88,5 @@ int main() {
       "\nAcross all mixes at 16 KNs: DINOMO/Clover = %.2fx "
       "(paper: >= 3.8x)\n",
       clover16 > 0 ? dinomo16 / clover16 : 0.0);
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -12,13 +12,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
 using namespace dinomo;
 
 constexpr double kSecond = 1e6;
-constexpr double kDuration = 4.0 * kSecond;
+double g_duration = 4.0 * kSecond;
 constexpr double kSwitchAt = 0.5 * kSecond;
 constexpr int kStreams = 48;
 constexpr int kKns = 8;
@@ -75,7 +76,7 @@ double RunDinomo(SystemVariant variant, const char* name,
   sim.Preload();
   if (enable_mnode) sim.EnableMnode();
   sim.ScheduleWorkloadChange(kSwitchAt, HighSkew());
-  sim.Run(kDuration, 0);
+  sim.Run(g_duration, 0);
   PrintTimeline(sim.windows(), name);
   return TailMops(sim.windows(), 5);
 }
@@ -87,22 +88,39 @@ double RunClover() {
   sim::CloverSim sim(opt);
   sim.Preload();
   sim.ScheduleWorkloadChange(kSwitchAt, HighSkew());
-  sim.Run(kDuration, 0);
+  sim.Run(g_duration, 0);
   PrintTimeline(sim.windows(), "Clover");
   return TailMops(sim.windows(), 5);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig7_load_balancing", argc, argv);
   bench::PrintHeader(
       "Figure 7: load balancing under extreme skew (Zipf 0.5 -> Zipf 2 at "
       "t=0.5s, 50r/50u)");
+  if (reporter.quick()) g_duration = 1.5 * kSecond;
+  reporter.Config("records", bench::kRecords)
+      .Config("value_size", bench::kValueSize)
+      .Config("num_kns", kKns)
+      .Config("client_threads", kStreams)
+      .Config("duration_us", g_duration)
+      .Config("seed", sim::DinomoSimOptions().seed);
   const double dinomo = RunDinomo(SystemVariant::kDinomo,
                                   "DINOMO (selective replication)", true);
   const double dinomo_n =
       RunDinomo(SystemVariant::kDinomoN, "DINOMO-N (no replication)", false);
   const double clover = RunClover();
+  reporter.Add(obs::Json::Object()
+                   .Set("system", "dinomo")
+                   .Set("tail_mops", dinomo));
+  reporter.Add(obs::Json::Object()
+                   .Set("system", "dinomo_n")
+                   .Set("tail_mops", dinomo_n));
+  reporter.Add(obs::Json::Object()
+                   .Set("system", "clover")
+                   .Set("tail_mops", clover));
 
   std::printf("\nSteady-state throughput after the switch (last 0.5s):\n");
   std::printf("  DINOMO   = %.1f Kops/s\n", dinomo * 1e3);
@@ -114,5 +132,5 @@ int main() {
         "(paper: up to 5.6x)\n",
         dinomo / clover, dinomo / dinomo_n);
   }
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -1,0 +1,51 @@
+#ifndef DINOMO_BENCH_GBENCH_MAIN_H_
+#define DINOMO_BENCH_GBENCH_MAIN_H_
+
+// Replacement for BENCHMARK_MAIN() in the google-benchmark micros, adding
+// the shared --json_out / --quick flags (see bench_json.h). The flags the
+// reporter owns are stripped before benchmark::Initialize sees the
+// command line; --quick is translated into a tiny --benchmark_min_time so
+// the CI smoke job finishes in seconds.
+//
+// The JSON report carries the metrics-registry snapshot (cache counters
+// etc. accumulated by the benchmark bodies); per-iteration timings stay
+// in google-benchmark's own output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+#define DINOMO_GBENCH_MAIN(bench_name)                                       \
+  int main(int argc, char** argv) {                                          \
+    std::vector<char*> own;                                                  \
+    std::vector<char*> rest;                                                 \
+    own.push_back(argv[0]);                                                  \
+    rest.push_back(argv[0]);                                                 \
+    for (int i = 1; i < argc; ++i) {                                         \
+      if (std::strncmp(argv[i], "--json_out=", 11) == 0 ||                   \
+          std::strcmp(argv[i], "--quick") == 0) {                            \
+        own.push_back(argv[i]);                                              \
+      } else {                                                               \
+        rest.push_back(argv[i]);                                             \
+      }                                                                      \
+    }                                                                        \
+    dinomo::bench::BenchReporter reporter(                                   \
+        bench_name, static_cast<int>(own.size()), own.data());               \
+    static std::string quick_min_time = "--benchmark_min_time=0.01";         \
+    if (reporter.quick()) rest.push_back(quick_min_time.data());             \
+    int rest_argc = static_cast<int>(rest.size());                           \
+    benchmark::Initialize(&rest_argc, rest.data());                          \
+    if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {    \
+      return 1;                                                              \
+    }                                                                        \
+    benchmark::RunSpecifiedBenchmarks();                                     \
+    benchmark::Shutdown();                                                   \
+    reporter.Config("runner", "google-benchmark");                           \
+    return reporter.Finish() ? 0 : 1;                                        \
+  }
+
+#endif  // DINOMO_BENCH_GBENCH_MAIN_H_

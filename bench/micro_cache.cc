@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include <memory>
 #include <string>
 
@@ -83,7 +85,8 @@ void BM_StaticLruChurn(benchmark::State& state) {
   const std::string value(1024, 'v');
   uint64_t key = 1;
   for (auto _ : state) {
-    cache.AdmitOnMiss(key++, value, Ptr(key), 2);
+    cache.AdmitOnMiss(key, value, Ptr(key), 2);
+    key++;
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -91,4 +94,4 @@ BENCHMARK(BM_StaticLruChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DINOMO_GBENCH_MAIN("micro_cache")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include <memory>
 
 #include "common/random.h"
@@ -108,4 +110,4 @@ BENCHMARK(BM_ClhtRemoteLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DINOMO_GBENCH_MAIN("micro_index")

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include <string>
 
 #include "common/bloom.h"
@@ -110,4 +112,4 @@ BENCHMARK(BM_Crc32c1K);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DINOMO_GBENCH_MAIN("micro_log")

@@ -3,11 +3,16 @@
 // Figure 3). The paper's claim: DAC has the lowest RTs/op in every
 // setting; shortcut-only is pinned near 1 RT/op plus index traversals;
 // value-only thrashes at small sizes.
+//
+// This bench doubles as the CI drift gate: with --quick --json_out=... it
+// emits DINOMO (DAC) read and write RTs/op rows that
+// scripts/check_bench_json.py compares against checked-in expectations.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -22,9 +27,12 @@ struct PolicyConfig {
 constexpr uint64_t kRecords = 100000;
 constexpr size_t kValueSize = 64;
 
-double MeasureRts(const PolicyConfig& policy, double cache_pct) {
+double MeasureRts(const PolicyConfig& policy, double cache_pct,
+                  bool write_mix, double duration_us) {
   workload::WorkloadSpec spec =
-      workload::WorkloadSpec::ReadOnly(kRecords, 0.0);
+      write_mix
+          ? workload::WorkloadSpec::WriteHeavyUpdate(kRecords, 0.0)
+          : workload::WorkloadSpec::ReadOnly(kRecords, 0.0);
   spec.value_size = kValueSize;
   spec.working_set_count = kRecords / 20;
 
@@ -45,18 +53,19 @@ double MeasureRts(const PolicyConfig& policy, double cache_pct) {
 
   sim::DinomoSim sim(opt);
   sim.Preload();
-  sim.Run(1000e3, 0);
+  sim.Run(duration_us, 0);
   return sim.CollectProfile().rts_per_op;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("table5_rts_per_op", argc, argv);
   bench::PrintHeader(
       "Table 5: round trips per operation across caching strategies\n"
       "(read-only, uniform 5% working set; lower is better)");
 
-  const std::vector<PolicyConfig> policies = {
+  const std::vector<PolicyConfig> all_policies = {
       {"shortcut-only", kn::CachePolicyKind::kShortcutOnly, 0.0},
       {"static-25", kn::CachePolicyKind::kStatic, 0.25},
       {"static-50", kn::CachePolicyKind::kStatic, 0.50},
@@ -64,7 +73,24 @@ int main() {
       {"value-only", kn::CachePolicyKind::kValueOnly, 1.0},
       {"DAC", kn::CachePolicyKind::kDac, 0.0},
   };
-  const std::vector<double> cache_pcts = {1, 2, 4, 8, 16};
+  const std::vector<PolicyConfig> quick_policies = {
+      all_policies.front(),  // shortcut-only
+      all_policies.back(),   // DAC
+  };
+  const std::vector<PolicyConfig>& policies =
+      reporter.quick() ? quick_policies : all_policies;
+  const std::vector<double> cache_pcts =
+      reporter.quick() ? std::vector<double>{4, 16}
+                       : std::vector<double>{1, 2, 4, 8, 16};
+  const double duration_us = reporter.Scaled(1000e3, 200e3);
+
+  reporter.Config("records", kRecords)
+      .Config("value_size", kValueSize)
+      .Config("num_kns", 1)
+      .Config("workers_per_kn", 8)
+      .Config("client_threads", 48)
+      .Config("duration_us", duration_us)
+      .Config("seed", sim::DinomoSimOptions().seed);
 
   std::printf("%-8s", "cache%");
   for (const auto& p : policies) std::printf("%15s", p.name);
@@ -75,12 +101,32 @@ int main() {
     std::printf("%-7.0f%%", cache_pcts[c]);
     std::fflush(stdout);
     for (const auto& policy : policies) {
-      const double r = MeasureRts(policy, cache_pcts[c]);
+      const double r =
+          MeasureRts(policy, cache_pcts[c], /*write_mix=*/false, duration_us);
       rts[c].push_back(r);
       std::printf("%15.2f", r);
       std::fflush(stdout);
+      reporter.Add(obs::Json::Object()
+                       .Set("policy", policy.name)
+                       .Set("mix", "read")
+                       .Set("cache_pct", cache_pcts[c])
+                       .Set("rts_per_op", r));
     }
     std::printf("\n");
+  }
+
+  // DINOMO write path (batched log appends): the second figure the CI
+  // gate watches for drift.
+  std::printf("\nDINOMO (DAC) write RTs/op:\n");
+  for (double pct : cache_pcts) {
+    const double r = MeasureRts(all_policies.back(), pct, /*write_mix=*/true,
+                                duration_us);
+    std::printf("  %4.0f%%: %.2f\n", pct, r);
+    reporter.Add(obs::Json::Object()
+                     .Set("policy", "DAC")
+                     .Set("mix", "write")
+                     .Set("cache_pct", pct)
+                     .Set("rts_per_op", r));
   }
 
   std::printf("\nDAC has lowest (or tied-lowest) RTs/op per row:\n");
@@ -94,5 +140,5 @@ int main() {
                 cache_pcts[c], dac, best_other,
                 dac <= best_other * 1.05 + 0.05 ? "yes" : "NO");
   }
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

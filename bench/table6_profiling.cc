@@ -12,12 +12,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
 using namespace dinomo;
 
-constexpr double kDuration = 60e3;
+double g_duration = 60e3;
 
 struct Row {
   double hit_d, val_share_d, rts_d;
@@ -30,7 +31,7 @@ Row RunRow(int kns, const workload::WorkloadSpec& spec) {
   {
     sim::DinomoSim sim(bench::BaseDinomo(SystemVariant::kDinomo, kns, spec));
     sim.Preload();
-    sim.Run(kDuration, 0);
+    sim.Run(g_duration, 0);
     auto p = sim.CollectProfile();
     row.hit_d = p.cache_hit_ratio * 100;
     row.val_share_d = p.value_hit_share * 100;
@@ -40,7 +41,7 @@ Row RunRow(int kns, const workload::WorkloadSpec& spec) {
     sim::DinomoSim sim(
         bench::BaseDinomo(SystemVariant::kDinomoS, kns, spec));
     sim.Preload();
-    sim.Run(kDuration, 0);
+    sim.Run(g_duration, 0);
     auto p = sim.CollectProfile();
     row.hit_ds = p.cache_hit_ratio * 100;
     row.rts_ds = p.rts_per_op;
@@ -48,7 +49,7 @@ Row RunRow(int kns, const workload::WorkloadSpec& spec) {
   {
     sim::CloverSim sim(bench::BaseClover(kns, spec));
     sim.Preload();
-    sim.Run(kDuration, 0);
+    sim.Run(g_duration, 0);
     auto p = sim.CollectProfile();
     row.hit_c = p.cache_hit_ratio * 100;
     row.rts_c = p.rts_per_op;
@@ -58,14 +59,24 @@ Row RunRow(int kns, const workload::WorkloadSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("table6_profiling", argc, argv);
   bench::PrintHeader(
       "Table 6: cache hit ratio (%) and RTs/op for DINOMO (D), DINOMO-S "
       "(DS), Clover (C)\nD's hit ratio shows the value-hit share in "
       "parentheses, as in the paper");
 
-  const std::vector<int> kn_counts = {1, 2, 4, 8, 16};
-  for (const auto& spec : bench::PaperMixes(0.99)) {
+  const std::vector<int> kn_counts =
+      reporter.quick() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  if (reporter.quick()) g_duration = 30e3;
+  auto mixes = bench::PaperMixes(0.99);
+  if (reporter.quick()) mixes.resize(1);
+  reporter.Config("records", bench::kRecords)
+      .Config("value_size", bench::kValueSize)
+      .Config("zipf_theta", 0.99)
+      .Config("duration_us", g_duration)
+      .Config("seed", sim::DinomoSimOptions().seed);
+  for (const auto& spec : mixes) {
     std::printf("\nworkload %s\n", spec.MixName());
     std::printf("%-5s | %14s %8s %8s | %8s %8s | %8s %8s\n", "KNs",
                 "D hit(val%)", "DS hit", "C hit", "D rts", "DS rts",
@@ -79,7 +90,17 @@ int main() {
                   kns, dhit, r.hit_ds, r.hit_c, r.rts_d, r.rts_ds, r.rts_c,
                   "");
       std::fflush(stdout);
+      reporter.Add(obs::Json::Object()
+                       .Set("mix", spec.MixName())
+                       .Set("kns", kns)
+                       .Set("dinomo_hit_pct", r.hit_d)
+                       .Set("dinomo_value_share_pct", r.val_share_d)
+                       .Set("dinomo_rts_per_op", r.rts_d)
+                       .Set("dinomo_s_hit_pct", r.hit_ds)
+                       .Set("dinomo_s_rts_per_op", r.rts_ds)
+                       .Set("clover_hit_pct", r.hit_c)
+                       .Set("clover_rts_per_op", r.rts_c));
     }
   }
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate bench --json_out reports and gate CI on performance drift.
+
+Usage: check_bench_json.py report.json [report2.json ...]
+
+Every report is schema-checked (dinomo-bench-v1). For benches with
+checked-in expectations (currently table5_rts_per_op in --quick mode),
+key steady-state figures are compared against EXPECTATIONS below with a
+tolerance band; a value outside the band fails the run.
+
+The simulations are seeded and run in virtual time, so these figures are
+deterministic up to floating-point ordering across toolchains — the band
+is deliberately generous (15% relative + 0.05 absolute). If a change
+intentionally moves round-trips-per-op (e.g. a cache-policy fix), update
+EXPECTATIONS in the same PR and say why in the commit message.
+"""
+
+import json
+import sys
+
+REL_TOL = 0.15
+ABS_TOL = 0.05
+
+# (bench, quick) -> list of (match, field, expected)
+# `match` is a dict of result-row fields that identify the row.
+EXPECTATIONS = {
+    ("table5_rts_per_op", True): [
+        ({"policy": "shortcut-only", "mix": "read", "cache_pct": 4},
+         "rts_per_op", 1.07),
+        ({"policy": "shortcut-only", "mix": "read", "cache_pct": 16},
+         "rts_per_op", 1.07),
+        ({"policy": "DAC", "mix": "read", "cache_pct": 4},
+         "rts_per_op", 0.47),
+        ({"policy": "DAC", "mix": "read", "cache_pct": 16},
+         "rts_per_op", 0.14),
+        ({"policy": "DAC", "mix": "write", "cache_pct": 4},
+         "rts_per_op", 0.31),
+        ({"policy": "DAC", "mix": "write", "cache_pct": 16},
+         "rts_per_op", 0.20),
+    ],
+}
+
+# Benches that drive the simulators; their metrics section must carry
+# fabric traffic (proof that the registry wiring stayed intact).
+SIM_BENCHES = {
+    "table5_rts_per_op", "table6_profiling", "fig3_cache_policies",
+    "fig4_dpm_compute", "fig5_scalability", "fig6_autoscaling",
+    "fig7_load_balancing", "fig8_fault_tolerance", "ablation_batching",
+    "ablation_cache_size",
+}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return False
+
+
+def check_schema(path, doc):
+    ok = True
+    if doc.get("schema") != "dinomo-bench-v1":
+        ok = fail(f"{path}: schema is {doc.get('schema')!r}, "
+                  "expected 'dinomo-bench-v1'")
+    for key, typ in (("bench", str), ("quick", bool), ("git_sha", str),
+                     ("config", dict), ("results", list), ("metrics", dict)):
+        if not isinstance(doc.get(key), typ):
+            ok = fail(f"{path}: missing or mistyped field {key!r}")
+    if isinstance(doc.get("metrics"), dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(doc["metrics"].get(section), dict):
+                ok = fail(f"{path}: metrics.{section} missing")
+    return ok
+
+
+def check_metrics(path, doc):
+    bench = doc.get("bench")
+    if bench not in SIM_BENCHES:
+        return True
+    counters = doc.get("metrics", {}).get("counters", {})
+    fabric = [k for k in counters if k.startswith("fabric.")]
+    if not fabric:
+        return fail(f"{path}: no fabric.* counters in metrics — "
+                    "registry instrumentation broken?")
+    rts = sum(v for k, v in counters.items() if k.endswith(".round_trips"))
+    if rts <= 0:
+        return fail(f"{path}: fabric round_trips total is {rts}")
+    return True
+
+
+def row_matches(row, match):
+    return all(row.get(k) == v for k, v in match.items())
+
+
+def check_expectations(path, doc):
+    key = (doc.get("bench"), bool(doc.get("quick")))
+    expectations = EXPECTATIONS.get(key)
+    if expectations is None:
+        return True
+    ok = True
+    results = doc.get("results", [])
+    for match, field, expected in expectations:
+        rows = [r for r in results if row_matches(r, match)]
+        if len(rows) != 1:
+            ok = fail(f"{path}: expected exactly one row matching {match}, "
+                      f"found {len(rows)}")
+            continue
+        actual = rows[0].get(field)
+        if not isinstance(actual, (int, float)):
+            ok = fail(f"{path}: row {match} field {field!r} is {actual!r}")
+            continue
+        band = max(ABS_TOL, REL_TOL * abs(expected))
+        if abs(actual - expected) > band:
+            ok = fail(
+                f"{path}: {match} {field} = {actual:.4f}, expected "
+                f"{expected:.4f} +/- {band:.4f} — performance drift; if "
+                "intentional, update scripts/check_bench_json.py")
+        else:
+            print(f"ok: {path}: {match} {field} = {actual:.4f} "
+                  f"(expected {expected:.4f} +/- {band:.4f})")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            ok = fail(f"{path}: {e}")
+            continue
+        for checker in (check_schema, check_metrics, check_expectations):
+            if not checker(path, doc):
+                ok = False
+        if ok:
+            print(f"ok: {path}: schema + metrics valid "
+                  f"(bench={doc.get('bench')}, quick={doc.get('quick')}, "
+                  f"git_sha={doc.get('git_sha')})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

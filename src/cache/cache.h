@@ -7,6 +7,7 @@
 
 #include "common/slice.h"
 #include "dpm/log.h"
+#include "obs/metrics.h"
 
 namespace dinomo {
 namespace cache {
@@ -36,7 +37,9 @@ inline size_t ValueCharge(size_t value_size) {
   return kValueEntryOverhead + value_size;
 }
 
-/// Cumulative statistics of one cache instance.
+/// Snapshot of the cumulative statistics of one cache instance. The live
+/// counts are obs::Counter objects published to the metrics registry (see
+/// CacheMetrics); this plain-value view serves tests and harness code.
 struct CacheStats {
   uint64_t value_hits = 0;
   uint64_t shortcut_hits = 0;
@@ -55,6 +58,41 @@ struct CacheStats {
     const uint64_t h = value_hits + shortcut_hits;
     return h == 0 ? 0.0 : static_cast<double>(value_hits) / h;
   }
+};
+
+/// The registry-published counters behind CacheStats. Each cache instance
+/// owns one, scoped to its position in the cluster (`cache.kn1.w0.*`), so
+/// the registry can aggregate hit/miss traffic across workers while each
+/// instance's stats stay exact.
+struct CacheMetrics {
+  explicit CacheMetrics(obs::Scope scope)
+      : group(std::move(scope)),
+        value_hits(group.counter("value_hits")),
+        shortcut_hits(group.counter("shortcut_hits")),
+        misses(group.counter("misses")),
+        promotions(group.counter("promotions")),
+        demotions(group.counter("demotions")),
+        shortcut_evictions(group.counter("shortcut_evictions")) {}
+
+  obs::MetricGroup group;
+  obs::Counter& value_hits;
+  obs::Counter& shortcut_hits;
+  obs::Counter& misses;
+  obs::Counter& promotions;
+  obs::Counter& demotions;
+  obs::Counter& shortcut_evictions;
+
+  CacheStats snapshot() const {
+    CacheStats s;
+    s.value_hits = value_hits.value();
+    s.shortcut_hits = shortcut_hits.value();
+    s.misses = misses.value();
+    s.promotions = promotions.value();
+    s.demotions = demotions.value();
+    s.shortcut_evictions = shortcut_evictions.value();
+    return s;
+  }
+  void Reset() { group.ResetAll(); }
 };
 
 /// Interface of a KN-side cache policy. One instance per KN worker thread
@@ -108,7 +146,7 @@ class KnCache {
   virtual size_t charge() const = 0;
   virtual size_t capacity() const = 0;
 
-  virtual const CacheStats& stats() const = 0;
+  virtual CacheStats stats() const = 0;
   virtual void ResetStats() = 0;
 
   /// Number of value entries and shortcut entries (diagnostics).

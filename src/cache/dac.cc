@@ -14,7 +14,8 @@ namespace {
 constexpr double kMissEmaAlpha = 0.05;
 }  // namespace
 
-DacCache::DacCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+DacCache::DacCache(size_t capacity_bytes, obs::Scope scope)
+    : capacity_(capacity_bytes), metrics_(std::move(scope)) {}
 
 LookupResult DacCache::Lookup(uint64_t key) {
   LookupResult result;
@@ -22,7 +23,7 @@ LookupResult DacCache::Lookup(uint64_t key) {
   if (vit != values_.end()) {
     TouchValue(key, &vit->second);
     vit->second.hits++;
-    stats_.value_hits++;
+    metrics_.value_hits.Inc();
     result.kind = HitKind::kValueHit;
     result.value = vit->second.value;
     result.ptr = vit->second.ptr;
@@ -31,12 +32,12 @@ LookupResult DacCache::Lookup(uint64_t key) {
   auto sit = shortcuts_.find(key);
   if (sit != shortcuts_.end()) {
     BumpShortcut(key, &sit->second);
-    stats_.shortcut_hits++;
+    metrics_.shortcut_hits.Inc();
     result.kind = HitKind::kShortcutHit;
     result.ptr = sit->second.ptr;
     return result;
   }
-  stats_.misses++;
+  metrics_.misses.Inc();
   return result;
 }
 
@@ -94,7 +95,7 @@ void DacCache::OnShortcutHit(uint64_t key, const Slice& value,
     }
     EraseShortcut(key);
     InsertValueLocked(key, value, ptr, hits);  // inherits access history
-    stats_.promotions++;
+    metrics_.promotions.Inc();
     return;
   }
   sit->second.ptr = ptr;
@@ -213,7 +214,7 @@ size_t DacCache::DemoteLruValue(uint64_t protect_key) {
     // Demoted values stay cached as shortcuts (§4 "DAC"): the pointer is
     // still known, only the bytes are dropped.
     InsertShortcutLocked(victim, ptr, hits);
-    stats_.demotions++;
+    metrics_.demotions.Inc();
     return freed - kShortcutCharge;
   }
   return 0;
@@ -224,7 +225,7 @@ size_t DacCache::EvictLfuShortcut(uint64_t protect_key) {
     const uint64_t victim = it->second;
     if (victim == protect_key) continue;
     EraseShortcut(victim);
-    stats_.shortcut_evictions++;
+    metrics_.shortcut_evictions.Inc();
     return kShortcutCharge;
   }
   return 0;

@@ -34,7 +34,9 @@ namespace cache {
 /// Promoted shortcuts inherit their access counts (§4, "DAC").
 class DacCache final : public KnCache {
  public:
-  explicit DacCache(size_t capacity_bytes);
+  /// `scope` names where the cache's counters publish (default: the
+  /// global registry under "cache.*"); workers pass "cache.kn<id>.w<idx>".
+  explicit DacCache(size_t capacity_bytes, obs::Scope scope = {"cache"});
 
   LookupResult Lookup(uint64_t key) override;
   void AdmitOnMiss(uint64_t key, const Slice& value, dpm::ValuePtr ptr,
@@ -50,8 +52,8 @@ class DacCache final : public KnCache {
 
   size_t charge() const override { return charge_; }
   size_t capacity() const override { return capacity_; }
-  const CacheStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = CacheStats{}; }
+  CacheStats stats() const override { return metrics_.snapshot(); }
+  void ResetStats() override { metrics_.Reset(); }
   size_t value_entries() const override { return values_.size(); }
   size_t shortcut_entries() const override { return shortcuts_.size(); }
 
@@ -111,7 +113,7 @@ class DacCache final : public KnCache {
   std::multimap<uint64_t, uint64_t> lfu_;  // hits -> key, begin() = coldest
 
   double avg_miss_rts_ = 2.0;  // prior: one bucket hop + one value read
-  CacheStats stats_;
+  CacheMetrics metrics_;
 };
 
 }  // namespace cache

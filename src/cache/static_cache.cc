@@ -9,9 +9,11 @@
 namespace dinomo {
 namespace cache {
 
-StaticCache::StaticCache(size_t capacity_bytes, double value_fraction)
+StaticCache::StaticCache(size_t capacity_bytes, double value_fraction,
+                         obs::Scope scope)
     : capacity_(capacity_bytes),
-      value_capacity_(static_cast<size_t>(capacity_bytes * value_fraction)) {
+      value_capacity_(static_cast<size_t>(capacity_bytes * value_fraction)),
+      metrics_(std::move(scope)) {
   DINOMO_CHECK(value_fraction >= 0.0 && value_fraction <= 1.0);
 }
 
@@ -22,7 +24,7 @@ LookupResult StaticCache::Lookup(uint64_t key) {
     value_lru_.erase(vit->second.lru_it);
     value_lru_.push_front(key);
     vit->second.lru_it = value_lru_.begin();
-    stats_.value_hits++;
+    metrics_.value_hits.Inc();
     result.kind = HitKind::kValueHit;
     result.value = vit->second.value;
     result.ptr = vit->second.ptr;
@@ -33,12 +35,12 @@ LookupResult StaticCache::Lookup(uint64_t key) {
     shortcut_lru_.erase(sit->second.lru_it);
     shortcut_lru_.push_front(key);
     sit->second.lru_it = shortcut_lru_.begin();
-    stats_.shortcut_hits++;
+    metrics_.shortcut_hits.Inc();
     result.kind = HitKind::kShortcutHit;
     result.ptr = sit->second.ptr;
     return result;
   }
-  stats_.misses++;
+  metrics_.misses.Inc();
   return result;
 }
 
@@ -117,7 +119,7 @@ void StaticCache::EvictValuesFor(size_t need) {
     DINOMO_CHECK(it != values_.end());
     const dpm::ValuePtr ptr = it->second.ptr;
     EraseValue(victim);
-    stats_.demotions++;
+    metrics_.demotions.Inc();
     // Demote into the shortcut region (if one exists).
     if (shortcut_capacity() >= kShortcutCharge &&
         shortcuts_.count(victim) == 0) {
@@ -130,7 +132,7 @@ void StaticCache::EvictShortcutsFor(size_t need) {
   while (shortcut_charge_ + need > shortcut_capacity() &&
          !shortcut_lru_.empty()) {
     EraseShortcut(shortcut_lru_.back());
-    stats_.shortcut_evictions++;
+    metrics_.shortcut_evictions.Inc();
   }
 }
 

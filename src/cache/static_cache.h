@@ -24,7 +24,10 @@ namespace cache {
 /// (their pointer is still known); shortcut evictions drop the key.
 class StaticCache final : public KnCache {
  public:
-  StaticCache(size_t capacity_bytes, double value_fraction);
+  /// `scope` names where the cache's counters publish (default: the
+  /// global registry under "cache.*"); workers pass "cache.kn<id>.w<idx>".
+  StaticCache(size_t capacity_bytes, double value_fraction,
+              obs::Scope scope = {"cache"});
 
   LookupResult Lookup(uint64_t key) override;
   void AdmitOnMiss(uint64_t key, const Slice& value, dpm::ValuePtr ptr,
@@ -40,8 +43,8 @@ class StaticCache final : public KnCache {
 
   size_t charge() const override { return value_charge_ + shortcut_charge_; }
   size_t capacity() const override { return capacity_; }
-  const CacheStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = CacheStats{}; }
+  CacheStats stats() const override { return metrics_.snapshot(); }
+  void ResetStats() override { metrics_.Reset(); }
   size_t value_entries() const override { return values_.size(); }
   size_t shortcut_entries() const override { return shortcuts_.size(); }
 
@@ -77,7 +80,7 @@ class StaticCache final : public KnCache {
   std::unordered_map<uint64_t, ShortcutEntry> shortcuts_;
   std::list<uint64_t> shortcut_lru_;
 
-  CacheStats stats_;
+  CacheMetrics metrics_;
 };
 
 }  // namespace cache

@@ -31,13 +31,19 @@ constexpr int kLeaseBatch = 32;
 
 }  // namespace
 
-CloverStore::CloverStore(const CloverOptions& options) : options_(options) {
-  pool_ = std::make_unique<pm::PmPool>(options_.pool_size);
+CloverStore::CloverStore(const CloverOptions& options)
+    : options_(options),
+      metrics_(obs::Scope("clover.ms", options.metrics)),
+      ms_rpcs_(metrics_.counter("rpcs")),
+      gc_freed_(metrics_.counter("gc_freed")),
+      ms_cpu_us_(metrics_.gauge("cpu_us")) {
+  pool_ = std::make_unique<pm::PmPool>(options_.pool_size, /*crash_sim=*/false,
+                                       options_.metrics);
   alloc_ = std::make_unique<pm::PmAllocator>(
       pool_.get(), pm::kCacheLineSize,
       options_.pool_size - pm::kCacheLineSize);
-  fabric_ = std::make_unique<net::Fabric>(pool_.get(),
-                                          options_.link_profile);
+  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile,
+                                          options_.metrics);
 }
 
 CloverStore::~CloverStore() = default;
@@ -59,8 +65,8 @@ void CloverStore::EncodeVersion(char* buf, uint64_t key_hash,
 Result<pm::PmPtr> CloverStore::MsLookup(int kn_node, uint64_t key_hash) {
   fabric_->ChargeRpc(kn_node, 16, 16, options_.ms_rpc_cpu_us);
   std::lock_guard<std::mutex> lock(ms_mu_);
-  ms_rpcs_++;
-  ms_cpu_us_ += options_.ms_rpc_cpu_us;
+  ms_rpcs_.Inc();
+  ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
   auto it = chains_.find(key_hash);
   if (it == chains_.end()) return Status::NotFound();
   return it->second;
@@ -70,8 +76,8 @@ Status CloverStore::MsInsert(int kn_node, uint64_t key_hash,
                              pm::PmPtr version) {
   fabric_->ChargeRpc(kn_node, 24, 8, options_.ms_rpc_cpu_us);
   std::lock_guard<std::mutex> lock(ms_mu_);
-  ms_rpcs_++;
-  ms_cpu_us_ += options_.ms_rpc_cpu_us;
+  ms_rpcs_.Inc();
+  ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
   auto [it, inserted] = chains_.emplace(key_hash, version);
   if (!inserted) return Status::Busy("key already exists");
   return Status::Ok();
@@ -81,11 +87,11 @@ Result<pm::PmPtr> CloverStore::MsAllocateVersion(int kn_node, size_t bytes) {
   // Leased in batches: only every kLeaseBatch-th allocation pays the RPC.
   {
     std::lock_guard<std::mutex> lock(ms_mu_);
-    if (ms_rpcs_ % kLeaseBatch == 0) {
+    if (ms_rpcs_.value() % kLeaseBatch == 0) {
       fabric_->ChargeRpc(kn_node, 16, 16, options_.ms_rpc_cpu_us);
-      ms_cpu_us_ += options_.ms_rpc_cpu_us;
+      ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
     }
-    ms_rpcs_++;
+    ms_rpcs_.Inc();
   }
   return alloc_->Alloc(bytes);
 }
@@ -135,7 +141,7 @@ uint64_t CloverStore::RunGcOnce() {
       freed++;
     }
   }
-  gc_freed_ += freed;
+  gc_freed_.Inc(freed);
   return freed;
 }
 
@@ -144,7 +150,9 @@ uint64_t CloverStore::RunGcOnce() {
 CloverKn::CloverKn(CloverStore* store, int fabric_node, size_t cache_bytes)
     : store_(store),
       fabric_node_(fabric_node),
-      cache_(cache_bytes, /*value_fraction=*/0.0) {}
+      cache_(cache_bytes, /*value_fraction=*/0.0,
+             obs::Scope("cache.clover.kn" + std::to_string(fabric_node),
+                        store->options().metrics)) {}
 
 bool CloverKn::ReadVersion(pm::PmPtr raw, uint64_t key_hash,
                            std::string* value, pm::PmPtr* next) {

@@ -34,6 +34,9 @@ struct CloverOptions {
   double cpu_read_us = 6.0;
   double cpu_write_us = 7.0;
   double cpu_miss_us = 8.0;
+  /// Registry the store, its fabric/pool and its KNs publish metrics
+  /// into; nullptr = the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Clover (ATC'20), re-implemented from its architecture as the paper's
@@ -100,23 +103,24 @@ class CloverStore {
 
   /// MS CPU time consumed so far (us) — the DES charges this against the
   /// MS worker pool.
-  double ms_cpu_us() const { return ms_cpu_us_; }
-  uint64_t ms_rpcs() const { return ms_rpcs_; }
-  uint64_t gc_freed() const { return gc_freed_; }
+  double ms_cpu_us() const { return ms_cpu_us_.value(); }
+  uint64_t ms_rpcs() const { return ms_rpcs_.value(); }
+  uint64_t gc_freed() const { return gc_freed_.value(); }
 
  private:
   friend class CloverKn;
 
   CloverOptions options_;
+  obs::MetricGroup metrics_;  // clover.ms.*
+  obs::Counter& ms_rpcs_;
+  obs::Counter& gc_freed_;
+  obs::Gauge& ms_cpu_us_;
   std::unique_ptr<pm::PmPool> pool_;
   std::unique_ptr<pm::PmAllocator> alloc_;
   std::unique_ptr<net::Fabric> fabric_;
 
   std::mutex ms_mu_;
   std::unordered_map<uint64_t, pm::PmPtr> chains_;  // key -> head version
-  double ms_cpu_us_ = 0.0;
-  uint64_t ms_rpcs_ = 0;
-  uint64_t gc_freed_ = 0;
 };
 
 /// One Clover KVS-node worker: shortcut-only cache over the shared store.
@@ -132,7 +136,7 @@ class CloverKn {
   cache::StaticCache* cache() { return &cache_; }
 
   /// Cumulative hit/miss statistics (shared with the cache).
-  const cache::CacheStats& stats() const { return cache_.stats(); }
+  cache::CacheStats stats() const { return cache_.stats(); }
   void ResetStats() { cache_.ResetStats(); }
 
  private:

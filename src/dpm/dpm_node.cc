@@ -48,19 +48,35 @@ struct SegDirEntry {
 
 }  // namespace
 
-DpmNode::DpmNode(const DpmOptions& options) : options_(options) {
-  pool_ = std::make_unique<pm::PmPool>(options_.pool_size, options_.crash_sim);
+DpmNode::DpmNode(const DpmOptions& options)
+    : options_(options),
+      metrics_(obs::Scope("dpm", options.metrics)),
+      segments_allocated_(metrics_.counter("segments_allocated")),
+      segments_gced_(metrics_.counter("segments_gced")),
+      log_batches_(metrics_.counter("log.batches")),
+      log_bytes_(metrics_.counter("log.bytes")),
+      log_puts_(metrics_.counter("log.puts")) {
+  pool_ = std::make_unique<pm::PmPool>(options_.pool_size, options_.crash_sim,
+                                       options_.metrics);
   InitFresh();
 }
 
 DpmNode::DpmNode(const DpmOptions& options, std::unique_ptr<pm::PmPool> pool)
-    : options_(options), pool_(std::move(pool)) {}
+    : options_(options),
+      metrics_(obs::Scope("dpm", options.metrics)),
+      segments_allocated_(metrics_.counter("segments_allocated")),
+      segments_gced_(metrics_.counter("segments_gced")),
+      log_batches_(metrics_.counter("log.batches")),
+      log_bytes_(metrics_.counter("log.bytes")),
+      log_puts_(metrics_.counter("log.puts")),
+      pool_(std::move(pool)) {}
 
 void DpmNode::InitFresh() {
   alloc_ = std::make_unique<pm::PmAllocator>(pool_.get(), pm::kCacheLineSize,
                                              options_.pool_size -
                                                  pm::kCacheLineSize);
-  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile);
+  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile,
+                                          options_.metrics);
 
   auto sb_alloc = alloc_->Alloc(sizeof(Superblock));
   DINOMO_CHECK(sb_alloc.ok());
@@ -83,7 +99,8 @@ void DpmNode::InitFresh() {
 
   alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
   PersistHighWater();
-  merge_ = std::make_unique<MergeService>(this, options_.merge_profile);
+  merge_ = std::make_unique<MergeService>(this, options_.merge_profile,
+                                          options_.metrics);
 }
 
 void DpmNode::PersistHighWater() {
@@ -132,13 +149,15 @@ Status DpmNode::InitRecovered() {
   }
   alloc_ = std::make_unique<pm::PmAllocator>(pool_.get(), resume,
                                              options_.pool_size - resume);
-  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile);
+  fabric_ = std::make_unique<net::Fabric>(pool_.get(), options_.link_profile,
+                                          options_.metrics);
 
   auto idx = index::Clht::Recover(pool_.get(), alloc_.get(),
                                   sb->index_header);
   if (!idx.ok()) return idx.status();
   index_.reset(idx.value());
-  merge_ = std::make_unique<MergeService>(this, options_.merge_profile);
+  merge_ = std::make_unique<MergeService>(this, options_.merge_profile,
+                                          options_.metrics);
   alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
 
   // Rebuild the segment registry from the persistent directory and queue
@@ -164,7 +183,7 @@ Status DpmNode::InitRecovered() {
       std::lock_guard<std::mutex> lock(seg_mu_);
       segments_[base] = info;
       segment_dir_slots_[base] = static_cast<int>(slot);
-      segments_allocated_++;
+      segments_allocated_.Inc();
     }
     if (info.merged_bytes < info.used_bytes) {
       MergeTask task;
@@ -211,7 +230,7 @@ Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
     SegmentInfo info;
     info.owner = owner;
     segments_[base] = info;
-    segments_allocated_++;
+    segments_allocated_.Inc();
   }
   // Segment pre-allocation is a two-sided operation (paper §4: "KNs
   // proactively preallocate log segments for their own use using
@@ -258,6 +277,10 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
     hdr->puts_total = info.puts_total;
     pool_->Persist(segment, sizeof(SegmentPmHeader));
   }
+
+  log_batches_.Inc();
+  log_bytes_.Inc(bytes);
+  log_puts_.Inc(puts);
 
   MergeTask task;
   task.owner = owner;
@@ -408,7 +431,7 @@ void DpmNode::MaybeGcLocked(pm::PmPtr base, SegmentInfo* info) {
   DirectoryRemove(base);
   alloc_->Free(base);
   segments_.erase(base);
-  segments_gced_++;
+  segments_gced_.Inc();
 }
 
 Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
@@ -518,8 +541,8 @@ DpmStats DpmNode::Stats() const {
   DpmStats stats;
   {
     std::lock_guard<std::mutex> lock(seg_mu_);
-    stats.segments_allocated = segments_allocated_;
-    stats.segments_gced = segments_gced_;
+    stats.segments_allocated = segments_allocated_.value();
+    stats.segments_gced = segments_gced_.value();
     stats.live_segments = segments_.size();
   }
   stats.merged_batches = merge_->merged_batches();

@@ -36,6 +36,9 @@ struct DpmOptions {
   net::LinkProfile link_profile;
   /// DPM processor time to serve a segment-allocation RPC, us.
   double alloc_rpc_cpu_us = 3.0;
+  /// Registry the node (and the Fabric, PmPool and MergeService it
+  /// creates) publishes metrics into; nullptr = the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// State of one log segment, tracked at the DPM.
@@ -207,6 +210,12 @@ class DpmNode {
   void MaybeGcLocked(pm::PmPtr base, SegmentInfo* info);
 
   DpmOptions options_;
+  obs::MetricGroup metrics_;  // dpm.*
+  obs::Counter& segments_allocated_;
+  obs::Counter& segments_gced_;
+  obs::Counter& log_batches_;
+  obs::Counter& log_bytes_;
+  obs::Counter& log_puts_;
   std::unique_ptr<pm::PmPool> pool_;
   std::unique_ptr<pm::PmAllocator> alloc_;
   std::unique_ptr<net::Fabric> fabric_;
@@ -218,8 +227,6 @@ class DpmNode {
   mutable std::mutex seg_mu_;
   std::map<pm::PmPtr, SegmentInfo> segments_;  // base -> info
   std::map<pm::PmPtr, int> segment_dir_slots_;  // base -> directory slot
-  uint64_t segments_allocated_ = 0;
-  uint64_t segments_gced_ = 0;
 
   mutable std::mutex shared_mu_;
   std::unordered_map<uint64_t, pm::PmPtr> shared_slots_;  // key -> slot

@@ -7,8 +7,14 @@
 namespace dinomo {
 namespace dpm {
 
-MergeService::MergeService(DpmNode* dpm, MergeProfile profile)
-    : dpm_(dpm), profile_(profile) {}
+MergeService::MergeService(DpmNode* dpm, MergeProfile profile,
+                           obs::MetricsRegistry* registry)
+    : dpm_(dpm),
+      profile_(profile),
+      metrics_(obs::Scope("dpm.merge", registry)),
+      merged_batches_(metrics_.counter("batches")),
+      merged_entries_(metrics_.counter("entries")),
+      merged_cpu_us_(metrics_.gauge("cpu_us")) {}
 
 MergeService::~MergeService() { StopThreads(); }
 
@@ -49,13 +55,10 @@ double MergeService::Execute(const MergeTask& task) {
     entries++;
   }
   DINOMO_CHECK(it.status().ok());
-  merged_entries_.fetch_add(entries, std::memory_order_relaxed);
+  merged_entries_.Inc(entries);
   const double cpu_us = entries * profile_.per_entry_us +
                         static_cast<double>(task.bytes) * profile_.per_byte_us;
-  double cur = merged_cpu_us_.load(std::memory_order_relaxed);
-  while (!merged_cpu_us_.compare_exchange_weak(cur, cur + cpu_us,
-                                               std::memory_order_relaxed)) {
-  }
+  merged_cpu_us_.Add(cpu_us);
   return cpu_us;
 }
 
@@ -70,7 +73,7 @@ void MergeService::Finish(const MergeTask& task) {
     queued_total_--;
     cb = merge_cb_;
   }
-  merged_batches_.fetch_add(1, std::memory_order_relaxed);
+  merged_batches_.Inc();
   work_cv_.notify_one();
   drain_cv_.notify_all();
   if (cb) cb(task.owner);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pm/pm_pool.h"
 
 namespace dinomo {
@@ -60,7 +61,10 @@ struct MergeTask {
 ///    itself and uses the returned CPU time as the server's service time.
 class MergeService {
  public:
-  explicit MergeService(DpmNode* dpm, MergeProfile profile = MergeProfile());
+  /// Merge throughput metrics publish into `registry` (nullptr = the
+  /// global one) under `dpm.merge.*`.
+  explicit MergeService(DpmNode* dpm, MergeProfile profile = MergeProfile(),
+                        obs::MetricsRegistry* registry = nullptr);
   ~MergeService();
 
   MergeService(const MergeService&) = delete;
@@ -107,14 +111,10 @@ class MergeService {
   void StartThreads(int n);
   void StopThreads();
 
-  uint64_t merged_batches() const {
-    return merged_batches_.load(std::memory_order_relaxed);
-  }
-  uint64_t merged_entries() const {
-    return merged_entries_.load(std::memory_order_relaxed);
-  }
+  uint64_t merged_batches() const { return merged_batches_.value(); }
+  uint64_t merged_entries() const { return merged_entries_.value(); }
   /// Total DPM CPU-time charged for merges so far, us.
-  double merged_cpu_us() const { return merged_cpu_us_.load(); }
+  double merged_cpu_us() const { return merged_cpu_us_.value(); }
 
  private:
   struct OwnerQueue {
@@ -137,9 +137,10 @@ class MergeService {
   std::function<void(uint64_t)> merge_cb_;
   std::vector<std::thread> workers_;
 
-  std::atomic<uint64_t> merged_batches_{0};
-  std::atomic<uint64_t> merged_entries_{0};
-  std::atomic<double> merged_cpu_us_{0.0};
+  obs::MetricGroup metrics_;  // dpm.merge.*
+  obs::Counter& merged_batches_;
+  obs::Counter& merged_entries_;
+  obs::Gauge& merged_cpu_us_;
 };
 
 }  // namespace dpm

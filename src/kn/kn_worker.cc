@@ -12,18 +12,26 @@ namespace kn {
 
 namespace {
 
+std::string WorkerPrefix(const char* component, const KnOptions& options,
+                         int worker_idx) {
+  return std::string(component) + ".kn" + std::to_string(options.kn_id) +
+         ".w" + std::to_string(worker_idx);
+}
+
 std::unique_ptr<cache::KnCache> MakeCache(const KnOptions& options,
-                                          size_t bytes) {
+                                          int worker_idx, size_t bytes) {
+  const obs::Scope scope(WorkerPrefix("cache", options, worker_idx),
+                         options.metrics);
   switch (options.policy) {
     case CachePolicyKind::kDac:
-      return std::make_unique<cache::DacCache>(bytes);
+      return std::make_unique<cache::DacCache>(bytes, scope);
     case CachePolicyKind::kShortcutOnly:
-      return std::make_unique<cache::StaticCache>(bytes, 0.0);
+      return std::make_unique<cache::StaticCache>(bytes, 0.0, scope);
     case CachePolicyKind::kValueOnly:
-      return std::make_unique<cache::StaticCache>(bytes, 1.0);
+      return std::make_unique<cache::StaticCache>(bytes, 1.0, scope);
     case CachePolicyKind::kStatic:
       return std::make_unique<cache::StaticCache>(
-          bytes, options.static_value_fraction);
+          bytes, options.static_value_fraction, scope);
   }
   return nullptr;
 }
@@ -39,10 +47,16 @@ Slice HashKeySlice(const uint64_t& key_hash) {
 
 KnWorker::KnWorker(const KnOptions& options, int worker_idx,
                    dpm::DpmNode* dpm)
-    : options_(options), worker_idx_(worker_idx), dpm_(dpm) {
+    : options_(options),
+      worker_idx_(worker_idx),
+      dpm_(dpm),
+      metrics_(obs::Scope(WorkerPrefix("kn", options, worker_idx),
+                          options.metrics)),
+      ops_(metrics_.counter("ops")),
+      op_latency_us_(metrics_.histogram("op_latency_us")) {
   const size_t shard_bytes =
       options_.cache_bytes / std::max(1, options_.num_workers);
-  cache_ = MakeCache(options_, shard_bytes);
+  cache_ = MakeCache(options_, worker_idx, shard_bytes);
   batch_bloom_ = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
 }
 
@@ -56,6 +70,15 @@ void KnWorker::RefreshIndexHandle() {
   index_handle_ =
       TargetIndex()->FetchRemoteHandle(dpm_->fabric(), options_.fabric_node);
   known_index_epoch_ = std::max(known_index_epoch_, index_handle_.epoch);
+}
+
+OpResult KnWorker::Finish(OpResult result) {
+  // Wrong-owner rejections are routing noise, not serviced operations.
+  if (!result.status.IsWrongOwner()) {
+    ops_.Inc();
+    op_latency_us_.Record(result.LatencyUs(dpm_->fabric()->profile()));
+  }
+  return result;
 }
 
 void KnWorker::TrackAccess(uint64_t key_hash) {
@@ -206,7 +229,7 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
   return out;
 }
 
-OpResult KnWorker::Get(const Slice& key) {
+OpResult KnWorker::GetImpl(const Slice& key) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
   const uint64_t key_hash = KeyHash(key);
@@ -413,7 +436,7 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
   return out;
 }
 
-OpResult KnWorker::Put(const Slice& key, const Slice& value) {
+OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
   const uint64_t key_hash = KeyHash(key);
@@ -454,7 +477,7 @@ OpResult KnWorker::Put(const Slice& key, const Slice& value) {
   return out;
 }
 
-OpResult KnWorker::Delete(const Slice& key) {
+OpResult KnWorker::DeleteImpl(const Slice& key) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
   const uint64_t key_hash = KeyHash(key);

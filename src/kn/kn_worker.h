@@ -71,6 +71,10 @@ struct KnOptions {
   double cpu_write_us = 6.0;
   double cpu_batch_flush_us = 3.0;
   double cpu_segment_scan_us = 2.0;
+
+  /// Registry this node's workers (and their caches) publish metrics into;
+  /// nullptr = the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of one key-value operation, including everything the runtime
@@ -143,9 +147,11 @@ class KnWorker {
   }
   const cluster::RoutingTable* routing() const { return routing_.get(); }
 
-  OpResult Get(const Slice& key);
-  OpResult Put(const Slice& key, const Slice& value);
-  OpResult Delete(const Slice& key);
+  OpResult Get(const Slice& key) { return Finish(GetImpl(key)); }
+  OpResult Put(const Slice& key, const Slice& value) {
+    return Finish(PutImpl(key, value));
+  }
+  OpResult Delete(const Slice& key) { return Finish(DeleteImpl(key)); }
 
   /// Flushes any buffered writes (end of a request burst). Returns the
   /// flush cost, zero if nothing was pending.
@@ -207,11 +213,21 @@ class KnWorker {
   OpResult SharedWrite(const Slice& key, const Slice& value,
                        uint64_t key_hash);
 
+  OpResult GetImpl(const Slice& key);
+  OpResult PutImpl(const Slice& key, const Slice& value);
+  OpResult DeleteImpl(const Slice& key);
+
   void TrackAccess(uint64_t key_hash);
+  /// Publishes one finished operation (count + service latency) to the
+  /// metrics registry before handing the result back.
+  OpResult Finish(OpResult result);
 
   KnOptions options_;
   int worker_idx_;
   dpm::DpmNode* dpm_;
+  obs::MetricGroup metrics_;  // kn.kn<id>.w<idx>.*
+  obs::Counter& ops_;
+  obs::HistogramMetric& op_latency_us_;
   std::shared_ptr<const cluster::RoutingTable> routing_;
   std::unique_ptr<cache::KnCache> cache_;
 

@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
 
@@ -11,18 +12,52 @@ namespace {
 thread_local OpCost* t_op_cost = nullptr;
 }  // namespace
 
-Fabric::Fabric(pm::PmPool* pool, LinkProfile profile)
-    : pool_(pool), profile_(profile), counters_(kMaxNodes) {
+Fabric::Fabric(pm::PmPool* pool, LinkProfile profile,
+               obs::MetricsRegistry* registry)
+    : pool_(pool),
+      profile_(profile),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Global()),
+      counters_(kMaxNodes) {
   DINOMO_CHECK(pool != nullptr);
+}
+
+Fabric::~Fabric() {
+  for (NodeMetrics& m : counters_) {
+    if (!m.registered.load(std::memory_order_acquire)) continue;
+    registry_->Unregister(&m.round_trips);
+    registry_->Unregister(&m.wire_bytes);
+    registry_->Unregister(&m.one_sided_reads);
+    registry_->Unregister(&m.one_sided_writes);
+    registry_->Unregister(&m.cas_ops);
+    registry_->Unregister(&m.rpcs);
+  }
 }
 
 void Fabric::SetThreadOpCost(OpCost* cost) { t_op_cost = cost; }
 OpCost* Fabric::ThreadOpCost() { return t_op_cost; }
 
+void Fabric::EnsureRegistered(int node) {
+  NodeMetrics& m = counters_[node];
+  if (m.registered.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(register_mu_);
+  if (m.registered.load(std::memory_order_relaxed)) return;
+  const std::string prefix = "fabric.node" + std::to_string(node) + ".";
+  registry_->RegisterCounter(prefix + "round_trips", &m.round_trips);
+  registry_->RegisterCounter(prefix + "wire_bytes", &m.wire_bytes);
+  registry_->RegisterCounter(prefix + "one_sided_reads", &m.one_sided_reads);
+  registry_->RegisterCounter(prefix + "one_sided_writes",
+                             &m.one_sided_writes);
+  registry_->RegisterCounter(prefix + "cas_ops", &m.cas_ops);
+  registry_->RegisterCounter(prefix + "rpcs", &m.rpcs);
+  m.registered.store(true, std::memory_order_release);
+}
+
 void Fabric::Charge(int node, uint32_t rts, uint64_t bytes) {
   DINOMO_CHECK(node >= 0 && node < kMaxNodes);
-  counters_[node].round_trips.fetch_add(rts, std::memory_order_relaxed);
-  counters_[node].wire_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  EnsureRegistered(node);
+  counters_[node].round_trips.Inc(rts);
+  counters_[node].wire_bytes.Inc(bytes);
   if (t_op_cost != nullptr) {
     t_op_cost->round_trips += rts;
     t_op_cost->wire_bytes += bytes;
@@ -32,8 +67,8 @@ void Fabric::Charge(int node, uint32_t rts, uint64_t bytes) {
 void Fabric::Read(int node, pm::PmPtr src, void* dst, size_t len) {
   DINOMO_CHECK(pool_->Contains(src, len));
   std::memcpy(dst, pool_->Translate(src), len);
-  counters_[node].one_sided_reads.fetch_add(1, std::memory_order_relaxed);
   Charge(node, 1, len);
+  counters_[node].one_sided_reads.Inc();
 }
 
 void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len) {
@@ -44,8 +79,8 @@ void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len) {
   // part of the single round trip, so committed log batches survive the
   // crash simulator.
   pool_->Persist(dst, len);
-  counters_[node].one_sided_writes.fetch_add(1, std::memory_order_relaxed);
   Charge(node, 1, len);
+  counters_[node].one_sided_writes.Inc();
 }
 
 bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
@@ -53,8 +88,8 @@ bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
   DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
   DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
   auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
-  counters_[node].cas_ops.fetch_add(1, std::memory_order_relaxed);
   Charge(node, 1, sizeof(uint64_t));
+  counters_[node].cas_ops.Inc();
   uint64_t exp = expected;
   const bool swapped =
       std::atomic_ref<uint64_t>(*target).compare_exchange_strong(
@@ -75,46 +110,55 @@ void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value) {
   DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
   DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
   auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
-  counters_[node].one_sided_writes.fetch_add(1, std::memory_order_relaxed);
   Charge(node, 1, sizeof(uint64_t));
+  counters_[node].one_sided_writes.Inc();
   std::atomic_ref<uint64_t>(*target).store(value, std::memory_order_release);
   pool_->Persist(addr, sizeof(uint64_t));
 }
 
 void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
                        double dpm_cpu_us) {
-  counters_[node].rpcs.fetch_add(1, std::memory_order_relaxed);
   Charge(node, 1, req_bytes + resp_bytes);
+  counters_[node].rpcs.Inc();
   if (t_op_cost != nullptr) {
     t_op_cost->dpm_cpu_us += dpm_cpu_us;
     t_op_cost->extra_latency_us += profile_.rpc_extra_us;
   }
 }
 
+Fabric::NodeCounters Fabric::counters(int node) const {
+  DINOMO_CHECK(node >= 0 && node < kMaxNodes);
+  const NodeMetrics& m = counters_[node];
+  NodeCounters c;
+  c.round_trips = m.round_trips.value();
+  c.wire_bytes = m.wire_bytes.value();
+  c.one_sided_reads = m.one_sided_reads.value();
+  c.one_sided_writes = m.one_sided_writes.value();
+  c.cas_ops = m.cas_ops.value();
+  c.rpcs = m.rpcs.value();
+  return c;
+}
+
 uint64_t Fabric::TotalRoundTrips() const {
   uint64_t total = 0;
-  for (const auto& c : counters_) {
-    total += c.round_trips.load(std::memory_order_relaxed);
-  }
+  for (const NodeMetrics& m : counters_) total += m.round_trips.value();
   return total;
 }
 
 uint64_t Fabric::TotalWireBytes() const {
   uint64_t total = 0;
-  for (const auto& c : counters_) {
-    total += c.wire_bytes.load(std::memory_order_relaxed);
-  }
+  for (const NodeMetrics& m : counters_) total += m.wire_bytes.value();
   return total;
 }
 
 void Fabric::ResetCounters() {
-  for (auto& c : counters_) {
-    c.round_trips.store(0, std::memory_order_relaxed);
-    c.wire_bytes.store(0, std::memory_order_relaxed);
-    c.one_sided_reads.store(0, std::memory_order_relaxed);
-    c.one_sided_writes.store(0, std::memory_order_relaxed);
-    c.cas_ops.store(0, std::memory_order_relaxed);
-    c.rpcs.store(0, std::memory_order_relaxed);
+  for (NodeMetrics& m : counters_) {
+    m.round_trips.Reset();
+    m.wire_bytes.Reset();
+    m.one_sided_reads.Reset();
+    m.one_sided_writes.Reset();
+    m.cas_ops.Reset();
+    m.rpcs.Reset();
   }
 }
 

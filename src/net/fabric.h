@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pm/pm_pool.h"
 
 namespace dinomo {
@@ -63,7 +65,12 @@ class Fabric {
  public:
   static constexpr int kMaxNodes = 64;
 
-  Fabric(pm::PmPool* pool, LinkProfile profile = LinkProfile{});
+  /// Traffic counters publish into `registry` (nullptr = the global one)
+  /// under `fabric.node<N>.<metric>`; pass a private registry to isolate
+  /// an experiment.
+  Fabric(pm::PmPool* pool, LinkProfile profile = LinkProfile{},
+         obs::MetricsRegistry* registry = nullptr);
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -102,30 +109,48 @@ class Fabric {
   static void SetThreadOpCost(OpCost* cost);
   static OpCost* ThreadOpCost();
 
-  /// Cumulative traffic counters for one initiating node.
+  /// Snapshot of the cumulative traffic one initiating node generated.
+  /// The live counters themselves are obs::Counter objects published to
+  /// the metrics registry (`fabric.node<N>.round_trips`, ...); this is a
+  /// plain-value view for tests and harness code.
   struct NodeCounters {
-    std::atomic<uint64_t> round_trips{0};
-    std::atomic<uint64_t> wire_bytes{0};
-    std::atomic<uint64_t> one_sided_reads{0};
-    std::atomic<uint64_t> one_sided_writes{0};
-    std::atomic<uint64_t> cas_ops{0};
-    std::atomic<uint64_t> rpcs{0};
+    uint64_t round_trips = 0;
+    uint64_t wire_bytes = 0;
+    uint64_t one_sided_reads = 0;
+    uint64_t one_sided_writes = 0;
+    uint64_t cas_ops = 0;
+    uint64_t rpcs = 0;
   };
 
-  const NodeCounters& counters(int node) const { return counters_[node]; }
+  NodeCounters counters(int node) const;
 
   uint64_t TotalRoundTrips() const;
   uint64_t TotalWireBytes() const;
 
-  /// Zeroes all per-node counters (between experiment phases).
+  /// Zeroes this fabric's per-node counters (between experiment phases).
   void ResetCounters();
 
  private:
+  /// Live counters for one initiating node, registered with the metrics
+  /// registry the first time the node touches the fabric.
+  struct NodeMetrics {
+    obs::Counter round_trips;
+    obs::Counter wire_bytes;
+    obs::Counter one_sided_reads;
+    obs::Counter one_sided_writes;
+    obs::Counter cas_ops;
+    obs::Counter rpcs;
+    std::atomic<bool> registered{false};
+  };
+
+  void EnsureRegistered(int node);
   void Charge(int node, uint32_t rts, uint64_t bytes);
 
   pm::PmPool* pool_;
   LinkProfile profile_;
-  std::vector<NodeCounters> counters_;
+  obs::MetricsRegistry* registry_;
+  std::mutex register_mu_;
+  std::vector<NodeMetrics> counters_;
 };
 
 /// RAII scope installing an OpCost accumulator on the current thread.

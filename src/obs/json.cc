@@ -1,0 +1,345 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dinomo {
+namespace obs {
+
+Json& Json::Set(const std::string& key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void FormatNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; emit null so parsers do not choke.
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  // Integers (the common case: counters) print without a fraction; other
+  // values print with enough digits to round-trip exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      FormatNumber(num_, out);
+      break;
+    case Type::kString:
+      EscapeString(str_, out);
+      break;
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Newline(out, indent, depth + 1);
+        EscapeString(k, out);
+        out->append(indent > 0 ? ": " : ":");
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& v : elements_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Newline(out, indent, depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!first) Newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ----- Parser (recursive descent) -----
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string err;
+
+  bool Fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      pos++;
+    }
+  }
+
+  bool Peek(char* c) {
+    SkipWs();
+    if (pos >= text.size()) return false;
+    *c = text[pos];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    char c;
+    if (!Peek(&c) || c != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    pos++;
+    return true;
+  }
+
+  bool ParseValue(Json* out);
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return Fail("truncated escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Fail("bad \\u escape");
+            }
+            // Metrics names and bench configs are ASCII; encode the BMP
+            // code point as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return Fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+};
+
+bool Parser::ParseValue(Json* out) {
+  char c;
+  if (!Peek(&c)) return Fail("unexpected end of input");
+  switch (c) {
+    case '{': {
+      pos++;
+      *out = Json::Object();
+      char n;
+      if (Peek(&n) && n == '}') {
+        pos++;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->Set(key, std::move(value));
+        if (!Peek(&n)) return Fail("unterminated object");
+        if (n == ',') {
+          pos++;
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    case '[': {
+      pos++;
+      *out = Json::Array();
+      char n;
+      if (Peek(&n) && n == ']') {
+        pos++;
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->Append(std::move(value));
+        if (!Peek(&n)) return Fail("unterminated array");
+        if (n == ',') {
+          pos++;
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    case '"': {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    case 't':
+      if (!ParseLiteral("true")) return false;
+      *out = Json(true);
+      return true;
+    case 'f':
+      if (!ParseLiteral("false")) return false;
+      *out = Json(false);
+      return true;
+    case 'n':
+      if (!ParseLiteral("null")) return false;
+      *out = Json();
+      return true;
+    default: {
+      SkipWs();
+      char* end = nullptr;
+      std::string buf(text.substr(pos, 64));
+      const double v = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str()) return Fail("bad number");
+      pos += end - buf.c_str();
+      *out = Json(v);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::Parse(std::string_view text, Json* out, std::string* err) {
+  Parser p{text, 0, {}};
+  if (!p.ParseValue(out)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    if (err != nullptr) {
+      *err = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace dinomo

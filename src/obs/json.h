@@ -1,0 +1,103 @@
+#ifndef DINOMO_OBS_JSON_H_
+#define DINOMO_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dinomo {
+namespace obs {
+
+/// Minimal JSON document model used by the metrics exporter and the bench
+/// harnesses (`--json_out`). Self-contained on purpose: the container has
+/// no JSON library and the exported files must be producible and parseable
+/// (snapshot round-tripping) without new dependencies.
+///
+/// Objects preserve insertion order, so dumps are deterministic and diffs
+/// of BENCH_*.json files stay readable.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned v) : type_(Type::kNumber), num_(v) {}
+  Json(unsigned long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  double AsDouble(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? num_ : fallback;
+  }
+  uint64_t AsUint64(uint64_t fallback = 0) const {
+    return type_ == Type::kNumber && num_ >= 0
+               ? static_cast<uint64_t>(num_)
+               : fallback;
+  }
+  bool AsBool(bool fallback = false) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  const std::string& AsString() const { return str_; }
+
+  /// Object: sets (or replaces) a member. Returns *this for chaining.
+  Json& Set(const std::string& key, Json value);
+  /// Object: member lookup; nullptr if absent or not an object.
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Array: appends an element.
+  Json& Append(Json value);
+  size_t size() const { return elements_.size(); }
+  const Json& at(size_t i) const { return elements_[i]; }
+  const std::vector<Json>& elements() const { return elements_; }
+
+  /// Serializes. indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses `text` into *out. On failure returns false and, if `err` is
+  /// non-null, a one-line description with the byte offset.
+  static bool Parse(std::string_view text, Json* out,
+                    std::string* err = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;  // object
+  std::vector<Json> elements_;                         // array
+};
+
+}  // namespace obs
+}  // namespace dinomo
+
+#endif  // DINOMO_OBS_JSON_H_

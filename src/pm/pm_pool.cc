@@ -12,7 +12,12 @@ PmPool::AlignedBuffer PmPool::AllocateAligned(size_t capacity) {
   return AlignedBuffer(raw);
 }
 
-PmPool::PmPool(size_t capacity, bool crash_sim) : capacity_(capacity) {
+PmPool::PmPool(size_t capacity, bool crash_sim,
+               obs::MetricsRegistry* registry)
+    : capacity_(capacity),
+      metrics_(obs::Scope("pm", registry)),
+      persist_count_(metrics_.counter("persist_calls")),
+      persisted_bytes_(metrics_.counter("persist_bytes")) {
   DINOMO_CHECK(capacity >= kCacheLineSize);
   base_ = AllocateAligned(capacity_);
   if (crash_sim) {
@@ -31,13 +36,12 @@ void PmPool::DCHECK_VALID(PmPtr p) const {
 
 void PmPool::Persist(PmPtr p, size_t len) {
   DINOMO_CHECK(Contains(p, len));
-  persist_count_.fetch_add(1, std::memory_order_relaxed);
+  persist_count_.Inc();
   // Round out to whole cache lines, as CLWB flushes full lines.
   const PmPtr line_start = p & ~(kCacheLineSize - 1);
   const PmPtr line_end =
       (p + len + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
-  persisted_bytes_.fetch_add(line_end - line_start,
-                             std::memory_order_relaxed);
+  persisted_bytes_.Inc(line_end - line_start);
   if (durable_ != nullptr) {
     std::memcpy(durable_.get() + line_start, base_.get() + line_start,
                 line_end - line_start);

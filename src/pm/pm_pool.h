@@ -1,13 +1,13 @@
 #ifndef DINOMO_PM_PM_POOL_H_
 #define DINOMO_PM_PM_POOL_H_
 
-#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <new>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace dinomo {
 namespace pm {
@@ -39,8 +39,11 @@ inline constexpr size_t kCacheLineSize = 64;
 class PmPool {
  public:
   /// Creates a pool of `capacity` bytes. If `crash_sim` is true, a durable
-  /// shadow image is maintained (doubling memory use).
-  explicit PmPool(size_t capacity, bool crash_sim = false);
+  /// shadow image is maintained (doubling memory use). Persist traffic
+  /// publishes into `registry` (nullptr = the global one) as
+  /// `pm.persist_calls` / `pm.persist_bytes`.
+  explicit PmPool(size_t capacity, bool crash_sim = false,
+                  obs::MetricsRegistry* registry = nullptr);
   ~PmPool();
 
   PmPool(const PmPool&) = delete;
@@ -85,13 +88,9 @@ class PmPool {
   Status SimulateCrash();
 
   /// Number of Persist calls (flush+fence pairs) since construction.
-  uint64_t persist_count() const {
-    return persist_count_.load(std::memory_order_relaxed);
-  }
+  uint64_t persist_count() const { return persist_count_.value(); }
   /// Total bytes covered by Persist calls.
-  uint64_t persisted_bytes() const {
-    return persisted_bytes_.load(std::memory_order_relaxed);
-  }
+  uint64_t persisted_bytes() const { return persisted_bytes_.value(); }
 
  private:
 #ifdef NDEBUG
@@ -110,8 +109,9 @@ class PmPool {
   size_t capacity_;
   AlignedBuffer base_;
   AlignedBuffer durable_;  // null unless crash_sim
-  std::atomic<uint64_t> persist_count_{0};
-  std::atomic<uint64_t> persisted_bytes_{0};
+  obs::MetricGroup metrics_;  // pm.*
+  obs::Counter& persist_count_;
+  obs::Counter& persisted_bytes_;
 };
 
 }  // namespace pm

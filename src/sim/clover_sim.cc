@@ -10,9 +10,17 @@ namespace sim {
 
 CloverSim::CloverSim(const CloverSimOptions& options)
     : options_(options),
+      metrics_(obs::Scope("sim.clover", options.metrics)),
+      op_latency_us_(metrics_.histogram("op_latency_us")),
+      throughput_mops_(metrics_.gauge("throughput_mops")),
+      link_utilization_(metrics_.gauge("link.utilization")),
+      ms_utilization_(metrics_.gauge("ms_pool.utilization")),
       link_(options.clover.link_profile.bandwidth_gbps),
       ms_pool_(options.clover.ms_workers),
       windows_(options.stats_window_us) {
+  if (options_.metrics != nullptr) {
+    options_.clover.metrics = options_.metrics;
+  }
   store_ = std::make_unique<clover::CloverStore>(options_.clover);
   for (int i = 0; i < options_.num_kns; ++i) {
     auto kn_sim = std::make_unique<KnSim>();
@@ -73,6 +81,10 @@ void CloverSim::Run(double duration_us, double warmup_us) {
     }
   }
   engine_.RunUntil(run_until_);
+  const double elapsed = engine_.now_us();
+  throughput_mops_.Set(ThroughputMops());
+  link_utilization_.Set(link_.Utilization(elapsed));
+  ms_utilization_.Set(ms_pool_.Utilization(elapsed));
 }
 
 void CloverSim::GcTick() {
@@ -168,6 +180,7 @@ void CloverSim::CompleteOp(int stream_idx, double issue_time,
   windows_.Record(finish, latency);
   if (finish >= warmup_until_) {
     run_latency_.Add(latency);
+    op_latency_us_.Record(latency);
     completed_after_warmup_++;
   }
   IssueNext(stream_idx);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "clover/clover.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "workload/ycsb.h"
 
@@ -30,6 +31,10 @@ struct CloverSimOptions {
   /// in < 68 ms).
   double membership_update_us = 68e3;
   uint64_t seed = 42;
+
+  /// Registry the sim and the Clover store/KNs publish metrics into;
+  /// nullptr = the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The Clover baseline under the discrete-event engine. Shared-everything:
@@ -92,6 +97,11 @@ class CloverSim {
   void GcTick();
 
   CloverSimOptions options_;
+  obs::MetricGroup metrics_;  // sim.clover.*
+  obs::HistogramMetric& op_latency_us_;
+  obs::Gauge& throughput_mops_;
+  obs::Gauge& link_utilization_;
+  obs::Gauge& ms_utilization_;
   Engine engine_;
   std::unique_ptr<clover::CloverStore> store_;
   LinkModel link_;

@@ -25,6 +25,11 @@ constexpr double kMigrateUsPerByte = 1.0 / 180.0;
 
 DinomoSim::DinomoSim(const DinomoSimOptions& options)
     : options_(options),
+      metrics_(obs::Scope("sim.dinomo", options.metrics)),
+      op_latency_us_(metrics_.histogram("op_latency_us")),
+      throughput_mops_(metrics_.gauge("throughput_mops")),
+      link_utilization_(metrics_.gauge("link.utilization")),
+      dpm_utilization_(metrics_.gauge("dpm_pool.utilization")),
       routing_(options.kn.num_workers),
       policy_(options.policy),
       link_(options.dpm.link_profile.bandwidth_gbps),
@@ -36,6 +41,10 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
   }
   if (options_.variant == SystemVariant::kDinomoS) {
     options_.kn.policy = kn::CachePolicyKind::kShortcutOnly;
+  }
+  if (options_.metrics != nullptr) {
+    options_.dpm.metrics = options_.metrics;
+    options_.kn.metrics = options_.metrics;
   }
   dpm_ = std::make_unique<dpm::DpmNode>(options_.dpm);
   dpm_->merge()->SetMergeCallback(
@@ -148,6 +157,10 @@ void DinomoSim::Run(double duration_us, double warmup_us) {
     }
   }
   engine_.RunUntil(run_until_);
+  const double elapsed = engine_.now_us();
+  throughput_mops_.Set(ThroughputMops());
+  link_utilization_.Set(link_.Utilization(elapsed));
+  dpm_utilization_.Set(dpm_pool_.Utilization(elapsed));
 }
 
 void DinomoSim::IssueNext(int stream_idx) {
@@ -256,6 +269,7 @@ void DinomoSim::CompleteOp(int stream_idx, double issue_time,
   epoch_latency_.Add(latency);
   if (finish >= warmup_until_) {
     run_latency_.Add(latency);
+    op_latency_us_.Record(latency);
     completed_after_warmup_++;
   }
   IssueNext(stream_idx);

@@ -12,6 +12,7 @@
 #include "dpm/dpm_node.h"
 #include "kn/kn_worker.h"
 #include "mnode/policy.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "workload/ycsb.h"
 
@@ -45,6 +46,11 @@ struct DinomoSimOptions {
   double mnode_epoch_us = 1e6;
 
   uint64_t seed = 42;
+
+  /// Registry the sim — and every component it creates (DPM node, fabric,
+  /// PM pool, merge service, KN workers, caches) — publishes metrics
+  /// into; nullptr = the process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The paper's DINOMO / DINOMO-S / DINOMO-N systems under the
@@ -154,6 +160,11 @@ class DinomoSim {
   mnode::ClusterMetrics CollectEpochMetrics();
 
   DinomoSimOptions options_;
+  obs::MetricGroup metrics_;  // sim.dinomo.*
+  obs::HistogramMetric& op_latency_us_;
+  obs::Gauge& throughput_mops_;
+  obs::Gauge& link_utilization_;
+  obs::Gauge& dpm_utilization_;
   Engine engine_;
   std::unique_ptr<dpm::DpmNode> dpm_;
   cluster::RoutingService routing_;

@@ -141,9 +141,9 @@ TEST(DpmNodeTest, SubmitValidatesBounds) {
 
 TEST(DpmNodeTest, SegmentAllocationChargesRpc) {
   DpmNode dpm(SmallOptions());
-  auto before = dpm.fabric()->counters(3).rpcs.load();
+  auto before = dpm.fabric()->counters(3).rpcs;
   ASSERT_TRUE(dpm.AllocateSegment(3, 1).ok());
-  EXPECT_EQ(dpm.fabric()->counters(3).rpcs.load(), before + 1);
+  EXPECT_EQ(dpm.fabric()->counters(3).rpcs, before + 1);
 }
 
 TEST(DpmNodeTest, UnmergedSegmentTrackingAndDrain) {
@@ -228,8 +228,8 @@ TEST(DpmNodeTest, MergeCallbackFires) {
   TestWriter w{&dpm, 0, 9};
   w.Put("k", "v");
   ASSERT_TRUE(dpm.merge()->DrainAll().ok());
-  EXPECT_EQ(calls.load(), 1);
-  EXPECT_EQ(last_owner.load(), 9u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last_owner, 9u);
 }
 
 // ----- Indirect pointers (selective replication substrate) -----

@@ -143,7 +143,9 @@ TEST(DpmRecoveryTest, ReplayIsIdempotentAcrossPartialMerges) {
                            "r" + std::to_string(round))
                       .status.ok());
     }
-    if (round % 3 == 0) ASSERT_TRUE(node->merge()->DrainAll().ok());
+    if (round % 3 == 0) {
+      ASSERT_TRUE(node->merge()->DrainAll().ok());
+    }
   }
   ASSERT_TRUE(worker.FlushWrites().status.ok());
 

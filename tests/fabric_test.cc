@@ -33,10 +33,10 @@ TEST_F(FabricTest, ChargesOneRoundTripPerOp) {
   char buf[64] = {};
   fabric_.Read(1, 64, buf, 64);
   fabric_.Write(1, buf, 128, 64);
-  EXPECT_EQ(fabric_.counters(1).round_trips.load(), 2u);
-  EXPECT_EQ(fabric_.counters(1).wire_bytes.load(), 128u);
-  EXPECT_EQ(fabric_.counters(1).one_sided_reads.load(), 1u);
-  EXPECT_EQ(fabric_.counters(1).one_sided_writes.load(), 1u);
+  EXPECT_EQ(fabric_.counters(1).round_trips, 2u);
+  EXPECT_EQ(fabric_.counters(1).wire_bytes, 128u);
+  EXPECT_EQ(fabric_.counters(1).one_sided_reads, 1u);
+  EXPECT_EQ(fabric_.counters(1).one_sided_writes, 1u);
 }
 
 TEST_F(FabricTest, PerNodeCountersAreIndependent) {
@@ -44,8 +44,8 @@ TEST_F(FabricTest, PerNodeCountersAreIndependent) {
   fabric_.Read(2, 64, buf, 8);
   fabric_.Read(3, 64, buf, 8);
   fabric_.Read(3, 64, buf, 8);
-  EXPECT_EQ(fabric_.counters(2).round_trips.load(), 1u);
-  EXPECT_EQ(fabric_.counters(3).round_trips.load(), 2u);
+  EXPECT_EQ(fabric_.counters(2).round_trips, 1u);
+  EXPECT_EQ(fabric_.counters(3).round_trips, 2u);
   EXPECT_EQ(fabric_.TotalRoundTrips(), 3u);
 }
 
@@ -121,7 +121,7 @@ TEST_F(FabricTest, RpcChargesDpmCpuAndExtraLatency) {
   EXPECT_EQ(cost.wire_bytes, 300u);
   EXPECT_DOUBLE_EQ(cost.dpm_cpu_us, 5.0);
   EXPECT_GT(cost.extra_latency_us, 0.0);
-  EXPECT_EQ(fabric_.counters(0).rpcs.load(), 1u);
+  EXPECT_EQ(fabric_.counters(0).rpcs, 1u);
 }
 
 TEST_F(FabricTest, LatencyModelComposesRtsAndBytes) {
@@ -141,7 +141,7 @@ TEST_F(FabricTest, ResetCountersZeroesEverything) {
   fabric_.ResetCounters();
   EXPECT_EQ(fabric_.TotalRoundTrips(), 0u);
   EXPECT_EQ(fabric_.TotalWireBytes(), 0u);
-  EXPECT_EQ(fabric_.counters(1).rpcs.load(), 0u);
+  EXPECT_EQ(fabric_.counters(1).rpcs, 0u);
 }
 
 TEST_F(FabricTest, TransferTimeScalesWithBytes) {

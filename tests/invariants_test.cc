@@ -210,8 +210,12 @@ TEST_P(WorkerModelTest, RandomOpsMatchInMemoryModel) {
       }
     }
     // Periodically churn the machinery.
-    if (i % 97 == 0) ASSERT_TRUE(worker.FlushWrites().status.ok());
-    if (i % 211 == 0) ASSERT_TRUE(dpm.merge()->DrainAll().ok());
+    if (i % 97 == 0) {
+      ASSERT_TRUE(worker.FlushWrites().status.ok());
+    }
+    if (i % 211 == 0) {
+      ASSERT_TRUE(dpm.merge()->DrainAll().ok());
+    }
     if (i % 503 == 0) worker.cache()->Clear();
   }
   // Final sweep.

@@ -103,12 +103,12 @@ TEST_F(KnWorkerTest, DeleteMakesKeyNotFound) {
 }
 
 TEST_F(KnWorkerTest, BatchFlushesAtOpThreshold) {
-  const uint64_t before = dpm_.fabric()->counters(1).one_sided_writes.load();
+  const uint64_t before = dpm_.fabric()->counters(1).one_sided_writes;
   for (int i = 0; i < 4; ++i) {  // batch_max_ops = 4
     ASSERT_TRUE(
         worker_->Put("key" + std::to_string(i), "value").status.ok());
   }
-  const uint64_t after = dpm_.fabric()->counters(1).one_sided_writes.load();
+  const uint64_t after = dpm_.fabric()->counters(1).one_sided_writes;
   // Exactly one one-sided batch write for the 4 puts (§3.6).
   EXPECT_EQ(after - before, 1u);
   EXPECT_GT(dpm_.merge()->TotalPendingBatches(), 0u);
