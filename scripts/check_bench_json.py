@@ -40,6 +40,17 @@ EXPECTATIONS = {
     ],
 }
 
+# PM crash-consistency checker violation counters (src/pm/pm_checker.*).
+# When a bench runs with the checker attached (DINOMO_PM_CHECK build or
+# env var) these flow into the metrics snapshot automatically; any
+# non-zero value is a persist-ordering bug in the bench workload path.
+PM_VIOLATION_COUNTERS = (
+    "pm.check.violations",
+    "pm.check.dirty_at_publication",
+    "pm.check.redundant_flush",
+    "pm.check.persist_before_write",
+)
+
 # Benches that drive the simulators; their metrics section must carry
 # fabric traffic (proof that the registry wiring stayed intact).
 SIM_BENCHES = {
@@ -84,6 +95,26 @@ def check_metrics(path, doc):
     if rts <= 0:
         return fail(f"{path}: fabric round_trips total is {rts}")
     return True
+
+
+def check_pm_checker(path, doc):
+    counters = doc.get("metrics", {}).get("counters", {})
+    if not isinstance(counters, dict):
+        return True  # schema check already failed this report
+    tracked = counters.get("pm.check.tracked_stores")
+    ok = True
+    for name in PM_VIOLATION_COUNTERS:
+        value = counters.get(name, 0)
+        if isinstance(value, (int, float)) and value > 0:
+            ok = fail(
+                f"{path}: PM checker counter {name} = {value} — "
+                "persist-ordering violation on the bench workload path; "
+                "reproduce with DINOMO_PM_CHECK=1 and read the "
+                "PmChecker::Report() output")
+    if ok and tracked is not None:
+        print(f"ok: {path}: PM checker clean "
+              f"({int(tracked)} tracked stores, 0 violations)")
+    return ok
 
 
 def row_matches(row, match):
@@ -131,7 +162,8 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             ok = fail(f"{path}: {e}")
             continue
-        for checker in (check_schema, check_metrics, check_expectations):
+        for checker in (check_schema, check_metrics, check_pm_checker,
+                        check_expectations):
             if not checker(path, doc):
                 ok = False
         if ok:

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Static lint for raw stores to emulated persistent memory.
+
+Usage: pm_lint.py [file.cc ...]        (default: all .cc files under src/)
+
+The PM discipline in this repo (DESIGN.md, "Persistence ordering rules")
+is that durable state is written through the typed PmPool store API
+(Store/StoreBytes/StoreRelease64/CompareExchange64) followed by
+Persist/PersistPublish. Raw writes through `Translate()`-derived pointers
+bypass both the crash simulator's durability tracking and the runtime
+PmChecker (which demotes such lines to "untracked"), so they are only
+legitimate for deliberately-volatile state (lock words, allocator
+metadata, GC hints) that recovery rebuilds from scratch.
+
+This lint flags, per function:
+
+  * memcpy/memmove/memset whose *destination* argument comes from
+    `Translate(`;
+  * assignments through a pointer variable initialised from
+    `Translate(` (`var->field = ...`, `*var = ...`);
+  * assignments directly through a `Translate(...)` expression;
+
+unless the enclosing function also calls Persist/PersistAddr/
+PersistPublish/PersistPublishAddr (then the raw write is assumed to be
+covered by the function's own persist barrier — the runtime checker
+verifies the actual ordering), or the statement carries a suppression:
+
+    hdr->magic = kMagicFree;  // pm-lint: allow(volatile allocator metadata)
+
+An `allow(...)` comment on any line of the flagged statement or on the
+line directly above it suppresses the finding. An `allow(...)` on the
+declaration that derives the pointer blesses *that variable* for the
+rest of the function.
+
+Function extents are recognised with column-zero heuristics (Google
+style: signature starts at column 0, closing brace at column 0), which
+is exact for this codebase's .cc files. `src/pm/pm_pool.*` and
+`src/pm/pm_checker.*` implement the store API itself and are excluded.
+
+Exits 1 if any finding survives suppression.
+"""
+
+import os
+import re
+import sys
+
+EXCLUDED_BASENAMES = ("pm_pool", "pm_checker")
+
+ALLOW_MARK = "pm-lint: allow("
+
+PERSIST_RE = re.compile(r"\bPersist(?:Addr|Publish|PublishAddr)?\s*\(")
+
+# Column-0 lines that start constructs which are not function definitions.
+NON_FUNC_KEYWORDS = (
+    "namespace", "class", "struct", "enum", "union", "using", "typedef",
+    "extern", "template", "static_assert", "public", "private", "protected",
+    "#", "//", "/*", "}", "{",
+)
+
+MEM_DST_RE = re.compile(r"\bmem(?:cpy|move|set)\s*\(\s*([^,]*)")
+TRANSLATE_RE = re.compile(r"\bTranslate\s*\(")
+# `lhs = ...Translate(...)` (declaration or assignment deriving a pointer).
+DERIVE_RE = re.compile(r"(?:\*|\&|\b)\s*([A-Za-z_]\w*)\s*=[^=;]*\bTranslate\s*\(")
+# Assignment through a Translate() expression in the same statement:
+#   *reinterpret_cast<T*>(pool->Translate(p)) = v;
+DIRECT_WRITE_RE = re.compile(r"\bTranslate\s*\([^;]*\)\s*(?:\))*\s*=(?!=)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; bail at line end
+                    break
+                i += 1
+            i += 1
+            out.append(quote + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def find_functions(stripped_lines):
+    """Yields (start_line, end_line) 1-based inclusive body extents."""
+    i = 0
+    n = len(stripped_lines)
+    while i < n:
+        line = stripped_lines[i]
+        if not line or line[0] in " \t":
+            i += 1
+            continue
+        word = line.lstrip().split("(")[0].split()[0] if line.strip() else ""
+        if any(line.startswith(k) for k in NON_FUNC_KEYWORDS) or \
+           word in ("if", "for", "while", "switch", "return", "DINOMO_CHECK"):
+            i += 1
+            continue
+        # Join lines until we hit '{' (definition) or ';' (declaration).
+        j = i
+        sig = ""
+        opened = False
+        while j < n:
+            sig += stripped_lines[j] + "\n"
+            if "{" in stripped_lines[j]:
+                opened = True
+                break
+            if ";" in stripped_lines[j]:
+                break
+            j += 1
+        if not opened or "(" not in sig:
+            i = j + 1
+            continue
+        # Brace-match from the first '{' to find the body extent.
+        depth = 0
+        k = j
+        end = None
+        while k < n:
+            for ch in stripped_lines[k]:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = k
+                        break
+            if end is not None:
+                break
+            k += 1
+        if end is None:
+            break
+        yield (i + 1, end + 1)
+        i = end + 1
+
+
+def statements(stripped_lines, start, end):
+    """Splits body lines [start, end] (1-based) into (text, first, last)
+    statements, breaking on ';', '{' and '}'."""
+    buf = []
+    first = None
+    for ln in range(start, end + 1):
+        for ch in stripped_lines[ln - 1]:
+            if ch in ";{}":
+                if buf:
+                    yield ("".join(buf), first, ln)
+                buf = []
+                first = None
+            else:
+                if first is None and not ch.isspace():
+                    first = ln
+                buf.append(ch)
+        buf.append(" ")
+    if buf and first is not None:
+        yield ("".join(buf), first, end)
+
+
+def lint_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    allow = {i + 1 for i, l in enumerate(raw_lines) if ALLOW_MARK in l}
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    # splitlines on stripped text can drop a trailing line; pad to match.
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+
+    findings = []
+
+    def suppressed(first, last):
+        return any(ln in allow for ln in range(first - 1, last + 1))
+
+    for fstart, fend in find_functions(stripped_lines):
+        body = "\n".join(stripped_lines[fstart - 1:fend])
+        if PERSIST_RE.search(body):
+            continue
+        tainted = set()
+        blessed = set()
+        for stmt, first, last in statements(stripped_lines, fstart, fend):
+            if not stmt.strip():
+                continue
+            has_translate = TRANSLATE_RE.search(stmt) is not None
+            derived_here = None
+            if has_translate:
+                m = DERIVE_RE.search(stmt)
+                if m:
+                    derived_here = m.group(1)
+                    if suppressed(first, last):
+                        blessed.add(derived_here)
+                    else:
+                        tainted.add(derived_here)
+            # Rule 1: mem*() with a Translate()-derived destination.
+            mm = MEM_DST_RE.search(stmt)
+            if mm and TRANSLATE_RE.search(mm.group(1)):
+                if not suppressed(first, last):
+                    findings.append((first, "mem* write through Translate() "
+                                     "with no persist in enclosing function"))
+                continue
+            # Rule 2: direct assignment through a Translate() expression.
+            if has_translate and DIRECT_WRITE_RE.search(stmt) \
+                    and not DERIVE_RE.search(stmt):
+                if not suppressed(first, last):
+                    findings.append((first, "raw store through Translate() "
+                                     "with no persist in enclosing function"))
+                continue
+            # Rule 3: writes through previously tainted pointer variables.
+            for var in tainted - blessed:
+                if var == derived_here:
+                    # The deriving statement's own '=' is not a store.
+                    continue
+                wr = re.search(r"(?:\*\s*%s|\b%s\s*(?:->|\[)[^=;]*?)\s*"
+                               r"(?:[-+|&^]=|(?<![=!<>])=(?!=))" % (var, var),
+                               stmt)
+                if wr and not suppressed(first, last):
+                    findings.append((first, "raw store through Translate()-"
+                                     "derived pointer '%s' with no persist "
+                                     "in enclosing function" % var))
+                    break
+    return findings
+
+
+def default_targets():
+    targets = []
+    for root, _, files in os.walk("src"):
+        for name in sorted(files):
+            if not name.endswith(".cc"):
+                continue
+            if any(name.startswith(b) for b in EXCLUDED_BASENAMES):
+                continue
+            targets.append(os.path.join(root, name))
+    return targets
+
+
+def main(argv):
+    targets = argv[1:] or default_targets()
+    if not targets:
+        print("pm_lint: no input files (run from the repo root?)")
+        return 2
+    total = 0
+    for path in targets:
+        for line, msg in lint_file(path):
+            print(f"{path}:{line}: {msg}")
+            print("    (persist the range, or annotate the statement with "
+                  "'// pm-lint: allow(<reason>)' if the state is volatile "
+                  "by design)")
+            total += 1
+    if total:
+        print(f"pm_lint: {total} finding(s)")
+        return 1
+    print(f"pm_lint: OK ({len(targets)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -110,11 +110,12 @@ uint64_t CloverStore::RunGcOnce() {
     // Walk the chain locally (the MS runs next to the PM pool).
     std::vector<pm::PmPtr> versions;
     uint64_t cur = head_raw;
+    const pm::PmPool& ro = *pool_;
     while (cur != 0) {
       dpm::ValuePtr vp(cur);
       versions.push_back(vp.offset());
       const auto* hdr = reinterpret_cast<const VersionHeader*>(
-          pool_->Translate(vp.offset()));
+          ro.Translate(vp.offset()));
       cur = std::atomic_ref<const uint64_t>(hdr->next)
                 .load(std::memory_order_acquire);
     }
@@ -124,7 +125,7 @@ uint64_t CloverStore::RunGcOnce() {
     // New head = the latest version; everything before it is recycled.
     const pm::PmPtr latest = versions.back();
     const auto* latest_hdr =
-        reinterpret_cast<const VersionHeader*>(pool_->Translate(latest));
+        reinterpret_cast<const VersionHeader*>(ro.Translate(latest));
     const dpm::ValuePtr latest_packed =
         PackVersion(latest, VersionSize(latest_hdr->value_len));
     {
@@ -133,10 +134,12 @@ uint64_t CloverStore::RunGcOnce() {
     }
     for (size_t i = 0; i + 1 < versions.size(); ++i) {
       // Poison the fingerprint so stale readers fail verification even
-      // before the block is reused.
+      // before the block is reused. Durability is intentionally not
+      // required: after a crash the chain map is rebuilt and the block is
+      // reclaimed anyway, so a resurrected fingerprint is harmless.
       auto* hdr = reinterpret_cast<VersionHeader*>(
           pool_->Translate(versions[i]));
-      hdr->key_hash = ~key;
+      hdr->key_hash = ~key;  // pm-lint: allow(GC poison, volatile hint only)
       alloc_->Free(versions[i]);
       freed++;
     }

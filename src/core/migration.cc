@@ -55,8 +55,10 @@ Result<MigrationStats> MigratePartitionData(
         seg_used = 0;
       }
       const pm::PmPtr dst = segment + kSegmentHeaderSize + seg_used;
-      std::memcpy(dpm->pool()->Translate(dst), batch.data(), batch.bytes());
-      dpm->pool()->Persist(dst, batch.bytes());
+      // Two-phase append: payload persisted before the final commit
+      // marker, so a crash mid-copy never exposes a torn batch tail.
+      DINOMO_RETURN_IF_ERROR(dpm::AppendBatchPm(dpm->pool(), dst,
+                                                batch.data(), batch.bytes()));
       auto submit = dpm->SubmitBatch(dst_node, dst_owner, segment, dst,
                                      batch.bytes(), batch.puts());
       if (!submit.ok()) return submit.status();
@@ -70,7 +72,8 @@ Result<MigrationStats> MigratePartitionData(
 
     for (const Moved& m : moved) {
       dpm::ValuePtr vp(m.value);
-      const char* entry = dpm->pool()->Translate(vp.offset());
+      const pm::PmPool* ro = dpm->pool();
+      const char* entry = ro->Translate(vp.offset());
       dpm::LogRecord rec;
       size_t consumed = 0;
       DINOMO_RETURN_IF_ERROR(

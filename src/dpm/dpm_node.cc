@@ -1,6 +1,7 @@
 #include "dpm/dpm_node.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
 
 #include "common/logging.h"
@@ -89,13 +90,18 @@ void DpmNode::InitFresh() {
   DINOMO_CHECK(idx.ok());
   index_.reset(idx.value());
 
-  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
-  sb->index_header = index_->header_ptr();
-  sb->segdir = dir_alloc.value();
-  sb->segdir_slots = kSegDirSlots;
-  sb->high_water = alloc_->region_start() + alloc_->high_water();
-  sb->magic = kSuperMagic;  // written last: the commit point
-  pool_->Persist(superblock_, sizeof(Superblock));
+  Superblock sb{};
+  sb.index_header = index_->header_ptr();
+  sb.segdir = dir_alloc.value();
+  sb.segdir_slots = kSegDirSlots;
+  sb.high_water = alloc_->region_start() + alloc_->high_water();
+  sb.magic = 0;
+  pool_->Store(superblock_, sb);
+  // The magic is written last and its persist is the commit point that
+  // makes the whole superblock (and everything it points at) reachable.
+  pool_->StoreRelease64(superblock_ + offsetof(Superblock, magic),
+                        kSuperMagic);
+  pool_->PersistPublish(superblock_, sizeof(Superblock));
 
   alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
   PersistHighWater();
@@ -105,10 +111,12 @@ void DpmNode::InitFresh() {
 
 void DpmNode::PersistHighWater() {
   if (superblock_ == pm::kNullPmPtr) return;
-  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  const pm::PmPool& ro = *pool_;
+  const auto* sb =
+      reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
   const pm::PmPtr hw = alloc_->region_start() + alloc_->high_water();
   if (hw > sb->high_water) {
-    sb->high_water = hw;
+    pool_->Store(superblock_ + offsetof(Superblock, high_water), hw);
     pool_->Persist(superblock_, sizeof(Superblock));
   }
 }
@@ -136,7 +144,9 @@ Status DpmNode::InitRecovered() {
   if (!pool_->Contains(superblock_, sizeof(Superblock))) {
     return Status::Corruption("pool too small for a superblock");
   }
-  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
+  const pm::PmPool& ro = *pool_;
+  const auto* sb =
+      reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
   if (sb->magic != kSuperMagic) {
     return Status::Corruption("bad superblock magic");
   }
@@ -162,8 +172,8 @@ Status DpmNode::InitRecovered() {
 
   // Rebuild the segment registry from the persistent directory and queue
   // the un-merged committed log suffixes for (idempotent) replay.
-  const auto* dir = reinterpret_cast<const SegDirEntry*>(
-      pool_->Translate(sb->segdir));
+  const auto* dir =
+      reinterpret_cast<const SegDirEntry*>(ro.Translate(sb->segdir));
   for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
     if (dir[slot].base == pm::kNullPmPtr) continue;
     const pm::PmPtr base = dir[slot].base;
@@ -171,7 +181,7 @@ Status DpmNode::InitRecovered() {
       return Status::Corruption("segment directory entry out of range");
     }
     const auto* hdr =
-        reinterpret_cast<const SegmentPmHeader*>(pool_->Translate(base));
+        reinterpret_cast<const SegmentPmHeader*>(ro.Translate(base));
     SegmentInfo info;
     info.owner = hdr->owner;
     info.state = static_cast<SegmentState>(hdr->state);
@@ -218,10 +228,11 @@ Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
   if (!seg.ok()) return seg.status();
   const pm::PmPtr base = seg.value();
 
-  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(base));
-  hdr->capacity = options_.segment_size - kSegmentHeaderSize;
-  hdr->owner = owner;
-  hdr->state = static_cast<uint64_t>(SegmentState::kActive);
+  SegmentPmHeader hdr{};
+  hdr.capacity = options_.segment_size - kSegmentHeaderSize;
+  hdr.owner = owner;
+  hdr.state = static_cast<uint64_t>(SegmentState::kActive);
+  pool_->Store(base, hdr);
   pool_->Persist(base, sizeof(SegmentPmHeader));
 
   DINOMO_RETURN_IF_ERROR(DirectoryAdd(base, owner));
@@ -271,11 +282,14 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
     info.puts_total += puts;
     info.unmerged_batches++;
 
-    auto* hdr =
-        reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
-    hdr->used_bytes = info.used_bytes;
-    hdr->puts_total = info.puts_total;
-    pool_->Persist(segment, sizeof(SegmentPmHeader));
+    // Persisting used_bytes commits the batch: recovery replays exactly
+    // [merged_bytes, used_bytes), so this is the publication point for the
+    // payload the KN wrote (and persisted) via the fabric.
+    pool_->Store(segment + offsetof(SegmentPmHeader, used_bytes),
+                 info.used_bytes);
+    pool_->Store(segment + offsetof(SegmentPmHeader, puts_total),
+                 info.puts_total);
+    pool_->PersistPublish(segment, sizeof(SegmentPmHeader));
   }
 
   log_batches_.Inc();
@@ -303,8 +317,8 @@ Status DpmNode::SealSegment(int kn_node, uint64_t owner, pm::PmPtr segment) {
   if (it == segments_.end()) return Status::InvalidArgument("unknown segment");
   if (it->second.owner != owner) return Status::WrongOwner();
   it->second.state = SegmentState::kSealed;
-  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
-  hdr->state = static_cast<uint64_t>(SegmentState::kSealed);
+  pool_->Store(segment + offsetof(SegmentPmHeader, state),
+               static_cast<uint64_t>(SegmentState::kSealed));
   pool_->Persist(segment, sizeof(SegmentPmHeader));
   MaybeGcLocked(segment, &it->second);
   return Status::Ok();
@@ -356,7 +370,9 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
   // by the writing KN's one-sided CAS; the merge only settles GC state.
   pm::PmPtr slot = SharedSlot(rec.key_hash);
   if (slot != pm::kNullPmPtr) {
-    auto* slot_word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
+    const pm::PmPool& ro = *pool_;
+    auto* slot_word =
+        reinterpret_cast<uint64_t*>(const_cast<char*>(ro.Translate(slot)));
     const uint64_t current =
         std::atomic_ref<uint64_t>(*slot_word).load(std::memory_order_acquire);
     if (rec.op == LogOp::kPut && current != packed.raw()) {
@@ -415,9 +431,10 @@ void DpmNode::CompleteBatch(uint64_t owner, pm::PmPtr segment, pm::PmPtr data,
   const size_t rel_end = (data + bytes) - (segment + kSegmentHeaderSize);
   info.merged_bytes = std::max(info.merged_bytes, rel_end);
   info.unmerged_batches--;
-  auto* hdr = reinterpret_cast<SegmentPmHeader*>(pool_->Translate(segment));
-  hdr->merged_bytes = info.merged_bytes;
-  hdr->puts_invalid = info.puts_invalid;
+  pool_->Store(segment + offsetof(SegmentPmHeader, merged_bytes),
+               info.merged_bytes);
+  pool_->Store(segment + offsetof(SegmentPmHeader, puts_invalid),
+               info.puts_invalid);
   pool_->Persist(segment, sizeof(SegmentPmHeader));
   MaybeGcLocked(segment, &info);
 }
@@ -435,15 +452,20 @@ void DpmNode::MaybeGcLocked(pm::PmPtr base, SegmentInfo* info) {
 }
 
 Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
-  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
-  auto* dir = reinterpret_cast<SegDirEntry*>(pool_->Translate(sb->segdir));
+  const pm::PmPool& ro = *pool_;
+  const auto* sb =
+      reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
+  const auto* dir =
+      reinterpret_cast<const SegDirEntry*>(ro.Translate(sb->segdir));
   std::lock_guard<std::mutex> lock(seg_mu_);
   for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
     if (dir[slot].base != pm::kNullPmPtr) continue;
-    dir[slot].owner = owner;
-    dir[slot].base = base;  // written last: the commit point
-    pool_->Persist(sb->segdir + slot * sizeof(SegDirEntry),
-                   sizeof(SegDirEntry));
+    const pm::PmPtr entry = sb->segdir + slot * sizeof(SegDirEntry);
+    pool_->Store(entry + offsetof(SegDirEntry, owner), owner);
+    // base is written last and its persist is the commit point that makes
+    // the segment reachable by recovery.
+    pool_->StoreRelease64(entry + offsetof(SegDirEntry, base), base);
+    pool_->PersistPublish(entry, sizeof(SegDirEntry));
     segment_dir_slots_[base] = static_cast<int>(slot);
     return Status::Ok();
   }
@@ -454,11 +476,12 @@ void DpmNode::DirectoryRemove(pm::PmPtr base) {
   // Caller holds seg_mu_.
   auto it = segment_dir_slots_.find(base);
   if (it == segment_dir_slots_.end()) return;
-  auto* sb = reinterpret_cast<Superblock*>(pool_->Translate(superblock_));
-  auto* dir = reinterpret_cast<SegDirEntry*>(pool_->Translate(sb->segdir));
-  dir[it->second].base = pm::kNullPmPtr;
-  pool_->Persist(sb->segdir + it->second * sizeof(SegDirEntry),
-                 sizeof(SegDirEntry));
+  const pm::PmPool& ro = *pool_;
+  const auto* sb =
+      reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
+  const pm::PmPtr entry = sb->segdir + it->second * sizeof(SegDirEntry);
+  pool_->StoreRelease64(entry + offsetof(SegDirEntry, base), pm::kNullPmPtr);
+  pool_->Persist(entry, sizeof(SegDirEntry));
   segment_dir_slots_.erase(it);
 }
 
@@ -475,8 +498,7 @@ Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
   if (!slot_alloc.ok()) return slot_alloc.status();
   const pm::PmPtr slot = slot_alloc.value();
 
-  auto* word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
-  std::atomic_ref<uint64_t>(*word).store(current, std::memory_order_release);
+  pool_->StoreRelease64(slot, current);
   pool_->Persist(slot, sizeof(uint64_t));
 
   // Re-point the index at the slot, flagged indirect. Readers that came
@@ -497,7 +519,9 @@ Status DpmNode::RemoveIndirect(int kn_node, uint64_t key_hash) {
     return Status::NotFound("key not in shared mode");
   }
   const pm::PmPtr slot = it->second;
-  auto* word = reinterpret_cast<uint64_t*>(pool_->Translate(slot));
+  const pm::PmPool& ro = *pool_;
+  auto* word =
+      reinterpret_cast<uint64_t*>(const_cast<char*>(ro.Translate(slot)));
   const uint64_t final_value =
       std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
   auto old = index_->Upsert(key_hash, final_value);
@@ -528,9 +552,8 @@ void DpmNode::ReleaseOwnerSegments(uint64_t owner) {
     if (cur->second.owner != owner) continue;
     if (cur->second.state == SegmentState::kActive) {
       cur->second.state = SegmentState::kSealed;
-      auto* hdr =
-          reinterpret_cast<SegmentPmHeader*>(pool_->Translate(cur->first));
-      hdr->state = static_cast<uint64_t>(SegmentState::kSealed);
+      pool_->Store(cur->first + offsetof(SegmentPmHeader, state),
+                   static_cast<uint64_t>(SegmentState::kSealed));
       pool_->Persist(cur->first, sizeof(SegmentPmHeader));
     }
     MaybeGcLocked(cur->first, &cur->second);  // may erase cur

@@ -122,6 +122,29 @@ Status DecodeEntry(const char* buf, size_t avail, LogRecord* rec,
   return Status::Ok();
 }
 
+Status AppendBatchPm(pm::PmPool* pool, pm::PmPtr dst, const char* data,
+                     size_t len, const pm::SourceLoc& loc) {
+  if (len == 0) return Status::InvalidArgument("empty batch");
+  if (!pool->Contains(dst, len)) {
+    return Status::InvalidArgument("batch outside pool");
+  }
+  // A well-formed batch is a concatenation of encoded entries, so its very
+  // last byte is the final entry's commit marker.
+  if (data[len - 1] != kCommitMarker) {
+    return Status::InvalidArgument("batch does not end with a commit marker");
+  }
+  // Phase 1: payload (everything but the final marker) stored + persisted.
+  if (len > 1) {
+    pool->StoreBytes(dst, data, len - 1, loc);
+    pool->Persist(dst, len - 1, loc);
+  }
+  // Phase 2: the marker seals the batch; persisting it publishes the
+  // payload, so the checker verifies phase 1 really came first.
+  pool->StoreBytes(dst + len - 1, data + len - 1, 1, loc);
+  pool->PersistPublish(dst + len - 1, 1, loc);
+  return Status::Ok();
+}
+
 LogBuilder::LogBuilder(size_t capacity_hint) { buf_.reserve(capacity_hint); }
 
 size_t LogBuilder::AddPut(uint64_t seq, uint64_t key_hash, const Slice& key,

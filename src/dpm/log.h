@@ -84,6 +84,18 @@ size_t EncodeEntry(char* buf, LogOp op, uint64_t seq, uint64_t key_hash,
 Status DecodeEntry(const char* buf, size_t avail, LogRecord* rec,
                    size_t* consumed);
 
+/// Appends an encoded batch (LogBuilder output) into PM at `dst` with the
+/// two-phase persist discipline: every byte except the final commit marker
+/// is stored and persisted first; only then is the marker stored and
+/// persisted, as the publication point. A crash between the phases leaves
+/// the last entry marker-less, which DecodeEntry rejects — the committed
+/// prefix stays replayable and no torn entry is ever trusted. This is the
+/// DPM-local equivalent of the KN's single durable one-sided write, used
+/// by data reorganization (core/migration.cc).
+Status AppendBatchPm(pm::PmPool* pool, pm::PmPtr dst, const char* data,
+                     size_t len,
+                     const pm::SourceLoc& loc = pm::SourceLoc::current());
+
 /// Accumulates encoded entries in KN DRAM; the whole batch is then shipped
 /// to the DPM segment with one one-sided RDMA write (§3.6, "asynchronous
 /// post-processing of writes").

@@ -41,7 +41,7 @@ bool MergeService::TryDequeue(MergeTask* task) {
 }
 
 double MergeService::Execute(const MergeTask& task) {
-  pm::PmPool* pool = dpm_->pool();
+  const pm::PmPool* pool = dpm_->pool();
   const char* data = pool->Translate(task.data);
   LogIterator it(data, task.bytes);
   LogRecord rec;

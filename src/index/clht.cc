@@ -44,12 +44,13 @@ Result<Clht*> Clht::Create(pm::PmPool* pool, pm::PmAllocator* alloc,
   if (!buckets_alloc.ok()) return buckets_alloc.status();
 
   auto* table = new Clht(pool, alloc, header_alloc.value());
-  Header* h = table->header();
-  h->buckets = buckets_alloc.value();
-  h->count = 0;
-  h->resize_lock = 0;
-  h->packed = PackHeader(/*epoch=*/1, log2_buckets);
-  pool->PersistAddr(h, sizeof(Header));
+  Header h{};
+  h.buckets = buckets_alloc.value();
+  h.count = 0;
+  h.resize_lock = 0;
+  h.packed = PackHeader(/*epoch=*/1, log2_buckets);
+  pool->Store(header_alloc.value(), h);
+  pool->Persist(header_alloc.value(), sizeof(Header));
   // Bucket array was zeroed by the allocator; persist it so recovery sees
   // empty (not garbage) buckets.
   pool->Persist(buckets_alloc.value(), num_buckets * sizeof(Bucket));
@@ -66,7 +67,7 @@ Result<Clht*> Clht::Recover(pm::PmPool* pool, pm::PmAllocator* alloc,
   // A crash may have interrupted a resize: the resize lock is volatile
   // state; clear it. (The pre-resize table stays authoritative until the
   // new packed header was persisted, which is the last resize step.)
-  h->resize_lock = 0;
+  h->resize_lock = 0;  // pm-lint: allow(volatile lock word, header persisted below)
   pool->PersistAddr(h, sizeof(Header));
   Status st = table->CheckConsistency();
   if (!st.ok()) {
@@ -152,7 +153,7 @@ Result<pm::PmPtr> Clht::Upsert(uint64_t key, pm::PmPtr value) {
         if (b->keys[s] == key) {
           // Log-free in-place update: atomically swing the value pointer.
           const pm::PmPtr old = b->vals[s];
-          AtomicAt(&b->vals[s]).store(value, std::memory_order_release);
+          pool_->StoreRelease64(pool_->OffsetOf(&b->vals[s]), value);
           pool_->PersistAddr(b, sizeof(Bucket));
           UnlockBucket(head);
           return old;
@@ -170,25 +171,27 @@ Result<pm::PmPtr> Clht::Upsert(uint64_t key, pm::PmPtr value) {
     if (empty_slot >= 0) {
       // Value before key, single cache-line flush: a reader that sees the
       // key sees the value, and a crash never exposes key-without-value.
-      AtomicAt(&empty_bucket->vals[empty_slot])
-          .store(value, std::memory_order_release);
-      AtomicAt(&empty_bucket->keys[empty_slot])
-          .store(key, std::memory_order_release);
+      pool_->StoreRelease64(pool_->OffsetOf(&empty_bucket->vals[empty_slot]),
+                            value);
+      pool_->StoreRelease64(pool_->OffsetOf(&empty_bucket->keys[empty_slot]),
+                            key);
       pool_->PersistAddr(empty_bucket, sizeof(Bucket));
     } else {
       // Chain a fresh overflow bucket; initialize and persist it before
-      // publishing the next pointer.
+      // publishing the next pointer — the persisted next pointer is what
+      // makes the bucket reachable, i.e. a publication point.
       auto nb = alloc_->Alloc(sizeof(Bucket));
       if (!nb.ok()) {
         UnlockBucket(head);
         return nb.status();
       }
-      Bucket* fresh = reinterpret_cast<Bucket*>(pool_->Translate(nb.value()));
-      fresh->vals[0] = value;
-      fresh->keys[0] = key;
+      Bucket fresh{};
+      fresh.vals[0] = value;
+      fresh.keys[0] = key;
+      pool_->Store(nb.value(), fresh);
       pool_->Persist(nb.value(), sizeof(Bucket));
-      AtomicAt(&b->next).store(nb.value(), std::memory_order_release);
-      pool_->PersistAddr(b, sizeof(Bucket));
+      pool_->StoreRelease64(pool_->OffsetOf(&b->next), nb.value());
+      pool_->PersistPublishAddr(b, sizeof(Bucket));
       chain_len++;
     }
     count_.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +222,7 @@ Result<pm::PmPtr> Clht::Remove(uint64_t key) {
       for (int s = 0; s < kSlotsPerBucket; ++s) {
         if (b->keys[s] == key) {
           const pm::PmPtr old = b->vals[s];
-          AtomicAt(&b->keys[s]).store(0, std::memory_order_release);
+          pool_->StoreRelease64(pool_->OffsetOf(&b->keys[s]), 0);
           pool_->PersistAddr(b, sizeof(Bucket));
           count_.fetch_sub(1, std::memory_order_relaxed);
           UnlockBucket(head);
@@ -323,15 +326,21 @@ void Clht::DoResize() {
       b = reinterpret_cast<const Bucket*>(pool_->Translate(b->next));
     }
   }
+  // One bulk flush makes every rehashed main-array line durable;
+  // RehashInsert deliberately skips per-line persists for them.
   pool_->Persist(new_array, new_n * sizeof(Bucket));
 
-  // Publish: buckets pointer first, then the packed epoch/size word. The
-  // packed word is the commit point for both readers and recovery.
-  AtomicAt(&h->buckets).store(new_array, std::memory_order_release);
-  pool_->PersistAddr(h, sizeof(Header));
-  AtomicAt(&h->packed).store(PackHeader(view.epoch + 1, new_log2),
-                             std::memory_order_release);
-  pool_->PersistAddr(h, sizeof(Header));
+  // Publish: buckets pointer first, then the packed epoch/size word, then
+  // ONE persist of the header line. Both words share the cache line, so the
+  // single line-granular flush commits them atomically: recovery sees
+  // either the fully-old or fully-new (array, size, epoch) pair. Persisting
+  // between the two stores would expose a torn header — new array with the
+  // old size mask — at that crash point (the crash-point sweep in
+  // clht_test.cc covers every resize boundary).
+  pool_->StoreRelease64(pool_->OffsetOf(&h->buckets), new_array);
+  pool_->StoreRelease64(pool_->OffsetOf(&h->packed),
+                        PackHeader(view.epoch + 1, new_log2));
+  pool_->PersistPublishAddr(h, sizeof(Header));
 
   for (uint64_t i = 0; i < old_n; ++i) {
     UnlockBucket(BucketAt(view.buckets, i));
@@ -349,26 +358,35 @@ void Clht::DoResize() {
 void Clht::RehashInsert(pm::PmPtr array, uint64_t num_buckets, uint64_t key,
                         pm::PmPtr value) {
   const uint64_t idx = Mix64(key) & (num_buckets - 1);
+  const auto in_main_array = [&](const Bucket* b) {
+    const pm::PmPtr off = pool_->OffsetOf(b);
+    return off >= array && off < array + num_buckets * sizeof(Bucket);
+  };
   Bucket* b = BucketAt(array, idx);
   while (true) {
     for (int s = 0; s < kSlotsPerBucket; ++s) {
       if (b->keys[s] == 0) {
-        b->vals[s] = value;
-        b->keys[s] = key;
-        // Overflow buckets live outside the main array's bulk persist;
-        // flush the line here so rehashed entries are durable.
-        pool_->PersistAddr(b, sizeof(Bucket));
+        pool_->StoreRelease64(pool_->OffsetOf(&b->vals[s]), value);
+        pool_->StoreRelease64(pool_->OffsetOf(&b->keys[s]), key);
+        // Main-array lines are covered by DoResize's one bulk persist —
+        // flushing each of them here too would double the resize's PM
+        // write traffic (the checker's redundant-flush rule flags it).
+        // Overflow buckets live outside that bulk range and must be
+        // flushed per line.
+        if (!in_main_array(b)) pool_->PersistAddr(b, sizeof(Bucket));
         return;
       }
     }
     if (b->next == pm::kNullPmPtr) {
       auto nb = alloc_->Alloc(sizeof(Bucket));
       DINOMO_CHECK(nb.ok());  // resize sized the region; treat as fatal
-      Bucket* fresh = reinterpret_cast<Bucket*>(pool_->Translate(nb.value()));
-      fresh->vals[0] = value;
-      fresh->keys[0] = key;
+      Bucket fresh{};
+      fresh.vals[0] = value;
+      fresh.keys[0] = key;
+      pool_->Store(nb.value(), fresh);
       pool_->Persist(nb.value(), sizeof(Bucket));
-      b->next = nb.value();
+      pool_->StoreRelease64(pool_->OffsetOf(&b->next), nb.value());
+      if (!in_main_array(b)) pool_->PersistAddr(b, sizeof(Bucket));
       return;
     }
     b = reinterpret_cast<Bucket*>(pool_->Translate(b->next));

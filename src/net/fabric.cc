@@ -66,54 +66,53 @@ void Fabric::Charge(int node, uint32_t rts, uint64_t bytes) {
 
 void Fabric::Read(int node, pm::PmPtr src, void* dst, size_t len) {
   DINOMO_CHECK(pool_->Contains(src, len));
-  std::memcpy(dst, pool_->Translate(src), len);
+  // Const overload: a read must not demote the line for the PM checker.
+  const pm::PmPool& ro = *pool_;
+  std::memcpy(dst, ro.Translate(src), len);
   Charge(node, 1, len);
   counters_[node].one_sided_reads.Inc();
 }
 
-void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len) {
+void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len,
+                   const pm::SourceLoc& loc) {
   DINOMO_CHECK(pool_->Contains(dst, len));
-  std::memcpy(pool_->Translate(dst), src, len);
+  pool_->StoreBytes(dst, src, len, loc);
   // Modeled as a *durable* RDMA write (the IETF durable-write commit the
   // paper anticipates, §4 "DPM persistence"): the payload is flushed as
   // part of the single round trip, so committed log batches survive the
   // crash simulator.
-  pool_->Persist(dst, len);
+  pool_->Persist(dst, len, loc);
   Charge(node, 1, len);
   counters_[node].one_sided_writes.Inc();
 }
 
 bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
-                              uint64_t desired) {
-  DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
-  DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
-  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+                              uint64_t desired, const pm::SourceLoc& loc) {
   Charge(node, 1, sizeof(uint64_t));
   counters_[node].cas_ops.Inc();
-  uint64_t exp = expected;
-  const bool swapped =
-      std::atomic_ref<uint64_t>(*target).compare_exchange_strong(
-          exp, desired, std::memory_order_acq_rel);
-  if (swapped) pool_->Persist(addr, sizeof(uint64_t));
+  const bool swapped = pool_->CompareExchange64(addr, expected, desired, loc);
+  // A successful remote CAS installs a pointer/marker other nodes (and
+  // recovery) will follow — a publication point for the checker.
+  if (swapped) pool_->PersistPublish(addr, sizeof(uint64_t), loc);
   return swapped;
 }
 
 uint64_t Fabric::AtomicRead64(int node, pm::PmPtr addr) {
   DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
   DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
-  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+  const pm::PmPool& ro = *pool_;
+  auto* target = reinterpret_cast<uint64_t*>(
+      const_cast<char*>(ro.Translate(addr)));
   Charge(node, 1, sizeof(uint64_t));
   return std::atomic_ref<uint64_t>(*target).load(std::memory_order_acquire);
 }
 
-void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value) {
-  DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
-  DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
-  auto* target = reinterpret_cast<uint64_t*>(pool_->Translate(addr));
+void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value,
+                           const pm::SourceLoc& loc) {
   Charge(node, 1, sizeof(uint64_t));
   counters_[node].one_sided_writes.Inc();
-  std::atomic_ref<uint64_t>(*target).store(value, std::memory_order_release);
-  pool_->Persist(addr, sizeof(uint64_t));
+  pool_->StoreRelease64(addr, value, loc);
+  pool_->Persist(addr, sizeof(uint64_t), loc);
 }
 
 void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,

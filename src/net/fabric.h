@@ -83,20 +83,25 @@ class Fabric {
   void Read(int node, pm::PmPtr src, void* dst, size_t len);
 
   /// One-sided RDMA write: copies [src, src+len) into DPM at dst.
-  /// 1 round trip + len wire bytes.
-  void Write(int node, const void* src, pm::PmPtr dst, size_t len);
+  /// 1 round trip + len wire bytes. `loc` defaults to the KN-side call
+  /// site, which is what the PM checker attributes the store to.
+  void Write(int node, const void* src, pm::PmPtr dst, size_t len,
+             const pm::SourceLoc& loc = pm::SourceLoc::current());
 
   /// One-sided 8-byte atomic compare-and-swap at a 8-aligned DPM address.
   /// Returns true and installs desired iff *addr == expected.
-  /// 1 round trip.
+  /// 1 round trip. A successful CAS is treated as a publication point
+  /// (that is what remote CAS is for: installing a pointer others follow).
   bool CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
-                        uint64_t desired);
+                        uint64_t desired,
+                        const pm::SourceLoc& loc = pm::SourceLoc::current());
 
   /// One-sided 8-byte atomic read. 1 round trip.
   uint64_t AtomicRead64(int node, pm::PmPtr addr);
 
   /// One-sided 8-byte atomic write. 1 round trip.
-  void AtomicWrite64(int node, pm::PmPtr addr, uint64_t value);
+  void AtomicWrite64(int node, pm::PmPtr addr, uint64_t value,
+                     const pm::SourceLoc& loc = pm::SourceLoc::current());
 
   /// Charges the cost of a two-sided operation (an RPC executed by a DPM
   /// processor on the caller's behalf): 1 round trip, request/response

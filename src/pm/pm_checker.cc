@@ -1,0 +1,266 @@
+#include "pm/pm_checker.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dinomo {
+namespace pm {
+namespace {
+
+std::string FormatSite(const SourceLoc& loc) {
+  // Strip the build-tree path prefix; tests match on the basename.
+  const char* file = loc.file_name();
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s:%u (%s)", file,
+                static_cast<unsigned>(loc.line()), loc.function_name());
+  return buf;
+}
+
+std::string FormatSite(const char* file, uint32_t line, const char* func) {
+  if (file == nullptr) return "<untracked>";
+  if (const char* slash = std::strrchr(file, '/')) file = slash + 1;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s:%u (%s)", file,
+                static_cast<unsigned>(line), func != nullptr ? func : "?");
+  return buf;
+}
+
+}  // namespace
+
+const char* PmViolationKindName(PmViolationKind kind) {
+  switch (kind) {
+    case PmViolationKind::kDirtyAtPublication:
+      return "dirty-at-publication";
+    case PmViolationKind::kRedundantFlush:
+      return "redundant-flush";
+    case PmViolationKind::kPersistBeforeWrite:
+      return "persist-before-write";
+  }
+  return "unknown";
+}
+
+std::string PmViolation::Describe() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "%s: line 0x%llx",
+                PmViolationKindName(kind),
+                static_cast<unsigned long long>(line));
+  std::string s = head;
+  s += " store=" + (store_site.empty() ? "<untracked>" : store_site);
+  s += " persist=" + (persist_site.empty() ? "<none>" : persist_site);
+  return s;
+}
+
+PmChecker::PmChecker(obs::MetricsRegistry* registry)
+    : metrics_(obs::Scope("pm.check", registry)),
+      tracked_stores_(metrics_.counter("tracked_stores")),
+      raw_writes_(metrics_.counter("raw_writes")),
+      flushes_(metrics_.counter("flushes")),
+      fences_(metrics_.counter("fences")),
+      publications_(metrics_.counter("publications")),
+      violations_total_(metrics_.counter("violations")),
+      dirty_at_publication_(metrics_.counter("dirty_at_publication")),
+      redundant_flush_(metrics_.counter("redundant_flush")),
+      persist_before_write_(metrics_.counter("persist_before_write")) {}
+
+void PmChecker::AddViolationLocked(PmViolationKind kind, PmPtr line,
+                                   std::string store_site,
+                                   std::string persist_site) {
+  violations_total_.Inc();
+  recorded_++;
+  switch (kind) {
+    case PmViolationKind::kDirtyAtPublication:
+      dirty_at_publication_.Inc();
+      break;
+    case PmViolationKind::kRedundantFlush:
+      redundant_flush_.Inc();
+      break;
+    case PmViolationKind::kPersistBeforeWrite:
+      persist_before_write_.Inc();
+      break;
+  }
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(PmViolation{kind, line, std::move(store_site),
+                                      std::move(persist_site)});
+  }
+}
+
+void PmChecker::OnStore(PmPtr p, size_t len, const SourceLoc& loc) {
+  if (len == 0) return;
+  const PmPtr first = p / kLine * kLine;
+  const PmPtr last = (p + len - 1) / kLine * kLine;
+  std::lock_guard<std::mutex> lock(mu_);
+  tracked_stores_.Inc();
+  for (PmPtr line = first; line <= last; line += kLine) {
+    auto it = lines_.find(line);
+    if (it != lines_.end() && it->second.state == LineInfo::State::kClean &&
+        it->second.rf_file != nullptr) {
+      AddViolationLocked(
+          PmViolationKind::kPersistBeforeWrite, line, FormatSite(loc),
+          FormatSite(it->second.rf_file, it->second.rf_line,
+                     it->second.rf_func));
+    }
+    LineInfo& li = lines_[line];
+    if (li.state == LineInfo::State::kFlushed) flushed_.erase(line);
+    li.state = LineInfo::State::kDirty;
+    li.file = loc.file_name();
+    li.line = loc.line();
+    li.func = loc.function_name();
+    li.tid = std::this_thread::get_id();
+    li.rf_file = nullptr;
+    li.rf_line = 0;
+    li.rf_func = nullptr;
+    dirty_.insert(line);
+  }
+}
+
+void PmChecker::OnRawWrite(PmPtr p) {
+  const PmPtr line = p / kLine * kLine;
+  std::lock_guard<std::mutex> lock(mu_);
+  raw_writes_.Inc();
+  // A raw pointer may be used for an arbitrary-length write (or only a
+  // read); the only sound move is to forget what we knew about the line.
+  // Dirty/flushed lines keep their pending-store site so a missing persist
+  // is still reported at the next publication.
+  auto it = lines_.find(line);
+  if (it != lines_.end() && it->second.state == LineInfo::State::kClean) {
+    lines_.erase(it);
+  }
+}
+
+void PmChecker::OnFlush(PmPtr p, size_t len, const SourceLoc& loc) {
+  if (len == 0) return;
+  const PmPtr first = p / kLine * kLine;
+  const PmPtr last = (p + len - 1) / kLine * kLine;
+  std::lock_guard<std::mutex> lock(mu_);
+  flushes_.Inc();
+  // Redundant only when every line in the range is clean AND attributed to
+  // a tracked store; any unknown or attribution-less line (raw writes,
+  // never-touched zero fill, lines first seen by a flush) suppresses the
+  // check — the checker cannot prove those flushes useless.
+  bool all_clean = true;
+  const LineInfo* first_clean = nullptr;
+  for (PmPtr line = first; line <= last && all_clean; line += kLine) {
+    auto it = lines_.find(line);
+    if (it == lines_.end() || it->second.state != LineInfo::State::kClean ||
+        it->second.file == nullptr) {
+      all_clean = false;
+    } else if (first_clean == nullptr) {
+      first_clean = &it->second;
+    }
+  }
+  if (all_clean) {
+    AddViolationLocked(
+        PmViolationKind::kRedundantFlush, first,
+        first_clean != nullptr
+            ? FormatSite(first_clean->file, first_clean->line,
+                         first_clean->func)
+            : std::string(),
+        FormatSite(loc));
+  }
+  for (PmPtr line = first; line <= last; line += kLine) {
+    LineInfo& li = lines_[line];
+    if (all_clean) {
+      // Remember the useless flush: a store to this line before the next
+      // flush is the persist-before-write hazard.
+      li.rf_file = loc.file_name();
+      li.rf_line = loc.line();
+      li.rf_func = loc.function_name();
+      continue;
+    }
+    if (li.state == LineInfo::State::kDirty) {
+      li.state = LineInfo::State::kFlushed;
+      dirty_.erase(line);
+      flushed_.insert(line);
+    } else if (li.file == nullptr && li.state != LineInfo::State::kClean) {
+      // Newly-seen (unknown) line: its bytes are being written back, so
+      // after the fence it is durable.
+      li.state = LineInfo::State::kFlushed;
+      flushed_.insert(line);
+    }
+  }
+}
+
+void PmChecker::OnFence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fences_.Inc();
+  // Only the lines flushed since the previous fence can transition;
+  // walking all of lines_ here was quadratic over a workload.
+  for (PmPtr line : flushed_) {
+    auto it = lines_.find(line);
+    if (it != lines_.end() && it->second.state == LineInfo::State::kFlushed) {
+      it->second.state = LineInfo::State::kClean;
+    }
+  }
+  flushed_.clear();
+}
+
+void PmChecker::OnPublication(PmPtr p, size_t len, const SourceLoc& loc) {
+  const PmPtr first = p / kLine * kLine;
+  const PmPtr last = len == 0 ? first : (p + len - 1) / kLine * kLine;
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  publications_.Inc();
+  for (PmPtr line : dirty_) {
+    auto it = lines_.find(line);
+    if (it == lines_.end()) continue;
+    const LineInfo& li = it->second;
+    if (li.state != LineInfo::State::kDirty) continue;
+    if (li.tid != self) continue;  // other threads publish their own stores
+    if (line >= first && line <= last) continue;  // persisted by this call
+    AddViolationLocked(PmViolationKind::kDirtyAtPublication, line,
+                       FormatSite(li.file, li.line, li.func),
+                       FormatSite(loc));
+  }
+}
+
+void PmChecker::OnCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The working image was rolled back to the durable one: every line now
+  // holds persisted bytes, but attribution is gone — treat as unknown.
+  lines_.clear();
+  dirty_.clear();
+  flushed_.clear();
+}
+
+uint64_t PmChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::vector<PmViolation> PmChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+void PmChecker::ClearViolations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Resets the test-facing view only; the pm.check.* counters stay
+  // monotonic (CI gates read process-lifetime totals).
+  violations_.clear();
+  recorded_ = 0;
+}
+
+std::string PmChecker::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const PmViolation& v : violations_) {
+    out += v.Describe();
+    out += '\n';
+  }
+  if (recorded_ > violations_.size()) {
+    out += "... and " + std::to_string(recorded_ - violations_.size()) +
+           " more (capped)\n";
+  }
+  return out;
+}
+
+uint64_t PmChecker::DirtyLineCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // dirty_ is exact: lines enter on a tracked store and leave on the
+  // flush that writes them back (or a simulated crash).
+  return dirty_.size();
+}
+
+}  // namespace pm
+}  // namespace dinomo

@@ -1,0 +1,168 @@
+#ifndef DINOMO_PM_PM_CHECKER_H_
+#define DINOMO_PM_PM_CHECKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+#include <version>
+
+#if defined(__cpp_lib_source_location)
+#include <source_location>
+#endif
+
+#include "obs/metrics.h"
+
+namespace dinomo {
+namespace pm {
+
+// Redeclared from pm_pool.h (alias redeclaration is legal); pm_pool.h
+// includes this header, so we cannot include it back.
+using PmPtr = uint64_t;
+
+#if defined(__cpp_lib_source_location)
+using SourceLoc = std::source_location;
+#else
+/// Fallback for toolchains without <source_location>: attribution degrades
+/// to "<unknown>" but the state machine still runs.
+struct SourceLoc {
+  static constexpr SourceLoc current() noexcept { return {}; }
+  constexpr const char* file_name() const noexcept { return "<unknown>"; }
+  constexpr uint32_t line() const noexcept { return 0; }
+  constexpr const char* function_name() const noexcept { return "<unknown>"; }
+};
+#endif
+
+enum class PmViolationKind {
+  /// A line stored through the typed API was still dirty (not even flushed)
+  /// when the storing thread persisted a publication point — recovery could
+  /// follow the published pointer/marker into torn data.
+  kDirtyAtPublication,
+  /// A persist whose every line was already durable and unmodified — wasted
+  /// PM write bandwidth, and usually a sign the store and the persist ended
+  /// up in the wrong order.
+  kRedundantFlush,
+  /// A tracked store to a line whose most recent persist found it already
+  /// clean — the classic swapped `Persist(); Store();` hazard: the persist
+  /// did nothing and the new bytes are not covered by any later persist.
+  kPersistBeforeWrite,
+};
+
+const char* PmViolationKindName(PmViolationKind kind);
+
+/// One detected persist-ordering hazard, with call-site attribution taken
+/// from std::source_location at the typed-store / persist call sites.
+struct PmViolation {
+  PmViolationKind kind;
+  PmPtr line = 0;           // pool offset of the 64-byte line
+  std::string store_site;   // "file:line (function)" of the offending store
+  std::string persist_site; // persist/publication call that exposed it
+
+  std::string Describe() const;
+};
+
+/// Shadow cache-line state machine behind PmPool's typed store API.
+///
+/// Tracks each 64-byte pool line through dirty -> flushed -> clean
+/// (durable) in response to Store*/Flush/Fence notifications, and checks
+/// three ordering rules at the points where they can be checked soundly:
+///
+///  * publication points (`PmPool::PersistPublish`) must not leave
+///    same-thread typed stores dirty outside the published range;
+///  * persists of ranges that are entirely clean are redundant;
+///  * a tracked store to a line whose last persist was redundant means the
+///    persist ran before the store it was meant to cover.
+///
+/// Raw `Translate()` writes stay legal but demote the touched line to
+/// "unknown", which suppresses all three checks for it — the checker never
+/// guesses about untracked bytes (allocator zeroing, lock words, legacy
+/// call sites). `scripts/pm_lint.py` is the static companion that finds
+/// those raw sites.
+///
+/// The checker never aborts: violations are recorded (bounded list +
+/// unbounded `pm.check.*` counters) for tests and CI to assert on.
+class PmChecker {
+ public:
+  explicit PmChecker(obs::MetricsRegistry* registry);
+
+  // ----- Notifications from PmPool ----------------------------------------
+  void OnStore(PmPtr p, size_t len, const SourceLoc& loc);
+  /// Non-const Translate(): the containing line's contents are no longer
+  /// known to the checker (it cannot see the length of a raw write).
+  void OnRawWrite(PmPtr p);
+  void OnFlush(PmPtr p, size_t len, const SourceLoc& loc);
+  void OnFence();
+  /// Called by PersistPublish *before* the flush+fence of the same range;
+  /// lines inside [p, p+len) are exempt from the dirty check because the
+  /// publication itself persists them.
+  void OnPublication(PmPtr p, size_t len, const SourceLoc& loc);
+  /// SimulateCrash(): every line reverts to its durable image, so all
+  /// tracked state is forgotten.
+  void OnCrash();
+
+  // ----- Report API for tests and CI gates --------------------------------
+  /// Violations recorded since construction or the last ClearViolations().
+  /// (The pm.check.* metric counters are monotonic and never reset.)
+  uint64_t violation_count() const;
+  /// Bounded copy of the recorded violations (first kMaxViolations).
+  std::vector<PmViolation> violations() const;
+  void ClearViolations();
+  /// Human-readable multi-line report (empty string when clean).
+  std::string Report() const;
+  /// Lines currently in the dirty state (stored, never flushed).
+  uint64_t DirtyLineCount() const;
+
+  static constexpr size_t kMaxViolations = 256;
+
+ private:
+  static constexpr PmPtr kLine = 64;  // == pm::kCacheLineSize
+
+  struct LineInfo {
+    enum class State : uint8_t { kDirty, kFlushed, kClean };
+    State state = State::kDirty;
+    // Last tracked store (null file = no tracked store recorded).
+    const char* file = nullptr;
+    uint32_t line = 0;
+    const char* func = nullptr;
+    std::thread::id tid{};
+    // Set when the most recent flush of this line found it already clean
+    // (that flush was redundant); a tracked store while this is set is a
+    // persist-before-write hazard.
+    const char* rf_file = nullptr;
+    uint32_t rf_line = 0;
+    const char* rf_func = nullptr;
+  };
+
+  void AddViolationLocked(PmViolationKind kind, PmPtr line,
+                          std::string store_site, std::string persist_site);
+
+  mutable std::mutex mu_;
+  std::unordered_map<PmPtr, LineInfo> lines_;
+  // Exact indexes over lines_ by state, so OnFence touches only the lines
+  // flushed since the previous fence and OnPublication scans only the
+  // currently-dirty set (scanning all of lines_ made both O(pool lines
+  // ever touched) per call — quadratic over a workload).
+  std::unordered_set<PmPtr> dirty_;
+  std::unordered_set<PmPtr> flushed_;
+  std::vector<PmViolation> violations_;
+  uint64_t recorded_ = 0;  // violations since last ClearViolations()
+
+  obs::MetricGroup metrics_;  // pm.check.*
+  obs::Counter& tracked_stores_;
+  obs::Counter& raw_writes_;
+  obs::Counter& flushes_;
+  obs::Counter& fences_;
+  obs::Counter& publications_;
+  obs::Counter& violations_total_;
+  obs::Counter& dirty_at_publication_;
+  obs::Counter& redundant_flush_;
+  obs::Counter& persist_before_write_;
+};
+
+}  // namespace pm
+}  // namespace dinomo
+
+#endif  // DINOMO_PM_PM_CHECKER_H_

@@ -5,9 +5,12 @@
 #include <cstring>
 #include <memory>
 #include <new>
+#include <type_traits>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "pm/pm_checker.h"
 
 namespace dinomo {
 namespace pm {
@@ -33,6 +36,21 @@ inline constexpr size_t kCacheLineSize = 64;
 /// Recovery-path tests run against this to verify crash consistency of the
 /// index and log commit markers.
 ///
+/// Three layers sit on top of the raw image:
+///
+///  * a typed store API (`Store`/`StoreBytes`/`StoreRelease64`/
+///    `CompareExchange64`) that records the call site of every PM write.
+///    Raw writes through non-const `Translate()` stay legal but are
+///    auditable (see PmChecker and scripts/pm_lint.py);
+///  * an optional shadow-state checker (`EnableChecker`, or build with
+///    -DDINOMO_PM_CHECK=ON / run with env DINOMO_PM_CHECK=1) that tracks
+///    each cache line through dirty → flushed → durable and reports
+///    persist-ordering hazards with file:line attribution;
+///  * an optional persist trace (`EnablePersistTrace`) that records the
+///    durable image at every persist boundary, so `CloneAtBoundary(k)` can
+///    materialize the exact crash image after the k-th persist — the basis
+///    of the systematic crash-point sweep tests.
+///
 /// Thread safety: concurrent access to disjoint ranges is safe (plain
 /// memory); `Persist` and `SimulateCrash` synchronize internally. Callers
 /// provide their own synchronization for overlapping data, as with real PM.
@@ -41,7 +59,8 @@ class PmPool {
   /// Creates a pool of `capacity` bytes. If `crash_sim` is true, a durable
   /// shadow image is maintained (doubling memory use). Persist traffic
   /// publishes into `registry` (nullptr = the global one) as
-  /// `pm.persist_calls` / `pm.persist_bytes`.
+  /// `pm.persist_calls` / `pm.persist_bytes` / `pm.flush_calls` /
+  /// `pm.fence_calls`, checker findings as `pm.check.*`.
   explicit PmPool(size_t capacity, bool crash_sim = false,
                   obs::MetricsRegistry* registry = nullptr);
   ~PmPool();
@@ -53,9 +72,12 @@ class PmPool {
   bool crash_sim_enabled() const { return durable_ != nullptr; }
 
   /// Translates a pool offset to a local address. p must be a valid offset
-  /// (non-null, within capacity).
+  /// (non-null, within capacity). The non-const overload is the raw escape
+  /// hatch for in-place writes: when the checker is on, the containing
+  /// cache line is demoted to "unknown" (see PmChecker::OnRawWrite).
   char* Translate(PmPtr p) {
     DCHECK_VALID(p);
+    if (checker_ != nullptr) checker_->OnRawWrite(p);
     return base_.get() + p;
   }
   const char* Translate(PmPtr p) const {
@@ -70,22 +92,103 @@ class PmPool {
   }
 
   bool Contains(PmPtr p, size_t len) const {
-    return p != kNullPmPtr && p + len <= capacity_;
+    // Written to avoid wrapping: `p + len <= capacity_` overflows for
+    // huge `len` and would admit out-of-bounds ranges.
+    return p != kNullPmPtr && len <= capacity_ && p <= capacity_ - len;
   }
 
-  /// Models CLWB + sfence over [p, p+len): marks those cache lines durable.
-  /// Counted for the PM-bandwidth cost model (Figure 4). No-op on data when
-  /// crash simulation is off.
-  void Persist(PmPtr p, size_t len);
+  // ----- Typed store API ---------------------------------------------------
+  // The preferred way to write PM: same memcpy/store the raw path does,
+  // plus call-site attribution for the checker. `loc` defaults to the
+  // caller's location; pass an explicit one when forwarding on behalf of a
+  // caller (as Fabric does for one-sided writes).
+
+  /// memcpy `len` bytes from `src` into the pool at `p`.
+  void StoreBytes(PmPtr p, const void* src, size_t len,
+                  const SourceLoc& loc = SourceLoc::current());
+
+  /// Store one trivially-copyable value at `p`.
+  template <typename T>
+  void Store(PmPtr p, const T& value,
+             const SourceLoc& loc = SourceLoc::current()) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PM stores require trivially copyable types");
+    StoreBytes(p, &value, sizeof(T), loc);
+  }
+
+  /// Release-store of a 64-bit word (pointer publish, commit fields).
+  /// p must be 8-byte aligned.
+  void StoreRelease64(PmPtr p, uint64_t value,
+                      const SourceLoc& loc = SourceLoc::current());
+
+  /// CAS on a 64-bit word (acq_rel). Returns true and records the store if
+  /// it swapped; a failed CAS writes nothing. p must be 8-byte aligned.
+  bool CompareExchange64(PmPtr p, uint64_t expected, uint64_t desired,
+                         const SourceLoc& loc = SourceLoc::current());
+
+  // ----- Persistence -------------------------------------------------------
+
+  /// Models CLWB over [p, p+len): the lines' current contents are queued
+  /// for write-back but are NOT durable until the next Fence/Persist (a
+  /// crash before the fence discards them).
+  void Flush(PmPtr p, size_t len, const SourceLoc& loc = SourceLoc::current());
+
+  /// Models sfence: every queued flush (from any thread) becomes durable.
+  void Fence();
+
+  /// Models CLWB + sfence over [p, p+len): marks those cache lines durable
+  /// (and, like a real fence, drains every outstanding Flush). Counted for
+  /// the PM-bandwidth cost model (Figure 4). No-op on data when crash
+  /// simulation is off.
+  void Persist(PmPtr p, size_t len,
+               const SourceLoc& loc = SourceLoc::current());
+
+  /// Persist for a *publication point*: a persisted pointer / commit
+  /// marker that makes earlier stores reachable by recovery. Identical to
+  /// Persist on the data path, but the checker verifies no same-thread
+  /// typed store outside [p, p+len) is still dirty — the core persist-
+  /// ordering rule (see DESIGN.md "Persistence ordering rules").
+  void PersistPublish(PmPtr p, size_t len,
+                      const SourceLoc& loc = SourceLoc::current());
 
   /// Convenience: persist a local address range inside the pool.
-  void PersistAddr(const void* addr, size_t len) {
-    Persist(OffsetOf(addr), len);
+  void PersistAddr(const void* addr, size_t len,
+                   const SourceLoc& loc = SourceLoc::current()) {
+    Persist(OffsetOf(addr), len, loc);
+  }
+  void PersistPublishAddr(const void* addr, size_t len,
+                          const SourceLoc& loc = SourceLoc::current()) {
+    PersistPublish(OffsetOf(addr), len, loc);
   }
 
   /// Crash-sim only: discards all stores that were never persisted by
-  /// rolling the working image back to the durable image.
+  /// rolling the working image back to the durable image. Outstanding
+  /// (unfenced) flushes are discarded too.
   Status SimulateCrash();
+
+  // ----- Shadow-state checker ----------------------------------------------
+
+  /// Attaches the persist-ordering checker (idempotent). Automatically on
+  /// when built with -DDINOMO_PM_CHECK=ON or run with DINOMO_PM_CHECK=1.
+  void EnableChecker();
+  /// The attached checker, or nullptr. Violations are also visible as
+  /// `pm.check.*` counters in this pool's metrics registry.
+  PmChecker* checker() const { return checker_.get(); }
+
+  // ----- Persist trace / crash-point sweep ---------------------------------
+
+  /// Starts recording the bytes made durable at every persist boundary
+  /// (each Persist/PersistPublish/Fence call is one boundary).
+  void EnablePersistTrace();
+  /// Number of boundaries recorded since EnablePersistTrace.
+  uint64_t persist_boundaries() const;
+  /// Materializes a fresh crash_sim pool whose state is exactly the
+  /// durable image after the first `boundary` boundaries (0 = the durable
+  /// image at EnablePersistTrace time). Metrics go to `registry` (nullptr
+  /// = this pool's registry); the clone inherits checker-enablement.
+  /// Requires EnablePersistTrace.
+  std::unique_ptr<PmPool> CloneAtBoundary(
+      uint64_t boundary, obs::MetricsRegistry* registry = nullptr) const;
 
   /// Number of Persist calls (flush+fence pairs) since construction.
   uint64_t persist_count() const { return persist_count_.value(); }
@@ -106,12 +209,44 @@ class PmPool {
 
   static AlignedBuffer AllocateAligned(size_t capacity);
 
+  /// Commits [start, start+len) to the durable image and the trace under
+  /// mu_. `src` is the snapshot to commit (nullptr = current working
+  /// image); pending flushes pass their flush-time snapshot so stores
+  /// after the CLWB but before the fence are not leaked into durability.
+  void CommitLocked(PmPtr start, size_t len, const char* src);
+  void DrainPendingLocked();
+
   size_t capacity_;
   AlignedBuffer base_;
   AlignedBuffer durable_;  // null unless crash_sim
   obs::MetricGroup metrics_;  // pm.*
   obs::Counter& persist_count_;
   obs::Counter& persisted_bytes_;
+  obs::Counter& flush_count_;
+  obs::Counter& fence_count_;
+
+  std::unique_ptr<PmChecker> checker_;
+
+  struct TraceEntry {
+    uint64_t boundary;
+    PmPtr offset;
+    uint64_t len;
+    size_t blob_off;
+  };
+  struct PendingFlush {
+    PmPtr offset;
+    uint64_t len;
+    size_t blob_off;
+  };
+
+  mutable std::mutex mu_;
+  bool trace_enabled_ = false;
+  uint64_t boundary_ = 0;  // persist boundaries seen (trace mode)
+  std::vector<TraceEntry> trace_;
+  std::string trace_blob_;
+  std::string trace_baseline_;  // durable image at EnablePersistTrace
+  std::vector<PendingFlush> pending_;
+  std::string pending_blob_;
 };
 
 }  // namespace pm

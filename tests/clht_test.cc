@@ -324,6 +324,106 @@ TEST_F(ClhtCrashTest, RecoveryPassesConsistencyCheckAfterRandomCrashPoint) {
   }
 }
 
+// Systematic crash-point sweep: enumerate EVERY persist boundary of a
+// single-threaded op sequence (inserts with overflow chaining and resizes,
+// in-place upserts, removes) and verify the recovered table at each one.
+// Between two op checkpoints only the in-flight op's key may differ from
+// the pre-op state, and it must hold either its old or its new value —
+// ops are cache-line-atomic at every intermediate persist.
+TEST(ClhtCrashSweepTest, EveryPersistBoundaryRecoversConsistently) {
+  constexpr size_t kPool = 8 * kMiB;
+  pm::PmPool pool(kPool, /*crash_sim=*/true);
+  pm::PmAllocator alloc(&pool, 64, kPool - 64);
+  // 4 buckets * 3 slots: the insert phase forces several resizes.
+  auto created = Clht::Create(&pool, &alloc, /*log2_buckets=*/2);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Clht> table(created.value());
+  const pm::PmPtr header = table->header_ptr();
+  pool.EnablePersistTrace();  // boundary 0 = empty table, durable
+
+  struct Checkpoint {
+    uint64_t boundary;
+    uint64_t touched_key;  // key the op ENDING at this boundary wrote
+    std::map<uint64_t, pm::PmPtr> state;  // full expected table contents
+  };
+  std::map<uint64_t, pm::PmPtr> state;
+  std::vector<Checkpoint> checkpoints;
+  checkpoints.push_back({0, 0, state});
+  auto record = [&](uint64_t key) {
+    checkpoints.push_back({pool.persist_boundaries(), key, state});
+  };
+
+  const auto val = [](uint64_t key, uint64_t round) {
+    return pm::PmPtr{key * 1000 + round + 1};
+  };
+  for (uint64_t k = 1; k <= 40; ++k) {  // inserts, incl. resizes + chains
+    ASSERT_TRUE(table->Upsert(k, val(k, 0)).ok());
+    state[k] = val(k, 0);
+    record(k);
+  }
+  EXPECT_GT(table->Epoch(), 1u);  // the sweep really covers resizes
+  for (uint64_t k = 1; k <= 10; ++k) {  // in-place updates
+    ASSERT_TRUE(table->Upsert(k, val(k, 1)).ok());
+    state[k] = val(k, 1);
+    record(k);
+  }
+  for (uint64_t k = 5; k <= 14; ++k) {  // removes
+    ASSERT_TRUE(table->Remove(k).ok());
+    state.erase(k);
+    record(k);
+  }
+  for (uint64_t k = 41; k <= 50; ++k) {  // reuse freed slots
+    ASSERT_TRUE(table->Upsert(k, val(k, 2)).ok());
+    state[k] = val(k, 2);
+    record(k);
+  }
+  table.reset();
+
+  const uint64_t total = pool.persist_boundaries();
+  ASSERT_EQ(checkpoints.back().boundary, total);
+  obs::MetricsRegistry scratch;
+  size_t cp = 0;  // last checkpoint with boundary <= k
+  for (uint64_t k = 0; k <= total; ++k) {
+    while (cp + 1 < checkpoints.size() && checkpoints[cp + 1].boundary <= k) {
+      cp++;
+    }
+    auto clone = pool.CloneAtBoundary(k, &scratch);
+    pm::PmAllocator clone_alloc(clone.get(), 64, kPool - 64);
+    auto recovered = Clht::Recover(clone.get(), &clone_alloc, header);
+    ASSERT_TRUE(recovered.ok())
+        << "boundary " << k << ": " << recovered.status().ToString();
+    std::unique_ptr<Clht> t(recovered.value());
+    ASSERT_TRUE(t->CheckConsistency().ok()) << "boundary " << k;
+
+    const Checkpoint& before = checkpoints[cp];
+    const bool mid_op = before.boundary < k;
+    const Checkpoint* after =
+        mid_op && cp + 1 < checkpoints.size() ? &checkpoints[cp + 1] : nullptr;
+    uint64_t expected_live = 0;
+    for (const auto& [key, value] : before.state) {
+      if (after != nullptr && key == after->touched_key) continue;
+      EXPECT_EQ(t->Lookup(key), value) << "boundary " << k << " key " << key;
+      expected_live++;
+    }
+    if (after != nullptr) {
+      const uint64_t key = after->touched_key;
+      const pm::PmPtr got = t->Lookup(key);
+      const auto old_it = before.state.find(key);
+      const pm::PmPtr old_v =
+          old_it != before.state.end() ? old_it->second : pm::kNullPmPtr;
+      const auto new_it = after->state.find(key);
+      const pm::PmPtr new_v =
+          new_it != after->state.end() ? new_it->second : pm::kNullPmPtr;
+      EXPECT_TRUE(got == old_v || got == new_v)
+          << "boundary " << k << " key " << key << " got " << got;
+      if (got != pm::kNullPmPtr) expected_live++;
+    } else {
+      // Exactly at a checkpoint: the durable image matches the op history.
+      EXPECT_EQ(t->Count(), expected_live) << "boundary " << k;
+    }
+  }
+}
+
 // Parameterized: table behaves identically across initial sizes.
 class ClhtSizeSweep : public ::testing::TestWithParam<int> {};
 

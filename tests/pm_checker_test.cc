@@ -1,0 +1,328 @@
+// Tests of the PM crash-consistency checker: the shadow cache-line state
+// machine behind PmPool's typed store API, the persist trace / crash-point
+// clones, and the two-phase log append built on top of them.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpm/log.h"
+#include "pm/pm_checker.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace pm {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+class PmCheckerTest : public ::testing::Test {
+ protected:
+  PmCheckerTest() : registry_(), pool_(kMiB, /*crash_sim=*/true, &registry_) {
+    pool_.EnableChecker();
+    checker_ = pool_.checker();
+  }
+
+  bool HasViolation(PmViolationKind kind) const {
+    for (const PmViolation& v : checker_->violations()) {
+      if (v.kind == kind) return true;
+    }
+    return false;
+  }
+
+  obs::MetricsRegistry registry_;
+  PmPool pool_;
+  PmChecker* checker_ = nullptr;
+};
+
+TEST_F(PmCheckerTest, CleanStorePersistFlowHasNoViolations) {
+  const char payload[32] = "hello";
+  pool_.StoreBytes(128, payload, sizeof(payload));
+  pool_.Persist(128, sizeof(payload));
+  // Publication of a pointer after its referent persisted: the canonical
+  // correct ordering.
+  pool_.StoreRelease64(256, 128);
+  pool_.PersistPublish(256, sizeof(uint64_t));
+  EXPECT_EQ(checker_->violation_count(), 0u) << checker_->Report();
+  EXPECT_EQ(checker_->DirtyLineCount(), 0u);
+}
+
+// Acceptance fixture: a deliberately mis-ordered persist — the publication
+// (commit marker) is persisted while the payload it publishes is still
+// dirty. The checker must flag it and attribute the store to this file.
+TEST_F(PmCheckerTest, MisorderedPersistIsCaughtWithAttribution) {
+  const char payload[32] = "torn-on-crash";
+  pool_.StoreBytes(128, payload, sizeof(payload));  // dirty, never persisted
+  pool_.StoreRelease64(256, 128);
+  pool_.PersistPublish(256, sizeof(uint64_t));  // publishes torn data
+
+  ASSERT_GE(checker_->violation_count(), 1u);
+  ASSERT_TRUE(HasViolation(PmViolationKind::kDirtyAtPublication))
+      << checker_->Report();
+  const auto violations = checker_->violations();
+  const PmViolation* v = nullptr;
+  for (const auto& cand : violations) {
+    if (cand.kind == PmViolationKind::kDirtyAtPublication) v = &cand;
+  }
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->line, 128u);
+  // file:line attribution of both the offending store and the publication.
+  EXPECT_NE(v->store_site.find("pm_checker_test.cc"), std::string::npos)
+      << v->store_site;
+  EXPECT_NE(v->persist_site.find("pm_checker_test.cc"), std::string::npos)
+      << v->persist_site;
+  EXPECT_NE(v->Describe().find("dirty-at-publication"), std::string::npos);
+  EXPECT_EQ(registry_.CounterValue("pm.check.dirty_at_publication"), 1u);
+}
+
+TEST_F(PmCheckerTest, PublishedRangeItselfIsExempt) {
+  // The published line is persisted by the publication itself; only OTHER
+  // dirty lines are hazards.
+  pool_.StoreRelease64(128, 42);
+  pool_.PersistPublish(128, sizeof(uint64_t));
+  EXPECT_EQ(checker_->violation_count(), 0u) << checker_->Report();
+}
+
+TEST_F(PmCheckerTest, RedundantFlushIsCaught) {
+  const char payload[8] = "x";
+  pool_.StoreBytes(128, payload, sizeof(payload));
+  pool_.Persist(128, sizeof(payload));
+  EXPECT_EQ(checker_->violation_count(), 0u);
+  pool_.Persist(128, sizeof(payload));  // nothing changed: wasted bandwidth
+  EXPECT_TRUE(HasViolation(PmViolationKind::kRedundantFlush))
+      << checker_->Report();
+  EXPECT_EQ(registry_.CounterValue("pm.check.redundant_flush"), 1u);
+}
+
+TEST_F(PmCheckerTest, PersistBeforeWriteIsCaught) {
+  // The classic swapped pair: Persist(); Store();. The persist runs on a
+  // clean line (redundant) and the store that follows is never covered.
+  const char payload[8] = "x";
+  pool_.StoreBytes(128, payload, sizeof(payload));
+  pool_.Persist(128, sizeof(payload));
+  pool_.Persist(128, sizeof(payload));               // redundant
+  pool_.StoreBytes(128, payload, sizeof(payload));   // ...then the store
+  EXPECT_TRUE(HasViolation(PmViolationKind::kPersistBeforeWrite))
+      << checker_->Report();
+  EXPECT_EQ(registry_.CounterValue("pm.check.persist_before_write"), 1u);
+}
+
+TEST_F(PmCheckerTest, RawTranslateWritesSuppressChecks) {
+  // Raw writes demote the line to "unknown": the checker never guesses
+  // about untracked bytes, so no dirty-at-publication fires for them.
+  char* p = pool_.Translate(128);
+  std::memcpy(p, "raw", 3);
+  pool_.StoreRelease64(256, 128);
+  pool_.PersistPublish(256, sizeof(uint64_t));
+  EXPECT_FALSE(HasViolation(PmViolationKind::kDirtyAtPublication))
+      << checker_->Report();
+  EXPECT_EQ(registry_.CounterValue("pm.check.raw_writes"), 1u);
+}
+
+TEST_F(PmCheckerTest, PersistingACleanUntrackedLineIsNotRedundant) {
+  // Lines never stored through the typed API are unknown: persisting them
+  // twice must not be flagged (allocator zeroing, legacy call sites).
+  pool_.Persist(512, 64);
+  pool_.Persist(512, 64);
+  EXPECT_FALSE(HasViolation(PmViolationKind::kRedundantFlush))
+      << checker_->Report();
+}
+
+TEST_F(PmCheckerTest, CrashResetsTrackedState) {
+  const char payload[8] = "x";
+  pool_.StoreBytes(128, payload, sizeof(payload));  // dirty
+  ASSERT_TRUE(pool_.SimulateCrash().ok());
+  EXPECT_EQ(checker_->DirtyLineCount(), 0u);
+  // The durable image was restored: publishing now is hazard-free.
+  pool_.StoreRelease64(256, 1);
+  pool_.PersistPublish(256, sizeof(uint64_t));
+  EXPECT_EQ(checker_->violation_count(), 0u) << checker_->Report();
+}
+
+TEST_F(PmCheckerTest, ClearViolationsResetsReport) {
+  pool_.StoreBytes(128, "x", 1);
+  pool_.StoreRelease64(256, 128);
+  pool_.PersistPublish(256, sizeof(uint64_t));
+  ASSERT_GT(checker_->violation_count(), 0u);
+  EXPECT_FALSE(checker_->Report().empty());
+  checker_->ClearViolations();
+  EXPECT_EQ(checker_->violation_count(), 0u);
+  EXPECT_TRUE(checker_->Report().empty());
+}
+
+TEST_F(PmCheckerTest, CompareExchangeOnlyTracksSuccessfulSwaps) {
+  pool_.StoreRelease64(128, 7);
+  pool_.Persist(128, sizeof(uint64_t));
+  EXPECT_FALSE(pool_.CompareExchange64(128, /*expected=*/99, /*desired=*/1));
+  // Failed CAS wrote nothing: the line is still clean, so persisting it
+  // again is redundant (proving the checker saw no store).
+  pool_.Persist(128, sizeof(uint64_t));
+  EXPECT_TRUE(HasViolation(PmViolationKind::kRedundantFlush));
+  checker_->ClearViolations();
+  // A successful CAS is a tracked store: it trips the persist-before-write
+  // rule armed by the redundant flush above (the persist at :162 ran
+  // before this store), and re-dirties the line so the next persist is
+  // not redundant.
+  EXPECT_TRUE(pool_.CompareExchange64(128, /*expected=*/7, /*desired=*/1));
+  EXPECT_TRUE(HasViolation(PmViolationKind::kPersistBeforeWrite))
+      << checker_->Report();
+  checker_->ClearViolations();
+  pool_.Persist(128, sizeof(uint64_t));
+  EXPECT_EQ(checker_->violation_count(), 0u) << checker_->Report();
+}
+
+// ----- Flush/Fence split semantics -----
+
+TEST(PmFlushFenceTest, FlushWithoutFenceIsNotDurable) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  pool.StoreBytes(128, "AAAA", 4);
+  pool.Flush(128, 4);  // CLWB queued, no fence
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(pool.Translate(PmPtr{128})[0], 0);
+
+  pool.StoreBytes(128, "BBBB", 4);
+  pool.Flush(128, 4);
+  pool.Fence();
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(std::memcmp(pool.Translate(PmPtr{128}), "BBBB", 4), 0);
+}
+
+TEST(PmFlushFenceTest, StoreAfterFlushBeforeFenceIsNotWrittenBack) {
+  // CLWB snapshots the line at flush time: a store that lands after the
+  // flush but before the fence needs its own CLWB to become durable.
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  pool.StoreBytes(128, "old", 3);
+  pool.Flush(128, 3);
+  pool.StoreBytes(128, "new", 3);  // after CLWB, before sfence
+  pool.Fence();
+  ASSERT_TRUE(pool.SimulateCrash().ok());
+  EXPECT_EQ(std::memcmp(pool.Translate(PmPtr{128}), "old", 3), 0);
+}
+
+// ----- Persist trace / crash-point clones -----
+
+TEST(PmTraceTest, CloneAtBoundaryReplaysDurablePrefix) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  pool.StoreBytes(64, "pre-trace", 9);
+  pool.Persist(64, 9);  // before tracing: lands in the baseline
+  pool.EnablePersistTrace();
+  EXPECT_EQ(pool.persist_boundaries(), 0u);
+
+  pool.StoreBytes(128, "first", 5);
+  pool.Persist(128, 5);  // boundary 1
+  pool.StoreBytes(192, "second", 6);
+  pool.Persist(192, 6);  // boundary 2
+  ASSERT_EQ(pool.persist_boundaries(), 2u);
+
+  obs::MetricsRegistry scratch;
+  auto at0 = pool.CloneAtBoundary(0, &scratch);
+  EXPECT_EQ(std::memcmp(at0->Translate(PmPtr{64}), "pre-trace", 9), 0);
+  EXPECT_EQ(at0->Translate(PmPtr{128})[0], 0);
+
+  auto at1 = pool.CloneAtBoundary(1, &scratch);
+  EXPECT_EQ(std::memcmp(at1->Translate(PmPtr{128}), "first", 5), 0);
+  EXPECT_EQ(at1->Translate(PmPtr{192})[0], 0);
+
+  auto at2 = pool.CloneAtBoundary(2, &scratch);
+  EXPECT_EQ(std::memcmp(at2->Translate(PmPtr{192}), "second", 6), 0);
+  // Clones are themselves crash-sim pools: the replayed image is durable.
+  ASSERT_TRUE(at2->SimulateCrash().ok());
+  EXPECT_EQ(std::memcmp(at2->Translate(PmPtr{192}), "second", 6), 0);
+}
+
+TEST(PmTraceTest, UnfencedFlushesAreNotInTheTrace) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  pool.EnablePersistTrace();
+  pool.StoreBytes(128, "x", 1);
+  pool.Flush(128, 1);  // no fence: no boundary, not durable
+  EXPECT_EQ(pool.persist_boundaries(), 0u);
+  pool.Fence();  // boundary 1 drains it
+  EXPECT_EQ(pool.persist_boundaries(), 1u);
+  obs::MetricsRegistry scratch;
+  auto clone = pool.CloneAtBoundary(1, &scratch);
+  EXPECT_EQ(clone->Translate(PmPtr{128})[0], 'x');
+}
+
+// ----- Two-phase log append + systematic crash-point sweep -----
+
+TEST(AppendBatchPmTest, RejectsBatchWithoutCommitMarker) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  const char junk[16] = {0};
+  auto st = dpm::AppendBatchPm(&pool, 4096, junk, sizeof(junk));
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_TRUE(
+      dpm::AppendBatchPm(&pool, 4096, junk, 0).IsInvalidArgument());
+}
+
+TEST(AppendBatchPmTest, TwoPhaseAppendIsCheckerClean) {
+  obs::MetricsRegistry registry;
+  PmPool pool(kMiB, /*crash_sim=*/true, &registry);
+  pool.EnableChecker();
+  dpm::LogBuilder batch;
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value = "value" + std::to_string(i);
+    batch.AddPut(i, 1000 + i, key, value);
+  }
+  ASSERT_TRUE(
+      dpm::AppendBatchPm(&pool, 4096, batch.data(), batch.bytes()).ok());
+  EXPECT_EQ(pool.checker()->violation_count(), 0u)
+      << pool.checker()->Report();
+}
+
+// Systematic sweep over every persist boundary of a two-phase batch
+// append: at every crash point the decodable prefix of the log is exactly
+// the committed prefix — complete after the marker persisted, and never a
+// torn entry that decodes successfully.
+TEST(AppendBatchPmTest, CrashSweepNeverExposesATornEntry) {
+  PmPool pool(kMiB, /*crash_sim=*/true);
+  pool.EnablePersistTrace();
+  constexpr pm::PmPtr kDst = 4096;
+
+  dpm::LogBuilder batch;
+  std::vector<std::string> values;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value(100 + i * 17, 'a' + i);
+    batch.AddPut(i, 1000 + i, key, value);
+    values.push_back(value);
+  }
+  ASSERT_TRUE(
+      dpm::AppendBatchPm(&pool, kDst, batch.data(), batch.bytes()).ok());
+  const uint64_t total = pool.persist_boundaries();
+  ASSERT_GE(total, 2u);  // payload persist + marker publication
+
+  obs::MetricsRegistry scratch;
+  bool saw_complete = false;
+  for (uint64_t k = 0; k <= total; ++k) {
+    auto clone = pool.CloneAtBoundary(k, &scratch);
+    const char* data = static_cast<const PmPool&>(*clone).Translate(kDst);
+    dpm::LogIterator it(data, batch.bytes());
+    dpm::LogRecord rec;
+    size_t entries = 0;
+    while (it.Next(&rec)) {
+      // Every decodable entry is intact: CRC already verified by Next;
+      // check the payload round-trips too.
+      ASSERT_LT(entries, values.size());
+      EXPECT_EQ(rec.value.ToString(), values[entries]) << "boundary " << k;
+      entries++;
+    }
+    // A decode stop must be a clean end (zeroed tail or missing marker on
+    // the final entry) — Corruption beyond the committed prefix is
+    // expected at pre-publication boundaries, but a torn entry must never
+    // decode as valid. After the final boundary the whole batch is there.
+    if (k == total) {
+      EXPECT_TRUE(it.status().ok()) << it.status().ToString();
+      EXPECT_EQ(entries, values.size());
+      saw_complete = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+}
+
+}  // namespace
+}  // namespace pm
+}  // namespace dinomo

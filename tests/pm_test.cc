@@ -32,6 +32,20 @@ TEST(PmPoolTest, ContainsBoundsCheck) {
   EXPECT_FALSE(pool.Contains(kMiB - 4, 8));
 }
 
+TEST(PmPoolTest, ContainsRejectsOverflowingRanges) {
+  // Regression: the naive `p + len <= capacity` wraps for huge len and
+  // admitted wildly out-of-bounds ranges.
+  PmPool pool(kMiB);
+  EXPECT_FALSE(pool.Contains(64, SIZE_MAX));
+  EXPECT_FALSE(pool.Contains(64, SIZE_MAX - 63));
+  EXPECT_FALSE(pool.Contains(kMiB - 64, SIZE_MAX - kMiB + 65));
+  EXPECT_FALSE(pool.Contains(SIZE_MAX, 2));
+  // The exact-fit edge still works.
+  EXPECT_TRUE(pool.Contains(kMiB - 64, 64));
+  EXPECT_TRUE(pool.Contains(64, kMiB - 64));
+  EXPECT_FALSE(pool.Contains(64, kMiB - 63));
+}
+
 TEST(PmPoolTest, ZeroInitialized) {
   PmPool pool(kMiB);
   const char* p = pool.Translate(64);
