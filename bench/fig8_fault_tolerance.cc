@@ -8,6 +8,7 @@
 // also recovers quickly (only membership updates, ~68 ms); DINOMO-N stalls
 // for many seconds while it physically reshuffles data.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -38,22 +39,34 @@ void PrintTimeline(const sim::WindowStats& w, const char* name,
                 (i + 1) * w.window_us() / kSecond,
                 w.ThroughputMops(i) * 1e3, w.window(i).latency.P99());
   }
-  // Windows are 100 ms: before = 0.6-1.0s, dip = min in 1.0-1.6s,
-  // after = last 0.5 s.
+  // All ranges derive from the experiment constants, not window indices:
+  // before = the 0.4 s leading up to the kill, dip = the deepest window
+  // in the 0.6 s right after it, after = the last 0.5 s of the run.
+  const double win = w.window_us();
+  const size_t kill_w = static_cast<size_t>(kKillAt / win);
+  const size_t before_span =
+      std::max<size_t>(1, static_cast<size_t>(0.4 * kSecond / win));
+  const size_t before_lo = kill_w > before_span ? kill_w - before_span : 0;
   double b = 0;
-  for (size_t i = 6; i < 10 && i < w.num_windows(); ++i) {
+  size_t bn = 0;
+  for (size_t i = before_lo; i < kill_w && i < w.num_windows(); ++i) {
     b += w.ThroughputMops(i);
+    bn++;
   }
-  *before = b / 4;
-  // Deepest window during the recovery interval (1.0-1.6 s).
+  *before = bn > 0 ? b / bn : 0;
+  const size_t dip_hi =
+      kill_w + std::max<size_t>(1, static_cast<size_t>(0.6 * kSecond / win));
   double d = 1e18;
-  for (size_t i = 10; i < 16 && i < w.num_windows(); ++i) {
+  for (size_t i = kill_w; i < dip_hi && i < w.num_windows(); ++i) {
     d = std::min(d, w.ThroughputMops(i));
   }
   *dip = d == 1e18 ? 0 : d;
+  const size_t after_span =
+      std::max<size_t>(1, static_cast<size_t>(0.5 * kSecond / win));
   double a = 0;
   size_t n = 0;
-  for (size_t i = w.num_windows() >= 5 ? w.num_windows() - 5 : 0;
+  for (size_t i = w.num_windows() > after_span ? w.num_windows() - after_span
+                                               : 0;
        i < w.num_windows(); ++i) {
     a += w.ThroughputMops(i);
     n++;
@@ -79,10 +92,10 @@ int main(int argc, char** argv) {
   // the CI smoke run.
   const bool run_dinomo_n = !reporter.quick();
 
-  double before[3];
-  double dip[3];
-  double after[3];
-  const char* names[3] = {"DINOMO", "DINOMO-N", "Clover"};
+  double before[4];
+  double dip[4];
+  double after[4];
+  const char* names[4] = {"DINOMO", "DINOMO-N", "Clover", "DINOMO+faults"};
 
   {
     auto opt = bench::BaseDinomo(SystemVariant::kDinomo, kKns, Spec());
@@ -94,6 +107,26 @@ int main(int argc, char** argv) {
     sim.ScheduleKill(kKillAt, /*kn_index=*/3);
     sim.Run(kDuration, 0);
     PrintTimeline(sim.windows(), names[0], &before[0], &dip[0], &after[0]);
+  }
+  {
+    // The same kill with transient wire/RPC faults layered on top:
+    // delayed and duplicated one-sided ops everywhere, plus occasional
+    // DPM-side rejections. The dip-and-recover shape must survive — only
+    // the absolute numbers move.
+    auto opt = bench::BaseDinomo(SystemVariant::kDinomo, kKns, Spec());
+    opt.client_threads = kStreams;
+    opt.stats_window_us = 100e3;
+    opt.request_timeout_us = 10e3;
+    opt.faults.seed = opt.seed;
+    opt.faults.Delay(-1, 0.10, /*delay_us=*/5.0)
+        .Duplicate(-1, 0.05)
+        .RpcUnavailable(-1, 0.05)
+        .RpcBusy(-1, 0.05);
+    sim::DinomoSim sim(opt);
+    sim.Preload();
+    sim.ScheduleKill(kKillAt, /*kn_index=*/3);
+    sim.Run(kDuration, 0);
+    PrintTimeline(sim.windows(), names[3], &before[3], &dip[3], &after[3]);
   }
   if (run_dinomo_n) {
     auto opt = bench::BaseDinomo(SystemVariant::kDinomoN, kKns, Spec());
@@ -124,7 +157,7 @@ int main(int argc, char** argv) {
   std::printf("\nRecovery summary (Kops/s):\n");
   std::printf("%-10s %12s %12s %12s %10s\n", "system", "before", "dip",
               "after", "dip/before");
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 4; ++i) {
     if (i == 1 && !run_dinomo_n) continue;
     std::printf("%-10s %12.1f %12.1f %12.1f %9.0f%%\n", names[i],
                 before[i] * 1e3, dip[i] * 1e3, after[i] * 1e3,

@@ -117,6 +117,36 @@ def check_pm_checker(path, doc):
     return ok
 
 
+def check_faults(path, doc):
+    """Gate the fault.* family (src/net/fault.*): a bench that ran with a
+    fault injector must leak nothing — every client request completes or
+    returns DeadlineExceeded, and no KN is torn down with requests still
+    counted in flight."""
+    counters = doc.get("metrics", {}).get("counters", {})
+    if not isinstance(counters, dict):
+        return True  # schema check already failed this report
+    fault = {k: v for k, v in counters.items() if k.startswith("fault.")}
+    if not fault:
+        return True  # fault-free run
+    ok = True
+    hung = fault.get("fault.hung_requests", 0)
+    if isinstance(hung, (int, float)) and hung > 0:
+        ok = fail(f"{path}: fault.hung_requests = {hung} — a client future "
+                  "was left pending when its KN stopped; the KvsNode drain "
+                  "guarantee is broken")
+    injected = sum(v for k, v in fault.items()
+                   if k.startswith("fault.injected.")
+                   and isinstance(v, (int, float)))
+    if doc.get("bench") == "fig8_fault_tolerance" and injected <= 0:
+        ok = fail(f"{path}: fault.* counters present but zero injections — "
+                  "the injector is installed but not wired into the "
+                  "fabric/RPC path")
+    if ok:
+        print(f"ok: {path}: fault injection clean "
+              f"({int(injected)} injected, 0 hung requests)")
+    return ok
+
+
 def row_matches(row, match):
     return all(row.get(k) == v for k, v in match.items())
 
@@ -163,7 +193,7 @@ def main(argv):
             ok = fail(f"{path}: {e}")
             continue
         for checker in (check_schema, check_metrics, check_pm_checker,
-                        check_expectations):
+                        check_faults, check_expectations):
             if not checker(path, doc):
                 ok = False
         if ok:

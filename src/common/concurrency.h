@@ -49,13 +49,19 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  void Push(T item) {
+  /// Returns false (without enqueuing) when the queue is closed. The
+  /// forwarding reference keeps the caller's item intact on failure, so a
+  /// caller carrying a completion callback can still invoke it — a
+  /// silently dropped item would leave its submitter waiting forever.
+  template <typename U>
+  [[nodiscard]] bool Push(U&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) return;
-      items_.push_back(std::move(item));
+      if (closed_) return false;
+      items_.push_back(std::forward<U>(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the queue is closed.

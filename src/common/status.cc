@@ -30,6 +30,8 @@ const char* CodeName(Status::Code code) {
       return "WrongOwner";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

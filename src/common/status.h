@@ -25,6 +25,7 @@ class Status {
     kOutOfMemory = 9,
     kWrongOwner = 10,
     kAborted = 11,
+    kDeadlineExceeded = 12,
   };
 
   /// Constructs an OK status.
@@ -71,6 +72,13 @@ class Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  /// The operation's deadline elapsed before it could complete. Unlike
+  /// TimedOut (a single RPC timing out, retryable), this is terminal for
+  /// the request: the caller's overall time budget is spent (§5.3:
+  /// "user requests are set to time out after 500ms").
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -84,6 +92,9 @@ class Status {
   bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
   bool IsWrongOwner() const { return code_ == Code::kWrongOwner; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -22,6 +22,28 @@ void SpinFor(double us) {
   }
 }
 
+const Status& GetStatus(const Status& s) { return s; }
+template <typename T>
+const Status& GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+// Admin-path RPC retry: replication changes are off the request path, so
+// they can wait out transient DPM rejections (injected or real) instead
+// of aborting a half-done ownership change. Bounded: ~6 ms worst case.
+template <typename Fn>
+auto RetryTransientRpc(Fn&& fn) -> decltype(fn()) {
+  Backoff backoff(BackoffOptions{50.0, 2'000.0, 2.0, 0.5}, /*seed=*/11);
+  auto result = fn();
+  for (int attempt = 1; attempt < 6; ++attempt) {
+    if (result.ok() || !IsTransient(GetStatus(result))) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(backoff.NextDelayUs()));
+    result = fn();
+  }
+  return result;
+}
+
 }  // namespace
 
 // ----- Client -----
@@ -46,16 +68,36 @@ Status Client::Delete(const Slice& key) {
 Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
                                     const Slice& value) {
   const uint64_t key_hash = kn::KeyHash(key);
+  const ClusterOptions& opts = cluster_->options();
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::micro>(
+                      opts.request_deadline_us));
+  // Fresh backoff per request, seeded deterministically per (client, key)
+  // so concurrent clients rejected at the same instant decorrelate.
+  Backoff backoff(opts.client_backoff, salt_ ^ key_hash);
   Status last = Status::Unavailable("no KNs");
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    // Stale routing is refreshed from the RN after a rejection, as a real
-    // client would (§3.4: "the KN they contact will direct them to a
-    // routing node to get the latest mapping information").
+  for (int attempt = 0;; ++attempt) {
     if (attempt > 0) {
+      // Stale routing is refreshed from the RN after a rejection, as a
+      // real client would (§3.4: "the KN they contact will direct them to
+      // a routing node to get the latest mapping information").
       table_ = cluster_->routing()->Snapshot();
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      const double delay_us = backoff.NextDelayUs();
+      const auto wake =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::micro>(delay_us));
+      if (wake >= deadline) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(delay_us));
     }
-    if (table_->global_ring.empty()) continue;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    if (table_->global_ring.empty()) {
+      last = Status::Unavailable("no KNs");
+      continue;
+    }
     const uint64_t kn_id = table_->RouteFor(key_hash, salt_++);
     kn::KvsNode* node = cluster_->kn(kn_id);
     if (node == nullptr) {
@@ -72,14 +114,17 @@ Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
       promise.set_value(std::move(r));
     };
     node->Submit(*table_, std::move(req));
+    // The wait is unbounded on purpose: KvsNode guarantees every
+    // submitted request completes (drain-on-fail), so waiting here can
+    // only take as long as the op itself — the deadline bounds retries.
     kn::OpResult result = future.get();
-    if (result.status.IsWrongOwner() || result.status.IsUnavailable()) {
+    if (result.status.IsWrongOwner() || IsTransient(result.status)) {
       last = result.status;
       continue;
     }
     last_latency_us_ =
         result.LatencyUs(cluster_->dpm()->fabric()->profile());
-    if (cluster_->options().inject_latency) SpinFor(last_latency_us_);
+    if (opts.inject_latency) SpinFor(last_latency_us_);
     cluster_->RecordLatency(last_latency_us_);
     if (!result.status.ok()) return result.status;
     if (type == kn::Request::Type::kGet) {
@@ -87,7 +132,13 @@ Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
     }
     return std::string();
   }
-  return last;
+  // Budget exhausted. DeadlineExceeded (not `last`) so callers can tell
+  // "out of time" apart from a definitive rejection.
+  if (cluster_->fault_injector() != nullptr) {
+    cluster_->fault_injector()->NoteDeadlineExceeded();
+  }
+  return Status::DeadlineExceeded("request deadline exceeded; last error: " +
+                                  last.ToString());
 }
 
 // ----- Cluster -----
@@ -118,6 +169,23 @@ kn::KnOptions Cluster::MakeKnOptions(uint64_t kn_id) const {
 
 Status Cluster::Start() {
   if (started_.exchange(true)) return Status::Ok();
+  if (!options_.faults.empty()) {
+    injector_ = std::make_unique<net::FaultInjector>(options_.faults,
+                                                     options_.dpm.metrics);
+    const auto epoch = std::chrono::steady_clock::now();
+    injector_->SetClock([epoch] {
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - epoch)
+          .count();
+    });
+    // Real-thread runtime: injected delays cost wall-clock time, so the
+    // paths under test experience them, not just the latency model.
+    injector_->set_sleep_on_delay(true);
+    dpm_->fabric()->SetFaultInjector(injector_.get());
+    dpm_->SetFaultInjector(injector_.get());
+    fault_running_ = true;
+    fault_thread_ = std::thread([this] { FaultEnactorLoop(); });
+  }
   dpm_->merge()->SetMergeCallback([this](uint64_t owner) {
     const uint64_t kn_id = owner >> 8;
     kn::KvsNode* node = kn(kn_id);
@@ -146,6 +214,9 @@ Status Cluster::Start() {
 
 void Cluster::Stop() {
   if (!started_.exchange(false)) return;
+  if (fault_running_.exchange(false) && fault_thread_.joinable()) {
+    fault_thread_.join();
+  }
   if (mnode_running_.exchange(false) && mnode_thread_.joinable()) {
     mnode_thread_.join();
   }
@@ -157,6 +228,18 @@ void Cluster::Stop() {
   Status st = dpm_->merge()->DrainAll();
   if (!st.ok()) {
     DINOMO_LOG_STREAM(Warn) << "final drain failed: " << st.ToString();
+  }
+  if (injector_ != nullptr) {
+    // Every KN is stopped; a non-zero in-flight count means a completion
+    // callback never fired — exactly the leak the fault.* gate hunts.
+    int64_t leaked = 0;
+    {
+      std::lock_guard<std::mutex> lock(kns_mu_);
+      for (auto& [id, node] : kns_) leaked += node->in_flight();
+    }
+    injector_->NoteHungRequests(static_cast<uint64_t>(leaked));
+    dpm_->fabric()->SetFaultInjector(nullptr);
+    dpm_->SetFaultInjector(nullptr);
   }
 }
 
@@ -339,8 +422,10 @@ Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
   // The primary is the only node that may hold the value in cache: pause
   // it, land its writes, install the indirect slot, then publish.
   DINOMO_RETURN_IF_ERROR(QuiesceKns({primary}));
-  auto slot = dpm_->InstallIndirect(
-      static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
+  auto slot = RetryTransientRpc([&] {
+    return dpm_->InstallIndirect(
+        static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
+  });
   if (!slot.ok()) {
     ResumeKns({primary});
     return slot.status();
@@ -373,7 +458,8 @@ Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
       });
     }
   }
-  Status st = dpm_->RemoveIndirect(0, key_hash);
+  Status st =
+      RetryTransientRpc([&] { return dpm_->RemoveIndirect(0, key_hash); });
   if (!st.ok() && !st.IsNotFound()) {
     ResumeKns(owners);
     return st;
@@ -462,6 +548,23 @@ mnode::PolicyAction Cluster::RunPolicyOnce(double now_s, double epoch_s) {
       break;
   }
   return action;
+}
+
+void Cluster::FaultEnactorLoop() {
+  while (fault_running_.load(std::memory_order_acquire)) {
+    const int victim = injector_->ClaimFailStop();
+    if (victim >= 0) {
+      Status st = KillKn(static_cast<uint64_t>(victim));
+      if (st.ok()) {
+        injector_->NoteFailStopEnacted();
+      } else if (!st.IsNotFound()) {
+        DINOMO_LOG_STREAM(Warn)
+            << "fail-stop enactment failed: " << st.ToString();
+      }
+      continue;  // more kills may already be due
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
 }
 
 void Cluster::MnodeLoop() {

@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "cluster/routing.h"
+#include "common/backoff.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "dpm/dpm_node.h"
 #include "kn/kvs_node.h"
 #include "mnode/policy.h"
+#include "net/fault.h"
 
 namespace dinomo {
 
@@ -42,6 +44,16 @@ struct ClusterOptions {
   /// Clients spin for the op's modeled latency, so latency SLOs are
   /// meaningful in the real-thread runtime.
   bool inject_latency = false;
+  /// Overall per-request budget for Client::Execute, matching the paper's
+  /// client timeout ("user requests are set to time out after 500ms",
+  /// §5.3). Transient rejections retry with `client_backoff` until the
+  /// budget is spent, then the client sees DeadlineExceeded.
+  double request_deadline_us = 500'000.0;
+  BackoffOptions client_backoff;
+  /// Fault schedule installed into the fabric and DPM RPC entry points at
+  /// Start(). Empty = fault-free. kFailStop events name a KN id; the
+  /// cluster enacts them via KillKn from a dedicated thread.
+  net::FaultSchedule faults;
 };
 
 class Cluster;
@@ -124,6 +136,8 @@ class Cluster {
   dpm::DpmNode* dpm() { return dpm_.get(); }
   cluster::RoutingService* routing() { return &routing_; }
   const ClusterOptions& options() const { return options_; }
+  /// The installed fault injector, or nullptr when running fault-free.
+  net::FaultInjector* fault_injector() { return injector_.get(); }
   std::vector<uint64_t> ActiveKns() const;
   kn::KvsNode* kn(uint64_t kn_id);
 
@@ -152,9 +166,14 @@ class Cluster {
                                const cluster::RoutingTable& new_table);
 
   void MnodeLoop();
+  /// Enacts due kFailStop events. A dedicated thread because KillKn joins
+  /// worker threads — a worker cannot fail-stop itself without
+  /// deadlocking on its own join.
+  void FaultEnactorLoop();
 
   ClusterOptions options_;
   std::unique_ptr<dpm::DpmNode> dpm_;
+  std::unique_ptr<net::FaultInjector> injector_;
   cluster::RoutingService routing_;
   mnode::PolicyEngine policy_;
 
@@ -169,6 +188,8 @@ class Cluster {
 
   std::thread mnode_thread_;
   std::atomic<bool> mnode_running_{false};
+  std::thread fault_thread_;
+  std::atomic<bool> fault_running_{false};
   std::atomic<bool> started_{false};
 };
 

@@ -1,9 +1,12 @@
 #include "core/migration.h"
 
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "dpm/log.h"
 #include "net/fabric.h"
 
@@ -11,6 +14,30 @@ namespace dinomo {
 
 namespace {
 constexpr size_t kSegmentHeaderSize = pm::kCacheLineSize;
+
+// Reorganization is already synchronous and off the request path, so it
+// can afford to wait out transient DPM rejections (injected or real)
+// rather than abort a half-moved partition. Bounded: ~6 ms worst case.
+constexpr int kRpcRetries = 6;
+
+const Status& GetStatus(const Status& s) { return s; }
+template <typename T>
+const Status& GetStatus(const Result<T>& r) {
+  return r.status();
+}
+
+template <typename Fn>
+auto RetryTransient(Fn&& fn) -> decltype(fn()) {
+  Backoff backoff(BackoffOptions{50.0, 2'000.0, 2.0, 0.5}, /*seed=*/7);
+  auto result = fn();
+  for (int attempt = 1; attempt < kRpcRetries; ++attempt) {
+    if (result.ok() || !IsTransient(GetStatus(result))) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(backoff.NextDelayUs()));
+    result = fn();
+  }
+  return result;
+}
 }  // namespace
 
 Result<MigrationStats> MigratePartitionData(
@@ -46,10 +73,11 @@ Result<MigrationStats> MigratePartitionData(
       if (segment == pm::kNullPmPtr ||
           seg_used + batch.bytes() > seg_capacity) {
         if (segment != pm::kNullPmPtr) {
-          DINOMO_RETURN_IF_ERROR(
-              dpm->SealSegment(dst_node, dst_owner, segment));
+          DINOMO_RETURN_IF_ERROR(RetryTransient(
+              [&] { return dpm->SealSegment(dst_node, dst_owner, segment); }));
         }
-        auto seg = dpm->AllocateSegment(dst_node, dst_owner);
+        auto seg = RetryTransient(
+            [&] { return dpm->AllocateSegment(dst_node, dst_owner); });
         if (!seg.ok()) return seg.status();
         segment = seg.value();
         seg_used = 0;
@@ -59,8 +87,10 @@ Result<MigrationStats> MigratePartitionData(
       // marker, so a crash mid-copy never exposes a torn batch tail.
       DINOMO_RETURN_IF_ERROR(dpm::AppendBatchPm(dpm->pool(), dst,
                                                 batch.data(), batch.bytes()));
-      auto submit = dpm->SubmitBatch(dst_node, dst_owner, segment, dst,
-                                     batch.bytes(), batch.puts());
+      auto submit = RetryTransient([&] {
+        return dpm->SubmitBatch(dst_node, dst_owner, segment, dst,
+                                batch.bytes(), batch.puts());
+      });
       if (!submit.ok()) return submit.status();
       seg_used += batch.bytes();
       stats.bytes_moved += batch.bytes();

@@ -224,6 +224,7 @@ Status DpmNode::InitRecovered() {
 DpmNode::~DpmNode() = default;
 
 Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
+  DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   auto seg = alloc_->Alloc(options_.segment_size);
   if (!seg.ok()) return seg.status();
   const pm::PmPtr base = seg.value();
@@ -257,6 +258,7 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
                                                    pm::PmPtr data,
                                                    size_t bytes,
                                                    uint64_t puts) {
+  DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   (void)kn_node;  // No fabric charge: the batch itself was the one-sided
                   // write; the DPM processors discover sealed batches by
                   // polling segment headers, off the KN's critical path.
@@ -311,6 +313,7 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
 }
 
 Status DpmNode::SealSegment(int kn_node, uint64_t owner, pm::PmPtr segment) {
+  DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   (void)kn_node;
   std::lock_guard<std::mutex> lock(seg_mu_);
   auto it = segments_.find(segment);
@@ -486,6 +489,7 @@ void DpmNode::DirectoryRemove(pm::PmPtr base) {
 }
 
 Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
+  DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   std::lock_guard<std::mutex> lock(shared_mu_);
   auto it = shared_slots_.find(key_hash);
   if (it != shared_slots_.end()) return it->second;  // idempotent
@@ -513,6 +517,7 @@ Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
 }
 
 Status DpmNode::RemoveIndirect(int kn_node, uint64_t key_hash) {
+  DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   std::lock_guard<std::mutex> lock(shared_mu_);
   auto it = shared_slots_.find(key_hash);
   if (it == shared_slots_.end()) {

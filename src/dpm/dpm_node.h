@@ -1,6 +1,7 @@
 #ifndef DINOMO_DPM_DPM_NODE_H_
 #define DINOMO_DPM_DPM_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -93,6 +94,14 @@ class DpmNode {
 
   net::Fabric* fabric() { return fabric_.get(); }
   pm::PmPool* pool() { return pool_.get(); }
+
+  /// Installs a fault injector consulted at the entry of every two-sided
+  /// RPC (nullptr = fault-free). A rejected RPC returns Unavailable/Busy
+  /// before touching any DPM state, modeling a DPM processor that bounced
+  /// the request. Non-owning.
+  void SetFaultInjector(net::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
   pm::PmAllocator* allocator() { return alloc_.get(); }
   index::Clht* index() { return index_.get(); }
 
@@ -209,7 +218,14 @@ class DpmNode {
 
   void MaybeGcLocked(pm::PmPtr base, SegmentInfo* info);
 
+  /// The RPC-rejection check every two-sided entry point runs first.
+  Status RpcFault(int kn_node) {
+    net::FaultInjector* injector = injector_.load(std::memory_order_acquire);
+    return injector != nullptr ? injector->OnRpc(kn_node) : Status::Ok();
+  }
+
   DpmOptions options_;
+  std::atomic<net::FaultInjector*> injector_{nullptr};
   obs::MetricGroup metrics_;  // dpm.*
   obs::Counter& segments_allocated_;
   obs::Counter& segments_gced_;

@@ -5,6 +5,7 @@
 
 #include "cache/dac.h"
 #include "cache/static_cache.h"
+#include "common/backoff.h"
 #include "common/logging.h"
 
 namespace dinomo {
@@ -38,6 +39,12 @@ std::unique_ptr<cache::KnCache> MakeCache(const KnOptions& options,
 
 constexpr size_t kSegmentHeaderSize = pm::kCacheLineSize;
 constexpr int kReadRetries = 4;
+// Immediate (sleep-free: workers also run under the virtual-time engine)
+// retry budget for one-sided writes and DPM RPCs hit by transient faults.
+// Injected faults are probabilistic, so back-to-back retries suffice; a
+// budget that runs dry surfaces the transient error to the client, whose
+// deadline/backoff loop owns the long game.
+constexpr int kTransientRetries = 4;
 
 Slice HashKeySlice(const uint64_t& key_hash) {
   return Slice(reinterpret_cast<const char*>(&key_hash), sizeof(key_hash));
@@ -67,8 +74,16 @@ index::Clht* KnWorker::TargetIndex() const {
 }
 
 void KnWorker::RefreshIndexHandle() {
-  index_handle_ =
-      TargetIndex()->FetchRemoteHandle(dpm_->fabric(), options_.fabric_node);
+  (void)net::Fabric::TakePendingFault();
+  for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+    index_handle_ = TargetIndex()->FetchRemoteHandle(dpm_->fabric(),
+                                                     options_.fabric_node);
+    if (!net::Fabric::HasPendingFault()) break;
+    // Dropped read: the fetched handle is zeroes, which reads as invalid
+    // (null bucket array) — never traverse with it.
+    (void)net::Fabric::TakePendingFault();
+    index_handle_ = index::Clht::RemoteHandle{};
+  }
   known_index_epoch_ = std::max(known_index_epoch_, index_handle_.epoch);
 }
 
@@ -93,19 +108,27 @@ Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
   *was_indirect = vp.indirect();
   net::Fabric* fabric = dpm_->fabric();
   std::string buf;
+  Status fault = Status::Ok();
   for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+    // Drop any error parked before this attempt so the checks below see
+    // only faults from their own reads.
+    (void)net::Fabric::TakePendingFault();
     dpm::ValuePtr direct = vp;
     if (vp.indirect()) {
       // Replicated key: one extra round trip through the indirect slot
       // (the cost shared keys pay, §3.4).
       const uint64_t raw =
           fabric->AtomicRead64(options_.fabric_node, vp.offset());
+      fault = net::Fabric::TakePendingFault();
+      if (!fault.ok()) continue;  // dropped read: raw is not the slot
       if (raw == 0) return Status::NotFound("empty indirect slot");
       direct = dpm::ValuePtr(raw);
     }
     buf.resize(direct.entry_size());
     fabric->Read(options_.fabric_node, direct.offset(), buf.data(),
                  direct.entry_size());
+    fault = net::Fabric::TakePendingFault();
+    if (!fault.ok()) continue;  // dropped read: buf is zero-filled
     dpm::LogRecord rec;
     size_t consumed = 0;
     Status st = dpm::DecodeEntry(buf.data(), buf.size(), &rec, &consumed);
@@ -120,6 +143,10 @@ Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
       return Status::IoError("stale value pointer");
     }
   }
+  // Distinguish "the fabric kept eating our reads" (transient, the client
+  // retries) from a genuinely racing slot (IoError, the miss path
+  // re-resolves the pointer).
+  if (!fault.ok()) return fault;
   return Status::IoError("indirect read kept racing");
 }
 
@@ -188,9 +215,25 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
   const uint32_t rts_before = cost != nullptr ? cost->round_trips : 0;
 
   if (!index_handle_.valid()) RefreshIndexHandle();
+  if (!index_handle_.valid()) {
+    // Handle fetch itself kept getting dropped; nothing safe to traverse.
+    out.status = Status::Unavailable("index handle unavailable");
+    return out;
+  }
+  (void)net::Fabric::TakePendingFault();
   for (int attempt = 0; attempt < 2; ++attempt) {
     auto res = TargetIndex()->RemoteLookup(
         dpm_->fabric(), options_.fabric_node, index_handle_, key_hash);
+    {
+      // A dropped read during the traversal zero-fills a bucket, which
+      // reads as "chain ends here": without this check an existing key
+      // would be reported NotFound to the client.
+      Status fault = net::Fabric::TakePendingFault();
+      if (!fault.ok()) {
+        out.status = fault;  // transient: the client's backoff loop retries
+        return out;
+      }
+    }
     if (!res.found) {
       // A stale (pre-resize) table can miss keys merged after the resize;
       // refresh once if the DPM told us about a newer epoch.
@@ -306,11 +349,22 @@ Status KnWorker::EnsureSegmentFor(size_t entry_bytes) {
       dpm_->options().unmerged_segment_threshold) {
     return Status::Busy("unmerged-segment threshold reached");
   }
+  // Both RPCs are idempotent (re-sealing a sealed segment is a no-op; a
+  // re-requested allocation just hands out a fresh segment), so transient
+  // rejections get a few immediate retries before surfacing.
   if (segment_ != pm::kNullPmPtr) {
-    DINOMO_RETURN_IF_ERROR(
-        dpm_->SealSegment(options_.fabric_node, log_owner(), segment_));
+    Status st;
+    for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+      st = dpm_->SealSegment(options_.fabric_node, log_owner(), segment_);
+      if (!IsTransient(st)) break;
+    }
+    DINOMO_RETURN_IF_ERROR(st);
   }
-  auto seg = dpm_->AllocateSegment(options_.fabric_node, log_owner());
+  Result<pm::PmPtr> seg = Status::Unavailable("not attempted");
+  for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+    seg = dpm_->AllocateSegment(options_.fabric_node, log_owner());
+    if (seg.ok() || !IsTransient(seg.status())) break;
+  }
   if (!seg.ok()) return seg.status();
   segment_ = seg.value();
   segment_used_ = 0;
@@ -352,9 +406,19 @@ Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
   if (batch_.entries() == 0) return Status::Ok();
   DINOMO_CHECK(segment_ != pm::kNullPmPtr);
   const pm::PmPtr dst = segment_ + kSegmentHeaderSize + segment_used_;
-  // ONE one-sided RDMA write ships the whole batch (§3.6).
-  dpm_->fabric()->Write(options_.fabric_node, batch_.data(), dst,
-                        batch_.bytes());
+  // ONE one-sided RDMA write ships the whole batch (§3.6). A dropped
+  // write must be retried BEFORE SubmitBatch — registering a batch whose
+  // bytes never landed would merge garbage. On a dry retry budget the
+  // batch stays buffered (nothing was acked), so a later flush repeats
+  // the identical write+submit: idempotent.
+  (void)net::Fabric::TakePendingFault();
+  for (int attempt = 0;; ++attempt) {
+    dpm_->fabric()->Write(options_.fabric_node, batch_.data(), dst,
+                          batch_.bytes());
+    Status fault = net::Fabric::TakePendingFault();
+    if (fault.ok()) break;
+    if (attempt + 1 >= kTransientRetries) return fault;
+  }
   auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
                                   segment_, dst, batch_.bytes(),
                                   batch_.puts());
@@ -405,7 +469,18 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
   std::string buf(need, '\0');
   dpm::EncodeEntry(buf.data(), dpm::LogOp::kPut, ++next_seq_, key_hash, key,
                    value);
-  dpm_->fabric()->Write(options_.fabric_node, buf.data(), entry_ptr, need);
+  // As in FlushBatchLocked: the entry must actually land before it is
+  // registered and published through the slot CAS below.
+  (void)net::Fabric::TakePendingFault();
+  for (int attempt = 0;; ++attempt) {
+    dpm_->fabric()->Write(options_.fabric_node, buf.data(), entry_ptr, need);
+    Status fault = net::Fabric::TakePendingFault();
+    if (fault.ok()) break;
+    if (attempt + 1 >= kTransientRetries) {
+      out.status = fault;
+      return out;
+    }
+  }
   auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
                                   segment_, entry_ptr, need, /*puts=*/1);
   if (!submit.ok()) {
@@ -424,6 +499,12 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
   net::Fabric* fabric = dpm_->fabric();
   for (int attempt = 0; attempt < 16; ++attempt) {
     const uint64_t cur = fabric->AtomicRead64(options_.fabric_node, slot);
+    if (net::Fabric::HasPendingFault()) {
+      // Dropped slot read: `cur` is garbage, CASing on it would only
+      // waste the attempt (and a dropped CAS already reports failure).
+      (void)net::Fabric::TakePendingFault();
+      continue;
+    }
     if (fabric->CompareAndSwap64(options_.fabric_node, slot, cur,
                                  packed.raw())) {
       cache_->AdmitShortcutOnly(
@@ -431,6 +512,7 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
       out.status = Status::Ok();
       return out;
     }
+    (void)net::Fabric::TakePendingFault();  // dropped CAS reads as failure
   }
   out.status = Status::Busy("indirect slot CAS kept failing");
   return out;

@@ -57,6 +57,18 @@ void KvsNode::Fail() {
 }
 
 void KvsNode::Submit(const cluster::RoutingTable& routing, Request req) {
+  // Wrap the completion so every path — normal execution, drain on
+  // failure, rejected enqueue — decrements the in-flight count exactly
+  // once when the callback fires.
+  if (req.done) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    req.done = [this, done = std::move(req.done)](OpResult r) {
+      // Decrement first: by the time a client can observe the completion
+      // (inside done), the request is no longer counted in flight.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      done(std::move(r));
+    };
+  }
   if (failed_.load(std::memory_order_acquire) ||
       !available_.load(std::memory_order_acquire) ||
       !running_.load(std::memory_order_acquire)) {
@@ -71,7 +83,16 @@ void KvsNode::Submit(const cluster::RoutingTable& routing, Request req) {
   if (req.type != Request::Type::kControl) {
     idx = routing.ThreadFor(KeyHash(req.key), options_.kn_id);
   }
-  queues_[idx]->Push(std::move(req));
+  if (!queues_[idx]->Push(std::move(req))) {
+    // Raced with Stop()/Fail() closing the queue after the checks above.
+    // The request was never enqueued (a failed Push does not consume it);
+    // complete it here or the client's future would wait forever.
+    if (req.done) {
+      OpResult r;
+      r.status = Status::Unavailable("KN not serving");
+      req.done(std::move(r));
+    }
+  }
 }
 
 void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
@@ -93,7 +114,15 @@ void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
         cv.notify_all();
       }
     };
-    queues_[i]->Push(std::move(req));
+    if (!queues_[i]->Push(std::move(req))) {
+      // Queue closed under us (Stop/Fail race): run inline so the wait
+      // below cannot deadlock on a control request that never executes.
+      fn(workers_[i].get());
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return remaining.load() == 0; });
@@ -126,6 +155,15 @@ void KvsNode::WorkerLoop(int idx) {
     Request req = std::move(*item);
     if (req.type == Request::Type::kControl) {
       if (req.control) req.control(worker);
+      continue;
+    }
+    if (failed_.load(std::memory_order_acquire)) {
+      // Fail-stop drain: the node is dead, so requests still queued are
+      // answered — not executed — before the thread exits. Fail() joins
+      // us, so by the time it returns no client future is outstanding.
+      OpResult dead;
+      dead.status = Status::Unavailable("KN failed");
+      if (req.done) req.done(std::move(dead));
       continue;
     }
     OpResult result;
@@ -180,9 +218,14 @@ WorkerStats KvsNode::AggregateStats(bool reset) {
         cv.notify_all();
       };
       const int idx = static_cast<int>(&w - &workers_[0]);
-      queues_[idx]->Push(std::move(req));
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return done.load(); });
+      if (queues_[idx]->Push(std::move(req))) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done.load(); });
+      } else {
+        // Queue closed under us: the worker thread is exiting, so an
+        // inline snapshot no longer races with it.
+        s = w->SnapshotStats(reset);
+      }
     } else {
       s = w->SnapshotStats(reset);
     }

@@ -52,11 +52,15 @@ class KvsNode {
 
   /// Spawns the worker threads (real-thread mode).
   void Start();
-  /// Stops and joins worker threads, flushing pending batches.
+  /// Stops and joins worker threads, flushing pending batches. Requests
+  /// already queued are executed before the threads exit; a Submit racing
+  /// with the shutdown completes with Unavailable rather than hanging.
   void Stop();
-  /// Simulates a fail-stop crash: threads stop immediately, DRAM state
-  /// (caches, un-flushed batches) is discarded. The node cannot be
-  /// restarted; pending requests complete with Unavailable.
+  /// Simulates a fail-stop crash: DRAM state (caches, un-flushed batches)
+  /// is discarded and the node cannot be restarted. Every request still
+  /// queued — and any Submit racing with the crash — completes with
+  /// Unavailable before Fail() returns, so no client future is left
+  /// waiting on a dead node.
   void Fail();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -85,6 +89,13 @@ class KvsNode {
   /// Aggregated statistics across workers.
   WorkerStats AggregateStats(bool reset);
 
+  /// Requests submitted whose completion callback has not fired yet.
+  /// Zero once the node is stopped or failed — the chaos harness gates on
+  /// this to prove no request leaked.
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
  private:
   void WorkerLoop(int idx);
 
@@ -96,6 +107,7 @@ class KvsNode {
   std::atomic<bool> running_{false};
   std::atomic<bool> failed_{false};
   std::atomic<bool> available_{true};
+  std::atomic<int64_t> in_flight_{0};
 
   std::mutex merge_mu_;
   std::condition_variable merge_cv_;

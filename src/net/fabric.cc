@@ -1,7 +1,9 @@
 #include "net/fabric.h"
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -10,6 +12,19 @@ namespace net {
 
 namespace {
 thread_local OpCost* t_op_cost = nullptr;
+// Error parked by a dropped one-sided op, collected by the initiating
+// worker via TakePendingFault(). A flag avoids touching the Status (and
+// its string) on the fault-free hot path.
+thread_local bool t_fault_pending = false;
+thread_local Status t_pending_fault;
+
+void ParkFault(Status s) {
+  // First fault wins until collected; later drops in the same window
+  // carry the same meaning.
+  if (t_fault_pending) return;
+  t_pending_fault = std::move(s);
+  t_fault_pending = true;
+}
 }  // namespace
 
 Fabric::Fabric(pm::PmPool* pool, LinkProfile profile,
@@ -36,6 +51,30 @@ Fabric::~Fabric() {
 
 void Fabric::SetThreadOpCost(OpCost* cost) { t_op_cost = cost; }
 OpCost* Fabric::ThreadOpCost() { return t_op_cost; }
+
+Status Fabric::TakePendingFault() {
+  if (!t_fault_pending) return Status::Ok();
+  t_fault_pending = false;
+  Status s = std::move(t_pending_fault);
+  t_pending_fault = Status::Ok();
+  return s;
+}
+
+bool Fabric::HasPendingFault() { return t_fault_pending; }
+
+FaultDecision Fabric::ConsultInjector(int node, bool allow_drop) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector == nullptr) return FaultDecision{};
+  FaultDecision d = injector->OnOneSided(node, allow_drop);
+  if (d.delay_us > 0.0) {
+    if (t_op_cost != nullptr) t_op_cost->extra_latency_us += d.delay_us;
+    if (injector->sleep_on_delay()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(d.delay_us));
+    }
+  }
+  return d;
+}
 
 void Fabric::EnsureRegistered(int node) {
   NodeMetrics& m = counters_[node];
@@ -66,30 +105,64 @@ void Fabric::Charge(int node, uint32_t rts, uint64_t bytes) {
 
 void Fabric::Read(int node, pm::PmPtr src, void* dst, size_t len) {
   DINOMO_CHECK(pool_->Contains(src, len));
-  // Const overload: a read must not demote the line for the PM checker.
-  const pm::PmPool& ro = *pool_;
-  std::memcpy(dst, ro.Translate(src), len);
-  Charge(node, 1, len);
-  counters_[node].one_sided_reads.Inc();
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  if (d.action == FaultDecision::Action::kDrop) {
+    // The round trip happened but the payload was lost: the initiator
+    // gets a zeroed buffer (never remote garbage — zero decodes as
+    // invalid everywhere) plus a parked error it collects at its next
+    // boundary.
+    std::memset(dst, 0, len);
+    ParkFault(Status::Unavailable("injected drop: one-sided read"));
+  } else {
+    // Const overload: a read must not demote the line for the PM checker.
+    const pm::PmPool& ro = *pool_;
+    std::memcpy(dst, ro.Translate(src), len);
+  }
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, static_cast<uint64_t>(len) * wire_ops);
+  counters_[node].one_sided_reads.Inc(wire_ops);
 }
 
 void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len,
                    const pm::SourceLoc& loc) {
   DINOMO_CHECK(pool_->Contains(dst, len));
-  pool_->StoreBytes(dst, src, len, loc);
-  // Modeled as a *durable* RDMA write (the IETF durable-write commit the
-  // paper anticipates, §4 "DPM persistence"): the payload is flushed as
-  // part of the single round trip, so committed log batches survive the
-  // crash simulator.
-  pool_->Persist(dst, len, loc);
-  Charge(node, 1, len);
-  counters_[node].one_sided_writes.Inc();
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  if (d.action == FaultDecision::Action::kDrop) {
+    // Lost on the wire: no remote bytes change. The initiator must not
+    // publish anything that assumes this write landed, so it collects
+    // the parked error before its next commit point and retries.
+    ParkFault(Status::Unavailable("injected drop: one-sided write"));
+  } else {
+    pool_->StoreBytes(dst, src, len, loc);
+    // Modeled as a *durable* RDMA write (the IETF durable-write commit the
+    // paper anticipates, §4 "DPM persistence"): the payload is flushed as
+    // part of the single round trip, so committed log batches survive the
+    // crash simulator.
+    pool_->Persist(dst, len, loc);
+  }
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, static_cast<uint64_t>(len) * wire_ops);
+  counters_[node].one_sided_writes.Inc(wire_ops);
 }
 
 bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
                               uint64_t desired, const pm::SourceLoc& loc) {
-  Charge(node, 1, sizeof(uint64_t));
-  counters_[node].cas_ops.Inc();
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  // A duplicated CAS replays with the same expected value; the second
+  // execution fails benignly, so one real execution models it.
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
+  counters_[node].cas_ops.Inc(wire_ops);
+  if (d.action == FaultDecision::Action::kDrop) {
+    // Lost CAS: reported as a compare failure, which every caller
+    // already treats as "re-read and retry"; the parked error tells the
+    // boundary check the failure was a fault, not a racing writer.
+    ParkFault(Status::Unavailable("injected drop: one-sided CAS"));
+    return false;
+  }
   const bool swapped = pool_->CompareExchange64(addr, expected, desired, loc);
   // A successful remote CAS installs a pointer/marker other nodes (and
   // recovery) will follow — a publication point for the checker.
@@ -100,25 +173,49 @@ bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
 uint64_t Fabric::AtomicRead64(int node, pm::PmPtr addr) {
   DINOMO_CHECK(pool_->Contains(addr, sizeof(uint64_t)));
   DINOMO_CHECK(addr % sizeof(uint64_t) == 0);
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
+  if (d.action == FaultDecision::Action::kDrop) {
+    ParkFault(Status::Unavailable("injected drop: atomic read"));
+    return 0;
+  }
   const pm::PmPool& ro = *pool_;
   auto* target = reinterpret_cast<uint64_t*>(
       const_cast<char*>(ro.Translate(addr)));
-  Charge(node, 1, sizeof(uint64_t));
   return std::atomic_ref<uint64_t>(*target).load(std::memory_order_acquire);
 }
 
 void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value,
                            const pm::SourceLoc& loc) {
-  Charge(node, 1, sizeof(uint64_t));
-  counters_[node].one_sided_writes.Inc();
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
+  counters_[node].one_sided_writes.Inc(wire_ops);
+  if (d.action == FaultDecision::Action::kDrop) {
+    ParkFault(Status::Unavailable("injected drop: atomic write"));
+    return;
+  }
   pool_->StoreRelease64(addr, value, loc);
   pool_->Persist(addr, sizeof(uint64_t), loc);
 }
 
 void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
                        double dpm_cpu_us) {
-  Charge(node, 1, req_bytes + resp_bytes);
-  counters_[node].rpcs.Inc();
+  // The RPC has already executed on the DPM by the time its cost is
+  // charged, so a lost op can no longer be a clean rejection — rejection
+  // faults are injected at the DpmNode entry instead (OnRpc). Delay and
+  // duplicate (retransmitted request, executed once) still apply here.
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/false);
+  if (d.action == FaultDecision::Action::kDuplicate) {
+    Charge(node, 2, 2 * req_bytes + resp_bytes);
+    counters_[node].rpcs.Inc(2);
+  } else {
+    Charge(node, 1, req_bytes + resp_bytes);
+    counters_[node].rpcs.Inc();
+  }
   if (t_op_cost != nullptr) {
     t_op_cost->dpm_cpu_us += dpm_cpu_us;
     t_op_cost->extra_latency_us += profile_.rpc_extra_us;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
+#include "net/fault.h"
 #include "obs/metrics.h"
 #include "pm/pm_pool.h"
 
@@ -77,6 +79,26 @@ class Fabric {
 
   const LinkProfile& profile() const { return profile_; }
   pm::PmPool* pool() { return pool_; }
+
+  /// Installs a fault injector consulted on every fabric operation
+  /// (nullptr = fault-free). Non-owning: the runtime that owns the
+  /// injector must keep it alive while traffic flows.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
+
+  /// Returns and clears the error parked on this thread by a dropped
+  /// one-sided op (OK when none is pending). Fabric ops keep their
+  /// value-returning signatures under injection — a dropped read
+  /// zero-fills its destination, a dropped CAS reports failure — and the
+  /// initiating worker collects the real error here at its next safe
+  /// boundary (before caching a value read remotely, before publishing a
+  /// batch it believes it wrote).
+  static Status TakePendingFault();
+  static bool HasPendingFault();
 
   /// One-sided RDMA read: copies [src, src+len) from DPM into dst.
   /// 1 round trip + len wire bytes.
@@ -150,10 +172,15 @@ class Fabric {
 
   void EnsureRegistered(int node);
   void Charge(int node, uint32_t rts, uint64_t bytes);
+  /// Asks the injector about one op: applies delay (latency charge plus
+  /// optional wall-clock sleep) here, returns the decision so each op
+  /// implements drop/duplicate semantics itself.
+  FaultDecision ConsultInjector(int node, bool allow_drop);
 
   pm::PmPool* pool_;
   LinkProfile profile_;
   obs::MetricsRegistry* registry_;
+  std::atomic<FaultInjector*> injector_{nullptr};
   std::mutex register_mu_;
   std::vector<NodeMetrics> counters_;
 };

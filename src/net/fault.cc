@@ -1,0 +1,238 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+namespace dinomo {
+namespace net {
+
+namespace {
+
+FaultEvent MakeEvent(FaultEvent::Kind kind, int node, double probability,
+                     double delay_us, double start_us, double end_us) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.probability = probability;
+  ev.delay_us = delay_us;
+  ev.start_us = start_us;
+  ev.end_us = end_us;
+  return ev;
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::Delay(int node, double probability,
+                                    double delay_us, double start_us,
+                                    double end_us) {
+  events.push_back(MakeEvent(FaultEvent::Kind::kDelay, node, probability,
+                             delay_us, start_us, end_us));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Drop(int node, double probability,
+                                   double start_us, double end_us) {
+  events.push_back(MakeEvent(FaultEvent::Kind::kDrop, node, probability, 0.0,
+                             start_us, end_us));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Duplicate(int node, double probability,
+                                        double start_us, double end_us) {
+  events.push_back(MakeEvent(FaultEvent::Kind::kDuplicate, node, probability,
+                             0.0, start_us, end_us));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::RpcUnavailable(int node, double probability,
+                                             double start_us, double end_us) {
+  events.push_back(MakeEvent(FaultEvent::Kind::kRpcUnavailable, node,
+                             probability, 0.0, start_us, end_us));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::RpcBusy(int node, double probability,
+                                      double start_us, double end_us) {
+  events.push_back(MakeEvent(FaultEvent::Kind::kRpcBusy, node, probability,
+                             0.0, start_us, end_us));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::FailStop(int node, double at_us) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kFailStop;
+  ev.node = node;
+  ev.start_us = at_us;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultSchedule FaultSchedule::Chaos(uint64_t seed, int num_nodes,
+                                   double horizon_us) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  Random rng(seed);
+  // 2-6 transient events, each confined to a random sub-window so the
+  // cluster sees fault bursts with quiet periods in between (the recovery
+  // the harness checks for needs fault-free tail time, which the caller
+  // provides by running past horizon_us).
+  const int num_events = static_cast<int>(rng.Range(2, 6));
+  for (int i = 0; i < num_events; ++i) {
+    const int node =
+        rng.Bernoulli(0.3) ? -1 : static_cast<int>(rng.Uniform(num_nodes));
+    const double start = rng.NextDouble() * horizon_us * 0.8;
+    const double len = horizon_us * (0.05 + 0.25 * rng.NextDouble());
+    const double end = std::min(horizon_us, start + len);
+    switch (rng.Uniform(5)) {
+      case 0:
+        schedule.Delay(node, 0.05 + 0.25 * rng.NextDouble(),
+                       5.0 + 95.0 * rng.NextDouble(), start, end);
+        break;
+      case 1:
+        schedule.Drop(node, 0.02 + 0.10 * rng.NextDouble(), start, end);
+        break;
+      case 2:
+        schedule.Duplicate(node, 0.05 + 0.20 * rng.NextDouble(), start, end);
+        break;
+      case 3:
+        schedule.RpcUnavailable(node, 0.05 + 0.20 * rng.NextDouble(), start,
+                                end);
+        break;
+      default:
+        schedule.RpcBusy(node, 0.05 + 0.25 * rng.NextDouble(), start, end);
+        break;
+    }
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule,
+                             obs::MetricsRegistry* registry)
+    : schedule_(std::move(schedule)),
+      rng_(schedule_.seed),
+      fired_(schedule_.events.size(), 0),
+      failstop_claimed_(schedule_.events.size(), false),
+      metrics_(obs::Scope("fault", registry)),
+      injected_delay_(metrics_.counter("injected.delay")),
+      injected_drop_(metrics_.counter("injected.drop")),
+      injected_duplicate_(metrics_.counter("injected.duplicate")),
+      injected_rpc_unavailable_(metrics_.counter("injected.rpc_unavailable")),
+      injected_rpc_busy_(metrics_.counter("injected.rpc_busy")),
+      failstops_(metrics_.counter("failstops")),
+      deadline_exceeded_(metrics_.counter("deadline_exceeded")),
+      hung_requests_(metrics_.counter("hung_requests")) {}
+
+void FaultInjector::SetClock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+double FaultInjector::NowUs() const {
+  return clock_ ? clock_() : 0.0;
+}
+
+bool FaultInjector::EventFires(FaultEvent& ev, uint64_t* fired_count,
+                               int node, double now_us) {
+  if (ev.node != -1 && ev.node != node) return false;
+  if (now_us < ev.start_us || now_us >= ev.end_us) return false;
+  if (ev.max_count != 0 && *fired_count >= ev.max_count) return false;
+  // Skip the Bernoulli draw entirely for inert events, so appending a
+  // probability-0 event cannot perturb an existing schedule's sequence
+  // under the same seed.
+  if (ev.probability <= 0.0) return false;
+  if (!rng_.Bernoulli(ev.probability)) return false;
+  ++*fired_count;
+  return true;
+}
+
+FaultDecision FaultInjector::OnOneSided(int node, bool allow_drop) {
+  FaultDecision decision;
+  if (schedule_.events.empty()) return decision;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowUs();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    FaultEvent& ev = schedule_.events[i];
+    switch (ev.kind) {
+      case FaultEvent::Kind::kDelay:
+        if (EventFires(ev, &fired_[i], node, now)) {
+          injected_delay_.Inc();
+          decision.action = FaultDecision::Action::kDelay;
+          decision.delay_us += ev.delay_us;
+        }
+        break;
+      case FaultEvent::Kind::kDrop:
+        if (allow_drop && EventFires(ev, &fired_[i], node, now)) {
+          injected_drop_.Inc();
+          // Drop dominates: no data moves, so a simultaneous delay or
+          // duplicate has nothing to act on.
+          decision.action = FaultDecision::Action::kDrop;
+          decision.delay_us = 0.0;
+          return decision;
+        }
+        break;
+      case FaultEvent::Kind::kDuplicate:
+        if (EventFires(ev, &fired_[i], node, now)) {
+          injected_duplicate_.Inc();
+          if (decision.action == FaultDecision::Action::kNone) {
+            decision.action = FaultDecision::Action::kDuplicate;
+          }
+        }
+        break;
+      case FaultEvent::Kind::kRpcUnavailable:
+      case FaultEvent::Kind::kRpcBusy:
+      case FaultEvent::Kind::kFailStop:
+        break;
+    }
+  }
+  return decision;
+}
+
+Status FaultInjector::OnRpc(int node) {
+  if (schedule_.events.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowUs();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    FaultEvent& ev = schedule_.events[i];
+    if (ev.kind == FaultEvent::Kind::kRpcUnavailable) {
+      if (EventFires(ev, &fired_[i], node, now)) {
+        injected_rpc_unavailable_.Inc();
+        return Status::Unavailable("injected fault");
+      }
+    } else if (ev.kind == FaultEvent::Kind::kRpcBusy) {
+      if (EventFires(ev, &fired_[i], node, now)) {
+        injected_rpc_busy_.Inc();
+        return Status::Busy("injected fault");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+int FaultInjector::ClaimFailStop() {
+  if (schedule_.events.empty()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowUs();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& ev = schedule_.events[i];
+    if (ev.kind != FaultEvent::Kind::kFailStop) continue;
+    if (failstop_claimed_[i]) continue;
+    if (now < ev.start_us) continue;
+    failstop_claimed_[i] = true;
+    return ev.node;
+  }
+  return -1;
+}
+
+double FaultInjector::NextFailStopAtUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double next = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& ev = schedule_.events[i];
+    if (ev.kind != FaultEvent::Kind::kFailStop) continue;
+    if (failstop_claimed_[i]) continue;
+    next = std::min(next, ev.start_us);
+  }
+  return next;
+}
+
+}  // namespace net
+}  // namespace dinomo

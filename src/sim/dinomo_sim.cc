@@ -50,6 +50,27 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
   dpm_->merge()->SetMergeCallback(
       [this](uint64_t owner) { OnMergeFinished(owner); });
 
+  if (!options_.faults.empty()) {
+    injector_ = std::make_unique<net::FaultInjector>(options_.faults,
+                                                     options_.metrics);
+    // Virtual time drives the fault windows, so a schedule replays
+    // identically across runs; delays must never block the sim thread.
+    injector_->SetClock([this] { return engine_.now_us(); });
+    injector_->set_sleep_on_delay(false);
+    dpm_->fabric()->SetFaultInjector(injector_.get());
+    dpm_->SetFaultInjector(injector_.get());
+    for (const net::FaultEvent& ev : options_.faults.events) {
+      if (ev.kind != net::FaultEvent::Kind::kFailStop) continue;
+      engine_.ScheduleAt(ev.start_us, [this] {
+        const int victim = injector_->ClaimFailStop();
+        if (victim >= 0) {
+          DoKill(victim);
+          injector_->NoteFailStopEnacted();
+        }
+      });
+    }
+  }
+
   for (int i = 0; i < options_.num_kns; ++i) AddKnInternal(true);
   PushRouting();
 
@@ -116,6 +137,12 @@ void DinomoSim::PushRouting() {
 }
 
 void DinomoSim::Preload() {
+  // Load-phase traffic is not part of any experiment; suspend injection
+  // so the strict load-loop invariants (only Busy rejections) hold.
+  if (injector_ != nullptr) {
+    dpm_->fabric()->SetFaultInjector(nullptr);
+    dpm_->SetFaultInjector(nullptr);
+  }
   auto table = routing_.Snapshot();
   const std::string value(options_.spec.value_size, 'p');
   for (uint64_t rec = 0; rec < options_.spec.record_count; ++rec) {
@@ -143,6 +170,10 @@ void DinomoSim::Preload() {
   dpm_->fabric()->ResetCounters();
   for (auto& k : kns_) {
     for (auto& ws : k->workers) ws->worker->SnapshotStats(/*reset=*/true);
+  }
+  if (injector_ != nullptr) {
+    dpm_->fabric()->SetFaultInjector(injector_.get());
+    dpm_->SetFaultInjector(injector_.get());
   }
 }
 
@@ -177,6 +208,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
   if (attempt > 100) {
     // Give up on this op (e.g. prolonged outage); issue the next one so
     // the closed loop cannot wedge.
+    abandoned_ops_++;
     CompleteOp(stream_idx, issue_time, now);
     return;
   }
@@ -224,10 +256,20 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
 
   if (r.status.IsBusy()) {
     // Blocked on the unmerged-segment threshold: wait for merge progress
-    // on this worker's log (the log-write blocking of §4).
-    ws->parked.push_back([=, this] {
+    // on this worker's log (the log-write blocking of §4). Under fault
+    // injection Busy can also be a bounced RPC with no merge ever coming,
+    // so arm a timeout alongside the parked wakeup; the once-guard keeps
+    // whichever fires second from re-executing the op.
+    auto fired = std::make_shared<bool>(false);
+    auto retry = [=, this] {
+      if (*fired) return;
+      *fired = true;
       ExecuteOp(stream_idx, op, issue_time, attempt + 1);
-    });
+    };
+    ws->parked.push_back(retry);
+    if (injector_ != nullptr) {
+      engine_.ScheduleAt(now + options_.request_timeout_us, retry);
+    }
     return;
   }
   if (r.status.IsWrongOwner() || r.status.IsUnavailable()) {

@@ -12,6 +12,7 @@
 #include "dpm/dpm_node.h"
 #include "kn/kn_worker.h"
 #include "mnode/policy.h"
+#include "net/fault.h"
 #include "obs/metrics.h"
 #include "sim/engine.h"
 #include "workload/ycsb.h"
@@ -47,6 +48,13 @@ struct DinomoSimOptions {
 
   uint64_t seed = 42;
 
+  /// Fault schedule injected into the fabric and the DPM RPC path (empty
+  /// = fault-free). The injector's clock is the engine's virtual time, so
+  /// the same schedule + seed replays the same fault sequence run after
+  /// run. kFailStop events name a KN *index* into the active list and are
+  /// enacted through the same path as ScheduleKill.
+  net::FaultSchedule faults;
+
   /// Registry the sim — and every component it creates (DPM node, fabric,
   /// PM pool, merge service, KN workers, caches) — publishes metrics
   /// into; nullptr = the process-wide registry.
@@ -66,6 +74,11 @@ class DinomoSim {
 
   Engine* engine() { return &engine_; }
   dpm::DpmNode* dpm() { return dpm_.get(); }
+  /// Non-null iff options.faults was non-empty.
+  net::FaultInjector* fault_injector() { return injector_.get(); }
+  /// Closed-loop ops abandoned after exhausting their retry budget
+  /// (prolonged outages only; the chaos harness inspects this).
+  uint64_t abandoned_ops() const { return abandoned_ops_; }
 
   /// Loads spec.record_count records (no virtual time elapses) and
   /// settles all merges. Caches end up warm, as after the paper's load +
@@ -166,6 +179,9 @@ class DinomoSim {
   obs::Gauge& link_utilization_;
   obs::Gauge& dpm_utilization_;
   Engine engine_;
+  // Declared before dpm_ so the injector outlives the fabric and DPM node
+  // that hold raw pointers to it.
+  std::unique_ptr<net::FaultInjector> injector_;
   std::unique_ptr<dpm::DpmNode> dpm_;
   cluster::RoutingService routing_;
   mnode::PolicyEngine policy_;
@@ -188,6 +204,7 @@ class DinomoSim {
 
   bool mnode_enabled_ = false;
   double epoch_started_ = 0.0;
+  uint64_t abandoned_ops_ = 0;
 };
 
 }  // namespace sim
