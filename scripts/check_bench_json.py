@@ -147,6 +147,48 @@ def check_faults(path, doc):
     return ok
 
 
+def check_contention(path, doc):
+    """Gates for micro_contention (the DPM shard/merge-queue hammer):
+    the merge scheduler's lost-wakeup audit must never fire, and on a
+    multicore host concurrent throughput must at least hold the
+    single-thread line (0.9 factor absorbs scheduler noise on small CI
+    runners; the refactor's point was that it used to collapse)."""
+    if doc.get("bench") != "micro_contention":
+        return True
+    ok = True
+    counters = doc.get("metrics", {}).get("counters", {})
+    stalls = counters.get("dpm.merge.queue.stalls")
+    if not isinstance(stalls, (int, float)):
+        ok = fail(f"{path}: dpm.merge.queue.stalls missing from metrics")
+    elif stalls > 0:
+        ok = fail(f"{path}: dpm.merge.queue.stalls = {stalls} — the merge "
+                  "scheduler lost runnable work and the audit had to "
+                  "repair it; the runnable_ bookkeeping is broken")
+    rows = {r.get("threads"): r for r in doc.get("results", [])
+            if isinstance(r, dict)}
+    single = rows.get(1, {}).get("mops")
+    multi = [r.get("mops") for t, r in rows.items()
+             if isinstance(t, int) and t > 1]
+    if not isinstance(single, (int, float)) or not multi:
+        return fail(f"{path}: need a threads=1 row and at least one "
+                    "threads>1 row")
+    hw = doc.get("config", {}).get("hw_threads", 0)
+    if isinstance(hw, (int, float)) and hw >= 2:
+        best = max(v for v in multi if isinstance(v, (int, float)))
+        if best < 0.9 * single:
+            ok = fail(
+                f"{path}: best multi-thread throughput {best:.3f} Mops < "
+                f"0.9x single-thread {single:.3f} Mops on a {int(hw)}-way "
+                "host — concurrent flush/merge is serializing again")
+        else:
+            print(f"ok: {path}: multi-thread {best:.3f} Mops vs "
+                  f"single-thread {single:.3f} Mops (hw_threads={int(hw)})")
+    else:
+        print(f"ok: {path}: single-core host (hw_threads={hw}) — "
+              "skipping the scaling gate, stalls gate applied")
+    return ok
+
+
 def row_matches(row, match):
     return all(row.get(k) == v for k, v in match.items())
 
@@ -193,7 +235,7 @@ def main(argv):
             ok = fail(f"{path}: {e}")
             continue
         for checker in (check_schema, check_metrics, check_pm_checker,
-                        check_faults, check_expectations):
+                        check_faults, check_contention, check_expectations):
             if not checker(path, doc):
                 ok = False
         if ok:

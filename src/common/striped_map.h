@@ -1,0 +1,148 @@
+#ifndef DINOMO_COMMON_STRIPED_MAP_H_
+#define DINOMO_COMMON_STRIPED_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dinomo {
+
+/// Lock-striped associative container, in the spirit of CLHT/ASCYLIB
+/// bucket locks and FaRM's per-region locks: keys hash to one of N
+/// power-of-two stripes, each stripe a plain map behind its own mutex, so
+/// operations on different stripes never contend. The DpmNode uses one
+/// instance per formerly-global mutex (segment registry keyed by owner,
+/// shared slots keyed by key hash, partition indexes keyed by KN id).
+///
+/// Access model: the caller passes a closure that runs with the stripe
+/// locked and receives the stripe's underlying map. The closure must not
+/// touch this StripedMap again (self-deadlock) and must not block on a
+/// lock that can itself wait on a stripe of this map (lock-order
+/// inversion); leaf locks and PM/alloc calls are fine.
+///
+/// Contention visibility: SetContentionCounters wires two counters
+/// (acquired, contended). Every stripe acquisition first try_locks; a
+/// failed try_lock counts as contended before falling back to a blocking
+/// lock. Both counts are relaxed atomics, cheap enough for the hot path.
+template <typename K, typename V,
+          typename MapT = std::unordered_map<K, V>, typename Hash = std::hash<K>>
+class StripedMap {
+ public:
+  explicit StripedMap(size_t stripes = 16) {
+    size_t n = 1;
+    while (n < stripes) n <<= 1;
+    shards_ = std::vector<Shard>(n);
+  }
+
+  StripedMap(const StripedMap&) = delete;
+  StripedMap& operator=(const StripedMap&) = delete;
+
+  /// Non-owning; pass nullptrs to turn instrumentation back off. Counters
+  /// must outlive the map (the DpmNode keeps them in its MetricGroup).
+  void SetContentionCounters(obs::Counter* acquired, obs::Counter* contended) {
+    acquired_ = acquired;
+    contended_ = contended;
+  }
+
+  /// Runs `fn(MapT&)` with the stripe holding `key` locked and returns
+  /// fn's result. All reads and writes of entries under this key (and any
+  /// stripe-mates) must go through here.
+  template <typename Fn>
+  decltype(auto) WithShard(const K& key, Fn&& fn) {
+    Shard& s = shards_[StripeOf(key)];
+    LockShard(s);
+    std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+    return std::forward<Fn>(fn)(s.map);
+  }
+
+  template <typename Fn>
+  decltype(auto) WithShard(const K& key, Fn&& fn) const {
+    const Shard& s = shards_[StripeOf(key)];
+    LockShard(s);
+    std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+    return std::forward<Fn>(fn)(s.map);
+  }
+
+  /// Runs `fn(MapT&)` on every stripe, one stripe locked at a time (no
+  /// global freeze: concurrent mutators may run between stripes). For
+  /// stats, recovery population, and whole-table sweeps.
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) {
+    for (Shard& s : shards_) {
+      LockShard(s);
+      std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+      fn(s.map);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      LockShard(s);
+      std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+      fn(s.map);
+    }
+  }
+
+  /// Sum of per-stripe sizes; a point-in-time figure, not a linearizable
+  /// snapshot.
+  size_t Size() const {
+    size_t n = 0;
+    ForEachShard([&](const MapT& m) { n += m.size(); });
+    return n;
+  }
+
+  size_t stripes() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    MapT map;
+
+    Shard() = default;
+    // vector<Shard> needs these; only ever invoked while the vector is
+    // being sized in the constructor, before any concurrent use.
+    Shard(Shard&& other) noexcept : map(std::move(other.map)) {}
+    Shard& operator=(Shard&& other) noexcept {
+      map = std::move(other.map);
+      return *this;
+    }
+  };
+
+  size_t StripeOf(const K& key) const {
+    // Finalizer step of splitmix64: stripe count is a power of two, so
+    // identity-hash keys (sequential owners, KN ids) must be scrambled
+    // before masking or they all land in a handful of stripes.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<size_t>(h) & (shards_.size() - 1);
+  }
+
+  void LockShard(const Shard& s) const {
+    if (s.mu.try_lock()) {
+      if (acquired_ != nullptr) acquired_->Inc();
+      return;
+    }
+    if (contended_ != nullptr) contended_->Inc();
+    s.mu.lock();
+    if (acquired_ != nullptr) acquired_->Inc();
+  }
+
+  std::vector<Shard> shards_;
+  obs::Counter* acquired_ = nullptr;
+  obs::Counter* contended_ = nullptr;
+};
+
+}  // namespace dinomo
+
+#endif  // DINOMO_COMMON_STRIPED_MAP_H_

@@ -186,10 +186,10 @@ Status Cluster::Start() {
     fault_running_ = true;
     fault_thread_ = std::thread([this] { FaultEnactorLoop(); });
   }
-  dpm_->merge()->SetMergeCallback([this](uint64_t owner) {
-    const uint64_t kn_id = owner >> 8;
+  dpm_->merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
+    const uint64_t kn_id = ack.owner >> 8;
     kn::KvsNode* node = kn(kn_id);
-    if (node != nullptr) node->OnBatchMerged(owner);
+    if (node != nullptr) node->OnBatchMerged(ack);
   });
   dpm_->merge()->StartThreads(options_.dpm_merge_threads);
 

@@ -57,6 +57,7 @@ DpmNode::DpmNode(const DpmOptions& options)
       log_batches_(metrics_.counter("log.batches")),
       log_bytes_(metrics_.counter("log.bytes")),
       log_puts_(metrics_.counter("log.puts")) {
+  WireLockMetrics();
   pool_ = std::make_unique<pm::PmPool>(options_.pool_size, options_.crash_sim,
                                        options_.metrics);
   InitFresh();
@@ -70,7 +71,20 @@ DpmNode::DpmNode(const DpmOptions& options, std::unique_ptr<pm::PmPool> pool)
       log_batches_(metrics_.counter("log.batches")),
       log_bytes_(metrics_.counter("log.bytes")),
       log_puts_(metrics_.counter("log.puts")),
-      pool_(std::move(pool)) {}
+      pool_(std::move(pool)) {
+  WireLockMetrics();
+}
+
+void DpmNode::WireLockMetrics() {
+  seg_shards_.SetContentionCounters(&metrics_.counter("lock.seg.acquired"),
+                                    &metrics_.counter("lock.seg.contended"));
+  shared_slots_.SetContentionCounters(
+      &metrics_.counter("lock.shared.acquired"),
+      &metrics_.counter("lock.shared.contended"));
+  partition_index_.SetContentionCounters(
+      &metrics_.counter("lock.part.acquired"),
+      &metrics_.counter("lock.part.contended"));
+}
 
 void DpmNode::InitFresh() {
   alloc_ = std::make_unique<pm::PmAllocator>(pool_.get(), pm::kCacheLineSize,
@@ -111,6 +125,10 @@ void DpmNode::InitFresh() {
 
 void DpmNode::PersistHighWater() {
   if (superblock_ == pm::kNullPmPtr) return;
+  // The high-water hook fires outside the allocator's lock, so concurrent
+  // allocations race here; serialize the read-check-store on the
+  // superblock word.
+  std::lock_guard<std::mutex> lock(sb_mu_);
   const pm::PmPool& ro = *pool_;
   const auto* sb =
       reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
@@ -135,6 +153,24 @@ Result<std::unique_ptr<DpmNode>> DpmNode::Recover(
 std::unique_ptr<pm::PmPool> DpmNode::DetachPool() && {
   merge_->StopThreads();
   return std::move(pool_);
+}
+
+void DpmNode::RegisterSegment(pm::PmPtr base, const SegmentInfo& info) {
+  seg_shards_.WithShard(info.owner, [&](OwnerSegmentMap& m) {
+    m[info.owner].segments[base] = info;
+  });
+  // Stripe first, index second: a resolver that finds the base in the
+  // index is then guaranteed to find the segment in its owner's stripe.
+  std::unique_lock<std::shared_mutex> lock(seg_index_mu_);
+  seg_index_[base] = SegRef{info.owner, info.gen};
+}
+
+bool DpmNode::LookupSegRef(pm::PmPtr base, SegRef* ref) const {
+  std::shared_lock<std::shared_mutex> lock(seg_index_mu_);
+  auto it = seg_index_.find(base);
+  if (it == seg_index_.end()) return false;
+  *ref = it->second;
+  return true;
 }
 
 Status DpmNode::InitRecovered() {
@@ -184,17 +220,19 @@ Status DpmNode::InitRecovered() {
         reinterpret_cast<const SegmentPmHeader*>(ro.Translate(base));
     SegmentInfo info;
     info.owner = hdr->owner;
+    info.gen = seg_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
     info.state = static_cast<SegmentState>(hdr->state);
     info.used_bytes = hdr->used_bytes;
     info.merged_bytes = hdr->merged_bytes;
     info.puts_total = hdr->puts_total;
     info.puts_invalid = hdr->puts_invalid;
+    if (info.merged_bytes < info.used_bytes) info.unmerged_batches = 1;
+    RegisterSegment(base, info);
     {
-      std::lock_guard<std::mutex> lock(seg_mu_);
-      segments_[base] = info;
+      std::lock_guard<std::mutex> lock(dir_mu_);
       segment_dir_slots_[base] = static_cast<int>(slot);
-      segments_allocated_.Inc();
     }
+    segments_allocated_.Inc();
     if (info.merged_bytes < info.used_bytes) {
       MergeTask task;
       task.owner = info.owner;
@@ -202,10 +240,6 @@ Status DpmNode::InitRecovered() {
       task.data = base + kSegmentHeaderSize + info.merged_bytes;
       task.bytes = info.used_bytes - info.merged_bytes;
       task.puts = 0;
-      {
-        std::lock_guard<std::mutex> lock(seg_mu_);
-        segments_[base].unmerged_batches = 1;
-      }
       merge_->Enqueue(task);
     }
   }
@@ -213,10 +247,13 @@ Status DpmNode::InitRecovered() {
 
   // Rebuild the shared-key directory from the indirect markers the index
   // still carries (the slots themselves are persistent).
-  std::lock_guard<std::mutex> lock(shared_mu_);
   index_->ForEach([&](uint64_t key_hash, pm::PmPtr value) {
     ValuePtr vp(value);
-    if (vp.indirect()) shared_slots_[key_hash] = vp.offset();
+    if (vp.indirect()) {
+      shared_slots_.WithShard(key_hash, [&](auto& m) {
+        m[key_hash] = vp.offset();
+      });
+    }
   });
   return Status::Ok();
 }
@@ -237,13 +274,11 @@ Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
   pool_->Persist(base, sizeof(SegmentPmHeader));
 
   DINOMO_RETURN_IF_ERROR(DirectoryAdd(base, owner));
-  {
-    std::lock_guard<std::mutex> lock(seg_mu_);
-    SegmentInfo info;
-    info.owner = owner;
-    segments_[base] = info;
-    segments_allocated_.Inc();
-  }
+  SegmentInfo info;
+  info.owner = owner;
+  info.gen = seg_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  RegisterSegment(base, info);
+  segments_allocated_.Inc();
   // Segment pre-allocation is a two-sided operation (paper §4: "KNs
   // proactively preallocate log segments for their own use using
   // two-sided operations").
@@ -262,16 +297,22 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
   (void)kn_node;  // No fabric charge: the batch itself was the one-sided
                   // write; the DPM processors discover sealed batches by
                   // polling segment headers, off the KN's critical path.
-  {
-    std::lock_guard<std::mutex> lock(seg_mu_);
-    auto it = segments_.find(segment);
-    if (it == segments_.end()) {
+  SegRef ref;
+  if (!LookupSegRef(segment, &ref)) {
+    return Status::InvalidArgument("unknown segment");
+  }
+  if (ref.owner != owner) {
+    return Status::WrongOwner("segment owned by another KN");
+  }
+  int unmerged = 0;
+  Status st = seg_shards_.WithShard(owner, [&](OwnerSegmentMap& m) -> Status {
+    auto oit = m.find(owner);
+    if (oit == m.end()) return Status::InvalidArgument("unknown segment");
+    auto sit = oit->second.segments.find(segment);
+    if (sit == oit->second.segments.end()) {
       return Status::InvalidArgument("unknown segment");
     }
-    SegmentInfo& info = it->second;
-    if (info.owner != owner) {
-      return Status::WrongOwner("segment owned by another KN");
-    }
+    SegmentInfo& info = sit->second;
     if (info.state != SegmentState::kActive) {
       return Status::InvalidArgument("segment not active");
     }
@@ -292,7 +333,13 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
     pool_->Store(segment + offsetof(SegmentPmHeader, puts_total),
                  info.puts_total);
     pool_->PersistPublish(segment, sizeof(SegmentPmHeader));
-  }
+
+    for (const auto& [base, si] : oit->second.segments) {
+      if (si.unmerged_batches > 0) unmerged++;
+    }
+    return Status::Ok();
+  });
+  DINOMO_RETURN_IF_ERROR(st);
 
   log_batches_.Inc();
   log_bytes_.Inc(bytes);
@@ -308,61 +355,92 @@ Result<DpmNode::SubmitResult> DpmNode::SubmitBatch(int kn_node,
 
   SubmitResult result;
   result.index_epoch = index_->Epoch();
-  result.unmerged_segments = UnmergedSegments(owner);
+  result.unmerged_segments = unmerged;
   return result;
 }
 
 Status DpmNode::SealSegment(int kn_node, uint64_t owner, pm::PmPtr segment) {
   DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
   (void)kn_node;
-  std::lock_guard<std::mutex> lock(seg_mu_);
-  auto it = segments_.find(segment);
-  if (it == segments_.end()) return Status::InvalidArgument("unknown segment");
-  if (it->second.owner != owner) return Status::WrongOwner();
-  it->second.state = SegmentState::kSealed;
-  pool_->Store(segment + offsetof(SegmentPmHeader, state),
-               static_cast<uint64_t>(SegmentState::kSealed));
-  pool_->Persist(segment, sizeof(SegmentPmHeader));
-  MaybeGcLocked(segment, &it->second);
-  return Status::Ok();
+  SegRef ref;
+  if (!LookupSegRef(segment, &ref)) {
+    return Status::InvalidArgument("unknown segment");
+  }
+  if (ref.owner != owner) return Status::WrongOwner();
+  return seg_shards_.WithShard(owner, [&](OwnerSegmentMap& m) -> Status {
+    auto oit = m.find(owner);
+    if (oit == m.end()) return Status::InvalidArgument("unknown segment");
+    auto sit = oit->second.segments.find(segment);
+    if (sit == oit->second.segments.end()) {
+      return Status::InvalidArgument("unknown segment");
+    }
+    sit->second.state = SegmentState::kSealed;
+    pool_->Store(segment + offsetof(SegmentPmHeader, state),
+                 static_cast<uint64_t>(SegmentState::kSealed));
+    pool_->Persist(segment, sizeof(SegmentPmHeader));
+    MaybeGcOwnerLocked(oit->second, segment, &sit->second);
+    return Status::Ok();
+  });
 }
 
 int DpmNode::UnmergedSegments(uint64_t owner) const {
-  std::lock_guard<std::mutex> lock(seg_mu_);
-  int n = 0;
-  for (const auto& [base, info] : segments_) {
-    if (info.owner == owner && info.unmerged_batches > 0) n++;
-  }
-  return n;
-}
-
-DpmNode::SegmentInfo* DpmNode::SegmentContaining(pm::PmPtr ptr) {
-  auto it = segments_.upper_bound(ptr);
-  if (it == segments_.begin()) return nullptr;
-  --it;
-  if (ptr >= it->first && ptr < it->first + options_.segment_size) {
-    return &it->second;
-  }
-  return nullptr;
+  return seg_shards_.WithShard(owner, [&](const OwnerSegmentMap& m) {
+    auto oit = m.find(owner);
+    if (oit == m.end()) return 0;
+    int n = 0;
+    for (const auto& [base, info] : oit->second.segments) {
+      if (info.unmerged_batches > 0) n++;
+    }
+    return n;
+  });
 }
 
 index::Clht* DpmNode::IndexFor(uint64_t kn_id) {
   if (!options_.partitioned_metadata) return index_.get();
-  std::lock_guard<std::mutex> lock(part_mu_);
-  auto it = partition_index_.find(kn_id);
-  if (it != partition_index_.end()) return it->second.get();
-  auto created = index::Clht::Create(pool_.get(), alloc_.get(),
-                                     options_.index_log2_buckets);
-  DINOMO_CHECK(created.ok());
-  auto* raw = created.value();
-  partition_index_[kn_id] = std::unique_ptr<index::Clht>(raw);
-  return raw;
+  return partition_index_.WithShard(kn_id, [&](auto& m) -> index::Clht* {
+    auto it = m.find(kn_id);
+    if (it != m.end()) return it->second.get();
+    auto created = index::Clht::Create(pool_.get(), alloc_.get(),
+                                       options_.index_log2_buckets);
+    DINOMO_CHECK(created.ok());
+    auto* raw = created.value();
+    m[kn_id] = std::unique_ptr<index::Clht>(raw);
+    return raw;
+  });
 }
 
 namespace {
 // Log owners encode (kn_id << 8) | worker; partition indexes are per KN.
 inline uint64_t KnOfOwner(uint64_t owner) { return owner >> 8; }
 }  // namespace
+
+void DpmNode::NoteSuperseded(pm::PmPtr entry_ptr) {
+  pm::PmPtr base = pm::kNullPmPtr;
+  SegRef ref;
+  {
+    std::shared_lock<std::shared_mutex> lock(seg_index_mu_);
+    auto it = seg_index_.upper_bound(entry_ptr);
+    if (it == seg_index_.begin()) return;
+    --it;
+    if (entry_ptr < it->first || entry_ptr >= it->first + options_.segment_size) {
+      return;  // segment already GCed
+    }
+    base = it->first;
+    ref = it->second;
+  }
+  // The index lock is released before taking the stripe (lock order), so
+  // the segment can be GCed — and its base reused — in between; the
+  // generation check rejects such a stale resolution.
+  seg_shards_.WithShard(ref.owner, [&](OwnerSegmentMap& m) {
+    auto oit = m.find(ref.owner);
+    if (oit == m.end()) return;
+    auto sit = oit->second.segments.find(base);
+    if (sit == oit->second.segments.end()) return;
+    if (sit->second.gen != ref.gen) return;
+    sit->second.puts_invalid++;
+    MaybeGcOwnerLocked(oit->second, base, &sit->second);
+  });
+}
 
 void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
                           pm::PmPtr entry_ptr, uint32_t entry_size) {
@@ -380,14 +458,7 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
         std::atomic_ref<uint64_t>(*slot_word).load(std::memory_order_acquire);
     if (rec.op == LogOp::kPut && current != packed.raw()) {
       // This version was already superseded through the slot.
-      std::lock_guard<std::mutex> lock(seg_mu_);
-      SegmentInfo* info = SegmentContaining(entry_ptr);
-      if (info != nullptr) {
-        info->puts_invalid++;
-        auto it = segments_.upper_bound(entry_ptr);
-        --it;
-        MaybeGcLocked(it->first, info);
-      }
+      NoteSuperseded(entry_ptr);
     }
     return;
   }
@@ -396,14 +467,7 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
     auto old = index->Remove(rec.key_hash);
     DINOMO_CHECK(old.ok());
     if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
-      std::lock_guard<std::mutex> lock(seg_mu_);
-      SegmentInfo* info = SegmentContaining(ValuePtr(old.value()).offset());
-      if (info != nullptr) {
-        info->puts_invalid++;
-        auto it = segments_.upper_bound(ValuePtr(old.value()).offset());
-        --it;
-        MaybeGcLocked(it->first, info);
-      }
+      NoteSuperseded(ValuePtr(old.value()).offset());
     }
     return;
   }
@@ -412,37 +476,32 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
   DINOMO_CHECK(old.ok());
   if (old.value() == packed.raw()) return;  // crash-recovery replay
   if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
-    std::lock_guard<std::mutex> lock(seg_mu_);
-    const pm::PmPtr old_off = ValuePtr(old.value()).offset();
-    SegmentInfo* info = SegmentContaining(old_off);
-    if (info != nullptr) {
-      info->puts_invalid++;
-      auto it = segments_.upper_bound(old_off);
-      --it;
-      MaybeGcLocked(it->first, info);
-    }
+    NoteSuperseded(ValuePtr(old.value()).offset());
   }
 }
 
 void DpmNode::CompleteBatch(uint64_t owner, pm::PmPtr segment, pm::PmPtr data,
                             size_t bytes) {
-  (void)owner;
-  std::lock_guard<std::mutex> lock(seg_mu_);
-  auto it = segments_.find(segment);
-  if (it == segments_.end()) return;  // segment already GCed
-  SegmentInfo& info = it->second;
-  const size_t rel_end = (data + bytes) - (segment + kSegmentHeaderSize);
-  info.merged_bytes = std::max(info.merged_bytes, rel_end);
-  info.unmerged_batches--;
-  pool_->Store(segment + offsetof(SegmentPmHeader, merged_bytes),
-               info.merged_bytes);
-  pool_->Store(segment + offsetof(SegmentPmHeader, puts_invalid),
-               info.puts_invalid);
-  pool_->Persist(segment, sizeof(SegmentPmHeader));
-  MaybeGcLocked(segment, &info);
+  seg_shards_.WithShard(owner, [&](OwnerSegmentMap& m) {
+    auto oit = m.find(owner);
+    if (oit == m.end()) return;  // segment already GCed
+    auto sit = oit->second.segments.find(segment);
+    if (sit == oit->second.segments.end()) return;
+    SegmentInfo& info = sit->second;
+    const size_t rel_end = (data + bytes) - (segment + kSegmentHeaderSize);
+    info.merged_bytes = std::max(info.merged_bytes, rel_end);
+    info.unmerged_batches--;
+    pool_->Store(segment + offsetof(SegmentPmHeader, merged_bytes),
+                 info.merged_bytes);
+    pool_->Store(segment + offsetof(SegmentPmHeader, puts_invalid),
+                 info.puts_invalid);
+    pool_->Persist(segment, sizeof(SegmentPmHeader));
+    MaybeGcOwnerLocked(oit->second, segment, &info);
+  });
 }
 
-void DpmNode::MaybeGcLocked(pm::PmPtr base, SegmentInfo* info) {
+void DpmNode::MaybeGcOwnerLocked(OwnerSegments& os, pm::PmPtr base,
+                                 SegmentInfo* info) {
   if (info->state != SegmentState::kSealed) return;
   if (info->unmerged_batches != 0) return;
   if (info->puts_invalid < info->puts_total) return;
@@ -450,7 +509,11 @@ void DpmNode::MaybeGcLocked(pm::PmPtr base, SegmentInfo* info) {
   // reclaim (paper §4, per-log-segment valid/invalid counters).
   DirectoryRemove(base);
   alloc_->Free(base);
-  segments_.erase(base);
+  os.segments.erase(base);
+  {
+    std::unique_lock<std::shared_mutex> lock(seg_index_mu_);
+    seg_index_.erase(base);
+  }
   segments_gced_.Inc();
 }
 
@@ -460,7 +523,7 @@ Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
       reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
   const auto* dir =
       reinterpret_cast<const SegDirEntry*>(ro.Translate(sb->segdir));
-  std::lock_guard<std::mutex> lock(seg_mu_);
+  std::lock_guard<std::mutex> lock(dir_mu_);
   for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
     if (dir[slot].base != pm::kNullPmPtr) continue;
     const pm::PmPtr entry = sb->segdir + slot * sizeof(SegDirEntry);
@@ -476,7 +539,7 @@ Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
 }
 
 void DpmNode::DirectoryRemove(pm::PmPtr base) {
-  // Caller holds seg_mu_.
+  std::lock_guard<std::mutex> lock(dir_mu_);
   auto it = segment_dir_slots_.find(base);
   if (it == segment_dir_slots_.end()) return;
   const pm::PmPool& ro = *pool_;
@@ -490,89 +553,98 @@ void DpmNode::DirectoryRemove(pm::PmPtr base) {
 
 Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
   DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
-  std::lock_guard<std::mutex> lock(shared_mu_);
-  auto it = shared_slots_.find(key_hash);
-  if (it != shared_slots_.end()) return it->second;  // idempotent
+  return shared_slots_.WithShard(
+      key_hash, [&](auto& slots) -> Result<pm::PmPtr> {
+        auto it = slots.find(key_hash);
+        if (it != slots.end()) return it->second;  // idempotent
 
-  const pm::PmPtr current = index_->Lookup(key_hash);
-  if (current == pm::kNullPmPtr) {
-    return Status::NotFound("cannot share a non-existent key");
-  }
-  auto slot_alloc = alloc_->Alloc(pm::kCacheLineSize);
-  if (!slot_alloc.ok()) return slot_alloc.status();
-  const pm::PmPtr slot = slot_alloc.value();
+        const pm::PmPtr current = index_->Lookup(key_hash);
+        if (current == pm::kNullPmPtr) {
+          return Status::NotFound("cannot share a non-existent key");
+        }
+        auto slot_alloc = alloc_->Alloc(pm::kCacheLineSize);
+        if (!slot_alloc.ok()) return slot_alloc.status();
+        const pm::PmPtr slot = slot_alloc.value();
 
-  pool_->StoreRelease64(slot, current);
-  pool_->Persist(slot, sizeof(uint64_t));
+        pool_->StoreRelease64(slot, current);
+        pool_->Persist(slot, sizeof(uint64_t));
 
-  // Re-point the index at the slot, flagged indirect. Readers that came
-  // through the index now take one extra hop (the cost shared keys pay,
-  // §3.4).
-  auto old = index_->Upsert(key_hash,
-                            ValuePtr::Pack(slot, 8, /*indirect=*/true).raw());
-  DINOMO_CHECK(old.ok());
-  shared_slots_[key_hash] = slot;
-  fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
-  return slot;
+        // Re-point the index at the slot, flagged indirect. Readers that
+        // came through the index now take one extra hop (the cost shared
+        // keys pay, §3.4).
+        auto old = index_->Upsert(
+            key_hash, ValuePtr::Pack(slot, 8, /*indirect=*/true).raw());
+        DINOMO_CHECK(old.ok());
+        slots[key_hash] = slot;
+        fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+        return slot;
+      });
 }
 
 Status DpmNode::RemoveIndirect(int kn_node, uint64_t key_hash) {
   DINOMO_RETURN_IF_ERROR(RpcFault(kn_node));
-  std::lock_guard<std::mutex> lock(shared_mu_);
-  auto it = shared_slots_.find(key_hash);
-  if (it == shared_slots_.end()) {
-    return Status::NotFound("key not in shared mode");
-  }
-  const pm::PmPtr slot = it->second;
-  const pm::PmPool& ro = *pool_;
-  auto* word =
-      reinterpret_cast<uint64_t*>(const_cast<char*>(ro.Translate(slot)));
-  const uint64_t final_value =
-      std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
-  auto old = index_->Upsert(key_hash, final_value);
-  DINOMO_CHECK(old.ok());
-  shared_slots_.erase(it);
-  alloc_->Free(slot);
-  fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
-  return Status::Ok();
+  return shared_slots_.WithShard(key_hash, [&](auto& slots) -> Status {
+    auto it = slots.find(key_hash);
+    if (it == slots.end()) {
+      return Status::NotFound("key not in shared mode");
+    }
+    const pm::PmPtr slot = it->second;
+    const pm::PmPool& ro = *pool_;
+    auto* word =
+        reinterpret_cast<uint64_t*>(const_cast<char*>(ro.Translate(slot)));
+    const uint64_t final_value =
+        std::atomic_ref<uint64_t>(*word).load(std::memory_order_acquire);
+    auto old = index_->Upsert(key_hash, final_value);
+    DINOMO_CHECK(old.ok());
+    slots.erase(it);
+    alloc_->Free(slot);
+    fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+    return Status::Ok();
+  });
 }
 
 bool DpmNode::IsShared(uint64_t key_hash) const {
-  std::lock_guard<std::mutex> lock(shared_mu_);
-  return shared_slots_.count(key_hash) != 0;
+  return shared_slots_.WithShard(key_hash, [&](const auto& slots) {
+    return slots.count(key_hash) != 0;
+  });
 }
 
 pm::PmPtr DpmNode::SharedSlot(uint64_t key_hash) const {
-  std::lock_guard<std::mutex> lock(shared_mu_);
-  auto it = shared_slots_.find(key_hash);
-  return it == shared_slots_.end() ? pm::kNullPmPtr : it->second;
+  return shared_slots_.WithShard(key_hash, [&](const auto& slots) {
+    auto it = slots.find(key_hash);
+    return it == slots.end() ? pm::kNullPmPtr : it->second;
+  });
 }
 
 void DpmNode::ReleaseOwnerSegments(uint64_t owner) {
-  std::lock_guard<std::mutex> lock(seg_mu_);
-  // Seal any still-active segments of the (departed) owner so GC can
-  // eventually reclaim them once their values are superseded.
-  for (auto it = segments_.begin(); it != segments_.end();) {
-    auto cur = it++;
-    if (cur->second.owner != owner) continue;
-    if (cur->second.state == SegmentState::kActive) {
-      cur->second.state = SegmentState::kSealed;
-      pool_->Store(cur->first + offsetof(SegmentPmHeader, state),
-                   static_cast<uint64_t>(SegmentState::kSealed));
-      pool_->Persist(cur->first, sizeof(SegmentPmHeader));
+  seg_shards_.WithShard(owner, [&](OwnerSegmentMap& m) {
+    auto oit = m.find(owner);
+    if (oit == m.end()) return;
+    // Seal any still-active segments of the (departed) owner so GC can
+    // eventually reclaim them once their values are superseded.
+    auto& segs = oit->second.segments;
+    for (auto it = segs.begin(); it != segs.end();) {
+      auto cur = it++;
+      if (cur->second.state == SegmentState::kActive) {
+        cur->second.state = SegmentState::kSealed;
+        pool_->Store(cur->first + offsetof(SegmentPmHeader, state),
+                     static_cast<uint64_t>(SegmentState::kSealed));
+        pool_->Persist(cur->first, sizeof(SegmentPmHeader));
+      }
+      MaybeGcOwnerLocked(oit->second, cur->first, &cur->second);  // may erase
     }
-    MaybeGcLocked(cur->first, &cur->second);  // may erase cur
-  }
+  });
 }
 
 DpmStats DpmNode::Stats() const {
   DpmStats stats;
-  {
-    std::lock_guard<std::mutex> lock(seg_mu_);
-    stats.segments_allocated = segments_allocated_.value();
-    stats.segments_gced = segments_gced_.value();
-    stats.live_segments = segments_.size();
-  }
+  stats.segments_allocated = segments_allocated_.value();
+  stats.segments_gced = segments_gced_.value();
+  uint64_t live = 0;
+  seg_shards_.ForEachShard([&](const OwnerSegmentMap& m) {
+    for (const auto& [owner, os] : m) live += os.segments.size();
+  });
+  stats.live_segments = live;
   stats.merged_batches = merge_->merged_batches();
   stats.merged_entries = merge_->merged_entries();
   stats.index_count = index_->Count();

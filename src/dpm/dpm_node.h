@@ -6,10 +6,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/status.h"
+#include "common/striped_map.h"
 #include "dpm/log.h"
 #include "dpm/merge.h"
 #include "index/clht.h"
@@ -71,6 +73,16 @@ struct DpmStats {
 ///  * two-sided: the RPC-shaped methods below (segment allocation, batch
 ///    submission, indirect-pointer install/remove), which charge RPC cost
 ///    to the calling node and consume DPM processor time.
+///
+/// Concurrency model (see DESIGN.md, "DPM concurrency model"): no global
+/// locks. Segment state shards by owner, shared slots by key hash and
+/// partition indexes by KN id in lock-striped maps, so RPCs and merges of
+/// different owners never serialize against each other. A reader-mostly
+/// base->owner index (seg_index_mu_) resolves interior PM pointers to the
+/// owning shard; resolution copies the reference and releases the index
+/// lock before touching the shard, and generation counters catch a base
+/// being GC-freed and reused in between. Lock order: seg_index_mu_ is
+/// never held while acquiring a shard; dir_mu_/sb_mu_ are leaves.
 class DpmNode {
  public:
   explicit DpmNode(const DpmOptions& options = DpmOptions());
@@ -195,6 +207,7 @@ class DpmNode {
 
   void InitFresh();
   Status InitRecovered();
+  void WireLockMetrics();
 
   // Persistent segment-directory maintenance.
   Status DirectoryAdd(pm::PmPtr base, uint64_t owner);
@@ -204,6 +217,10 @@ class DpmNode {
 
   struct SegmentInfo {
     uint64_t owner = 0;
+    /// Registration generation: distinguishes this incarnation of the
+    /// base address from a later segment that reuses it after GC (the
+    /// interior-pointer resolver re-checks it — see NoteSuperseded).
+    uint64_t gen = 0;
     SegmentState state = SegmentState::kActive;
     size_t used_bytes = 0;     // high-water of submitted batches
     size_t merged_bytes = 0;   // prefix already merged
@@ -212,11 +229,35 @@ class DpmNode {
     int unmerged_batches = 0;
   };
 
-  // Finds the segment containing `ptr` (segments are contiguous blocks).
-  // Returns nullptr if unknown. Caller must hold seg_mu_.
-  SegmentInfo* SegmentContaining(pm::PmPtr ptr);
+  /// One owner's segments, kept whole inside a single stripe so per-owner
+  /// operations (submit, seal, complete, unmerged count) stay one-lock.
+  struct OwnerSegments {
+    std::map<pm::PmPtr, SegmentInfo> segments;  // base -> info
+  };
+  using OwnerSegmentMap = std::unordered_map<uint64_t, OwnerSegments>;
 
-  void MaybeGcLocked(pm::PmPtr base, SegmentInfo* info);
+  /// Cross-shard handle to a segment: enough to find (and re-validate)
+  /// it inside its owner's stripe.
+  struct SegRef {
+    uint64_t owner = 0;
+    uint64_t gen = 0;
+  };
+
+  /// Registers a freshly allocated or recovered segment in its owner's
+  /// shard and the base index.
+  void RegisterSegment(pm::PmPtr base, const SegmentInfo& info);
+
+  /// Exact-base lookup in the base index (for RPC owner validation).
+  bool LookupSegRef(pm::PmPtr base, SegRef* ref) const;
+
+  /// A merged PUT at `entry_ptr` was superseded: charge the containing
+  /// segment's invalid counter and GC it if fully dead. Safe against the
+  /// segment being freed or its base reused concurrently.
+  void NoteSuperseded(pm::PmPtr entry_ptr);
+
+  /// GC check; runs with the owner's stripe held.
+  void MaybeGcOwnerLocked(OwnerSegments& os, pm::PmPtr base,
+                          SegmentInfo* info);
 
   /// The RPC-rejection check every two-sided entry point runs first.
   Status RpcFault(int kn_node) {
@@ -240,15 +281,25 @@ class DpmNode {
 
   pm::PmPtr superblock_ = pm::kNullPmPtr;
 
-  mutable std::mutex seg_mu_;
-  std::map<pm::PmPtr, SegmentInfo> segments_;  // base -> info
+  // Segment registry, sharded by owner (contention: dpm.lock.seg.*).
+  StripedMap<uint64_t, OwnerSegments, OwnerSegmentMap> seg_shards_{16};
+  // Base -> (owner, gen) for interior-pointer resolution and RPC owner
+  // checks. Read-mostly; writers are segment birth and GC death. Never
+  // held while acquiring a stripe.
+  mutable std::shared_mutex seg_index_mu_;
+  std::map<pm::PmPtr, SegRef> seg_index_;
+  std::atomic<uint64_t> seg_gen_{0};
+
+  std::mutex dir_mu_;  // persistent segment directory + slot cache
   std::map<pm::PmPtr, int> segment_dir_slots_;  // base -> directory slot
 
-  mutable std::mutex shared_mu_;
-  std::unordered_map<uint64_t, pm::PmPtr> shared_slots_;  // key -> slot
+  std::mutex sb_mu_;  // superblock high-water persistence
 
-  mutable std::mutex part_mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<index::Clht>> partition_index_;
+  // key hash -> indirect slot (contention: dpm.lock.shared.*).
+  StripedMap<uint64_t, pm::PmPtr> shared_slots_{64};
+
+  // KN id -> private partition index (contention: dpm.lock.part.*).
+  StripedMap<uint64_t, std::unique_ptr<index::Clht>> partition_index_{16};
 };
 
 }  // namespace dpm

@@ -1,5 +1,7 @@
 #include "dpm/merge.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "dpm/dpm_node.h"
 #include "dpm/log.h"
@@ -14,30 +16,97 @@ MergeService::MergeService(DpmNode* dpm, MergeProfile profile,
       metrics_(obs::Scope("dpm.merge", registry)),
       merged_batches_(metrics_.counter("batches")),
       merged_entries_(metrics_.counter("entries")),
-      merged_cpu_us_(metrics_.gauge("cpu_us")) {}
+      merged_cpu_us_(metrics_.gauge("cpu_us")),
+      queue_depth_(metrics_.gauge("queue.depth")),
+      queue_max_depth_(metrics_.gauge("queue.max_depth")),
+      queue_steals_(metrics_.counter("queue.steals")),
+      queue_stalls_(metrics_.counter("queue.stalls")) {}
 
 MergeService::~MergeService() { StopThreads(); }
+
+void MergeService::MarkRunnableLocked(uint64_t owner) {
+  runnable_.push_back(owner);
+}
+
+bool MergeService::PopOwnerTaskLocked(uint64_t owner, MergeTask* task) {
+  auto it = queues_.find(owner);
+  if (it == queues_.end()) return false;
+  OwnerQueue& q = it->second;
+  if (q.busy || q.tasks.empty()) return false;
+  *task = q.tasks.front();
+  q.tasks.pop_front();
+  q.busy = true;
+  return true;
+}
+
+void MergeService::RemoveRunnableLocked(uint64_t owner) {
+  auto it = std::find(runnable_.begin(), runnable_.end(), owner);
+  if (it != runnable_.end()) runnable_.erase(it);
+}
+
+bool MergeService::AuditRunnableLocked() {
+  bool found = false;
+  for (auto& [owner, q] : queues_) {
+    if (q.busy || q.tasks.empty()) continue;
+    if (std::find(runnable_.begin(), runnable_.end(), owner) !=
+        runnable_.end()) {
+      continue;
+    }
+    // Runnable work the scheduler lost track of: a bookkeeping bug, not a
+    // normal backlog. CI gates on this staying zero.
+    queue_stalls_.Inc();
+    runnable_.push_back(owner);
+    found = true;
+  }
+  return found;
+}
+
+bool MergeService::PickRunnableLocked(int worker_idx, MergeTask* task) {
+  if (runnable_.empty() && queued_total_ > 0) AuditRunnableLocked();
+  if (runnable_.empty()) return false;
+  size_t pick = 0;
+  bool stolen = false;
+  if (worker_idx >= 0 && num_workers_ > 1) {
+    stolen = true;
+    for (size_t i = 0; i < runnable_.size(); ++i) {
+      if (static_cast<int>(runnable_[i] % num_workers_) == worker_idx) {
+        pick = i;
+        stolen = false;
+        break;
+      }
+    }
+  }
+  const uint64_t owner = runnable_[pick];
+  runnable_.erase(runnable_.begin() + static_cast<ptrdiff_t>(pick));
+  const bool ok = PopOwnerTaskLocked(owner, task);
+  DINOMO_CHECK(ok);  // runnable_ invariant: listed owners have work
+  if (stolen) queue_steals_.Inc();
+  return true;
+}
+
+void MergeService::UpdateDepthLocked() {
+  queue_depth_.Set(static_cast<double>(queued_total_));
+  if (queued_total_ > max_depth_seen_) {
+    max_depth_seen_ = queued_total_;
+    queue_max_depth_.Set(static_cast<double>(max_depth_seen_));
+  }
+}
 
 void MergeService::Enqueue(const MergeTask& task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queues_[task.owner].tasks.push_back(task);
+    OwnerQueue& q = queues_[task.owner];
+    if (!q.busy && q.tasks.empty()) MarkRunnableLocked(task.owner);
+    q.tasks.push_back(task);
     queued_total_++;
+    UpdateDepthLocked();
   }
   work_cv_.notify_one();
 }
 
 bool MergeService::TryDequeue(MergeTask* task) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [owner, q] : queues_) {
-    if (!q.busy && !q.tasks.empty()) {
-      *task = q.tasks.front();
-      q.tasks.pop_front();
-      q.busy = true;
-      return true;
-    }
-  }
-  return false;
+  return PickRunnableLocked(-1, task);
 }
 
 double MergeService::Execute(const MergeTask& task) {
@@ -64,19 +133,23 @@ double MergeService::Execute(const MergeTask& task) {
 
 void MergeService::Finish(const MergeTask& task) {
   dpm_->CompleteBatch(task.owner, task.segment, task.data, task.bytes);
-  std::function<void(uint64_t)> cb;
+  std::function<void(const MergeAck&)> cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = queues_.find(task.owner);
     DINOMO_CHECK(it != queues_.end());
     it->second.busy = false;
+    if (!it->second.tasks.empty()) MarkRunnableLocked(task.owner);
     queued_total_--;
+    UpdateDepthLocked();
     cb = merge_cb_;
   }
   merged_batches_.Inc();
   work_cv_.notify_one();
   drain_cv_.notify_all();
-  if (cb) cb(task.owner);
+  if (cb) {
+    cb(MergeAck{task.owner, task.segment, task.data, task.bytes});
+  }
 }
 
 bool MergeService::ProcessOne() {
@@ -98,11 +171,8 @@ Status MergeService::DrainOwner(uint64_t owner) {
           (it->second.tasks.empty() && !it->second.busy)) {
         return Status::Ok();
       }
-      auto& q = it->second;
-      if (!q.busy && !q.tasks.empty()) {
-        task = q.tasks.front();
-        q.tasks.pop_front();
-        q.busy = true;
+      if (PopOwnerTaskLocked(owner, &task)) {
+        RemoveRunnableLocked(owner);
         run = true;
       } else {
         // Another worker is merging this owner's batch; wait for it.
@@ -140,7 +210,7 @@ uint64_t MergeService::TotalPendingBatches() const {
   return queued_total_;
 }
 
-void MergeService::SetMergeCallback(std::function<void(uint64_t)> cb) {
+void MergeService::SetMergeCallback(std::function<void(const MergeAck&)> cb) {
   std::lock_guard<std::mutex> lock(mu_);
   merge_cb_ = std::move(cb);
 }
@@ -149,9 +219,10 @@ void MergeService::StartThreads(int n) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
+    num_workers_ = n;
   }
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -163,9 +234,11 @@ void MergeService::StopThreads() {
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
   workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  num_workers_ = 0;
 }
 
-void MergeService::WorkerLoop() {
+void MergeService::WorkerLoop(int worker_idx) {
   while (true) {
     MergeTask task;
     bool have = false;
@@ -173,21 +246,11 @@ void MergeService::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         if (stopping_) return true;
-        for (auto& [owner, q] : queues_) {
-          if (!q.busy && !q.tasks.empty()) return true;
-        }
-        return false;
+        if (!runnable_.empty()) return true;
+        return queued_total_ > 0 && AuditRunnableLocked();
       });
       if (stopping_) return;
-      for (auto& [owner, q] : queues_) {
-        if (!q.busy && !q.tasks.empty()) {
-          task = q.tasks.front();
-          q.tasks.pop_front();
-          q.busy = true;
-          have = true;
-          break;
-        }
-      }
+      have = PickRunnableLocked(worker_idx, &task);
     }
     if (have) {
       Execute(task);

@@ -49,11 +49,30 @@ struct MergeTask {
   uint64_t puts = 0;
 };
 
+/// Completion notice fired after a batch merges. Carries the merged
+/// batch's exact location so the owning KN worker can evict precisely the
+/// cached batch that merged — with >= 2 merge threads, completions of
+/// *different* owners interleave arbitrarily, so "pop the oldest cached
+/// batch" is wrong; only a base match identifies the batch.
+struct MergeAck {
+  uint64_t owner = 0;
+  pm::PmPtr segment = 0;  // segment base
+  pm::PmPtr base = 0;     // start of the merged batch (MergeTask::data)
+  size_t bytes = 0;
+};
+
 /// Asynchronous merge service run by the DPM processors (§3.2/§3.6):
 /// consumes sealed log batches and applies them, in per-owner order, to
 /// the metadata index. Batches of *different* owners merge concurrently;
 /// a single owner's batches are strictly serialized, which (together with
 /// ownership partitioning) is what makes writes linearizable.
+///
+/// Scheduling: each owner has a FIFO task queue; owners with runnable
+/// work sit in a FIFO runnable list, so dispatch is O(1) instead of a
+/// scan over all owners. Real-thread workers prefer owners hashed to
+/// their own slot (owner % num_workers) and steal the oldest runnable
+/// owner when their slot is empty — cross-owner work stealing keeps all
+/// DPM processors busy under skew without breaking per-owner order.
 ///
 /// Two drive modes:
 ///  * real-thread: StartThreads(n) spawns n DPM worker threads;
@@ -103,9 +122,11 @@ class MergeService {
   uint64_t PendingBatches(uint64_t owner) const;
   uint64_t TotalPendingBatches() const;
 
-  /// Registered callback fired after each batch merge completes, with the
-  /// owner id. The virtual-time engine uses this to wake blocked writers.
-  void SetMergeCallback(std::function<void(uint64_t)> cb);
+  /// Registered callback fired after each batch merge completes. The ack
+  /// identifies the exact batch (owner + segment + base), letting the KN
+  /// evict its cached copy by base match; the virtual-time engine also
+  /// uses it to wake blocked writers.
+  void SetMergeCallback(std::function<void(const MergeAck&)> cb);
 
   /// Background worker management (real-thread mode).
   void StartThreads(int n);
@@ -122,7 +143,23 @@ class MergeService {
     bool busy = false;  // a task of this owner is executing
   };
 
-  void WorkerLoop();
+  // Invariant: an owner is in runnable_ exactly once iff its queue is
+  // !busy with tasks pending. These helpers are the only places that
+  // transition it. All require mu_.
+  void MarkRunnableLocked(uint64_t owner);
+  bool PopOwnerTaskLocked(uint64_t owner, MergeTask* task);
+  void RemoveRunnableLocked(uint64_t owner);
+  /// Called when the runnable list looks empty: any owner found with
+  /// pending, non-busy work is a lost wakeup — count it as a stall and
+  /// self-heal by re-listing the owner. Returns true if any were found.
+  bool AuditRunnableLocked();
+  /// Picks the next owner for worker `worker_idx` (-1 = no affinity):
+  /// oldest runnable owner homed on this worker, else steal the oldest
+  /// overall. Returns false when runnable_ is empty.
+  bool PickRunnableLocked(int worker_idx, MergeTask* task);
+  void UpdateDepthLocked();
+
+  void WorkerLoop(int worker_idx);
 
   DpmNode* dpm_;
   MergeProfile profile_;
@@ -131,16 +168,23 @@ class MergeService {
   std::condition_variable work_cv_;
   std::condition_variable drain_cv_;
   std::unordered_map<uint64_t, OwnerQueue> queues_;
-  uint64_t queued_total_ = 0;  // queued + in-flight
+  std::deque<uint64_t> runnable_;  // FIFO of owners with runnable work
+  uint64_t queued_total_ = 0;      // queued + in-flight
+  uint64_t max_depth_seen_ = 0;
+  int num_workers_ = 0;
   bool stopping_ = false;
 
-  std::function<void(uint64_t)> merge_cb_;
+  std::function<void(const MergeAck&)> merge_cb_;
   std::vector<std::thread> workers_;
 
   obs::MetricGroup metrics_;  // dpm.merge.*
   obs::Counter& merged_batches_;
   obs::Counter& merged_entries_;
   obs::Gauge& merged_cpu_us_;
+  obs::Gauge& queue_depth_;      // dpm.merge.queue.depth
+  obs::Gauge& queue_max_depth_;  // dpm.merge.queue.max_depth
+  obs::Counter& queue_steals_;   // dpm.merge.queue.steals
+  obs::Counter& queue_stalls_;   // dpm.merge.queue.stalls
 };
 
 }  // namespace dpm

@@ -152,7 +152,6 @@ Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
 
 Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
                                      std::string* value, double* cpu_us) {
-  (void)key;
   auto scan = [&](const char* data, size_t len, std::string* out,
                   bool* deleted) -> bool {
     dpm::LogIterator it(data, len);
@@ -160,6 +159,9 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
     bool found = false;
     while (it.Next(&rec)) {
       if (rec.key_hash != key_hash) continue;
+      // The hash is only a fingerprint: a colliding key's entries must
+      // not alias this key's value (or tombstone).
+      if (!(rec.key == key)) continue;
       found = true;
       if (rec.op == dpm::LogOp::kPut) {
         out->assign(rec.value.data(), rec.value.size());
@@ -419,17 +421,10 @@ Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
     if (fault.ok()) break;
     if (attempt + 1 >= kTransientRetries) return fault;
   }
-  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
-                                  segment_, dst, batch_.bytes(),
-                                  batch_.puts());
-  if (!submit.ok()) return submit.status();
-  if (submit.value().index_epoch > known_index_epoch_) {
-    known_index_epoch_ = submit.value().index_epoch;
-    if (index_handle_.valid() &&
-        index_handle_.epoch < known_index_epoch_) {
-      RefreshIndexHandle();
-    }
-  }
+  // Register the cached copy BEFORE the DPM learns about the batch:
+  // SubmitBatch schedules the merge, so with merge threads running the
+  // ack can fire immediately — and it must find this batch to evict, or
+  // the stale copy would shadow later merges forever.
   {
     std::lock_guard<std::mutex> lock(batches_mu_);
     CachedBatch cached;
@@ -437,6 +432,30 @@ Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
     cached.base = dst;
     cached.bloom = std::move(batch_bloom_);
     unmerged_batches_.push_back(std::move(cached));
+  }
+  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
+                                  segment_, dst, batch_.bytes(),
+                                  batch_.puts());
+  if (!submit.ok()) {
+    // The DPM never accepted the batch (no merge was scheduled): undo
+    // the provisional registration. The ops stay buffered in batch_, so
+    // a later flush repeats the identical write+submit.
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    for (auto it = unmerged_batches_.rbegin(); it != unmerged_batches_.rend();
+         ++it) {
+      if (it->base != dst) continue;
+      batch_bloom_ = std::move(it->bloom);
+      unmerged_batches_.erase(std::next(it).base());
+      break;
+    }
+    return submit.status();
+  }
+  if (submit.value().index_epoch > known_index_epoch_) {
+    known_index_epoch_ = submit.value().index_epoch;
+    if (index_handle_.valid() &&
+        index_handle_.epoch < known_index_epoch_) {
+      RefreshIndexHandle();
+    }
   }
   segment_used_ += batch_.bytes();
   batch_.Clear();
@@ -628,9 +647,39 @@ void KnWorker::ResetForOwnershipChange() {
   RefreshIndexHandle();
 }
 
-void KnWorker::OnOwnerBatchMerged() {
+void KnWorker::OnOwnerBatchMerged(pm::PmPtr batch_base) {
   std::lock_guard<std::mutex> lock(batches_mu_);
-  if (!unmerged_batches_.empty()) unmerged_batches_.pop_front();
+  for (auto it = unmerged_batches_.begin(); it != unmerged_batches_.end();
+       ++it) {
+    if (it->base == batch_base) {
+      unmerged_batches_.erase(it);
+      return;
+    }
+  }
+  // No matching base: the ack is for a batch this cache no longer tracks
+  // (untracked shared-write submit, or a late ack from before an
+  // ownership change). Evicting anything here would drop a batch that is
+  // still authoritative for reads.
+}
+
+std::vector<pm::PmPtr> KnWorker::UnmergedBatchBases() const {
+  std::lock_guard<std::mutex> lock(batches_mu_);
+  std::vector<pm::PmPtr> bases;
+  bases.reserve(unmerged_batches_.size());
+  for (const auto& b : unmerged_batches_) bases.push_back(b.base);
+  return bases;
+}
+
+void KnWorker::InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base) {
+  CachedBatch cached;
+  cached.bloom = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+  dpm::LogIterator it(bytes.data(), bytes.size());
+  dpm::LogRecord rec;
+  while (it.Next(&rec)) cached.bloom->Add(HashKeySlice(rec.key_hash));
+  cached.bytes = std::move(bytes);
+  cached.base = base;
+  std::lock_guard<std::mutex> lock(batches_mu_);
+  unmerged_batches_.push_back(std::move(cached));
 }
 
 WorkerStats KnWorker::SnapshotStats(bool reset) {

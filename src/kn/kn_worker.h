@@ -170,8 +170,23 @@ class KnWorker {
   void RefreshIndexHandle();
 
   /// Called by the merge callback when one of this worker's batches
-  /// merged: drops the oldest cached un-merged batch.
-  void OnOwnerBatchMerged();
+  /// merged: drops the cached un-merged batch whose DPM base matches
+  /// `batch_base`. With >= 2 merge threads acks arrive in arbitrary
+  /// global order, so "drop the oldest" would evict a still-unmerged
+  /// batch; base-matching also makes acks that straddle an ownership
+  /// change (cache already cleared, bases from the previous era) no-ops.
+  /// Thread-safe; may run concurrently with the worker thread.
+  void OnOwnerBatchMerged(pm::PmPtr batch_base);
+
+  /// Bases of the cached un-merged batches, oldest first. Test seam for
+  /// the ack-ordering regression tests.
+  std::vector<pm::PmPtr> UnmergedBatchBases() const;
+
+  /// Test seam: registers `bytes` (a LogBuilder batch image) as a cached
+  /// un-merged batch at `base`, bypassing the write path. Lets tests
+  /// construct scenarios real keys cannot produce, e.g. two entries whose
+  /// 64-bit key hashes collide.
+  void InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base);
 
   /// Log owner id of this worker: (kn_id << 8) | worker_idx.
   uint64_t log_owner() const { return (options_.kn_id << 8) | worker_idx_; }

@@ -104,34 +104,37 @@ void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
   std::atomic<int> remaining{static_cast<int>(workers_.size())};
   std::mutex mu;
   std::condition_variable cv;
+  // The decrement must happen under the lock: the waiter destroys mu/cv
+  // as soon as it sees remaining == 0, so a worker that decremented
+  // outside the lock could then lock a dead mutex. (mu, cv and remaining
+  // outlive every call — the wait below holds this frame open until the
+  // last worker has released mu.)
+  auto finish_one = [&mu, &cv, &remaining] {
+    std::lock_guard<std::mutex> lock(mu);
+    if (remaining.fetch_sub(1) == 1) cv.notify_all();
+  };
   for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
     Request req;
     req.type = Request::Type::kControl;
-    req.control = [&, fn](KnWorker* w) {
+    req.control = [&, fn, finish_one](KnWorker* w) {
       fn(w);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
-      }
+      finish_one();
     };
     if (!queues_[i]->Push(std::move(req))) {
       // Queue closed under us (Stop/Fail race): run inline so the wait
       // below cannot deadlock on a control request that never executes.
       fn(workers_[i].get());
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
-      }
+      finish_one();
     }
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return remaining.load() == 0; });
 }
 
-void KvsNode::OnBatchMerged(uint64_t log_owner) {
-  const int idx = static_cast<int>(log_owner & 0xff);
+void KvsNode::OnBatchMerged(const dpm::MergeAck& ack) {
+  const int idx = static_cast<int>(ack.owner & 0xff);
   if (idx < static_cast<int>(workers_.size())) {
-    workers_[idx]->OnOwnerBatchMerged();
+    workers_[idx]->OnOwnerBatchMerged(ack.base);
   }
   {
     std::lock_guard<std::mutex> lock(merge_mu_);
@@ -211,10 +214,11 @@ WorkerStats KvsNode::AggregateStats(bool reset) {
       req.type = Request::Type::kControl;
       req.control = [&](KnWorker* worker) {
         s = worker->SnapshotStats(reset);
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          done = true;
-        }
+        // Notify while holding the lock: the waiter destroys mu/cv as
+        // soon as it observes done, so an unlocked notify could touch a
+        // dead condition variable.
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
         cv.notify_all();
       };
       const int idx = static_cast<int>(&w - &workers_[0]);

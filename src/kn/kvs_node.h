@@ -83,8 +83,9 @@ class KvsNode {
   void RunOnAllWorkers(const std::function<void(KnWorker*)>& fn);
 
   /// Called (from the merge service callback) when one of this node's
-  /// batches merged; wakes Busy writers and trims cached batches.
-  void OnBatchMerged(uint64_t log_owner);
+  /// batches merged; wakes Busy writers and evicts the owning worker's
+  /// cached batch identified by the ack's base.
+  void OnBatchMerged(const dpm::MergeAck& ack);
 
   /// Aggregated statistics across workers.
   WorkerStats AggregateStats(bool reset);

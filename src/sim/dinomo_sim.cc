@@ -48,7 +48,7 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
   }
   dpm_ = std::make_unique<dpm::DpmNode>(options_.dpm);
   dpm_->merge()->SetMergeCallback(
-      [this](uint64_t owner) { OnMergeFinished(owner); });
+      [this](const dpm::MergeAck& ack) { OnMergeFinished(ack); });
 
   if (!options_.faults.empty()) {
     injector_ = std::make_unique<net::FaultInjector>(options_.faults,
@@ -329,13 +329,13 @@ void DinomoSim::PumpMerges() {
   }
 }
 
-void DinomoSim::OnMergeFinished(uint64_t owner) {
-  KnSim* k = FindKn(owner >> 8);
+void DinomoSim::OnMergeFinished(const dpm::MergeAck& ack) {
+  KnSim* k = FindKn(ack.owner >> 8);
   if (k == nullptr) return;
-  const int widx = static_cast<int>(owner & 0xff);
+  const int widx = static_cast<int>(ack.owner & 0xff);
   if (widx >= static_cast<int>(k->workers.size())) return;
   WorkerSim* ws = k->workers[widx].get();
-  ws->worker->OnOwnerBatchMerged();
+  ws->worker->OnOwnerBatchMerged(ack.base);
   // Wake writers blocked on the threshold.
   std::deque<std::function<void()>> parked;
   parked.swap(ws->parked);

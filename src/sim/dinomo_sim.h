@@ -161,7 +161,7 @@ class DinomoSim {
                  double issue_time, int attempt);
   void CompleteOp(int stream_idx, double issue_time, double finish);
   void PumpMerges();
-  void OnMergeFinished(uint64_t owner);
+  void OnMergeFinished(const dpm::MergeAck& ack);
 
   // M-node actions in virtual time.
   void MnodeEpoch();

@@ -221,15 +221,18 @@ TEST(DpmNodeTest, MergeCallbackFires) {
   DpmNode dpm(SmallOptions());
   std::atomic<int> calls{0};
   std::atomic<uint64_t> last_owner{0};
-  dpm.merge()->SetMergeCallback([&](uint64_t owner) {
+  std::atomic<uint64_t> last_base{0};
+  dpm.merge()->SetMergeCallback([&](const MergeAck& ack) {
     calls++;
-    last_owner = owner;
+    last_owner = ack.owner;
+    last_base = ack.base;
   });
   TestWriter w{&dpm, 0, 9};
   w.Put("k", "v");
   ASSERT_TRUE(dpm.merge()->DrainAll().ok());
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(last_owner, 9u);
+  EXPECT_NE(last_base, 0u);  // the ack names the batch that merged
 }
 
 // ----- Indirect pointers (selective replication substrate) -----

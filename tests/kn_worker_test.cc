@@ -30,6 +30,13 @@ class KnWorkerTest : public ::testing::Test {
     kno.cache_bytes = 1 * kMiB;
     kno.batch_max_ops = 4;
     worker_ = std::make_unique<KnWorker>(kno, 0, &dpm_);
+    // Forward merge acks the way the runtimes do, so cached batches are
+    // evicted when (and only when) their merge actually completes.
+    dpm_.merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
+      if (ack.owner == worker_->log_owner()) {
+        worker_->OnOwnerBatchMerged(ack.base);
+      }
+    });
   }
 
   void DrainAll() { ASSERT_TRUE(dpm_.merge()->DrainAll().ok()); }
@@ -78,8 +85,7 @@ TEST_F(KnWorkerTest, ReadYourWritesAfterFlushBeforeMerge) {
 TEST_F(KnWorkerTest, ReadAfterMergeUsesIndex) {
   ASSERT_TRUE(worker_->Put("k", "v3").status.ok());
   ASSERT_TRUE(worker_->FlushWrites().status.ok());
-  DrainAll();
-  worker_->OnOwnerBatchMerged();  // drop the cached batch
+  DrainAll();  // merge ack evicts the cached batch
   worker_->cache()->Invalidate(KeyHash(Slice("k")));
   auto get = worker_->Get("k");
   ASSERT_TRUE(get.status.ok());
@@ -96,8 +102,6 @@ TEST_F(KnWorkerTest, DeleteMakesKeyNotFound) {
   // Also after everything merges.
   ASSERT_TRUE(worker_->FlushWrites().status.ok());
   DrainAll();
-  worker_->OnOwnerBatchMerged();
-  worker_->OnOwnerBatchMerged();
   get = worker_->Get("k");
   EXPECT_TRUE(get.status.IsNotFound());
 }
@@ -194,7 +198,6 @@ TEST_F(KnWorkerTest, DrainLogFlushesAndMerges) {
 TEST_F(KnWorkerTest, ResetForOwnershipChangeEmptiesCache) {
   ASSERT_TRUE(worker_->Put("k", "v").status.ok());
   ASSERT_TRUE(worker_->DrainLog().ok());
-  worker_->OnOwnerBatchMerged();
   worker_->ResetForOwnershipChange();
   EXPECT_EQ(worker_->cache()->charge(), 0u);
   // Data still readable remotely.
@@ -202,6 +205,81 @@ TEST_F(KnWorkerTest, ResetForOwnershipChangeEmptiesCache) {
   ASSERT_TRUE(get.status.ok());
   EXPECT_EQ(get.value, "v");
   EXPECT_GE(get.cost.round_trips, 2u);
+}
+
+TEST_F(KnWorkerTest, OutOfOrderMergeAcksEvictByBase) {
+  // Two flushed batches of the same owner. With >= 2 merge threads the
+  // acks can be delivered newest-first; simulate that delivery order and
+  // check that eviction matches the acked batch, not queue position.
+  ASSERT_TRUE(worker_->Put("k1", "v1").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  ASSERT_TRUE(worker_->Put("k2", "v2").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  auto bases = worker_->UnmergedBatchBases();
+  ASSERT_EQ(bases.size(), 2u);
+
+  worker_->OnOwnerBatchMerged(bases[1]);  // the SECOND batch's ack first
+
+  auto remaining = worker_->UnmergedBatchBases();
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0], bases[0]);
+  // The un-acked first batch is still authoritative for reads: k1 is not
+  // merged yet, so evicting it would lose the committed write.
+  worker_->cache()->Invalidate(KeyHash(Slice("k1")));
+  auto get = worker_->Get("k1");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "v1");
+}
+
+TEST_F(KnWorkerTest, StaleMergeAckAfterOwnershipChangeIsNoOp) {
+  // A merge ack for a pre-ownership-change batch must not evict a batch
+  // of the new era.
+  ASSERT_TRUE(worker_->Put("old", "v-old").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  auto old_bases = worker_->UnmergedBatchBases();
+  ASSERT_EQ(old_bases.size(), 1u);
+
+  worker_->ResetForOwnershipChange();  // clears the tracked batches
+
+  ASSERT_TRUE(worker_->Put("new", "v-new").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  auto new_bases = worker_->UnmergedBatchBases();
+  ASSERT_EQ(new_bases.size(), 1u);
+  ASSERT_NE(new_bases[0], old_bases[0]);
+
+  worker_->OnOwnerBatchMerged(old_bases[0]);  // late ack from the old era
+
+  EXPECT_EQ(worker_->UnmergedBatchBases(), new_bases);
+  worker_->cache()->Invalidate(KeyHash(Slice("new")));
+  auto get = worker_->Get("new");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "v-new");
+}
+
+TEST_F(KnWorkerTest, CollidingHashKeysDoNotAlias) {
+  // Two different keys with the same 64-bit fingerprint (not producible
+  // with real FNV-1a inputs, so the batch is injected): the batch scan
+  // must compare key bytes, not just the hash.
+  const uint64_t h = KeyHash(Slice("keyA"));
+  dpm::LogBuilder batch;
+  batch.AddPut(1, h, "keyA", "valueA");
+  batch.AddPut(2, h, "keyB", "valueB");
+  worker_->InjectUnmergedBatchForTest(
+      std::string(batch.data(), batch.bytes()), /*base=*/0x1000);
+
+  auto get = worker_->Get("keyA");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "valueA");  // hash-only matching returns "valueB"
+
+  // The colliding key's tombstone must not delete this key either.
+  dpm::LogBuilder tomb;
+  tomb.AddDelete(3, h, "keyB");
+  worker_->InjectUnmergedBatchForTest(
+      std::string(tomb.data(), tomb.bytes()), /*base=*/0x2000);
+  worker_->cache()->Invalidate(h);
+  get = worker_->Get("keyA");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "valueA");
 }
 
 TEST_F(KnWorkerTest, StatsTrackHotKeys) {
@@ -222,7 +300,6 @@ TEST_F(KnWorkerTest, LargeValuesRoundTrip) {
   ASSERT_TRUE(worker_->Put("big", big).status.ok());
   ASSERT_TRUE(worker_->FlushWrites().status.ok());
   DrainAll();
-  worker_->OnOwnerBatchMerged();
   worker_->cache()->Clear();
   auto get = worker_->Get("big");
   ASSERT_TRUE(get.status.ok());
@@ -242,7 +319,6 @@ class SharedKeyTest : public KnWorkerTest {
     // Install the key, merge, and convert it to shared mode.
     ASSERT_TRUE(worker_->Put("hot", "v0").status.ok());
     ASSERT_TRUE(worker_->DrainLog().ok());
-    worker_->OnOwnerBatchMerged();
     key_hash_ = KeyHash(Slice("hot"));
     auto slot = dpm_.InstallIndirect(1, key_hash_);
     ASSERT_TRUE(slot.ok());
