@@ -4,13 +4,17 @@
 // Machine-readable run reports for the bench binaries.
 //
 // Every bench constructs a BenchReporter from (name, argc, argv) and gains
-// two flags:
-//   --json_out=<path>  write a "dinomo-bench-v1" JSON report on Finish():
-//                      run config, per-point results, and a full snapshot
-//                      of the process metrics registry (src/obs/).
-//   --quick            CI smoke mode; benches consult quick() and shrink
-//                      durations / sweep points so the binary finishes in
-//                      seconds. Results keep the same schema.
+// three flags:
+//   --json_out=<path>   write a "dinomo-bench-v1" JSON report on Finish():
+//                       run config, per-point results, and a full snapshot
+//                       of the process metrics registry (src/obs/).
+//   --quick             CI smoke mode; benches consult quick() and shrink
+//                       durations / sweep points so the binary finishes in
+//                       seconds. Results keep the same schema.
+//   --trace_out=<path>  arm the global request tracer (sample_every=1) and
+//                       write a chrome://tracing trace-event JSON file on
+//                       Finish(); the trace.* attribution summary is also
+//                       published so it lands in the --json_out metrics.
 //
 // scripts/check_bench_json.py consumes these reports in CI and gates on
 // drift of key steady-state figures (e.g. DINOMO round trips per op).
@@ -23,6 +27,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dinomo {
 namespace bench {
@@ -50,15 +55,24 @@ class BenchReporter {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--json_out=", 11) == 0) {
         json_out_ = arg + 11;
+      } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+        trace_out_ = arg + 12;
       } else if (std::strcmp(arg, "--quick") == 0) {
         quick_ = true;
       } else {
         std::fprintf(stderr,
                      "%s: unknown flag '%s' (supported: --json_out=<path>, "
-                     "--quick)\n",
+                     "--trace_out=<path>, --quick)\n",
                      bench_name.c_str(), arg);
         std::exit(2);
       }
+    }
+    if (!trace_out_.empty()) {
+      // Sample everything: bench runs are short and the ring overwrites
+      // (counted in trace.dropped_spans) rather than growing.
+      obs::TraceOptions topts;
+      topts.sample_every = 1;
+      obs::Tracer::Global().Enable(topts);
     }
   }
 
@@ -71,6 +85,7 @@ class BenchReporter {
 
   bool quick() const { return quick_; }
   const std::string& json_out() const { return json_out_; }
+  const std::string& trace_out() const { return trace_out_; }
 
   /// Scales a duration/count down in --quick mode.
   double Scaled(double full, double quick) const {
@@ -97,7 +112,22 @@ class BenchReporter {
   bool Finish(const obs::MetricsRegistry& registry =
                   obs::MetricsRegistry::Global()) {
     finished_ = true;
-    if (json_out_.empty()) return true;
+    bool ok = true;
+    if (!trace_out_.empty()) {
+      // Publish the trace.* summary first so it is part of the metrics
+      // snapshot below, then write the chrome trace file.
+      obs::Tracer& tracer = obs::Tracer::Global();
+      tracer.PublishSummary();
+      std::string err;
+      if (!tracer.WriteChromeTrace(trace_out_, &err)) {
+        std::fprintf(stderr, "%s: failed to write %s: %s\n", name_.c_str(),
+                     trace_out_.c_str(), err.c_str());
+        ok = false;
+      } else {
+        std::printf("\n[trace_out] %s\n", trace_out_.c_str());
+      }
+    }
+    if (json_out_.empty()) return ok;
     obs::Json root = obs::Json::Object();
     root.Set("schema", "dinomo-bench-v1");
     root.Set("bench", name_);
@@ -115,12 +145,13 @@ class BenchReporter {
       return false;
     }
     std::printf("\n[json_out] %s\n", json_out_.c_str());
-    return true;
+    return ok;
   }
 
  private:
   std::string name_;
   std::string json_out_;
+  std::string trace_out_;
   bool quick_ = false;
   bool finished_ = false;
   obs::Json config_;

@@ -2,7 +2,8 @@
 #define DINOMO_BENCH_GBENCH_MAIN_H_
 
 // Replacement for BENCHMARK_MAIN() in the google-benchmark micros, adding
-// the shared --json_out / --quick flags (see bench_json.h). The flags the
+// the shared --json_out / --trace_out / --quick flags (see bench_json.h).
+// The flags the
 // reporter owns are stripped before benchmark::Initialize sees the
 // command line; --quick is translated into a tiny --benchmark_min_time so
 // the CI smoke job finishes in seconds.
@@ -27,6 +28,7 @@
     rest.push_back(argv[0]);                                                 \
     for (int i = 1; i < argc; ++i) {                                         \
       if (std::strncmp(argv[i], "--json_out=", 11) == 0 ||                   \
+          std::strncmp(argv[i], "--trace_out=", 12) == 0 ||                  \
           std::strcmp(argv[i], "--quick") == 0) {                            \
         own.push_back(argv[i]);                                              \
       } else {                                                               \

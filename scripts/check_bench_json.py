@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
 """Validate bench --json_out reports and gate CI on performance drift.
 
-Usage: check_bench_json.py report.json [report2.json ...]
+Usage: check_bench_json.py report.json [--trace=trace.json ...]
 
 Every report is schema-checked (dinomo-bench-v1). For benches with
 checked-in expectations (currently table5_rts_per_op in --quick mode),
 key steady-state figures are compared against EXPECTATIONS below with a
 tolerance band; a value outside the band fails the run.
+
+--trace=<path> arguments name chrome://tracing trace-event files written
+by --trace_out; each is validated structurally (non-empty traceEvents,
+complete "X" events). Reports that ran with tracing armed additionally
+gate the trace.* metric family: trace-derived round trips must agree
+with the OpCost aggregate within 1%, trace.dropped_spans must be
+reported (nonzero is fine — the ring overwrites by design — absent is
+not), and for micro_index the tracing-disabled overhead gauge
+trace.overhead.disabled_pct must stay <= 2.
 
 The simulations are seeded and run in virtual time, so these figures are
 deterministic up to floating-point ordering across toolchains — the band
@@ -189,6 +198,82 @@ def check_contention(path, doc):
     return ok
 
 
+def check_trace_metrics(path, doc):
+    """Gates on the trace.* family published by --trace_out runs (see
+    src/obs/trace.*): the dual round-trip counters must agree and the
+    drop counter must be present, and micro_index's measured cost of the
+    tracing-disabled fast path must stay within the 2% budget."""
+    counters = doc.get("metrics", {}).get("counters", {})
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    if not isinstance(counters, dict) or not isinstance(gauges, dict):
+        return True  # schema check already failed this report
+    ok = True
+    if doc.get("bench") == "micro_index":
+        pct = gauges.get("trace.overhead.disabled_pct")
+        if not isinstance(pct, (int, float)):
+            ok = fail(f"{path}: trace.overhead.disabled_pct missing — "
+                      "BM_TraceOverhead did not run or publish")
+        elif pct > 2.0:
+            ok = fail(
+                f"{path}: tracing-disabled overhead {pct:.3f}% of a remote "
+                "lookup > 2% budget — the CurrentTraceContext() fast path "
+                "got more expensive")
+        else:
+            print(f"ok: {path}: tracing-disabled overhead {pct:.4f}% "
+                  "(budget 2%)")
+    if counters.get("trace.spans", 0) <= 0:
+        return ok  # this report did not run with tracing armed
+    if "trace.dropped_spans" not in counters:
+        ok = fail(f"{path}: trace.spans present but trace.dropped_spans "
+                  "missing — ring overwrites are not being counted")
+    trace_rts = counters.get("trace.round_trips")
+    opcost_rts = counters.get("trace.opcost_round_trips")
+    if not isinstance(trace_rts, (int, float)) or \
+            not isinstance(opcost_rts, (int, float)):
+        return fail(f"{path}: trace.round_trips / trace.opcost_round_trips "
+                    "missing from a traced run")
+    if opcost_rts > 0:
+        rel = abs(trace_rts - opcost_rts) / opcost_rts
+        if rel > 0.01:
+            ok = fail(
+                f"{path}: trace-derived round trips {int(trace_rts)} vs "
+                f"OpCost aggregate {int(opcost_rts)} differ by "
+                f"{100 * rel:.2f}% (> 1%) — a fabric op is traced without "
+                "being charged, or vice versa")
+        else:
+            print(f"ok: {path}: trace RTs {int(trace_rts)} vs OpCost RTs "
+                  f"{int(opcost_rts)} agree ({100 * rel:.3f}% <= 1%), "
+                  f"dropped_spans={int(counters['trace.dropped_spans'])}")
+    return ok
+
+
+def check_trace_file(path):
+    """Structural validation of a chrome://tracing trace-event JSON file:
+    loadable, non-empty traceEvents, and every complete ("X") event has
+    the fields chrome://tracing needs to render it."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: traceEvents missing or empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"{path}: traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                return fail(f"{path}: traceEvents[{i}] missing {key!r}")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{path}: traceEvents[{i}] 'X' event has bad "
+                            f"dur {dur!r}")
+    print(f"ok: {path}: valid chrome trace ({len(events)} events)")
+    return True
+
+
 def row_matches(row, match):
     return all(row.get(k) == v for k, v in match.items())
 
@@ -228,6 +313,10 @@ def main(argv):
         return 2
     ok = True
     for path in argv[1:]:
+        if path.startswith("--trace="):
+            if not check_trace_file(path[len("--trace="):]):
+                ok = False
+            continue
         try:
             with open(path) as f:
                 doc = json.load(f)
@@ -235,7 +324,8 @@ def main(argv):
             ok = fail(f"{path}: {e}")
             continue
         for checker in (check_schema, check_metrics, check_pm_checker,
-                        check_faults, check_contention, check_expectations):
+                        check_faults, check_contention, check_trace_metrics,
+                        check_expectations):
             if not checker(path, doc):
                 ok = False
         if ok:

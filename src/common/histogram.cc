@@ -61,6 +61,10 @@ void Histogram::Reset() {
 
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
+  // Explicit edge handling: the scan below would only land on these by
+  // way of the final clamp (p<=0 hits an empty bucket 0 with frac=1).
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
   const double threshold = count_ * (p / 100.0);
   double cumulative = 0.0;
   for (int i = 0; i < kNumBuckets; ++i) {

@@ -77,6 +77,17 @@ Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
   // Fresh backoff per request, seeded deterministically per (client, key)
   // so concurrent clients rejected at the same instant decorrelate.
   Backoff backoff(opts.client_backoff, salt_ ^ key_hash);
+  // Sampled requests carry a trace from here through the worker and
+  // fabric; the context ends (recording the root span) when it goes out
+  // of scope on any return path.
+  obs::Tracer* tracer = cluster_->tracer();
+  std::unique_ptr<obs::TraceContext> trace;
+  if (tracer->ShouldSample()) {
+    const char* name = type == kn::Request::Type::kGet   ? "get"
+                       : type == kn::Request::Type::kPut ? "put"
+                                                         : "delete";
+    trace = std::make_unique<obs::TraceContext>(tracer, name);
+  }
   Status last = Status::Unavailable("no KNs");
   for (int attempt = 0;; ++attempt) {
     if (attempt > 0) {
@@ -90,8 +101,14 @@ Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double, std::micro>(delay_us));
       if (wake >= deadline) break;
+      const double backoff_start =
+          trace != nullptr ? tracer->NowUs() : 0.0;
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::micro>(delay_us));
+      if (trace != nullptr) {
+        trace->RecordWait(obs::SpanKind::kBackoff, backoff_start,
+                          tracer->NowUs() - backoff_start);
+      }
     }
     if (std::chrono::steady_clock::now() >= deadline) break;
     if (table_->global_ring.empty()) {
@@ -113,11 +130,17 @@ Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
     req.done = [&promise](kn::OpResult r) {
       promise.set_value(std::move(r));
     };
+    req.trace = trace.get();
     node->Submit(*table_, std::move(req));
     // The wait is unbounded on purpose: KvsNode guarantees every
     // submitted request completes (drain-on-fail), so waiting here can
     // only take as long as the op itself — the deadline bounds retries.
     kn::OpResult result = future.get();
+    if (trace != nullptr) {
+      // Accumulated across retries; EndRequest publishes the total for
+      // the trace-vs-OpCost agreement gate.
+      trace->AddOpCostRoundTrips(result.cost.round_trips);
+    }
     if (result.status.IsWrongOwner() || IsTransient(result.status)) {
       last = result.status;
       continue;
@@ -191,6 +214,7 @@ Status Cluster::Start() {
     kn::KvsNode* node = kn(kn_id);
     if (node != nullptr) node->OnBatchMerged(ack);
   });
+  if (tracer()->enabled()) dpm_->merge()->SetTracer(tracer());
   dpm_->merge()->StartThreads(options_.dpm_merge_threads);
 
   for (int i = 0; i < options_.initial_kns; ++i) {

@@ -16,6 +16,7 @@
 #include "kn/kvs_node.h"
 #include "mnode/policy.h"
 #include "net/fault.h"
+#include "obs/trace.h"
 
 namespace dinomo {
 
@@ -54,6 +55,11 @@ struct ClusterOptions {
   /// Start(). Empty = fault-free. kFailStop events name a KN id; the
   /// cluster enacts them via KillKn from a dedicated thread.
   net::FaultSchedule faults;
+  /// Request tracer (nullptr = the global tracer, which is disabled until
+  /// a harness arms it). Sampled requests carry spans from Client::Execute
+  /// through the worker, fabric and merge paths, timestamped on the wall
+  /// clock in this runtime.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Cluster;
@@ -136,6 +142,11 @@ class Cluster {
   dpm::DpmNode* dpm() { return dpm_.get(); }
   cluster::RoutingService* routing() { return &routing_; }
   const ClusterOptions& options() const { return options_; }
+  /// The tracer requests sample against (never null).
+  obs::Tracer* tracer() const {
+    return options_.tracer != nullptr ? options_.tracer
+                                      : &obs::Tracer::Global();
+  }
   /// The installed fault injector, or nullptr when running fault-free.
   net::FaultInjector* fault_injector() { return injector_.get(); }
   std::vector<uint64_t> ActiveKns() const;

@@ -283,7 +283,7 @@ Result<pm::PmPtr> DpmNode::AllocateSegment(int kn_node, uint64_t owner) {
   // proactively preallocate log segments for their own use using
   // two-sided operations").
   fabric_->ChargeRpc(kn_node, /*req=*/24, /*resp=*/16,
-                     options_.alloc_rpc_cpu_us);
+                     options_.alloc_rpc_cpu_us, "rpc:allocate_segment");
   return base;
 }
 
@@ -576,7 +576,7 @@ Result<pm::PmPtr> DpmNode::InstallIndirect(int kn_node, uint64_t key_hash) {
             key_hash, ValuePtr::Pack(slot, 8, /*indirect=*/true).raw());
         DINOMO_CHECK(old.ok());
         slots[key_hash] = slot;
-        fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+        fabric_->ChargeRpc(kn_node, 16, 16, 2.0, "rpc:install_indirect");
         return slot;
       });
 }
@@ -598,7 +598,7 @@ Status DpmNode::RemoveIndirect(int kn_node, uint64_t key_hash) {
     DINOMO_CHECK(old.ok());
     slots.erase(it);
     alloc_->Free(slot);
-    fabric_->ChargeRpc(kn_node, 16, 16, 2.0);
+    fabric_->ChargeRpc(kn_node, 16, 16, 2.0, "rpc:remove_indirect");
     return Status::Ok();
   });
 }

@@ -128,6 +128,13 @@ double MergeService::Execute(const MergeTask& task) {
   const double cpu_us = entries * profile_.per_entry_us +
                         static_cast<double>(task.bytes) * profile_.per_byte_us;
   merged_cpu_us_.Add(cpu_us);
+  if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
+    // Standalone DPM-side span: lane = owning KN's log, pid 0 (the DPM
+    // "process" in the chrome view). Duration is the modeled merge CPU.
+    tracer->RecordStandalone(obs::SpanKind::kMergeExec, nullptr, task.owner,
+                             tracer->NowUs(), cpu_us, /*round_trips=*/0,
+                             task.bytes);
+  }
   return cpu_us;
 }
 

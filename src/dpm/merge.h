@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pm/pm_pool.h"
 
 namespace dinomo {
@@ -128,6 +129,13 @@ class MergeService {
   /// uses it to wake blocked writers.
   void SetMergeCallback(std::function<void(const MergeAck&)> cb);
 
+  /// Records a standalone merge_exec trace span per executed batch into
+  /// `tracer` (nullptr = off). Non-owning; installed by the runtime at
+  /// startup, before merge traffic flows.
+  void SetTracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
   /// Background worker management (real-thread mode).
   void StartThreads(int n);
   void StopThreads();
@@ -175,6 +183,7 @@ class MergeService {
   bool stopping_ = false;
 
   std::function<void(const MergeAck&)> merge_cb_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
   std::vector<std::thread> workers_;
 
   obs::MetricGroup metrics_;  // dpm.merge.*

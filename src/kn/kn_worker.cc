@@ -7,6 +7,7 @@
 #include "cache/static_cache.h"
 #include "common/backoff.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace dinomo {
 namespace kn {
@@ -175,9 +176,14 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
 
   bool deleted = false;
   // Newest first: the in-flight batch, then unmerged flushed batches.
+  obs::TraceContext* ctx = obs::CurrentTraceContext();
   if (batch_.entries() > 0 &&
       batch_bloom_->MayContain(HashKeySlice(key_hash))) {
     *cpu_us += options_.cpu_segment_scan_us;
+    if (ctx != nullptr) {
+      ctx->RecordLeaf(obs::SpanKind::kBatchScan, nullptr,
+                      options_.cpu_segment_scan_us);
+    }
     if (scan(batch_.data(), batch_.bytes(), value, &deleted)) {
       return deleted ? Status::Aborted("tombstone") : Status::Ok();
     }
@@ -187,6 +193,10 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
        ++it) {
     if (!it->bloom->MayContain(HashKeySlice(key_hash))) continue;
     *cpu_us += options_.cpu_segment_scan_us;
+    if (ctx != nullptr) {
+      ctx->RecordLeaf(obs::SpanKind::kBatchScan, nullptr,
+                      options_.cpu_segment_scan_us);
+    }
     if (scan(it->bytes.data(), it->bytes.size(), value, &deleted)) {
       return deleted ? Status::Aborted("tombstone") : Status::Ok();
     }
@@ -197,6 +207,10 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
 OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
   OpResult out;
   out.cpu_us = options_.cpu_miss_us;
+  if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
+    ctx->RecordLeaf(obs::SpanKind::kCacheProbe, "miss_probe",
+                    options_.cpu_miss_us);
+  }
 
   // The un-merged data this worker wrote is authoritative for its
   // partition (§4: "un-merged log segments are cached in the KNs that
@@ -215,6 +229,10 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
 
   net::OpCost* cost = net::Fabric::ThreadOpCost();
   const uint32_t rts_before = cost != nullptr ? cost->round_trips : 0;
+
+  // Remaining miss work is the DPM-side index traversal plus the value
+  // read; group its fabric ops under one phase span.
+  obs::TraceSpan lookup_span(obs::SpanKind::kIndexLookup);
 
   if (!index_handle_.valid()) RefreshIndexHandle();
   if (!index_handle_.valid()) {
@@ -292,6 +310,10 @@ OpResult KnWorker::GetImpl(const Slice& key) {
   auto r = cache_->Lookup(key_hash);
   if (r.kind == cache::HitKind::kValueHit) {
     if (!shared) {
+      if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
+        ctx->RecordLeaf(obs::SpanKind::kCacheProbe, "value_hit",
+                        options_.cpu_value_hit_us);
+      }
       out.status = Status::Ok();
       out.value = std::move(r.value);
       out.cpu_us = options_.cpu_value_hit_us;
@@ -305,6 +327,10 @@ OpResult KnWorker::GetImpl(const Slice& key) {
     r.kind = cache::HitKind::kMiss;
   }
   if (r.kind == cache::HitKind::kShortcutHit) {
+    if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
+      ctx->RecordLeaf(obs::SpanKind::kCacheProbe, "shortcut_hit",
+                      options_.cpu_shortcut_hit_us);
+    }
     std::string value;
     bool was_indirect = false;
     Status st = ReadEntryValue(r.ptr, key_hash, &value, &was_indirect);
@@ -406,6 +432,11 @@ Status KnWorker::AppendWrite(dpm::LogOp op, const Slice& key,
 Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
   (void)cost;
   if (batch_.entries() == 0) return Status::Ok();
+  obs::TraceSpan flush_span(obs::SpanKind::kFlush);
+  if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
+    ctx->RecordLeaf(obs::SpanKind::kFlush, "flush_cpu",
+                    options_.cpu_batch_flush_us);
+  }
   DINOMO_CHECK(segment_ != pm::kNullPmPtr);
   const pm::PmPtr dst = segment_ + kSegmentHeaderSize + segment_used_;
   // ONE one-sided RDMA write ships the whole batch (§3.6). A dropped

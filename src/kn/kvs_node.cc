@@ -83,6 +83,12 @@ void KvsNode::Submit(const cluster::RoutingTable& routing, Request req) {
   if (req.type != Request::Type::kControl) {
     idx = routing.ThreadFor(KeyHash(req.key), options_.kn_id);
   }
+  if (req.trace != nullptr) {
+    // Queue wait starts now; the worker records the span when it pops
+    // the request (EndRequest flushes it if the push is rejected).
+    req.trace->MarkWait(obs::SpanKind::kQueueWait,
+                        req.trace->tracer()->NowUs());
+  }
   if (!queues_[idx]->Push(std::move(req))) {
     // Raced with Stop()/Fail() closing the queue after the checks above.
     // The request was never enqueued (a failed Push does not consume it);
@@ -169,6 +175,9 @@ void KvsNode::WorkerLoop(int idx) {
       if (req.done) req.done(std::move(dead));
       continue;
     }
+    obs::TraceContext* trace = req.trace;
+    if (trace != nullptr) trace->FlushWait(trace->tracer()->NowUs());
+    obs::ScopedTraceContext trace_scope(trace);
     OpResult result;
     for (int attempt = 0;; ++attempt) {
       switch (req.type) {
@@ -186,12 +195,20 @@ void KvsNode::WorkerLoop(int idx) {
       }
       if (!result.status.IsBusy()) break;
       // Log-write blocking (§4): wait for merge progress, then retry.
-      std::unique_lock<std::mutex> lock(merge_mu_);
-      const uint64_t seen = merge_events_;
-      merge_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
-        return merge_events_ != seen ||
-               !running_.load(std::memory_order_acquire);
-      });
+      const double wait_start =
+          trace != nullptr ? trace->tracer()->NowUs() : 0.0;
+      {
+        std::unique_lock<std::mutex> lock(merge_mu_);
+        const uint64_t seen = merge_events_;
+        merge_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+          return merge_events_ != seen ||
+                 !running_.load(std::memory_order_acquire);
+        });
+      }
+      if (trace != nullptr) {
+        trace->RecordWait(obs::SpanKind::kMergeWait, wait_start,
+                          trace->tracer()->NowUs() - wait_start);
+      }
       if (!running_.load(std::memory_order_acquire)) {
         result.status = Status::Unavailable("KN stopping");
         break;

@@ -11,6 +11,7 @@
 
 #include "common/concurrency.h"
 #include "kn/kn_worker.h"
+#include "obs/trace.h"
 
 namespace dinomo {
 namespace kn {
@@ -26,6 +27,11 @@ struct Request {
   /// For kControl: arbitrary work executed on the worker thread (routing
   /// updates, cache invalidation, quiesce steps).
   std::function<void(KnWorker*)> control;
+  /// Trace context of a sampled request (owned by the client, which
+  /// outlives the completion callback); null for unsampled requests.
+  /// The worker thread installs it around execution and records the
+  /// queue-wait span Submit marked.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// One KVS node of the real-thread runtime: owns `num_workers` KnWorkers,

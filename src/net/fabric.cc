@@ -6,12 +6,28 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace dinomo {
 namespace net {
 
 namespace {
 thread_local OpCost* t_op_cost = nullptr;
+
+// Leaf trace span for one fabric op on the current thread's sampled
+// request (no-op otherwise). Duration is the cost model's view of the op
+// — round trips x link latency plus wire time plus any synchronous extra
+// (RPC overhead, DPM CPU) — so traces line up with LatencyUs accounting.
+void TraceFabricOp(const LinkProfile& profile, obs::SpanKind kind,
+                   const char* name, uint32_t rts, uint64_t bytes,
+                   double extra_us = 0.0) {
+  obs::TraceContext* ctx = obs::CurrentTraceContext();
+  if (ctx == nullptr) return;
+  ctx->RecordLeaf(kind, name,
+                  rts * profile.rt_latency_us + profile.TransferUs(bytes) +
+                      extra_us,
+                  rts, bytes);
+}
 // Error parked by a dropped one-sided op, collected by the initiating
 // worker via TakePendingFault(). A flag avoids touching the Status (and
 // its string) on the fault-free hot path.
@@ -122,6 +138,8 @@ void Fabric::Read(int node, pm::PmPtr src, void* dst, size_t len) {
       d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
   Charge(node, wire_ops, static_cast<uint64_t>(len) * wire_ops);
   counters_[node].one_sided_reads.Inc(wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kOneSidedRead, nullptr, wire_ops,
+                static_cast<uint64_t>(len) * wire_ops);
 }
 
 void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len,
@@ -145,6 +163,8 @@ void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len,
       d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
   Charge(node, wire_ops, static_cast<uint64_t>(len) * wire_ops);
   counters_[node].one_sided_writes.Inc(wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kOneSidedWrite, nullptr, wire_ops,
+                static_cast<uint64_t>(len) * wire_ops);
 }
 
 bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
@@ -156,6 +176,8 @@ bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
       d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
   Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
   counters_[node].cas_ops.Inc(wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kCas, nullptr, wire_ops,
+                sizeof(uint64_t) * wire_ops);
   if (d.action == FaultDecision::Action::kDrop) {
     // Lost CAS: reported as a compare failure, which every caller
     // already treats as "re-read and retry"; the parked error tells the
@@ -177,6 +199,8 @@ uint64_t Fabric::AtomicRead64(int node, pm::PmPtr addr) {
   const uint32_t wire_ops =
       d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
   Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kOneSidedRead, "atomic_read",
+                wire_ops, sizeof(uint64_t) * wire_ops);
   if (d.action == FaultDecision::Action::kDrop) {
     ParkFault(Status::Unavailable("injected drop: atomic read"));
     return 0;
@@ -194,6 +218,8 @@ void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value,
       d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
   Charge(node, wire_ops, sizeof(uint64_t) * wire_ops);
   counters_[node].one_sided_writes.Inc(wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kOneSidedWrite, "atomic_write",
+                wire_ops, sizeof(uint64_t) * wire_ops);
   if (d.action == FaultDecision::Action::kDrop) {
     ParkFault(Status::Unavailable("injected drop: atomic write"));
     return;
@@ -203,23 +229,33 @@ void Fabric::AtomicWrite64(int node, pm::PmPtr addr, uint64_t value,
 }
 
 void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
-                       double dpm_cpu_us) {
+                       double dpm_cpu_us, const char* what) {
   // The RPC has already executed on the DPM by the time its cost is
   // charged, so a lost op can no longer be a clean rejection — rejection
   // faults are injected at the DpmNode entry instead (OnRpc). Delay and
   // duplicate (retransmitted request, executed once) still apply here.
   const FaultDecision d = ConsultInjector(node, /*allow_drop=*/false);
+  uint32_t wire_ops;
+  uint64_t wire_bytes;
   if (d.action == FaultDecision::Action::kDuplicate) {
-    Charge(node, 2, 2 * req_bytes + resp_bytes);
+    wire_ops = 2;
+    wire_bytes = 2 * req_bytes + resp_bytes;
+    Charge(node, wire_ops, wire_bytes);
     counters_[node].rpcs.Inc(2);
   } else {
-    Charge(node, 1, req_bytes + resp_bytes);
+    wire_ops = 1;
+    wire_bytes = req_bytes + resp_bytes;
+    Charge(node, wire_ops, wire_bytes);
     counters_[node].rpcs.Inc();
   }
   if (t_op_cost != nullptr) {
     t_op_cost->dpm_cpu_us += dpm_cpu_us;
     t_op_cost->extra_latency_us += profile_.rpc_extra_us;
   }
+  // A two-sided op is synchronous for the caller: round trip + wire time
+  // + RPC overhead + the DPM processor servicing it.
+  TraceFabricOp(profile_, obs::SpanKind::kRpc, what, wire_ops, wire_bytes,
+                profile_.rpc_extra_us + dpm_cpu_us);
 }
 
 Fabric::NodeCounters Fabric::counters(int node) const {

@@ -47,6 +47,14 @@ struct OpCost {
 
   void Clear() { *this = OpCost{}; }
 
+  /// Folds another accumulator into this one (nested ScopedOpCost exit).
+  void Add(const OpCost& other) {
+    round_trips += other.round_trips;
+    wire_bytes += other.wire_bytes;
+    dpm_cpu_us += other.dpm_cpu_us;
+    extra_latency_us += other.extra_latency_us;
+  }
+
   /// End-to-end network latency this cost implies under `profile`.
   double LatencyUs(const LinkProfile& profile) const {
     return round_trips * profile.rt_latency_us + profile.TransferUs(wire_bytes) +
@@ -127,9 +135,10 @@ class Fabric {
 
   /// Charges the cost of a two-sided operation (an RPC executed by a DPM
   /// processor on the caller's behalf): 1 round trip, request/response
-  /// bytes, RPC overhead, and `dpm_cpu_us` of DPM processor time.
+  /// bytes, RPC overhead, and `dpm_cpu_us` of DPM processor time. `what`
+  /// labels the handler in trace spans (static lifetime).
   void ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
-                 double dpm_cpu_us);
+                 double dpm_cpu_us, const char* what = "rpc");
 
   /// Installs `cost` as the accumulator all fabric calls on this thread
   /// charge into (nullptr to uninstall). Scoped helper below.
@@ -186,18 +195,27 @@ class Fabric {
 };
 
 /// RAII scope installing an OpCost accumulator on the current thread.
+/// Nesting-safe: an inner scope accumulates into its own OpCost, and on
+/// exit folds those totals into the outer accumulator exactly once, so
+/// the outer scope still sees every charge without double counting.
+/// Re-installing the accumulator already active leaves it untouched.
 class ScopedOpCost {
  public:
-  explicit ScopedOpCost(OpCost* cost) : prev_(Fabric::ThreadOpCost()) {
-    cost->Clear();
-    Fabric::SetThreadOpCost(cost);
+  explicit ScopedOpCost(OpCost* cost)
+      : cost_(cost), prev_(Fabric::ThreadOpCost()) {
+    if (cost_ != prev_) cost_->Clear();
+    Fabric::SetThreadOpCost(cost_);
   }
-  ~ScopedOpCost() { Fabric::SetThreadOpCost(prev_); }
+  ~ScopedOpCost() {
+    Fabric::SetThreadOpCost(prev_);
+    if (prev_ != nullptr && prev_ != cost_) prev_->Add(*cost_);
+  }
 
   ScopedOpCost(const ScopedOpCost&) = delete;
   ScopedOpCost& operator=(const ScopedOpCost&) = delete;
 
  private:
+  OpCost* cost_;
   OpCost* prev_;
 };
 

@@ -46,6 +46,12 @@ void EscapeString(const std::string& s, std::string* out) {
       case '\\':
         out->append("\\\\");
         break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
       case '\n':
         out->append("\\n");
         break;
@@ -55,14 +61,22 @@ void EscapeString(const std::string& s, std::string* out) {
       case '\r':
         out->append("\\r");
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape control characters and any non-ASCII byte. The \u00XX
+        // form (byte value as a Latin-1 code point) keeps the output
+        // pure-ASCII and parseable whether or not the input was valid
+        // UTF-8 — metric/key names are byte strings, not text. The cast
+        // matters: a signed char would sign-extend into \uffXX garbage.
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20 || uc >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
           out->append(buf);
         } else {
           out->push_back(c);
         }
+        break;
+      }
     }
   }
   out->push_back('"');

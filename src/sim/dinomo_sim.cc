@@ -25,6 +25,8 @@ constexpr double kMigrateUsPerByte = 1.0 / 180.0;
 
 DinomoSim::DinomoSim(const DinomoSimOptions& options)
     : options_(options),
+      tracer_(options.tracer != nullptr ? options.tracer
+                                        : &obs::Tracer::Global()),
       metrics_(obs::Scope("sim.dinomo", options.metrics)),
       op_latency_us_(metrics_.histogram("op_latency_us")),
       throughput_mops_(metrics_.gauge("throughput_mops")),
@@ -49,6 +51,15 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
   dpm_ = std::make_unique<dpm::DpmNode>(options_.dpm);
   dpm_->merge()->SetMergeCallback(
       [this](const dpm::MergeAck& ack) { OnMergeFinished(ack); });
+  if (tracer_->enabled()) {
+    // Virtual-time tracing: timestamps come from the engine clock, so a
+    // trace replays bit-identically for a given seed. The clock override
+    // is restored in the destructor.
+    trace_pid_ = tracer_->NextProcessId();
+    tracer_->SetClock([this] { return engine_.now_us(); });
+    trace_clock_installed_ = true;
+    dpm_->merge()->SetTracer(tracer_);
+  }
 
   if (!options_.faults.empty()) {
     injector_ = std::make_unique<net::FaultInjector>(options_.faults,
@@ -81,7 +92,14 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
   }
 }
 
-DinomoSim::~DinomoSim() = default;
+DinomoSim::~DinomoSim() {
+  if (trace_clock_installed_) {
+    // End in-flight traces while the virtual clock is still installed,
+    // then restore the wall clock for whoever uses the tracer next.
+    for (Stream& s : streams_) s.trace.reset();
+    tracer_->SetClock(nullptr);
+  }
+}
 
 void DinomoSim::AddKnInternal(bool available) {
   auto kn_sim = std::make_unique<KnSim>();
@@ -198,6 +216,11 @@ void DinomoSim::IssueNext(int stream_idx) {
   Stream& s = streams_[stream_idx];
   if (!s.active || engine_.now_us() >= run_until_) return;
   const workload::WorkloadOp op = s.gen->Next();
+  if (tracer_->ShouldSample()) {
+    s.trace = std::make_unique<obs::TraceContext>(
+        tracer_, op.type == workload::OpType::kRead ? "get" : "put");
+    s.trace->set_pid(trace_pid_);
+  }
   ExecuteOp(stream_idx, op, engine_.now_us(), 0);
 }
 
@@ -205,6 +228,8 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
                           double issue_time, int attempt) {
   if (!streams_[stream_idx].active) return;
   const double now = engine_.now_us();
+  obs::TraceContext* trace = streams_[stream_idx].trace.get();
+  if (trace != nullptr) trace->FlushWait(now);
   if (attempt > 100) {
     // Give up on this op (e.g. prolonged outage); issue the next one so
     // the closed loop cannot wedge.
@@ -214,6 +239,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
   }
   auto table = routing_.Snapshot();
   if (table->global_ring.empty()) {
+    if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
       ExecuteOp(stream_idx, op, issue_time, attempt + 1);
     });
@@ -226,6 +252,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     // Dead node: the request times out, then the client refreshes.
     const double delay =
         k == nullptr ? options_.routing_refresh_us : options_.request_timeout_us;
+    if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(delay, [=, this] {
       ExecuteOp(stream_idx, op, issue_time, attempt + 1);
     });
@@ -234,6 +261,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
   if (k->unavailable_until > now) {
     const double at = std::max(now + options_.routing_refresh_us,
                                k->unavailable_until);
+    if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAt(at, [=, this] {
       ExecuteOp(stream_idx, op, issue_time, attempt + 1);
     });
@@ -242,16 +270,24 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
   const int widx = table->ThreadFor(kh, kn_id);
   WorkerSim* ws = k->workers[widx].get();
 
-  kn::OpResult r;
-  switch (op.type) {
-    case workload::OpType::kRead:
-      r = ws->worker->Get(op.key);
-      break;
-    case workload::OpType::kUpdate:
-    case workload::OpType::kInsert:
-      r = ws->worker->Put(op.key, streams_[stream_idx].gen->Value());
-      break;
+  if (trace != nullptr && ws->free_until > now) {
+    // The worker is modeled busy until free_until: queue wait.
+    trace->RecordWait(obs::SpanKind::kQueueWait, now, ws->free_until - now);
   }
+  kn::OpResult r;
+  {
+    obs::ScopedTraceContext trace_scope(trace);
+    switch (op.type) {
+      case workload::OpType::kRead:
+        r = ws->worker->Get(op.key);
+        break;
+      case workload::OpType::kUpdate:
+      case workload::OpType::kInsert:
+        r = ws->worker->Put(op.key, streams_[stream_idx].gen->Value());
+        break;
+    }
+  }
+  if (trace != nullptr) trace->AddOpCostRoundTrips(r.cost.round_trips);
   PumpMerges();
 
   if (r.status.IsBusy()) {
@@ -260,6 +296,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     // injection Busy can also be a bounced RPC with no merge ever coming,
     // so arm a timeout alongside the parked wakeup; the once-guard keeps
     // whichever fires second from re-executing the op.
+    if (trace != nullptr) trace->MarkWait(obs::SpanKind::kMergeWait, now);
     auto fired = std::make_shared<bool>(false);
     auto retry = [=, this] {
       if (*fired) return;
@@ -273,6 +310,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     return;
   }
   if (r.status.IsWrongOwner() || r.status.IsUnavailable()) {
+    if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
       ExecuteOp(stream_idx, op, issue_time, attempt + 1);
     });
@@ -306,6 +344,10 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
 
 void DinomoSim::CompleteOp(int stream_idx, double issue_time,
                            double finish) {
+  if (streams_[stream_idx].trace != nullptr) {
+    streams_[stream_idx].trace->EndRequest();
+    streams_[stream_idx].trace.reset();
+  }
   const double latency = finish - issue_time;
   windows_.Record(finish, latency);
   epoch_latency_.Add(latency);

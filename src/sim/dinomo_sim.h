@@ -14,6 +14,7 @@
 #include "mnode/policy.h"
 #include "net/fault.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "workload/ycsb.h"
 
@@ -59,6 +60,11 @@ struct DinomoSimOptions {
   /// PM pool, merge service, KN workers, caches) — publishes metrics
   /// into; nullptr = the process-wide registry.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Request tracer (nullptr = the global tracer). When enabled, the sim
+  /// installs its virtual clock into the tracer for the lifetime of the
+  /// run, so span timestamps are virtual-time and seed-deterministic.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The paper's DINOMO / DINOMO-S / DINOMO-N systems under the
@@ -150,6 +156,9 @@ class DinomoSim {
   struct Stream {
     std::unique_ptr<workload::WorkloadGenerator> gen;
     bool active = false;
+    /// Trace of the in-flight op when it was sampled (spans survive
+    /// reschedules: Busy parks and routing retries become wait spans).
+    std::unique_ptr<obs::TraceContext> trace;
   };
 
   void AddKnInternal(bool available);
@@ -173,6 +182,9 @@ class DinomoSim {
   mnode::ClusterMetrics CollectEpochMetrics();
 
   DinomoSimOptions options_;
+  obs::Tracer* tracer_;        // options.tracer or the global one
+  uint32_t trace_pid_ = 0;     // chrome pid lane for this sim instance
+  bool trace_clock_installed_ = false;
   obs::MetricGroup metrics_;  // sim.dinomo.*
   obs::HistogramMetric& op_latency_us_;
   obs::Gauge& throughput_mops_;

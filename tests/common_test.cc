@@ -236,6 +236,9 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Average(), 0.0);
   EXPECT_EQ(h.Percentile(99), 0.0);
+  // Every percentile of an empty histogram is 0, including the edges.
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
 }
 
 TEST(HistogramTest, SingleValue) {
@@ -244,6 +247,26 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_EQ(h.count(), 1u);
   EXPECT_DOUBLE_EQ(h.Average(), 100.0);
   EXPECT_NEAR(h.P50(), 100.0, 20.0);
+  // With one sample, every percentile is that sample exactly: the
+  // in-bucket interpolation is clamped to [min, max] = [v, v].
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentileEdges) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // p=0 is the minimum and p=100 the maximum, exactly — not an
+  // interpolated bucket boundary. Out-of-range p clamps to the edges.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(120), 1000.0);
+  EXPECT_LE(h.Percentile(0), h.Percentile(0.1));
+  EXPECT_LE(h.Percentile(99.9), h.Percentile(100));
 }
 
 TEST(HistogramTest, PercentilesOrdered) {

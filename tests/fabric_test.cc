@@ -76,8 +76,29 @@ TEST_F(FabricTest, ScopedOpCostNests) {
     fabric_.Read(0, 64, buf, 8);
   }
   fabric_.Read(0, 64, buf, 8);
+  // The inner scope keeps its own totals and folds them into the outer
+  // accumulator exactly once on exit, so the outer scope's cost covers
+  // everything charged while it was open.
   EXPECT_EQ(inner.round_trips, 1u);
-  EXPECT_EQ(outer.round_trips, 2u);
+  EXPECT_EQ(inner.wire_bytes, 8u);
+  EXPECT_EQ(outer.round_trips, 3u);
+  EXPECT_EQ(outer.wire_bytes, 24u);
+}
+
+TEST_F(FabricTest, ScopedOpCostSamePointerReentry) {
+  OpCost cost;
+  ScopedOpCost outer_scope(&cost);
+  char buf[8] = {};
+  fabric_.Read(0, 64, buf, 8);
+  {
+    // Re-installing the active accumulator must not wipe what it already
+    // holds, nor fold it into itself on exit (double counting).
+    ScopedOpCost inner_scope(&cost);
+    fabric_.Read(0, 64, buf, 8);
+  }
+  fabric_.Read(0, 64, buf, 8);
+  EXPECT_EQ(cost.round_trips, 3u);
+  EXPECT_EQ(cost.wire_bytes, 24u);
 }
 
 TEST_F(FabricTest, CasSucceedsOnExpectedValue) {
