@@ -7,9 +7,18 @@
 // logs merge and ownership repartitions (~109 ms), then recovers; Clover
 // also recovers quickly (only membership updates, ~68 ms); DINOMO-N stalls
 // for many seconds while it physically reshuffles data.
+//
+// The DINOMO+dpmkill pass extends the experiment to the replicated DPM
+// pool (--dpm_nodes, --replication_factor): one DPM node fail-stops
+// mid-run through the fault injector, its mirrors are promoted, and
+// re-replication restores the mirror count. After the run every preloaded
+// record — all acknowledged writes — must still resolve from its current
+// primary (lost_acked_writes row field, gated to zero by
+// scripts/check_bench_json.py along with the measured recovery window).
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_json.h"
@@ -23,6 +32,7 @@ constexpr double kDuration = 2.5 * kSecond;
 constexpr double kKillAt = 1.0 * kSecond;
 constexpr int kStreams = 32;
 constexpr int kKns = 8;
+constexpr int kDpmVictim = 1;  // pool index fail-stopped in the dpmkill pass
 
 workload::WorkloadSpec Spec() {
   auto spec = workload::WorkloadSpec::ReadMostlyUpdate(bench::kRecords, 0.99);
@@ -74,10 +84,38 @@ void PrintTimeline(const sim::WindowStats& w, const char* name,
   *after = n > 0 ? a / n : 0;
 }
 
+// True iff the key still resolves to a decodable committed entry on
+// `node` (merges drained first by the caller).
+bool KeyResolves(dpm::DpmNode* node, uint64_t key_hash) {
+  const pm::PmPtr raw = node->index()->Lookup(key_hash);
+  if (raw == pm::kNullPmPtr) return false;
+  dpm::ValuePtr vp(raw);
+  std::string buf(vp.entry_size(), '\0');
+  node->fabric()->Read(0, vp.offset(), buf.data(), buf.size());
+  dpm::LogRecord rec;
+  size_t consumed = 0;
+  return dpm::DecodeEntry(buf.data(), buf.size(), &rec, &consumed).ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("fig8_fault_tolerance", argc, argv);
+  // Pool-shape flags are consumed here; everything else flows through to
+  // the reporter (--quick, --json_out, --trace_out).
+  int dpm_nodes = 4;
+  int replication_factor = 2;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::sscanf(argv[i], "--dpm_nodes=%d", &dpm_nodes) == 1) continue;
+    if (std::sscanf(argv[i], "--replication_factor=%d",
+                    &replication_factor) == 1) {
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  bench::BenchReporter reporter("fig8_fault_tolerance",
+                                static_cast<int>(passthrough.size()),
+                                passthrough.data());
   bench::PrintHeader(
       "Figure 8: fault tolerance — one of 8 KNs killed at t=1.0s "
       "(Zipf 0.99, 95r/5u)");
@@ -87,15 +125,21 @@ int main(int argc, char** argv) {
       .Config("client_threads", kStreams)
       .Config("kill_at_us", kKillAt)
       .Config("duration_us", kDuration)
+      .Config("dpm_nodes", dpm_nodes)
+      .Config("replication_factor", replication_factor)
       .Config("seed", sim::DinomoSimOptions().seed);
   // DINOMO-N's reorganization stall dominates the wall-clock; skip it in
   // the CI smoke run.
   const bool run_dinomo_n = !reporter.quick();
 
-  double before[4];
-  double dip[4];
-  double after[4];
-  const char* names[4] = {"DINOMO", "DINOMO-N", "Clover", "DINOMO+faults"};
+  double before[5];
+  double dip[5];
+  double after[5];
+  const char* names[5] = {"DINOMO", "DINOMO-N", "Clover", "DINOMO+faults",
+                          "DINOMO+dpmkill"};
+  uint64_t lost_acked = 0;
+  uint64_t unmirrored = 0;
+  double recovery_window_us = 0.0;
 
   {
     auto opt = bench::BaseDinomo(SystemVariant::kDinomo, kKns, Spec());
@@ -153,20 +197,90 @@ int main(int argc, char** argv) {
     sim.Run(kDuration, 0);
     PrintTimeline(sim.windows(), names[2], &before[2], &dip[2], &after[2]);
   }
+  {
+    // The DPM-kill pass: same workload against a replicated DPM pool,
+    // fail-stopping one DPM node through the fault injector. Mirrors are
+    // promoted and re-replication restores the mirror count while the
+    // closed loop keeps running.
+    auto opt = bench::BaseDinomo(SystemVariant::kDinomo, kKns, Spec());
+    opt.client_threads = kStreams;
+    opt.stats_window_us = 100e3;
+    opt.request_timeout_us = 10e3;
+    opt.dpm_nodes = dpm_nodes;
+    opt.replication_factor = replication_factor;
+    opt.faults.seed = opt.seed;
+    opt.faults.DpmFailStop(kDpmVictim % dpm_nodes, kKillAt);
+    sim::DinomoSim sim(opt);
+    sim.Preload();
+    sim.Run(kDuration, 0);
+    PrintTimeline(sim.windows(), names[4], &before[4], &dip[4], &after[4]);
+
+    // No acknowledged write lost: flush the KN-side log buffers (acked
+    // writes may still sit there, served from the buffer on reads),
+    // drain the surviving nodes' merges, then every preloaded record
+    // (all were acked, later updates only overwrite) must resolve to a
+    // decodable entry on its current primary — and, with a mirror
+    // configured, on the mirror too.
+    dpm::DpmPool* pool = sim.pool();
+    for (int n = 0; n < pool->num_nodes(); ++n) {
+      if (!pool->alive(n)) continue;
+      pool->node(n)->fabric()->SetFaultInjector(nullptr);
+      pool->node(n)->SetFaultInjector(nullptr);
+    }
+    sim.DrainLogs();
+    for (int n = 0; n < pool->num_nodes(); ++n) {
+      if (!pool->alive(n)) continue;
+      if (!pool->node(n)->merge()->DrainAll().ok()) {
+        std::fprintf(stderr, "drain failed on dpm node %d\n", n);
+        return 1;
+      }
+    }
+    for (uint64_t rec = 0; rec < bench::kRecords; ++rec) {
+      const uint64_t kh = kn::KeyHash(workload::KeyForRecord(rec));
+      const auto pl = pool->PlacementOf(kh);
+      if (!pool->alive(pl.primary) ||
+          !KeyResolves(pool->node(pl.primary), kh)) {
+        lost_acked++;
+        std::fprintf(stderr, "LOST acked key: rec=%llu primary=%d\n",
+                     static_cast<unsigned long long>(rec), pl.primary);
+        continue;
+      }
+      if (pl.mirror >= 0 && !KeyResolves(pool->node(pl.mirror), kh)) {
+        unmirrored++;
+      }
+    }
+    recovery_window_us = obs::MetricsRegistry::Global().GaugeValue(
+        "dpm.pool.recovery_window_us");
+    std::printf(
+        "\nDPM kill: node %d of %d (rf=%d) at t=%.1fs; recovery window "
+        "%.0f us; %llu/%llu acked keys lost; %llu missing a mirror\n",
+        kDpmVictim % dpm_nodes, dpm_nodes, replication_factor,
+        kKillAt / kSecond, recovery_window_us,
+        static_cast<unsigned long long>(lost_acked),
+        static_cast<unsigned long long>(bench::kRecords),
+        static_cast<unsigned long long>(unmirrored));
+  }
 
   std::printf("\nRecovery summary (Kops/s):\n");
-  std::printf("%-10s %12s %12s %12s %10s\n", "system", "before", "dip",
+  std::printf("%-14s %12s %12s %12s %10s\n", "system", "before", "dip",
               "after", "dip/before");
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 5; ++i) {
     if (i == 1 && !run_dinomo_n) continue;
-    std::printf("%-10s %12.1f %12.1f %12.1f %9.0f%%\n", names[i],
+    std::printf("%-14s %12.1f %12.1f %12.1f %9.0f%%\n", names[i],
                 before[i] * 1e3, dip[i] * 1e3, after[i] * 1e3,
                 before[i] > 0 ? 100.0 * dip[i] / before[i] : 0.0);
-    reporter.Add(obs::Json::Object()
-                     .Set("system", names[i])
-                     .Set("before_mops", before[i])
-                     .Set("dip_mops", dip[i])
-                     .Set("after_mops", after[i]));
+    obs::Json row = obs::Json::Object()
+                        .Set("system", names[i])
+                        .Set("before_mops", before[i])
+                        .Set("dip_mops", dip[i])
+                        .Set("after_mops", after[i]);
+    if (i == 4) {
+      row.Set("lost_acked_writes", lost_acked)
+          .Set("verified_keys", bench::kRecords)
+          .Set("unmirrored_keys", unmirrored)
+          .Set("recovery_window_us", recovery_window_us);
+    }
+    reporter.Add(std::move(row));
   }
   std::printf(
       "(paper: DINOMO dips ~45%% briefly; Clover dips ~55%% briefly; "

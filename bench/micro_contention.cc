@@ -19,6 +19,7 @@
 
 #include "bench_json.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 #include "obs/metrics.h"
 
@@ -45,6 +46,7 @@ PointResult RunPoint(int threads, uint64_t ops_per_thread) {
   // accumulate (Busy is still handled below, it just should not happen).
   dopt.unmerged_segment_threshold = 1 << 16;
   dpm::DpmNode dpm(dopt);
+  dpm::DpmPool dpm_pool(&dpm);
 
   std::vector<std::unique_ptr<kn::KnWorker>> workers;
   for (int i = 0; i < threads; ++i) {
@@ -54,12 +56,12 @@ PointResult RunPoint(int threads, uint64_t ops_per_thread) {
     kno.num_workers = 1;
     kno.cache_bytes = 2 * kMiB;
     kno.batch_max_ops = 8;
-    workers.push_back(std::make_unique<kn::KnWorker>(kno, 0, &dpm));
+    workers.push_back(std::make_unique<kn::KnWorker>(kno, 0, &dpm_pool));
   }
   dpm.merge()->SetMergeCallback([&](const dpm::MergeAck& ack) {
     const uint64_t kn_id = ack.owner >> 8;
     if (kn_id >= 1 && kn_id <= static_cast<uint64_t>(threads)) {
-      workers[kn_id - 1]->OnOwnerBatchMerged(ack.base);
+      workers[kn_id - 1]->OnOwnerBatchMerged(ack.node, ack.base);
     }
   });
   dpm.merge()->StartThreads(2);

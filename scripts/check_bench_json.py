@@ -30,6 +30,11 @@ import sys
 REL_TOL = 0.15
 ABS_TOL = 0.05
 
+# Virtual-time ceiling for the DPM fail-stop recovery window (detection +
+# quiesce + re-replication) gated by check_replication. Measured ~150 ms
+# at --quick with 4 nodes / rf=2; the budget leaves ~3x headroom.
+REPLICATION_RECOVERY_BUDGET_US = 500e3
+
 # (bench, quick) -> list of (match, field, expected)
 # `match` is a dict of result-row fields that identify the row.
 EXPECTATIONS = {
@@ -198,6 +203,61 @@ def check_contention(path, doc):
     return ok
 
 
+def check_replication(path, doc):
+    """Gates for the replicated-DPM kill pass of fig8_fault_tolerance
+    (the row carrying lost_acked_writes): a DPM fail-stop must actually
+    have been enacted and survived — zero acknowledged writes lost, at
+    least one mirror promotion, and a measured recovery window that is
+    positive and below the virtual-time budget."""
+    rows = [r for r in doc.get("results", [])
+            if isinstance(r, dict) and "lost_acked_writes" in r]
+    if not rows:
+        return True
+    ok = True
+    counters = doc.get("metrics", {}).get("counters", {})
+    if not isinstance(counters, dict):
+        return True  # schema check already failed this report
+    for row in rows:
+        lost = row.get("lost_acked_writes")
+        if lost != 0:
+            ok = fail(f"{path}: lost_acked_writes = {lost!r} — an "
+                      "acknowledged write did not survive the DPM "
+                      "fail-stop; replicate-before-ack or the repair "
+                      "path is broken")
+        unmirrored = row.get("unmirrored_keys")
+        if unmirrored != 0:
+            ok = fail(f"{path}: unmirrored_keys = {unmirrored!r} — "
+                      "re-replication left keys without a current mirror "
+                      "copy; a second fail-stop would lose them")
+        window = row.get("recovery_window_us")
+        if not isinstance(window, (int, float)) or window <= 0:
+            ok = fail(f"{path}: recovery_window_us = {window!r} — the "
+                      "recovery window gauge was never set; promotion "
+                      "did not run")
+        elif window > REPLICATION_RECOVERY_BUDGET_US:
+            ok = fail(
+                f"{path}: recovery window {window:.0f} us exceeds the "
+                f"{REPLICATION_RECOVERY_BUDGET_US:.0f} us budget — "
+                "detection + drain + re-replication regressed")
+    failstops = counters.get("fault.dpm_failstops", 0)
+    if not isinstance(failstops, (int, float)) or failstops < 1:
+        ok = fail(f"{path}: fault.dpm_failstops = {failstops!r} — the "
+                  "DPM kill was scheduled but never enacted through the "
+                  "injector")
+    promotions = counters.get("dpm.pool.promotions", 0)
+    if not isinstance(promotions, (int, float)) or promotions < 1:
+        ok = fail(f"{path}: dpm.pool.promotions = {promotions!r} — no "
+                  "mirror was promoted after the kill")
+    if ok:
+        row = rows[0]
+        print(f"ok: {path}: replication gates clean "
+              f"(verified_keys={row.get('verified_keys')}, 0 lost, "
+              f"0 unmirrored, recovery window "
+              f"{row.get('recovery_window_us'):.0f} us, "
+              f"{int(promotions)} promotion(s))")
+    return ok
+
+
 def check_trace_metrics(path, doc):
     """Gates on the trace.* family published by --trace_out runs (see
     src/obs/trace.*): the dual round-trip counters must agree and the
@@ -324,8 +384,8 @@ def main(argv):
             ok = fail(f"{path}: {e}")
             continue
         for checker in (check_schema, check_metrics, check_pm_checker,
-                        check_faults, check_contention, check_trace_metrics,
-                        check_expectations):
+                        check_faults, check_contention, check_replication,
+                        check_trace_metrics, check_expectations):
             if not checker(path, doc):
                 ok = False
         if ok:

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI ctest wrapper: always shows failing-test output, and separates test
+# TIMEOUTS from test FAILURES in both the log and the exit code so a hung
+# test is never misread as an assertion failure (and vice versa).
+#
+#   usage: run_ctest.sh [ctest args...]
+#   exit:  0 all passed, 124 at least one test timed out, 1 other failures
+#
+# All arguments are passed through to ctest (e.g. --test-dir build -j 4
+# -R 'Chaos'). --output-on-failure is always appended.
+set -u -o pipefail
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+ctest "$@" --output-on-failure 2>&1 | tee "$log"
+status=$?
+if [ "$status" -eq 0 ]; then
+  exit 0
+fi
+
+# ctest marks timed-out tests "***Timeout" in its status column.
+if grep -q '\*\*\*Timeout' "$log"; then
+  echo ""
+  echo "::error::ctest: test TIMEOUT(s) — hung or pathologically slow:"
+  grep '\*\*\*Timeout' "$log"
+  exit 124
+fi
+
+echo ""
+echo "::error::ctest: test failures (no timeouts):"
+grep -E '\*\*\*Failed|\*\*\*Exception' "$log" || true
+exit 1

@@ -1,5 +1,7 @@
 #include "cluster/hash_ring.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -44,6 +46,28 @@ uint64_t HashRing::OwnerOf(uint64_t key_hash) const {
   auto it = points_.lower_bound(key_hash);
   if (it == points_.end()) it = points_.begin();  // wrap around
   return it->second;
+}
+
+std::vector<uint64_t> HashRing::OwnersOf(uint64_t key_hash, size_t n) const {
+  std::vector<uint64_t> out;
+  if (points_.empty() || n == 0) return out;
+  const size_t want = std::min(n, nodes_.size());
+  auto it = points_.lower_bound(key_hash);
+  if (it == points_.end()) it = points_.begin();
+  // Bounded walk: after one full loop every node has been seen.
+  for (size_t steps = 0; steps < points_.size() && out.size() < want;
+       ++steps) {
+    const uint64_t node = it->second;
+    bool seen = false;
+    for (uint64_t id : out) seen = seen || (id == node);
+    if (!seen) out.push_back(node);
+    ++it;
+    if (it == points_.end()) it = points_.begin();
+  }
+  // The successor relation is what makes promotion consistent: when the
+  // primary leaves the ring, OwnerOf of every affected range becomes the
+  // range's old second owner — its mirror.
+  return out;
 }
 
 std::vector<uint64_t> HashRing::Nodes() const {

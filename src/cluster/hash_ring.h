@@ -30,6 +30,12 @@ class HashRing {
   /// The node owning this key hash. Ring must be non-empty.
   uint64_t OwnerOf(uint64_t key_hash) const;
 
+  /// The first `n` *distinct* nodes met walking clockwise from key_hash:
+  /// element 0 is OwnerOf (the primary), element 1 the next distinct node
+  /// (the replica placement AsymNVM-style mirroring uses), and so on.
+  /// Returns fewer than n entries if the ring has fewer than n nodes.
+  std::vector<uint64_t> OwnersOf(uint64_t key_hash, size_t n) const;
+
   size_t NumNodes() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
   std::vector<uint64_t> Nodes() const;

@@ -178,7 +178,11 @@ Cluster::Cluster(const ClusterOptions& options)
   if (opt.variant == SystemVariant::kDinomoS) {
     opt.kn.policy = kn::CachePolicyKind::kShortcutOnly;
   }
-  dpm_ = std::make_unique<dpm::DpmNode>(opt.dpm);
+  dpm::DpmPoolOptions pool_opts;
+  pool_opts.nodes = opt.dpm_nodes;
+  pool_opts.replication_factor = opt.replication_factor;
+  pool_opts.dpm = opt.dpm;
+  pool_ = std::make_unique<dpm::DpmPool>(pool_opts);
 }
 
 Cluster::~Cluster() { Stop(); }
@@ -204,22 +208,27 @@ Status Cluster::Start() {
     // Real-thread runtime: injected delays cost wall-clock time, so the
     // paths under test experience them, not just the latency model.
     injector_->set_sleep_on_delay(true);
-    dpm_->fabric()->SetFaultInjector(injector_.get());
-    dpm_->SetFaultInjector(injector_.get());
+    for (int i = 0; i < pool_->num_nodes(); ++i) {
+      pool_->node(i)->fabric()->SetFaultInjector(injector_.get());
+      pool_->node(i)->SetFaultInjector(injector_.get());
+    }
     fault_running_ = true;
     fault_thread_ = std::thread([this] { FaultEnactorLoop(); });
   }
-  dpm_->merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
-    const uint64_t kn_id = ack.owner >> 8;
-    kn::KvsNode* node = kn(kn_id);
-    if (node != nullptr) node->OnBatchMerged(ack);
-  });
-  if (tracer()->enabled()) dpm_->merge()->SetTracer(tracer());
-  dpm_->merge()->StartThreads(options_.dpm_merge_threads);
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    dpm::DpmNode* node = pool_->node(i);
+    node->merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
+      const uint64_t kn_id = ack.owner >> 8;
+      kn::KvsNode* target = kn(kn_id);
+      if (target != nullptr) target->OnBatchMerged(ack);
+    });
+    if (tracer()->enabled()) node->merge()->SetTracer(tracer());
+    node->merge()->StartThreads(options_.dpm_merge_threads);
+  }
 
   for (int i = 0; i < options_.initial_kns; ++i) {
     const uint64_t id = next_kn_id_++;
-    auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), dpm_.get());
+    auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), pool_.get());
     node->Start();
     {
       std::lock_guard<std::mutex> lock(kns_mu_);
@@ -248,10 +257,13 @@ void Cluster::Stop() {
     std::lock_guard<std::mutex> lock(kns_mu_);
     for (auto& [id, node] : kns_) node->Stop();
   }
-  dpm_->merge()->StopThreads();
-  Status st = dpm_->merge()->DrainAll();
-  if (!st.ok()) {
-    DINOMO_LOG_STREAM(Warn) << "final drain failed: " << st.ToString();
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    pool_->node(i)->merge()->StopThreads();
+    if (!pool_->alive(i)) continue;  // a killed node's queues were drained
+    Status st = pool_->node(i)->merge()->DrainAll();
+    if (!st.ok()) {
+      DINOMO_LOG_STREAM(Warn) << "final drain failed: " << st.ToString();
+    }
   }
   if (injector_ != nullptr) {
     // Every KN is stopped; a non-zero in-flight count means a completion
@@ -262,8 +274,10 @@ void Cluster::Stop() {
       for (auto& [id, node] : kns_) leaked += node->in_flight();
     }
     injector_->NoteHungRequests(static_cast<uint64_t>(leaked));
-    dpm_->fabric()->SetFaultInjector(nullptr);
-    dpm_->SetFaultInjector(nullptr);
+    for (int i = 0; i < pool_->num_nodes(); ++i) {
+      pool_->node(i)->fabric()->SetFaultInjector(nullptr);
+      pool_->node(i)->SetFaultInjector(nullptr);
+    }
   }
 }
 
@@ -328,7 +342,8 @@ void Cluster::ResumeKns(const std::vector<uint64_t>& kn_ids) {
 
 Result<uint64_t> Cluster::MigrateData(uint64_t from_kn,
                                       const RoutingTable& new_table) {
-  auto stats = MigratePartitionData(dpm_.get(), from_kn, new_table);
+  // DINOMO-N only, and that variant clamps the pool to one node.
+  auto stats = MigratePartitionData(pool_->node(0), from_kn, new_table);
   if (!stats.ok()) return stats.status();
   return stats.value().keys_moved;
 }
@@ -336,7 +351,7 @@ Result<uint64_t> Cluster::MigrateData(uint64_t from_kn,
 Result<uint64_t> Cluster::AddKn() {
   std::lock_guard<std::mutex> admin(admin_mu_);
   const uint64_t id = next_kn_id_++;
-  auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), dpm_.get());
+  auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), pool_.get());
   node->SetAvailable(false);
   node->Start();
   {
@@ -408,8 +423,11 @@ Status Cluster::KillKn(uint64_t kn_id) {
   // then repartition ownership among the alive KNs.
   for (int w = 0; w < options_.kn.num_workers; ++w) {
     const uint64_t owner = (kn_id << 8) | w;
-    DINOMO_RETURN_IF_ERROR(dpm_->DrainOwner(owner));
-    dpm_->ReleaseOwnerSegments(owner);
+    for (int n = 0; n < pool_->num_nodes(); ++n) {
+      if (!pool_->alive(n)) continue;
+      DINOMO_RETURN_IF_ERROR(pool_->node(n)->DrainOwner(owner));
+      pool_->node(n)->ReleaseOwnerSegments(owner);
+    }
   }
   routing_.RemoveKn(kn_id);
 
@@ -424,6 +442,68 @@ Status Cluster::KillKn(uint64_t kn_id) {
     std::lock_guard<std::mutex> lock(kns_mu_);
     kns_.erase(kn_id);
   }
+  return Status::Ok();
+}
+
+Status Cluster::KillDpm(int node) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Fail-stop + promotion: the pool marks the node dead, removes it from
+  // the ring (each range falls to its mirror), drains the survivors'
+  // merge queues and bumps the placement generation. From here every RPC
+  // stamped with the old generation bounces, and each KN worker runs its
+  // failover recovery at its next op.
+  DINOMO_RETURN_IF_ERROR(pool_->KillNode(node));
+
+  // Quiesce KNs: flush + drain every worker's log on the surviving nodes.
+  // DrainLog re-resolves placement first (the generation moved), so
+  // buffered entries re-bin to the promoted owners before the drain.
+  const std::vector<uint64_t> participants = ActiveKns();
+  DINOMO_RETURN_IF_ERROR(QuiesceKns(participants));
+
+  // Shared (selectively replicated) keys are collapsed conservatively:
+  // their indirect slots lived in a single node's pool and their shared
+  // writes were primary-only, so a membership change invalidates the
+  // scheme wholesale. The M-node re-replicates hot keys afterwards.
+  auto table = routing_.Snapshot();
+  for (const auto& [key_hash, owners] : table->replicated) {
+    const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
+    if (pl.primary >= 0 && pool_->alive(pl.primary)) {
+      Status st = RetryTransientRpc([&] {
+        return pool_->node(pl.primary)->RemoveIndirect(0, key_hash);
+      });
+      if (!st.ok() && !st.IsNotFound()) {
+        DINOMO_LOG_STREAM(Warn)
+            << "collapse of replicated key failed: " << st.ToString();
+      }
+    }
+    routing_.ClearReplication(key_hash);
+  }
+
+  // Restore the mirror count for every surviving primary's ranges while
+  // the cluster is quiescent. The repair is idempotent (keys whose mirror
+  // already holds the current value are skipped), so transient injected
+  // faults inside its RPCs are waited out like any admin-path RPC. If it
+  // still fails the KNs must come back regardless — a wedged quiesce
+  // would turn one dead DPM node into a whole-cluster outage.
+  auto repair = RetryTransientRpc([&] { return pool_->ReReplicate(); });
+  if (!repair.ok()) {
+    ResumeKns(participants);
+    return repair.status();
+  }
+
+  PushRoutingToAll();
+  ResumeKns(participants);
+  const double window_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  pool_->NoteRecoveryWindow(window_us);
+  DINOMO_LOG_STREAM(Info) << "dpm node " << node << " killed; mirror "
+                          << "promotion + re-replication ("
+                          << repair.value().entries_copied
+                          << " entries) took " << window_us << " us";
   return Status::Ok();
 }
 
@@ -446,8 +526,11 @@ Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
   // The primary is the only node that may hold the value in cache: pause
   // it, land its writes, install the indirect slot, then publish.
   DINOMO_RETURN_IF_ERROR(QuiesceKns({primary}));
+  // The slot lives on the key's primary DPM node (shared writes and
+  // indirect reads resolve against that node's pool).
+  dpm::DpmNode* home = pool_->node(pool_->PlacementOf(key_hash).primary);
   auto slot = RetryTransientRpc([&] {
-    return dpm_->InstallIndirect(
+    return home->InstallIndirect(
         static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
   });
   if (!slot.ok()) {
@@ -482,8 +565,9 @@ Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
       });
     }
   }
+  dpm::DpmNode* home = pool_->node(pool_->PlacementOf(key_hash).primary);
   Status st =
-      RetryTransientRpc([&] { return dpm_->RemoveIndirect(0, key_hash); });
+      RetryTransientRpc([&] { return home->RemoveIndirect(0, key_hash); });
   if (!st.ok() && !st.IsNotFound()) {
     ResumeKns(owners);
     return st;
@@ -586,6 +670,17 @@ void Cluster::FaultEnactorLoop() {
             << "fail-stop enactment failed: " << st.ToString();
       }
       continue;  // more kills may already be due
+    }
+    const int dpm_victim = injector_->ClaimDpmFailStop();
+    if (dpm_victim >= 0) {
+      Status st = KillDpm(dpm_victim);
+      if (st.ok()) {
+        injector_->NoteDpmFailStopEnacted();
+      } else {
+        DINOMO_LOG_STREAM(Warn)
+            << "dpm fail-stop enactment failed: " << st.ToString();
+      }
+      continue;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(500));
   }

@@ -13,6 +13,7 @@
 #include "common/histogram.h"
 #include "common/status.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kvs_node.h"
 #include "mnode/policy.h"
 #include "net/fault.h"
@@ -32,6 +33,12 @@ enum class SystemVariant {
 struct ClusterOptions {
   SystemVariant variant = SystemVariant::kDinomo;
   dpm::DpmOptions dpm;
+  /// DPM pool size: DpmNode instances key ranges partition across (the
+  /// paper's multi-DPM scale-out). DINOMO-N forces 1.
+  int dpm_nodes = 1;
+  /// Copies of each log batch (2 = primary + mirror with
+  /// replicate-before-ack; see DESIGN.md "Replication model").
+  int replication_factor = 1;
   /// Template for every KN; kn_id/fabric_node/policy fields are filled in
   /// per node (policy is forced by `variant`).
   kn::KnOptions kn;
@@ -124,6 +131,12 @@ class Cluster {
   Status RemoveKn(uint64_t kn_id);
   /// Fail-stop kills a KN and runs the failure-handling path of §3.5.
   Status KillKn(uint64_t kn_id);
+  /// Fail-stop kills a DPM node: the pool promotes each of its ranges'
+  /// mirrors (ring removal + generation bump), KNs quiesce and re-resolve
+  /// segment homes, a re-replication pass restores the mirror count, and
+  /// the measured recovery window publishes as dpm.pool.recovery_window_us.
+  /// Requires dpm_nodes >= 2 (the last node cannot be killed).
+  Status KillDpm(int node);
   /// Replicates a hot key's ownership across `replication` KNs.
   Status ReplicateKey(const Slice& key, int replication) {
     return ReplicateKeyHash(kn::KeyHash(key), replication);
@@ -139,7 +152,10 @@ class Cluster {
 
   // ----- Introspection -----
 
-  dpm::DpmNode* dpm() { return dpm_.get(); }
+  /// DPM node 0 — the whole pool in single-node configurations; tests and
+  /// harnesses that predate the pool keep working through this.
+  dpm::DpmNode* dpm() { return pool_->node(0); }
+  dpm::DpmPool* dpm_pool() { return pool_.get(); }
   cluster::RoutingService* routing() { return &routing_; }
   const ClusterOptions& options() const { return options_; }
   /// The tracer requests sample against (never null).
@@ -183,7 +199,7 @@ class Cluster {
   void FaultEnactorLoop();
 
   ClusterOptions options_;
-  std::unique_ptr<dpm::DpmNode> dpm_;
+  std::unique_ptr<dpm::DpmPool> pool_;
   std::unique_ptr<net::FaultInjector> injector_;
   cluster::RoutingService routing_;
   mnode::PolicyEngine policy_;

@@ -39,6 +39,10 @@ struct DpmOptions {
   net::LinkProfile link_profile;
   /// DPM processor time to serve a segment-allocation RPC, us.
   double alloc_rpc_cpu_us = 3.0;
+  /// Identity of this node inside a replicated DpmPool (0 for the single-
+  /// node setups). Stamped into every MergeAck so KNs can tell a primary's
+  /// ack from its mirror's.
+  int node_id = 0;
   /// Registry the node (and the Fabric, PmPool and MergeService it
   /// creates) publishes metrics into; nullptr = the process-wide registry.
   obs::MetricsRegistry* metrics = nullptr;

@@ -155,7 +155,8 @@ void MergeService::Finish(const MergeTask& task) {
   work_cv_.notify_one();
   drain_cv_.notify_all();
   if (cb) {
-    cb(MergeAck{task.owner, task.segment, task.data, task.bytes});
+    cb(MergeAck{task.owner, task.segment, task.data, task.bytes,
+                dpm_->options().node_id});
   }
 }
 

@@ -60,6 +60,11 @@ struct MergeAck {
   pm::PmPtr segment = 0;  // segment base
   pm::PmPtr base = 0;     // start of the merged batch (MergeTask::data)
   size_t bytes = 0;
+  /// DpmOptions::node_id of the node that merged the batch. With a
+  /// replicated DPM pool the same batch merges on the primary *and* its
+  /// mirror; PmPtr offsets are per-pool, so only (node, base) identifies a
+  /// cached batch. KNs evict on the primary's ack and ignore the mirror's.
+  int node = 0;
 };
 
 /// Asynchronous merge service run by the DPM processors (§3.2/§3.6):

@@ -46,6 +46,10 @@ constexpr int kReadRetries = 4;
 // budget that runs dry surfaces the transient error to the client, whose
 // deadline/backoff loop owns the long game.
 constexpr int kTransientRetries = 4;
+// Re-append attempts per buffered entry during failover recovery (each
+// Busy retry first drains the target owner queue, so this only runs dry
+// if the surviving DPM keeps rejecting RPCs).
+constexpr int kFailoverReplayRetries = 64;
 
 Slice HashKeySlice(const uint64_t& key_hash) {
   return Slice(reinterpret_cast<const char*>(&key_hash), sizeof(key_hash));
@@ -54,10 +58,10 @@ Slice HashKeySlice(const uint64_t& key_hash) {
 }  // namespace
 
 KnWorker::KnWorker(const KnOptions& options, int worker_idx,
-                   dpm::DpmNode* dpm)
+                   dpm::DpmPool* pool)
     : options_(options),
       worker_idx_(worker_idx),
-      dpm_(dpm),
+      pool_(pool),
       metrics_(obs::Scope(WorkerPrefix("kn", options, worker_idx),
                           options.metrics)),
       ops_(metrics_.counter("ops")),
@@ -65,34 +69,142 @@ KnWorker::KnWorker(const KnOptions& options, int worker_idx,
   const size_t shard_bytes =
       options_.cache_bytes / std::max(1, options_.num_workers);
   cache_ = MakeCache(options_, worker_idx, shard_bytes);
-  batch_bloom_ = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+  index_handles_.resize(static_cast<size_t>(pool_->num_nodes()));
+  known_index_epochs_.resize(static_cast<size_t>(pool_->num_nodes()), 0);
+  placement_gen_ = pool_->generation();
 }
 
 KnWorker::~KnWorker() = default;
 
-index::Clht* KnWorker::TargetIndex() const {
-  return options_.dinomo_n ? dpm_->IndexFor(options_.kn_id) : dpm_->index();
+index::Clht* KnWorker::TargetIndex(int n) const {
+  // DINOMO-N runs single-node (the pool clamps it), so the partition
+  // index always lives on node 0.
+  return options_.dinomo_n ? node(n)->IndexFor(options_.kn_id)
+                           : node(n)->index();
 }
 
-void KnWorker::RefreshIndexHandle() {
+KnWorker::WriteState* KnWorker::StateFor(const dpm::DpmPlacement& pl) {
+  WriteState& st = write_states_[PlacementKey{pl.primary, pl.mirror}];
+  if (st.bloom == nullptr) {
+    st.bloom = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+  }
+  return &st;
+}
+
+KnWorker::WriteState* KnWorker::ExistingStateFor(
+    const dpm::DpmPlacement& pl) {
+  auto it = write_states_.find(PlacementKey{pl.primary, pl.mirror});
+  return it != write_states_.end() ? &it->second : nullptr;
+}
+
+void KnWorker::RefreshIndexHandle(int n) {
   (void)net::Fabric::TakePendingFault();
+  index::Clht::RemoteHandle& handle = index_handles_[static_cast<size_t>(n)];
+  uint64_t& known = known_index_epochs_[static_cast<size_t>(n)];
+  if (!pool_->alive(n)) {
+    handle = index::Clht::RemoteHandle{};
+    return;
+  }
   for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
-    index_handle_ = TargetIndex()->FetchRemoteHandle(dpm_->fabric(),
-                                                     options_.fabric_node);
+    handle = TargetIndex(n)->FetchRemoteHandle(node(n)->fabric(),
+                                               options_.fabric_node);
     if (!net::Fabric::HasPendingFault()) break;
     // Dropped read: the fetched handle is zeroes, which reads as invalid
     // (null bucket array) — never traverse with it.
     (void)net::Fabric::TakePendingFault();
-    index_handle_ = index::Clht::RemoteHandle{};
+    handle = index::Clht::RemoteHandle{};
   }
-  known_index_epoch_ = std::max(known_index_epoch_, index_handle_.epoch);
+  known = std::max(known, handle.epoch);
+}
+
+void KnWorker::RefreshIndexHandle() {
+  for (int n = 0; n < pool_->num_nodes(); ++n) RefreshIndexHandle(n);
+}
+
+void KnWorker::CheckPlacement() {
+  if (pool_->generation() != placement_gen_) FailoverRecover();
+}
+
+void KnWorker::FailoverRecover() {
+  const uint64_t gen = pool_->generation();
+  // Cached values and shortcuts may point into a dead node's pool, or at
+  // entries whose segment home moved; re-resolve everything.
+  cache_->Clear();
+  {
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    // A dead node's cached batches were replicated before every ack and
+    // merged on the promoted mirror when the pool drained it; the copies
+    // are no longer authoritative. Batches on surviving primaries stay —
+    // their merges are still pending there.
+    for (auto it = unmerged_batches_.begin();
+         it != unmerged_batches_.end();) {
+      if (!pool_->alive(it->node)) {
+        it = unmerged_batches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Drop write states that lost a node. Their *flushed* data is covered
+  // (mirrored and drained); their still-buffered entries re-bin to the
+  // new placement below. States whose nodes all survive keep their
+  // segments: a kill elsewhere does not move their ranges (consistent
+  // hashing) and their bytes remain authoritative.
+  std::vector<std::string> replay;
+  for (auto it = write_states_.begin(); it != write_states_.end();) {
+    const auto& [p, m] = it->first;
+    const bool intact = pool_->alive(p) && (m < 0 || pool_->alive(m));
+    if (intact) {
+      ++it;
+      continue;
+    }
+    WriteState& st = it->second;
+    if (st.batch.entries() > 0) {
+      replay.emplace_back(st.batch.data(), st.batch.bytes());
+    }
+    if (pool_->alive(p) && st.segment != pm::kNullPmPtr) {
+      // Best effort: the orphaned segment on the surviving primary is
+      // fully submitted; sealing it lets GC reclaim it once merged.
+      (void)node(p)->SealSegment(options_.fabric_node, log_owner(),
+                                 st.segment);
+    }
+    it = write_states_.erase(it);
+  }
+  placement_gen_ = gen;
+  RefreshIndexHandle();
+
+  // Re-append buffered entries under the new placement. These were acked
+  // to clients, so they must not be dropped; fresh sequence numbers keep
+  // per-key order because each key lived in exactly one dropped batch.
+  for (const std::string& blob : replay) {
+    dpm::LogIterator it(blob.data(), blob.size());
+    dpm::LogRecord rec;
+    while (it.Next(&rec)) {
+      dpm::ValuePtr vp;
+      Status st = Status::Ok();
+      for (int tries = 0; tries < kFailoverReplayRetries; ++tries) {
+        const dpm::DpmPlacement pl = pool_->PlacementOf(rec.key_hash);
+        st = AppendWrite(StateFor(pl), pl, rec.op, rec.key, rec.value,
+                         rec.key_hash, &vp);
+        if (!st.IsBusy()) break;
+        // Threshold pressure: force the backlog down, then retry.
+        if (pl.primary >= 0) (void)node(pl.primary)->DrainOwner(log_owner());
+        if (pl.mirror >= 0) (void)node(pl.mirror)->DrainOwner(log_owner());
+      }
+      if (!st.ok()) {
+        DINOMO_LOG_STREAM(Error) << "failover replay could not re-append entry: "
+                          << st.ToString();
+      }
+    }
+  }
 }
 
 OpResult KnWorker::Finish(OpResult result) {
   // Wrong-owner rejections are routing noise, not serviced operations.
   if (!result.status.IsWrongOwner()) {
     ops_.Inc();
-    op_latency_us_.Record(result.LatencyUs(dpm_->fabric()->profile()));
+    op_latency_us_.Record(
+        result.LatencyUs(node(0)->fabric()->profile()));
   }
   return result;
 }
@@ -104,10 +216,10 @@ void KnWorker::TrackAccess(uint64_t key_hash) {
   }
 }
 
-Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
+Status KnWorker::ReadEntryValue(int n, dpm::ValuePtr vp, uint64_t key_hash,
                                 std::string* value, bool* was_indirect) {
   *was_indirect = vp.indirect();
-  net::Fabric* fabric = dpm_->fabric();
+  net::Fabric* fabric = node(n)->fabric();
   std::string buf;
   Status fault = Status::Ok();
   for (int attempt = 0; attempt < kReadRetries; ++attempt) {
@@ -151,8 +263,9 @@ Status KnWorker::ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
   return Status::IoError("indirect read kept racing");
 }
 
-Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
-                                     std::string* value, double* cpu_us) {
+Status KnWorker::SearchCachedBatches(const WriteState* st, uint64_t key_hash,
+                                     const Slice& key, std::string* value,
+                                     double* cpu_us) {
   auto scan = [&](const char* data, size_t len, std::string* out,
                   bool* deleted) -> bool {
     dpm::LogIterator it(data, len);
@@ -175,16 +288,18 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
   };
 
   bool deleted = false;
-  // Newest first: the in-flight batch, then unmerged flushed batches.
+  // Newest first: the in-flight batch of the key's placement, then
+  // unmerged flushed batches. (A key's entries only ever live in its own
+  // placement's batch, so the other placements' builders need no scan.)
   obs::TraceContext* ctx = obs::CurrentTraceContext();
-  if (batch_.entries() > 0 &&
-      batch_bloom_->MayContain(HashKeySlice(key_hash))) {
+  if (st != nullptr && st->batch.entries() > 0 &&
+      st->bloom->MayContain(HashKeySlice(key_hash))) {
     *cpu_us += options_.cpu_segment_scan_us;
     if (ctx != nullptr) {
       ctx->RecordLeaf(obs::SpanKind::kBatchScan, nullptr,
                       options_.cpu_segment_scan_us);
     }
-    if (scan(batch_.data(), batch_.bytes(), value, &deleted)) {
+    if (scan(st->batch.data(), st->batch.bytes(), value, &deleted)) {
       return deleted ? Status::Aborted("tombstone") : Status::Ok();
     }
   }
@@ -204,7 +319,8 @@ Status KnWorker::SearchCachedBatches(uint64_t key_hash, const Slice& key,
   return Status::NotFound();
 }
 
-OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
+OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash,
+                            const dpm::DpmPlacement& pl) {
   OpResult out;
   out.cpu_us = options_.cpu_miss_us;
   if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
@@ -216,7 +332,8 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
   // partition (§4: "un-merged log segments are cached in the KNs that
   // wrote them ... other KNs won't access these log segments").
   std::string from_batch;
-  Status st = SearchCachedBatches(key_hash, key, &from_batch, &out.cpu_us);
+  Status st = SearchCachedBatches(ExistingStateFor(pl), key_hash, key,
+                                  &from_batch, &out.cpu_us);
   if (st.ok()) {
     out.value = std::move(from_batch);
     out.status = Status::Ok();
@@ -227,6 +344,14 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
     return out;
   }
 
+  if (pl.primary < 0 || !pool_->alive(pl.primary)) {
+    out.status = Status::Unavailable("dpm node failed");
+    return out;
+  }
+  const int n = pl.primary;
+  index::Clht::RemoteHandle& handle = index_handles_[static_cast<size_t>(n)];
+  uint64_t& known_epoch = known_index_epochs_[static_cast<size_t>(n)];
+
   net::OpCost* cost = net::Fabric::ThreadOpCost();
   const uint32_t rts_before = cost != nullptr ? cost->round_trips : 0;
 
@@ -234,16 +359,16 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
   // read; group its fabric ops under one phase span.
   obs::TraceSpan lookup_span(obs::SpanKind::kIndexLookup);
 
-  if (!index_handle_.valid()) RefreshIndexHandle();
-  if (!index_handle_.valid()) {
+  if (!handle.valid()) RefreshIndexHandle(n);
+  if (!handle.valid()) {
     // Handle fetch itself kept getting dropped; nothing safe to traverse.
     out.status = Status::Unavailable("index handle unavailable");
     return out;
   }
   (void)net::Fabric::TakePendingFault();
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto res = TargetIndex()->RemoteLookup(
-        dpm_->fabric(), options_.fabric_node, index_handle_, key_hash);
+    auto res = TargetIndex(n)->RemoteLookup(
+        node(n)->fabric(), options_.fabric_node, handle, key_hash);
     {
       // A dropped read during the traversal zero-fills a bucket, which
       // reads as "chain ends here": without this check an existing key
@@ -257,8 +382,8 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
     if (!res.found) {
       // A stale (pre-resize) table can miss keys merged after the resize;
       // refresh once if the DPM told us about a newer epoch.
-      if (index_handle_.epoch < known_index_epoch_ && attempt == 0) {
-        RefreshIndexHandle();
+      if (handle.epoch < known_epoch && attempt == 0) {
+        RefreshIndexHandle(n);
         continue;
       }
       out.status = Status::NotFound();
@@ -267,7 +392,7 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
     dpm::ValuePtr vp(res.value);
     std::string value;
     bool was_indirect = false;
-    st = ReadEntryValue(vp, key_hash, &value, &was_indirect);
+    st = ReadEntryValue(n, vp, key_hash, &value, &was_indirect);
     if (st.IsIoError() && attempt == 0) {
       // GC'd under us: the index has moved on; retry the traversal.
       continue;
@@ -295,6 +420,7 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash) {
 OpResult KnWorker::GetImpl(const Slice& key) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
+  CheckPlacement();
   const uint64_t key_hash = KeyHash(key);
   TrackAccess(key_hash);
   stats_.reads++;
@@ -306,6 +432,7 @@ OpResult KnWorker::GetImpl(const Slice& key) {
   }
   const bool shared =
       routing_ != nullptr && routing_->ReplicationFactor(key_hash) > 1;
+  const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
 
   auto r = cache_->Lookup(key_hash);
   if (r.kind == cache::HitKind::kValueHit) {
@@ -333,7 +460,8 @@ OpResult KnWorker::GetImpl(const Slice& key) {
     }
     std::string value;
     bool was_indirect = false;
-    Status st = ReadEntryValue(r.ptr, key_hash, &value, &was_indirect);
+    Status st = ReadEntryValue(pl.primary, r.ptr, key_hash, &value,
+                               &was_indirect);
     if (st.ok()) {
       if (!was_indirect) {
         cache_->OnShortcutHit(key_hash, value, r.ptr);
@@ -351,7 +479,7 @@ OpResult KnWorker::GetImpl(const Slice& key) {
   }
 
   stats_.misses++;
-  OpResult miss = MissPath(key, key_hash);
+  OpResult miss = MissPath(key, key_hash, pl);
   out.status = miss.status;
   out.value = std::move(miss.value);
   out.cpu_us = miss.cpu_us;
@@ -360,97 +488,213 @@ OpResult KnWorker::GetImpl(const Slice& key) {
   return out;
 }
 
-Status KnWorker::EnsureSegmentFor(size_t entry_bytes) {
-  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
+Status KnWorker::EnsureSegmentsFor(WriteState* st,
+                                   const dpm::DpmPlacement& pl,
+                                   size_t entry_bytes) {
+  if (pl.primary < 0) return Status::Unavailable("no dpm node alive");
+  const size_t cap =
+      node(pl.primary)->options().segment_size - kSegmentHeaderSize;
   if (entry_bytes > cap) {
     return Status::InvalidArgument("entry larger than a log segment");
   }
-  if (segment_ != pm::kNullPmPtr &&
-      segment_used_ + batch_.bytes() + entry_bytes <= cap) {
-    return Status::Ok();
-  }
-  // The current segment (if any) is full: it must be sealed and replaced.
-  // Respect the unmerged-segment threshold (§4: "KNs can add a new log
-  // segment without blocking until their un-merged log-segment length
-  // reaches a certain threshold (default is 2)").
-  if (dpm_->UnmergedSegments(log_owner()) >=
-      dpm_->options().unmerged_segment_threshold) {
-    return Status::Busy("unmerged-segment threshold reached");
-  }
-  // Both RPCs are idempotent (re-sealing a sealed segment is a no-op; a
-  // re-requested allocation just hands out a fresh segment), so transient
-  // rejections get a few immediate retries before surfacing.
-  if (segment_ != pm::kNullPmPtr) {
-    Status st;
-    for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
-      st = dpm_->SealSegment(options_.fabric_node, log_owner(), segment_);
-      if (!IsTransient(st)) break;
+  // The mirror stream can run ahead of the primary's (a retried flush
+  // re-ships the batch to a fresh mirror offset), so capacity is judged
+  // on the fuller of the two.
+  const size_t used =
+      pl.mirror >= 0 ? std::max(st->segment_used, st->mirror_used)
+                     : st->segment_used;
+  const bool roll = st->segment == pm::kNullPmPtr ||
+                    used + st->batch.bytes() + entry_bytes > cap;
+  if (roll) {
+    // Respect the unmerged-segment threshold (§4: "KNs can add a new log
+    // segment without blocking until their un-merged log-segment length
+    // reaches a certain threshold (default is 2)") — on every node that
+    // would host a new segment.
+    const int threshold =
+        node(pl.primary)->options().unmerged_segment_threshold;
+    if (node(pl.primary)->UnmergedSegments(log_owner()) >= threshold) {
+      return Status::Busy("unmerged-segment threshold reached");
     }
-    DINOMO_RETURN_IF_ERROR(st);
+    if (pl.mirror >= 0 &&
+        node(pl.mirror)->UnmergedSegments(log_owner()) >= threshold) {
+      return Status::Busy("unmerged-segment threshold reached (mirror)");
+    }
+    // Both RPCs are idempotent (re-sealing a sealed segment is a no-op; a
+    // re-requested allocation just hands out a fresh segment), so
+    // transient rejections get a few immediate retries before surfacing.
+    if (st->segment != pm::kNullPmPtr) {
+      Status sealed;
+      for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+        sealed = pool_->SealSegment(pl.primary, placement_gen_,
+                                    options_.fabric_node, log_owner(),
+                                    st->segment);
+        if (!IsTransient(sealed)) break;
+      }
+      DINOMO_RETURN_IF_ERROR(sealed);
+    }
+    if (st->mirror_segment != pm::kNullPmPtr && pl.mirror >= 0) {
+      Status sealed;
+      for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+        sealed = pool_->SealSegment(pl.mirror, placement_gen_,
+                                    options_.fabric_node, log_owner(),
+                                    st->mirror_segment);
+        if (!IsTransient(sealed)) break;
+      }
+      DINOMO_RETURN_IF_ERROR(sealed);
+    }
+    Result<pm::PmPtr> seg = Status::Unavailable("not attempted");
+    for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+      seg = pool_->AllocateSegment(pl.primary, placement_gen_,
+                                   options_.fabric_node, log_owner());
+      if (seg.ok() || !IsTransient(seg.status())) break;
+    }
+    if (!seg.ok()) return seg.status();
+    st->segment = seg.value();
+    st->segment_used = 0;
+    st->mirror_segment = pm::kNullPmPtr;
+    st->mirror_used = 0;
   }
-  Result<pm::PmPtr> seg = Status::Unavailable("not attempted");
-  for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
-    seg = dpm_->AllocateSegment(options_.fabric_node, log_owner());
-    if (seg.ok() || !IsTransient(seg.status())) break;
+  if (pl.mirror >= 0 && st->mirror_segment == pm::kNullPmPtr) {
+    Result<pm::PmPtr> seg = Status::Unavailable("not attempted");
+    for (int attempt = 0; attempt < kTransientRetries; ++attempt) {
+      seg = pool_->AllocateSegment(pl.mirror, placement_gen_,
+                                   options_.fabric_node, log_owner());
+      if (seg.ok() || !IsTransient(seg.status())) break;
+    }
+    if (!seg.ok()) return seg.status();
+    st->mirror_segment = seg.value();
+    st->mirror_used = 0;
   }
-  if (!seg.ok()) return seg.status();
-  segment_ = seg.value();
-  segment_used_ = 0;
   return Status::Ok();
 }
 
-Status KnWorker::AppendWrite(dpm::LogOp op, const Slice& key,
+Status KnWorker::AppendWrite(WriteState* st, const dpm::DpmPlacement& pl,
+                             dpm::LogOp op, const Slice& key,
                              const Slice& value, uint64_t key_hash,
                              dpm::ValuePtr* out_vp) {
   const size_t need = dpm::EncodedEntrySize(
       key.size(), op == dpm::LogOp::kPut ? value.size() : 0);
-  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
-  if (segment_ == pm::kNullPmPtr ||
-      segment_used_ + batch_.bytes() + need > cap) {
+  const size_t cap =
+      node(pl.primary >= 0 ? pl.primary : 0)->options().segment_size -
+      kSegmentHeaderSize;
+  const size_t used =
+      pl.mirror >= 0 ? std::max(st->segment_used, st->mirror_used)
+                     : st->segment_used;
+  if (st->segment == pm::kNullPmPtr ||
+      (pl.mirror >= 0 && st->mirror_segment == pm::kNullPmPtr) ||
+      used + st->batch.bytes() + need > cap) {
     // Flush what we have into the current segment, then roll over.
-    if (batch_.entries() > 0) {
-      net::OpCost dummy_cost;  // charged to the caller's scoped accumulator
-      (void)dummy_cost;
+    if (st->batch.entries() > 0) {
       double cpu = 0;
-      DINOMO_RETURN_IF_ERROR(FlushBatchLocked(nullptr, &cpu));
+      DINOMO_RETURN_IF_ERROR(
+          FlushState(PlacementKey{pl.primary, pl.mirror}, st, &cpu));
       stats_.busy_us += cpu;
     }
-    DINOMO_RETURN_IF_ERROR(EnsureSegmentFor(need));
+    DINOMO_RETURN_IF_ERROR(EnsureSegmentsFor(st, pl, need));
   }
   const pm::PmPtr entry_ptr =
-      segment_ + kSegmentHeaderSize + segment_used_ + batch_.bytes();
+      st->segment + kSegmentHeaderSize + st->segment_used + st->batch.bytes();
   if (op == dpm::LogOp::kPut) {
-    batch_.AddPut(++next_seq_, key_hash, key, value);
+    st->batch.AddPut(++next_seq_, key_hash, key, value);
   } else {
-    batch_.AddDelete(++next_seq_, key_hash, key);
+    st->batch.AddDelete(++next_seq_, key_hash, key);
   }
-  batch_bloom_->Add(HashKeySlice(key_hash));
+  st->bloom->Add(HashKeySlice(key_hash));
   *out_vp = dpm::ValuePtr::Pack(entry_ptr, static_cast<uint32_t>(need));
   return Status::Ok();
 }
 
-Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
-  (void)cost;
-  if (batch_.entries() == 0) return Status::Ok();
+Status KnWorker::FlushState(const PlacementKey& pkey, WriteState* st,
+                            double* cpu_us) {
+  if (st->batch.entries() == 0) return Status::Ok();
   obs::TraceSpan flush_span(obs::SpanKind::kFlush);
   if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
     ctx->RecordLeaf(obs::SpanKind::kFlush, "flush_cpu",
                     options_.cpu_batch_flush_us);
   }
-  DINOMO_CHECK(segment_ != pm::kNullPmPtr);
-  const pm::PmPtr dst = segment_ + kSegmentHeaderSize + segment_used_;
-  // ONE one-sided RDMA write ships the whole batch (§3.6). A dropped
-  // write must be retried BEFORE SubmitBatch — registering a batch whose
-  // bytes never landed would merge garbage. On a dry retry budget the
-  // batch stays buffered (nothing was acked), so a later flush repeats
-  // the identical write+submit: idempotent.
+  DINOMO_CHECK(st->segment != pm::kNullPmPtr);
+  const int p = pkey.first;
+  const int m = pkey.second;
+  const pm::PmPtr dst = st->segment + kSegmentHeaderSize + st->segment_used;
+  const size_t len = st->batch.bytes();
+  net::Fabric* pf = node(p)->fabric();
+  // A dropped write must be retried BEFORE SubmitBatch — registering a
+  // batch whose bytes never landed would merge garbage. On a dry retry
+  // budget the batch stays buffered (nothing was acked), so a later flush
+  // repeats the identical protocol: idempotent.
   (void)net::Fabric::TakePendingFault();
-  for (int attempt = 0;; ++attempt) {
-    dpm_->fabric()->Write(options_.fabric_node, batch_.data(), dst,
-                          batch_.bytes());
-    Status fault = net::Fabric::TakePendingFault();
-    if (fault.ok()) break;
-    if (attempt + 1 >= kTransientRetries) return fault;
+  if (m < 0) {
+    // Unreplicated fast path: ONE one-sided durable RDMA write ships the
+    // whole batch (§3.6), exactly as in the single-DPM system.
+    for (int attempt = 0;; ++attempt) {
+      pf->Write(options_.fabric_node, st->batch.data(), dst, len);
+      Status fault = net::Fabric::TakePendingFault();
+      if (fault.ok()) break;
+      if (attempt + 1 >= kTransientRetries) return fault;
+    }
+  } else {
+    // Replicate-before-ack (Tsai & Zhang; AsymNVM mirroring): the
+    // primary's commit marker — the byte that makes the batch decodable,
+    // and the precondition for acking the flush — is published only after
+    // the mirror holds and has registered a full durable copy. A crash of
+    // either side before step 3 leaves the batch unacked and the primary
+    // copy torn (DecodeEntry rejects it); a primary fail-stop after step
+    // 3 finds every acked entry already merged-or-queued on the mirror.
+    DINOMO_CHECK(st->mirror_segment != pm::kNullPmPtr);
+    const pm::PmPtr mdst =
+        st->mirror_segment + kSegmentHeaderSize + st->mirror_used;
+    net::Fabric* mf = node(m)->fabric();
+    if (options_.test_reorder_replicated_flush) {
+      // TEST ONLY — deliberately reordered append: the full batch,
+      // commit marker included, lands on the primary before the mirror
+      // has a copy. tests/replication_test.cc proves this is detected.
+      for (int attempt = 0;; ++attempt) {
+        pf->Write(options_.fabric_node, st->batch.data(), dst, len);
+        Status fault = net::Fabric::TakePendingFault();
+        if (fault.ok()) break;
+        if (attempt + 1 >= kTransientRetries) return fault;
+      }
+    } else {
+      // 1. Primary payload with the final commit-marker byte withheld.
+      for (int attempt = 0;; ++attempt) {
+        pf->Write(options_.fabric_node, st->batch.data(), dst, len - 1);
+        Status fault = net::Fabric::TakePendingFault();
+        if (fault.ok()) break;
+        if (attempt + 1 >= kTransientRetries) return fault;
+      }
+    }
+    // 2. Full durable copy to the mirror, then the mirror's SubmitBatch —
+    //    its success is the mirror ack the commit marker waits for.
+    for (int attempt = 0;; ++attempt) {
+      mf->Write(options_.fabric_node, st->batch.data(), mdst, len);
+      Status fault = net::Fabric::TakePendingFault();
+      if (fault.ok()) break;
+      if (attempt + 1 >= kTransientRetries) return fault;
+    }
+    auto mirror_submit =
+        pool_->SubmitBatch(m, placement_gen_, options_.fabric_node,
+                           log_owner(), st->mirror_segment, mdst, len,
+                           st->batch.puts());
+    if (!mirror_submit.ok()) return mirror_submit.status();
+    // The mirror owns these bytes now even if a later step fails — a
+    // retried flush ships to a fresh mirror offset (re-merging the same
+    // entries is idempotent).
+    st->mirror_used += len;
+    known_index_epochs_[static_cast<size_t>(m)] =
+        std::max(known_index_epochs_[static_cast<size_t>(m)],
+                 mirror_submit.value().index_epoch);
+    if (!options_.test_reorder_replicated_flush) {
+      // 3. Publish the commit marker on the primary. WritePublish makes
+      //    it a publication point under the PmChecker: everything the
+      //    marker makes reachable must already be durable.
+      for (int attempt = 0;; ++attempt) {
+        pf->WritePublish(options_.fabric_node,
+                         st->batch.data() + (len - 1), dst + (len - 1), 1);
+        Status fault = net::Fabric::TakePendingFault();
+        if (fault.ok()) break;
+        if (attempt + 1 >= kTransientRetries) return fault;
+      }
+    }
   }
   // Register the cached copy BEFORE the DPM learns about the batch:
   // SubmitBatch schedules the merge, so with merge threads running the
@@ -459,39 +703,50 @@ Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
   {
     std::lock_guard<std::mutex> lock(batches_mu_);
     CachedBatch cached;
-    cached.bytes.assign(batch_.data(), batch_.bytes());
+    cached.bytes.assign(st->batch.data(), len);
     cached.base = dst;
-    cached.bloom = std::move(batch_bloom_);
+    cached.node = p;
+    cached.bloom = std::move(st->bloom);
     unmerged_batches_.push_back(std::move(cached));
   }
-  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
-                                  segment_, dst, batch_.bytes(),
-                                  batch_.puts());
+  auto submit = pool_->SubmitBatch(p, placement_gen_, options_.fabric_node,
+                                   log_owner(), st->segment, dst, len,
+                                   st->batch.puts());
   if (!submit.ok()) {
     // The DPM never accepted the batch (no merge was scheduled): undo
-    // the provisional registration. The ops stay buffered in batch_, so
-    // a later flush repeats the identical write+submit.
+    // the provisional registration. The ops stay buffered in batch, so
+    // a later flush repeats the identical protocol.
     std::lock_guard<std::mutex> lock(batches_mu_);
     for (auto it = unmerged_batches_.rbegin(); it != unmerged_batches_.rend();
          ++it) {
-      if (it->base != dst) continue;
-      batch_bloom_ = std::move(it->bloom);
+      if (it->base != dst || it->node != p) continue;
+      st->bloom = std::move(it->bloom);
       unmerged_batches_.erase(std::next(it).base());
       break;
     }
     return submit.status();
   }
-  if (submit.value().index_epoch > known_index_epoch_) {
-    known_index_epoch_ = submit.value().index_epoch;
-    if (index_handle_.valid() &&
-        index_handle_.epoch < known_index_epoch_) {
-      RefreshIndexHandle();
+  uint64_t& known_epoch = known_index_epochs_[static_cast<size_t>(p)];
+  if (submit.value().index_epoch > known_epoch) {
+    known_epoch = submit.value().index_epoch;
+    index::Clht::RemoteHandle& handle =
+        index_handles_[static_cast<size_t>(p)];
+    if (handle.valid() && handle.epoch < known_epoch) {
+      RefreshIndexHandle(p);
     }
   }
-  segment_used_ += batch_.bytes();
-  batch_.Clear();
-  batch_bloom_ = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
+  st->segment_used += len;
+  st->batch.Clear();
+  st->bloom = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
   *cpu_us += options_.cpu_batch_flush_us;
+  return Status::Ok();
+}
+
+Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
+  (void)cost;
+  for (auto& [pkey, st] : write_states_) {
+    DINOMO_RETURN_IF_ERROR(FlushState(pkey, &st, cpu_us));
+  }
   return Status::Ok();
 }
 
@@ -502,6 +757,8 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
 
   // Shared writes are not batched: the new version must be published
   // immediately through the indirect slot (write value, then CAS, §3.4).
+  // They are also primary-only — the slot lives on the key's primary, and
+  // the runtimes drop shared mode around a DPM membership change.
   double cpu = 0;
   Status st = FlushBatchLocked(nullptr, &cpu);
   out.cpu_us += cpu;
@@ -509,21 +766,29 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
     out.status = st;
     return out;
   }
+  const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
+  if (pl.primary < 0) {
+    out.status = Status::Unavailable("no dpm node alive");
+    return out;
+  }
+  WriteState* ws = StateFor(pl);
   const size_t need = dpm::EncodedEntrySize(key.size(), value.size());
-  st = EnsureSegmentFor(need);
+  st = EnsureSegmentsFor(ws, pl, need);
   if (!st.ok()) {
     out.status = st;
     return out;
   }
-  const pm::PmPtr entry_ptr = segment_ + kSegmentHeaderSize + segment_used_;
+  const pm::PmPtr entry_ptr =
+      ws->segment + kSegmentHeaderSize + ws->segment_used;
   std::string buf(need, '\0');
   dpm::EncodeEntry(buf.data(), dpm::LogOp::kPut, ++next_seq_, key_hash, key,
                    value);
-  // As in FlushBatchLocked: the entry must actually land before it is
+  // As in FlushState: the entry must actually land before it is
   // registered and published through the slot CAS below.
+  net::Fabric* fabric = node(pl.primary)->fabric();
   (void)net::Fabric::TakePendingFault();
   for (int attempt = 0;; ++attempt) {
-    dpm_->fabric()->Write(options_.fabric_node, buf.data(), entry_ptr, need);
+    fabric->Write(options_.fabric_node, buf.data(), entry_ptr, need);
     Status fault = net::Fabric::TakePendingFault();
     if (fault.ok()) break;
     if (attempt + 1 >= kTransientRetries) {
@@ -531,22 +796,22 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
       return out;
     }
   }
-  auto submit = dpm_->SubmitBatch(options_.fabric_node, log_owner(),
-                                  segment_, entry_ptr, need, /*puts=*/1);
+  auto submit = pool_->SubmitBatch(pl.primary, placement_gen_,
+                                   options_.fabric_node, log_owner(),
+                                   ws->segment, entry_ptr, need, /*puts=*/1);
   if (!submit.ok()) {
     out.status = submit.status();
     return out;
   }
-  segment_used_ += need;
+  ws->segment_used += need;
 
-  const pm::PmPtr slot = dpm_->SharedSlot(key_hash);
+  const pm::PmPtr slot = node(pl.primary)->SharedSlot(key_hash);
   if (slot == pm::kNullPmPtr) {
     out.status = Status::Unavailable("replication metadata out of date");
     return out;
   }
   const dpm::ValuePtr packed =
       dpm::ValuePtr::Pack(entry_ptr, static_cast<uint32_t>(need));
-  net::Fabric* fabric = dpm_->fabric();
   for (int attempt = 0; attempt < 16; ++attempt) {
     const uint64_t cur = fabric->AtomicRead64(options_.fabric_node, slot);
     if (net::Fabric::HasPendingFault()) {
@@ -571,6 +836,7 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
 OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
+  CheckPlacement();
   const uint64_t key_hash = KeyHash(key);
   TrackAccess(key_hash);
   stats_.writes++;
@@ -587,8 +853,11 @@ OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
     return shared;
   }
 
+  const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
+  WriteState* ws = StateFor(pl);
   dpm::ValuePtr vp;
-  Status st = AppendWrite(dpm::LogOp::kPut, key, value, key_hash, &vp);
+  Status st = AppendWrite(ws, pl, dpm::LogOp::kPut, key, value, key_hash,
+                          &vp);
   if (!st.ok()) {
     out.status = st;
     return out;
@@ -596,9 +865,9 @@ OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
   cache_->AdmitOnWrite(key_hash, value, vp);
   out.cpu_us = options_.cpu_write_us;
 
-  if (batch_.entries() >= options_.batch_max_ops ||
-      batch_.bytes() >= options_.batch_max_bytes) {
-    st = FlushBatchLocked(nullptr, &out.cpu_us);
+  if (ws->batch.entries() >= options_.batch_max_ops ||
+      ws->batch.bytes() >= options_.batch_max_bytes) {
+    st = FlushState(PlacementKey{pl.primary, pl.mirror}, ws, &out.cpu_us);
     if (!st.ok()) {
       out.status = st;
       return out;
@@ -612,6 +881,7 @@ OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
 OpResult KnWorker::DeleteImpl(const Slice& key) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
+  CheckPlacement();
   const uint64_t key_hash = KeyHash(key);
   TrackAccess(key_hash);
   stats_.writes++;
@@ -622,17 +892,20 @@ OpResult KnWorker::DeleteImpl(const Slice& key) {
     return out;
   }
 
+  const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
+  WriteState* ws = StateFor(pl);
   dpm::ValuePtr vp;
-  Status st = AppendWrite(dpm::LogOp::kDelete, key, Slice(), key_hash, &vp);
+  Status st = AppendWrite(ws, pl, dpm::LogOp::kDelete, key, Slice(),
+                          key_hash, &vp);
   if (!st.ok()) {
     out.status = st;
     return out;
   }
   cache_->Invalidate(key_hash);
   out.cpu_us = options_.cpu_write_us;
-  if (batch_.entries() >= options_.batch_max_ops ||
-      batch_.bytes() >= options_.batch_max_bytes) {
-    st = FlushBatchLocked(nullptr, &out.cpu_us);
+  if (ws->batch.entries() >= options_.batch_max_ops ||
+      ws->batch.bytes() >= options_.batch_max_bytes) {
+    st = FlushState(PlacementKey{pl.primary, pl.mirror}, ws, &out.cpu_us);
     if (!st.ok()) {
       out.status = st;
       return out;
@@ -646,27 +919,56 @@ OpResult KnWorker::DeleteImpl(const Slice& key) {
 OpResult KnWorker::FlushWrites() {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
+  CheckPlacement();
   out.status = FlushBatchLocked(nullptr, &out.cpu_us);
   stats_.busy_us += out.cpu_us;
   return out;
 }
 
 bool KnWorker::WriteWouldBlock() const {
-  const size_t cap = dpm_->options().segment_size - kSegmentHeaderSize;
-  // Only blocks if a new segment is needed and the threshold is hit.
-  if (segment_ != pm::kNullPmPtr &&
-      segment_used_ + batch_.bytes() + dpm::EncodedEntrySize(64, 4096) <=
-          cap) {
+  const size_t cap = node(0)->options().segment_size - kSegmentHeaderSize;
+  const int threshold = node(0)->options().unmerged_segment_threshold;
+  const size_t headroom = dpm::EncodedEntrySize(64, 4096);
+  if (write_states_.empty()) {
+    // No segment yet anywhere: the first write blocks only if some alive
+    // node already holds a threshold's worth of this owner's segments
+    // (possible right after a failover re-bin).
+    for (int n = 0; n < pool_->num_nodes(); ++n) {
+      if (!pool_->alive(n)) continue;
+      if (node(n)->UnmergedSegments(log_owner()) >= threshold) return true;
+    }
     return false;
   }
-  return dpm_->UnmergedSegments(log_owner()) >=
-         dpm_->options().unmerged_segment_threshold;
+  for (const auto& [pkey, st] : write_states_) {
+    const size_t used =
+        pkey.second >= 0
+            ? std::max(st.segment_used, st.mirror_used)
+            : st.segment_used;
+    if (st.segment != pm::kNullPmPtr &&
+        (pkey.second < 0 || st.mirror_segment != pm::kNullPmPtr) &&
+        used + st.batch.bytes() + headroom <= cap) {
+      continue;  // this placement still has segment headroom
+    }
+    if (node(pkey.first)->UnmergedSegments(log_owner()) >= threshold) {
+      return true;
+    }
+    if (pkey.second >= 0 &&
+        node(pkey.second)->UnmergedSegments(log_owner()) >= threshold) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Status KnWorker::DrainLog() {
+  CheckPlacement();
   OpResult flush = FlushWrites();
   if (!flush.status.ok() && !flush.status.IsBusy()) return flush.status;
-  return dpm_->DrainOwner(log_owner());
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
+    if (!pool_->alive(n)) continue;
+    DINOMO_RETURN_IF_ERROR(node(n)->DrainOwner(log_owner()));
+  }
+  return Status::Ok();
 }
 
 void KnWorker::ResetForOwnershipChange() {
@@ -678,19 +980,20 @@ void KnWorker::ResetForOwnershipChange() {
   RefreshIndexHandle();
 }
 
-void KnWorker::OnOwnerBatchMerged(pm::PmPtr batch_base) {
+void KnWorker::OnOwnerBatchMerged(int ack_node, pm::PmPtr batch_base) {
   std::lock_guard<std::mutex> lock(batches_mu_);
   for (auto it = unmerged_batches_.begin(); it != unmerged_batches_.end();
        ++it) {
-    if (it->base == batch_base) {
+    if (it->base == batch_base && it->node == ack_node) {
       unmerged_batches_.erase(it);
       return;
     }
   }
-  // No matching base: the ack is for a batch this cache no longer tracks
-  // (untracked shared-write submit, or a late ack from before an
-  // ownership change). Evicting anything here would drop a batch that is
-  // still authoritative for reads.
+  // No matching (node, base): the ack is for a batch this cache no longer
+  // tracks (a mirror's copy of a batch — same bytes, different pool — an
+  // untracked shared-write submit, or a late ack from before an ownership
+  // change). Evicting anything here would drop a batch that is still
+  // authoritative for reads.
 }
 
 std::vector<pm::PmPtr> KnWorker::UnmergedBatchBases() const {
@@ -701,7 +1004,8 @@ std::vector<pm::PmPtr> KnWorker::UnmergedBatchBases() const {
   return bases;
 }
 
-void KnWorker::InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base) {
+void KnWorker::InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base,
+                                          int inject_node) {
   CachedBatch cached;
   cached.bloom = std::make_unique<BloomFilter>(options_.batch_max_ops * 4);
   dpm::LogIterator it(bytes.data(), bytes.size());
@@ -709,6 +1013,7 @@ void KnWorker::InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base) {
   while (it.Next(&rec)) cached.bloom->Add(HashKeySlice(rec.key_hash));
   cached.bytes = std::move(bytes);
   cached.base = base;
+  cached.node = inject_node;
   std::lock_guard<std::mutex> lock(batches_mu_);
   unmerged_batches_.push_back(std::move(cached));
 }

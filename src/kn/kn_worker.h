@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
@@ -16,6 +18,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "dpm/log.h"
 #include "index/clht.h"
 #include "net/fabric.h"
@@ -60,6 +63,11 @@ struct KnOptions {
   /// returns Busy instead of blocking (the virtual-time engine reschedules
   /// it; the real-thread runtime waits on the merge callback and retries).
   bool blocking_writes = false;
+
+  /// TEST ONLY: deliberately breaks the replicated flush protocol by
+  /// publishing the primary's commit marker BEFORE the mirror ack (the
+  /// reordered append tests/replication_test.cc proves is detected).
+  bool test_reorder_replicated_flush = false;
 
   // --- KN CPU cost model (us), consumed by the virtual-time engine ---
   // Calibrated so a KN worker thread's request-handling cost (network
@@ -123,19 +131,28 @@ inline uint64_t KeyHash(const Slice& key) {
 /// for OnOwnerBatchMerged, which the merge service may call concurrently
 /// (guarded internally).
 ///
+/// The worker talks to a *pool* of DPM nodes: each key hash has a primary
+/// (and, with replication factor 2, a mirror) DPM node assigned by the
+/// pool's ring. Reads go to the key's primary; writes accumulate in one
+/// batch per (primary, mirror) placement pair and flush with the
+/// replicate-before-ack protocol (payload -> mirror copy + mirror submit
+/// -> primary commit-marker publish). When the pool's placement
+/// generation moves (a DPM fail-stop), the worker re-resolves segment
+/// homes and re-bins still-buffered entries — see FailoverRecover.
+///
 /// Read path (§3.6 "one-sided reads"): value hit -> 0 RTs; shortcut hit ->
 /// 1 RT (2 for replicated keys through their indirect slot); miss -> check
 /// the Bloom-filtered cached un-merged batches, then the remote index
 /// traversal (M RTs) plus one value read.
 ///
 /// Write path (§3.6 "asynchronous post-processing"): entries accumulate in
-/// a local batch, shipped with ONE one-sided write at flush, then merged
-/// into the index asynchronously by the DPM processors. Writes to
-/// replicated keys bypass the batch: log the entry, then CAS the key's
-/// indirect slot.
+/// a local batch, shipped with ONE one-sided write at flush (two with a
+/// mirror), then merged into the index asynchronously by the DPM
+/// processors. Writes to replicated keys bypass the batch: log the entry,
+/// then CAS the key's indirect slot.
 class KnWorker {
  public:
-  KnWorker(const KnOptions& options, int worker_idx, dpm::DpmNode* dpm);
+  KnWorker(const KnOptions& options, int worker_idx, dpm::DpmPool* pool);
   ~KnWorker();
 
   KnWorker(const KnWorker&) = delete;
@@ -162,37 +179,40 @@ class KnWorker {
   bool WriteWouldBlock() const;
 
   /// Reconfiguration support: flush writes and synchronously merge this
-  /// worker's log (step 3 of §3.5). Cache intact.
+  /// worker's log on every alive DPM node (step 3 of §3.5). Cache intact.
   Status DrainLog();
   /// Empties the cache (ownership hand-off) and refreshes the index view.
   void ResetForOwnershipChange();
-  /// Re-reads the remote index header (e.g. after a resize notification).
+  /// Re-reads the remote index headers (e.g. after a resize notification).
   void RefreshIndexHandle();
 
   /// Called by the merge callback when one of this worker's batches
-  /// merged: drops the cached un-merged batch whose DPM base matches
-  /// `batch_base`. With >= 2 merge threads acks arrive in arbitrary
-  /// global order, so "drop the oldest" would evict a still-unmerged
-  /// batch; base-matching also makes acks that straddle an ownership
-  /// change (cache already cleared, bases from the previous era) no-ops.
-  /// Thread-safe; may run concurrently with the worker thread.
-  void OnOwnerBatchMerged(pm::PmPtr batch_base);
+  /// merged on DPM node `node`: drops the cached un-merged batch whose
+  /// (node, base) matches. With >= 2 merge threads acks arrive in
+  /// arbitrary global order, so "drop the oldest" would evict a
+  /// still-unmerged batch; (node, base)-matching also makes mirror acks
+  /// (same bytes, different node/pool) and acks that straddle an
+  /// ownership change no-ops. Thread-safe; may run concurrently with the
+  /// worker thread.
+  void OnOwnerBatchMerged(int node, pm::PmPtr batch_base);
 
   /// Bases of the cached un-merged batches, oldest first. Test seam for
   /// the ack-ordering regression tests.
   std::vector<pm::PmPtr> UnmergedBatchBases() const;
 
   /// Test seam: registers `bytes` (a LogBuilder batch image) as a cached
-  /// un-merged batch at `base`, bypassing the write path. Lets tests
-  /// construct scenarios real keys cannot produce, e.g. two entries whose
-  /// 64-bit key hashes collide.
-  void InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base);
+  /// un-merged batch at `base` on DPM node `node`, bypassing the write
+  /// path. Lets tests construct scenarios real keys cannot produce, e.g.
+  /// two entries whose 64-bit key hashes collide.
+  void InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base,
+                                  int node = 0);
 
   /// Log owner id of this worker: (kn_id << 8) | worker_idx.
   uint64_t log_owner() const { return (options_.kn_id << 8) | worker_idx_; }
 
   cache::KnCache* cache() { return cache_.get(); }
   const KnOptions& options() const { return options_; }
+  dpm::DpmPool* pool() const { return pool_; }
 
   /// Statistics since the last snapshot; reset=true starts a new epoch.
   WorkerStats SnapshotStats(bool reset);
@@ -201,29 +221,65 @@ class KnWorker {
   struct CachedBatch {
     std::string bytes;
     pm::PmPtr base = pm::kNullPmPtr;  // where it lives in DPM
+    int node = 0;                     // which DPM node's pool `base` is in
     std::unique_ptr<BloomFilter> bloom;
   };
 
-  index::Clht* TargetIndex() const;
+  /// Segments + pending batch for one (primary, mirror) placement pair.
+  /// Keys of one primary can have different mirrors (the mirror is the
+  /// per-range ring successor), so batches group by the *pair* — every
+  /// entry in a batch replicates to the same mirror segment.
+  struct WriteState {
+    pm::PmPtr segment = pm::kNullPmPtr;  // on the primary node
+    size_t segment_used = 0;             // bytes of flushed batches
+    pm::PmPtr mirror_segment = pm::kNullPmPtr;  // on the mirror node
+    size_t mirror_used = 0;
+    dpm::LogBuilder batch;
+    std::unique_ptr<BloomFilter> bloom;
+  };
+  using PlacementKey = std::pair<int, int>;  // (primary, mirror)
 
-  // Reads the log entry behind `vp` (resolving one level of indirect
-  // pointer), verifies the key fingerprint, and appends the value to
-  // *value. Retries transient races a bounded number of times.
-  Status ReadEntryValue(dpm::ValuePtr vp, uint64_t key_hash,
+  dpm::DpmNode* node(int i) const { return pool_->node(i); }
+  index::Clht* TargetIndex(int n) const;
+  WriteState* StateFor(const dpm::DpmPlacement& pl);
+  WriteState* ExistingStateFor(const dpm::DpmPlacement& pl);
+
+  /// Reconciles with the pool's placement generation; on a change, runs
+  /// the failover recovery (re-resolve indexes, drop dead-node state,
+  /// re-bin buffered entries).
+  void CheckPlacement();
+  void FailoverRecover();
+
+  void RefreshIndexHandle(int n);
+
+  // Reads the log entry behind `vp` on DPM node `n` (resolving one level
+  // of indirect pointer), verifies the key fingerprint, and appends the
+  // value to *value. Retries transient races a bounded number of times.
+  Status ReadEntryValue(int n, dpm::ValuePtr vp, uint64_t key_hash,
                         std::string* value, bool* was_indirect);
 
-  // Searches cached un-merged batches (newest first). Returns kNotFound /
-  // Ok(value) / kAborted when a tombstone proves deletion.
-  Status SearchCachedBatches(uint64_t key_hash, const Slice& key,
-                             std::string* value, double* cpu_us);
+  // Searches cached un-merged batches (newest first). `st` is the key's
+  // write state (nullptr if none yet). Returns kNotFound / Ok(value) /
+  // kAborted when a tombstone proves deletion.
+  Status SearchCachedBatches(const WriteState* st, uint64_t key_hash,
+                             const Slice& key, std::string* value,
+                             double* cpu_us);
 
-  // The remote miss path: index traversal + value read.
-  OpResult MissPath(const Slice& key, uint64_t key_hash);
+  // The remote miss path against the key's primary DPM node: index
+  // traversal + value read.
+  OpResult MissPath(const Slice& key, uint64_t key_hash,
+                    const dpm::DpmPlacement& pl);
 
   // Write machinery.
-  Status EnsureSegmentFor(size_t entry_bytes);
-  Status AppendWrite(dpm::LogOp op, const Slice& key, const Slice& value,
+  Status EnsureSegmentsFor(WriteState* st, const dpm::DpmPlacement& pl,
+                           size_t entry_bytes);
+  Status AppendWrite(WriteState* st, const dpm::DpmPlacement& pl,
+                     dpm::LogOp op, const Slice& key, const Slice& value,
                      uint64_t key_hash, dpm::ValuePtr* out_vp);
+  /// Flushes one placement's pending batch with the replicate-before-ack
+  /// protocol (single-write fast path when the placement has no mirror).
+  Status FlushState(const PlacementKey& key, WriteState* st, double* cpu_us);
+  /// Flushes every placement's pending batch.
   Status FlushBatchLocked(net::OpCost* cost, double* cpu_us);
   OpResult SharedWrite(const Slice& key, const Slice& value,
                        uint64_t key_hash);
@@ -239,22 +295,23 @@ class KnWorker {
 
   KnOptions options_;
   int worker_idx_;
-  dpm::DpmNode* dpm_;
+  dpm::DpmPool* pool_;
   obs::MetricGroup metrics_;  // kn.kn<id>.w<idx>.*
   obs::Counter& ops_;
   obs::HistogramMetric& op_latency_us_;
   std::shared_ptr<const cluster::RoutingTable> routing_;
   std::unique_ptr<cache::KnCache> cache_;
 
-  // Remote view of the metadata index.
-  index::Clht::RemoteHandle index_handle_;
-  uint64_t known_index_epoch_ = 0;
+  // Remote views of each DPM node's metadata index.
+  std::vector<index::Clht::RemoteHandle> index_handles_;
+  std::vector<uint64_t> known_index_epochs_;
 
-  // Current segment + batch under construction.
-  pm::PmPtr segment_ = pm::kNullPmPtr;
-  size_t segment_used_ = 0;  // bytes of flushed batches
-  dpm::LogBuilder batch_;
-  std::unique_ptr<BloomFilter> batch_bloom_;
+  // Placement generation this worker's segments/caches were resolved
+  // under; a pool bump triggers FailoverRecover before the next op.
+  uint64_t placement_gen_ = 0;
+
+  // Current segments + batches under construction, one per placement.
+  std::map<PlacementKey, WriteState> write_states_;
   uint64_t next_seq_ = 0;
 
   // Batches written to DPM but not yet merged (authoritative for reads).

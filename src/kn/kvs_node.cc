@@ -7,11 +7,11 @@
 namespace dinomo {
 namespace kn {
 
-KvsNode::KvsNode(const KnOptions& options, dpm::DpmNode* dpm)
-    : options_(options), dpm_(dpm) {
+KvsNode::KvsNode(const KnOptions& options, dpm::DpmPool* pool)
+    : options_(options), pool_(pool) {
   DINOMO_CHECK(options_.num_workers >= 1);
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.push_back(std::make_unique<KnWorker>(options_, i, dpm));
+    workers_.push_back(std::make_unique<KnWorker>(options_, i, pool));
     queues_.push_back(std::make_unique<BlockingQueue<Request>>());
   }
 }
@@ -140,7 +140,7 @@ void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
 void KvsNode::OnBatchMerged(const dpm::MergeAck& ack) {
   const int idx = static_cast<int>(ack.owner & 0xff);
   if (idx < static_cast<int>(workers_.size())) {
-    workers_[idx]->OnOwnerBatchMerged(ack.base);
+    workers_[idx]->OnOwnerBatchMerged(ack.node, ack.base);
   }
   {
     std::lock_guard<std::mutex> lock(merge_mu_);

@@ -45,7 +45,7 @@ struct Request {
 /// "manual" mode: skip Start() and drive the workers directly.
 class KvsNode {
  public:
-  KvsNode(const KnOptions& options, dpm::DpmNode* dpm);
+  KvsNode(const KnOptions& options, dpm::DpmPool* pool);
   ~KvsNode();
 
   KvsNode(const KvsNode&) = delete;
@@ -107,7 +107,7 @@ class KvsNode {
   void WorkerLoop(int idx);
 
   KnOptions options_;
-  dpm::DpmNode* dpm_;
+  dpm::DpmPool* pool_;
   std::vector<std::unique_ptr<KnWorker>> workers_;
   std::vector<std::unique_ptr<BlockingQueue<Request>>> queues_;
   std::vector<std::thread> threads_;

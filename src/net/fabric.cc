@@ -167,6 +167,27 @@ void Fabric::Write(int node, const void* src, pm::PmPtr dst, size_t len,
                 static_cast<uint64_t>(len) * wire_ops);
 }
 
+void Fabric::WritePublish(int node, const void* src, pm::PmPtr dst,
+                          size_t len, const pm::SourceLoc& loc) {
+  DINOMO_CHECK(pool_->Contains(dst, len));
+  const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);
+  if (d.action == FaultDecision::Action::kDrop) {
+    ParkFault(Status::Unavailable("injected drop: one-sided write"));
+  } else {
+    pool_->StoreBytes(dst, src, len, loc);
+    // Same durable RDMA write as Write(), but flagged as a publication
+    // point: recovery follows what this store makes reachable, so the
+    // checker verifies everything it depends on is already durable.
+    pool_->PersistPublish(dst, len, loc);
+  }
+  const uint32_t wire_ops =
+      d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+  Charge(node, wire_ops, static_cast<uint64_t>(len) * wire_ops);
+  counters_[node].one_sided_writes.Inc(wire_ops);
+  TraceFabricOp(profile_, obs::SpanKind::kOneSidedWrite, nullptr, wire_ops,
+                static_cast<uint64_t>(len) * wire_ops);
+}
+
 bool Fabric::CompareAndSwap64(int node, pm::PmPtr addr, uint64_t expected,
                               uint64_t desired, const pm::SourceLoc& loc) {
   const FaultDecision d = ConsultInjector(node, /*allow_drop=*/true);

@@ -118,6 +118,15 @@ class Fabric {
   void Write(int node, const void* src, pm::PmPtr dst, size_t len,
              const pm::SourceLoc& loc = pm::SourceLoc::current());
 
+  /// Write variant for a *publication point*: identical wire cost, but the
+  /// durable store is a PersistPublish, so the PM checker verifies no
+  /// same-thread store outside [dst, dst+len) is still dirty. The
+  /// replicated flush protocol publishes the log commit marker with this
+  /// (payload and mirror copy must already be durable — replicate-before-
+  /// ack).
+  void WritePublish(int node, const void* src, pm::PmPtr dst, size_t len,
+                    const pm::SourceLoc& loc = pm::SourceLoc::current());
+
   /// One-sided 8-byte atomic compare-and-swap at a 8-aligned DPM address.
   /// Returns true and installs desired iff *addr == expected.
   /// 1 round trip. A successful CAS is treated as a publication point

@@ -66,6 +66,15 @@ FaultSchedule& FaultSchedule::FailStop(int node, double at_us) {
   return *this;
 }
 
+FaultSchedule& FaultSchedule::DpmFailStop(int node, double at_us) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::kDpmFailStop;
+  ev.node = node;
+  ev.start_us = at_us;
+  events.push_back(ev);
+  return *this;
+}
+
 FaultSchedule FaultSchedule::Chaos(uint64_t seed, int num_nodes,
                                    double horizon_us) {
   FaultSchedule schedule;
@@ -118,6 +127,7 @@ FaultInjector::FaultInjector(FaultSchedule schedule,
       injected_rpc_unavailable_(metrics_.counter("injected.rpc_unavailable")),
       injected_rpc_busy_(metrics_.counter("injected.rpc_busy")),
       failstops_(metrics_.counter("failstops")),
+      dpm_failstops_(metrics_.counter("dpm_failstops")),
       deadline_exceeded_(metrics_.counter("deadline_exceeded")),
       hung_requests_(metrics_.counter("hung_requests")) {}
 
@@ -180,6 +190,7 @@ FaultDecision FaultInjector::OnOneSided(int node, bool allow_drop) {
       case FaultEvent::Kind::kRpcUnavailable:
       case FaultEvent::Kind::kRpcBusy:
       case FaultEvent::Kind::kFailStop:
+      case FaultEvent::Kind::kDpmFailStop:
         break;
     }
   }
@@ -220,6 +231,33 @@ int FaultInjector::ClaimFailStop() {
     return ev.node;
   }
   return -1;
+}
+
+int FaultInjector::ClaimDpmFailStop() {
+  if (schedule_.events.empty()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowUs();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& ev = schedule_.events[i];
+    if (ev.kind != FaultEvent::Kind::kDpmFailStop) continue;
+    if (failstop_claimed_[i]) continue;
+    if (now < ev.start_us) continue;
+    failstop_claimed_[i] = true;
+    return ev.node;
+  }
+  return -1;
+}
+
+double FaultInjector::NextDpmFailStopAtUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double next = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& ev = schedule_.events[i];
+    if (ev.kind != FaultEvent::Kind::kDpmFailStop) continue;
+    if (failstop_claimed_[i]) continue;
+    next = std::min(next, ev.start_us);
+  }
+  return next;
 }
 
 double FaultInjector::NextFailStopAtUs() const {

@@ -50,6 +50,7 @@ struct FaultEvent {
     kRpcUnavailable,  // DPM RPC returns Unavailable before executing
     kRpcBusy,         // DPM RPC returns Busy before executing
     kFailStop,        // kill KN `node` at the next op boundary after start_us
+    kDpmFailStop,     // kill DPM node `node` (mirror promotion path)
   };
 
   Kind kind = Kind::kDelay;
@@ -94,6 +95,10 @@ struct FaultSchedule {
       int node, double probability, double start_us = 0.0,
       double end_us = std::numeric_limits<double>::infinity());
   FaultSchedule& FailStop(int node, double at_us);
+  /// Arms a DPM fail-stop: `node` here is a *DPM pool index*, not a KN id.
+  /// The runtime enacts it (DpmPool::KillNode + mirror promotion + repair),
+  /// exactly as kFailStop defers KN teardown to the runtime.
+  FaultSchedule& DpmFailStop(int node, double at_us);
 
   /// A random schedule for the chaos harness: a handful of transient
   /// events with moderate probabilities inside [0, horizon_us), all drawn
@@ -148,9 +153,16 @@ class FaultInjector {
   /// one caller — the runtime then enacts the kill.
   int ClaimFailStop();
 
+  /// Like ClaimFailStop, for kDpmFailStop events: returns the DPM pool
+  /// index of a due, unclaimed DPM kill (one-shot), or -1.
+  int ClaimDpmFailStop();
+
   /// The earliest unclaimed kFailStop start time, or +inf. Lets the sim
   /// schedule the kill at the exact event time instead of polling.
   double NextFailStopAtUs() const;
+
+  /// The earliest unclaimed kDpmFailStop start time, or +inf.
+  double NextDpmFailStopAtUs() const;
 
   // Accounting hooks for the consumers (single fault.* family per run).
   void NoteDeadlineExceeded() { deadline_exceeded_.Inc(); }
@@ -158,6 +170,7 @@ class FaultInjector {
     if (n > 0) hung_requests_.Inc(n);
   }
   void NoteFailStopEnacted() { failstops_.Inc(); }
+  void NoteDpmFailStopEnacted() { dpm_failstops_.Inc(); }
 
   const FaultSchedule& schedule() const { return schedule_; }
 
@@ -184,6 +197,7 @@ class FaultInjector {
   obs::Counter& injected_rpc_unavailable_;
   obs::Counter& injected_rpc_busy_;
   obs::Counter& failstops_;
+  obs::Counter& dpm_failstops_;
   obs::Counter& deadline_exceeded_;
   obs::Counter& hung_requests_;
 };

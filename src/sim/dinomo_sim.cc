@@ -1,6 +1,7 @@
 #include "sim/dinomo_sim.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "core/migration.h"
@@ -21,6 +22,9 @@ constexpr double kMigratePerKeyUs = 12.0;
 // DINOMO-N reorganization is a serial copy + index-rebuild pipeline; the
 // paper measures it at roughly 180 MB/s (11 s for a ~2 GB partition).
 constexpr double kMigrateUsPerByte = 1.0 / 180.0;
+// DPM processor time per entry re-encoded + merged during the
+// re-replication repair pass after a DPM fail-stop.
+constexpr double kRepairPerEntryUs = 2.0;
 }  // namespace
 
 DinomoSim::DinomoSim(const DinomoSimOptions& options)
@@ -48,9 +52,11 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
     options_.dpm.metrics = options_.metrics;
     options_.kn.metrics = options_.metrics;
   }
-  dpm_ = std::make_unique<dpm::DpmNode>(options_.dpm);
-  dpm_->merge()->SetMergeCallback(
-      [this](const dpm::MergeAck& ack) { OnMergeFinished(ack); });
+  dpm::DpmPoolOptions pool_opts;
+  pool_opts.nodes = options_.dpm_nodes;
+  pool_opts.replication_factor = options_.replication_factor;
+  pool_opts.dpm = options_.dpm;
+  pool_ = std::make_unique<dpm::DpmPool>(pool_opts);
   if (tracer_->enabled()) {
     // Virtual-time tracing: timestamps come from the engine clock, so a
     // trace replays bit-identically for a given seed. The clock override
@@ -58,7 +64,11 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
     trace_pid_ = tracer_->NextProcessId();
     tracer_->SetClock([this] { return engine_.now_us(); });
     trace_clock_installed_ = true;
-    dpm_->merge()->SetTracer(tracer_);
+  }
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    pool_->node(i)->merge()->SetMergeCallback(
+        [this](const dpm::MergeAck& ack) { OnMergeFinished(ack); });
+    if (tracer_->enabled()) pool_->node(i)->merge()->SetTracer(tracer_);
   }
 
   if (!options_.faults.empty()) {
@@ -68,17 +78,25 @@ DinomoSim::DinomoSim(const DinomoSimOptions& options)
     // identically across runs; delays must never block the sim thread.
     injector_->SetClock([this] { return engine_.now_us(); });
     injector_->set_sleep_on_delay(false);
-    dpm_->fabric()->SetFaultInjector(injector_.get());
-    dpm_->SetFaultInjector(injector_.get());
+    for (int i = 0; i < pool_->num_nodes(); ++i) {
+      pool_->node(i)->fabric()->SetFaultInjector(injector_.get());
+      pool_->node(i)->SetFaultInjector(injector_.get());
+    }
     for (const net::FaultEvent& ev : options_.faults.events) {
-      if (ev.kind != net::FaultEvent::Kind::kFailStop) continue;
-      engine_.ScheduleAt(ev.start_us, [this] {
-        const int victim = injector_->ClaimFailStop();
-        if (victim >= 0) {
-          DoKill(victim);
-          injector_->NoteFailStopEnacted();
-        }
-      });
+      if (ev.kind == net::FaultEvent::Kind::kFailStop) {
+        engine_.ScheduleAt(ev.start_us, [this] {
+          const int victim = injector_->ClaimFailStop();
+          if (victim >= 0) {
+            DoKill(victim);
+            injector_->NoteFailStopEnacted();
+          }
+        });
+      } else if (ev.kind == net::FaultEvent::Kind::kDpmFailStop) {
+        engine_.ScheduleAt(ev.start_us, [this] {
+          const int victim = injector_->ClaimDpmFailStop();
+          if (victim >= 0) DoDpmKill(victim);
+        });
+      }
     }
   }
 
@@ -110,7 +128,7 @@ void DinomoSim::AddKnInternal(bool available) {
   kno.fabric_node = static_cast<int>(kn_sim->kn_id % net::Fabric::kMaxNodes);
   for (int w = 0; w < options_.kn.num_workers; ++w) {
     auto ws = std::make_unique<WorkerSim>();
-    ws->worker = std::make_unique<kn::KnWorker>(kno, w, dpm_.get());
+    ws->worker = std::make_unique<kn::KnWorker>(kno, w, pool_.get());
     kn_sim->workers.push_back(std::move(ws));
   }
   kns_.push_back(std::move(kn_sim));
@@ -158,8 +176,10 @@ void DinomoSim::Preload() {
   // Load-phase traffic is not part of any experiment; suspend injection
   // so the strict load-loop invariants (only Busy rejections) hold.
   if (injector_ != nullptr) {
-    dpm_->fabric()->SetFaultInjector(nullptr);
-    dpm_->SetFaultInjector(nullptr);
+    for (int i = 0; i < pool_->num_nodes(); ++i) {
+      pool_->node(i)->fabric()->SetFaultInjector(nullptr);
+      pool_->node(i)->SetFaultInjector(nullptr);
+    }
   }
   auto table = routing_.Snapshot();
   const std::string value(options_.spec.value_size, 'p');
@@ -170,12 +190,24 @@ void DinomoSim::Preload() {
     DINOMO_CHECK(k != nullptr);
     kn::KnWorker* w =
         k->workers[table->ThreadFor(kh, k->kn_id)]->worker.get();
-    for (int tries = 0; tries < 1000; ++tries) {
-      kn::OpResult r = w->Put(key, value);
+    kn::OpResult r;
+    for (int tries = 0; tries < 100; ++tries) {
+      r = w->Put(key, value);
       if (r.status.ok()) break;
       DINOMO_CHECK(r.status.IsBusy());
-      DINOMO_CHECK(dpm_->merge()->ProcessOne());
+      // Busy = some node hit the unmerged-segment threshold. The shared
+      // FIFO merge queue can be arbitrarily deep, so nibbling at it one
+      // batch at a time may never reach this owner's backlog within any
+      // fixed retry budget; merge it synchronously everywhere instead
+      // (with a pool the blocking node may be the key's primary *or* its
+      // mirror).
+      for (int n = 0; n < pool_->num_nodes(); ++n) {
+        DINOMO_CHECK(pool_->node(n)->DrainOwner(w->log_owner()).ok());
+      }
     }
+    // A silently skipped record would surface much later as a phantom
+    // lost write; the load loop must either ack every record or die.
+    DINOMO_CHECK(r.status.ok());
   }
   for (auto& k : kns_) {
     for (auto& ws : k->workers) {
@@ -183,15 +215,21 @@ void DinomoSim::Preload() {
       DINOMO_CHECK(r.status.ok());
     }
   }
-  DINOMO_CHECK(dpm_->merge()->DrainAll().ok());
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    DINOMO_CHECK(pool_->node(i)->merge()->DrainAll().ok());
+  }
   // Measurement starts fresh: keep the warm caches, reset the counters.
-  dpm_->fabric()->ResetCounters();
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    pool_->node(i)->fabric()->ResetCounters();
+  }
   for (auto& k : kns_) {
     for (auto& ws : k->workers) ws->worker->SnapshotStats(/*reset=*/true);
   }
   if (injector_ != nullptr) {
-    dpm_->fabric()->SetFaultInjector(injector_.get());
-    dpm_->SetFaultInjector(injector_.get());
+    for (int i = 0; i < pool_->num_nodes(); ++i) {
+      pool_->node(i)->fabric()->SetFaultInjector(injector_.get());
+      pool_->node(i)->SetFaultInjector(injector_.get());
+    }
   }
 }
 
@@ -210,6 +248,18 @@ void DinomoSim::Run(double duration_us, double warmup_us) {
   throughput_mops_.Set(ThroughputMops());
   link_utilization_.Set(link_.Utilization(elapsed));
   dpm_utilization_.Set(dpm_pool_.Utilization(elapsed));
+}
+
+void DinomoSim::DrainLogs() {
+  for (auto& k : kns_) {
+    if (k->failed) continue;
+    for (auto& ws : k->workers) {
+      Status st = ws->worker->DrainLog();
+      if (!st.ok() && !st.IsBusy()) {
+        DINOMO_LOG_STREAM(Warn) << "log drain failed: " << st.ToString();
+      }
+    }
+  }
 }
 
 void DinomoSim::IssueNext(int stream_idx) {
@@ -360,14 +410,19 @@ void DinomoSim::CompleteOp(int stream_idx, double issue_time,
 }
 
 void DinomoSim::PumpMerges() {
-  dpm::MergeTask task;
-  while (dpm_->merge()->TryDequeue(&task)) {
-    const double cpu = dpm_->merge()->Execute(task);
-    const double done = dpm_pool_.Reserve(engine_.now_us(), cpu);
-    engine_.ScheduleAt(done, [this, task] {
-      dpm_->merge()->Finish(task);
-      PumpMerges();
-    });
+  // All DPM nodes' processors share one modeled CPU pool (dpm_pool_),
+  // matching the single merge-thread budget of the real runtime.
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
+    dpm::DpmNode* node = pool_->node(n);
+    dpm::MergeTask task;
+    while (node->merge()->TryDequeue(&task)) {
+      const double cpu = node->merge()->Execute(task);
+      const double done = dpm_pool_.Reserve(engine_.now_us(), cpu);
+      engine_.ScheduleAt(done, [this, node, task] {
+        node->merge()->Finish(task);
+        PumpMerges();
+      });
+    }
   }
 }
 
@@ -377,7 +432,7 @@ void DinomoSim::OnMergeFinished(const dpm::MergeAck& ack) {
   const int widx = static_cast<int>(ack.owner & 0xff);
   if (widx >= static_cast<int>(k->workers.size())) return;
   WorkerSim* ws = k->workers[widx].get();
-  ws->worker->OnOwnerBatchMerged(ack.base);
+  ws->worker->OnOwnerBatchMerged(ack.node, ack.base);
   // Wake writers blocked on the threshold.
   std::deque<std::function<void()>> parked;
   parked.swap(ws->parked);
@@ -416,7 +471,10 @@ DinomoSim::Profile DinomoSim::CollectProfile() const {
     p.value_hit_share =
         static_cast<double>(value_hits) / (value_hits + shortcut_hits);
   }
-  const uint64_t rts = dpm_->fabric()->TotalRoundTrips();
+  uint64_t rts = 0;
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
+    rts += pool_->node(n)->fabric()->TotalRoundTrips();
+  }
   // Round trips per *request*; reads and writes both count.
   uint64_t requests = 0;
   for (const auto& k : kns_) {
@@ -465,6 +523,10 @@ void DinomoSim::ScheduleWorkloadChange(double at_us,
 
 void DinomoSim::ScheduleKill(double at_us, int kn_index) {
   engine_.ScheduleAt(at_us, [this, kn_index] { DoKill(kn_index); });
+}
+
+void DinomoSim::ScheduleDpmKill(double at_us, int node) {
+  engine_.ScheduleAt(at_us, [this, node] { DoDpmKill(node); });
 }
 
 void DinomoSim::EnableMnode() {
@@ -566,12 +628,12 @@ void DinomoSim::DoAddKn() {
     }
   }
   double done = now + kReconfigOverheadUs;
-  {
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
     dpm::MergeTask task;
-    while (dpm_->merge()->TryDequeue(&task)) {
-      const double cpu = dpm_->merge()->Execute(task);
+    while (pool_->node(n)->merge()->TryDequeue(&task)) {
+      const double cpu = pool_->node(n)->merge()->Execute(task);
       done = std::max(done, dpm_pool_.Reserve(now, cpu));
-      dpm_->merge()->Finish(task);
+      pool_->node(n)->merge()->Finish(task);
     }
   }
   // Step 4: new node + new mapping.
@@ -585,7 +647,7 @@ void DinomoSim::DoAddKn() {
     uint64_t keys = 0;
     for (auto& k : kns_) {
       if (k->failed || k->kn_id == fresh->kn_id) continue;
-      auto stats = MigratePartitionData(dpm_.get(), k->kn_id, *table);
+      auto stats = MigratePartitionData(pool_->node(0), k->kn_id, *table);
       DINOMO_CHECK(stats.ok());
       bytes += stats.value().bytes_moved;
       keys += stats.value().keys_moved;
@@ -613,18 +675,18 @@ void DinomoSim::DoRemoveKn(uint64_t kn_id) {
     (void)r;
   }
   double done = now + kReconfigOverheadUs;
-  {
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
     dpm::MergeTask task;
-    while (dpm_->merge()->TryDequeue(&task)) {
-      const double cpu = dpm_->merge()->Execute(task);
+    while (pool_->node(n)->merge()->TryDequeue(&task)) {
+      const double cpu = pool_->node(n)->merge()->Execute(task);
       done = std::max(done, dpm_pool_.Reserve(now, cpu));
-      dpm_->merge()->Finish(task);
+      pool_->node(n)->merge()->Finish(task);
     }
   }
   routing_.RemoveKn(kn_id);
   if (options_.variant == SystemVariant::kDinomoN) {
     auto table = routing_.Snapshot();
-    auto stats = MigratePartitionData(dpm_.get(), kn_id, *table);
+    auto stats = MigratePartitionData(pool_->node(0), kn_id, *table);
     DINOMO_CHECK(stats.ok());
     done = std::max(done, link_.Reserve(now, stats.value().bytes_moved));
     done = std::max(done, dpm_pool_.Reserve(
@@ -659,11 +721,17 @@ void DinomoSim::DoReplicate(uint64_t key_hash, int replication) {
   for (auto& ws : p->workers) {
     kn::OpResult r = ws->worker->FlushWrites();
     (void)r;
-    Status st = dpm_->DrainOwner(ws->worker->log_owner());
-    DINOMO_CHECK(st.ok());
+    for (int n = 0; n < pool_->num_nodes(); ++n) {
+      if (!pool_->alive(n)) continue;
+      Status st = pool_->node(n)->DrainOwner(ws->worker->log_owner());
+      DINOMO_CHECK(st.ok());
+    }
   }
-  auto slot = dpm_->InstallIndirect(
-      static_cast<int>(primary % net::Fabric::kMaxNodes), key_hash);
+  // The indirect slot lives on the key's primary DPM node.
+  auto slot = pool_->node(pool_->PlacementOf(key_hash).primary)
+                  ->InstallIndirect(
+                      static_cast<int>(primary % net::Fabric::kMaxNodes),
+                      key_hash);
   if (!slot.ok()) return;
   for (auto& ws : p->workers) ws->worker->cache()->Invalidate(key_hash);
   routing_.SetReplication(key_hash, owners);
@@ -682,7 +750,8 @@ void DinomoSim::DoDereplicate(uint64_t key_hash) {
     if (k == nullptr || k->failed) continue;
     for (auto& ws : k->workers) ws->worker->cache()->Invalidate(key_hash);
   }
-  Status st = dpm_->RemoveIndirect(0, key_hash);
+  Status st = pool_->node(pool_->PlacementOf(key_hash).primary)
+                  ->RemoveIndirect(0, key_hash);
   if (!st.ok() && !st.IsNotFound()) return;
   routing_.ClearReplication(key_hash);
   PushRouting();
@@ -703,15 +772,18 @@ void DinomoSim::DoKill(int kn_index) {
     const double now = engine_.now_us();
     double done = now + kReconfigOverheadUs;
     for (auto& ws : victim->workers) {
-      Status st = dpm_->DrainOwner(ws->worker->log_owner());
-      DINOMO_CHECK(st.ok());
-      dpm_->ReleaseOwnerSegments(ws->worker->log_owner());
+      for (int n = 0; n < pool_->num_nodes(); ++n) {
+        if (!pool_->alive(n)) continue;
+        Status st = pool_->node(n)->DrainOwner(ws->worker->log_owner());
+        DINOMO_CHECK(st.ok());
+        pool_->node(n)->ReleaseOwnerSegments(ws->worker->log_owner());
+      }
     }
     routing_.RemoveKn(victim->kn_id);
     if (options_.variant == SystemVariant::kDinomoN) {
       auto table = routing_.Snapshot();
       auto stats =
-          MigratePartitionData(dpm_.get(), victim->kn_id, *table);
+          MigratePartitionData(pool_->node(0), victim->kn_id, *table);
       DINOMO_CHECK(stats.ok());
       done = std::max(done, link_.Reserve(now, stats.value().bytes_moved));
       done = std::max(done,
@@ -728,6 +800,69 @@ void DinomoSim::DoKill(int kn_index) {
     }
     PushRouting();
     policy_.NoteMembershipChange(now / 1e6);
+  });
+}
+
+void DinomoSim::DoDpmKill(int node) {
+  const double killed_at = engine_.now_us();
+  // The node dies NOW: the pool marks it dead, promotes each of its
+  // ranges' mirrors (ring removal), drains the survivors' merge queues and
+  // bumps the placement generation. Every worker re-resolves segment homes
+  // (FailoverRecover) at its next op; RPCs stamped with the old generation
+  // bounce as Unavailable, which the closed loop retries.
+  Status killed = pool_->KillNode(node);
+  if (!killed.ok()) {
+    DINOMO_LOG_STREAM(Warn) << "dpm kill skipped: " << killed.ToString();
+    return;
+  }
+  if (injector_ != nullptr) injector_->NoteDpmFailStopEnacted();
+
+  // Detection + recovery, mirroring Cluster::KillDpm: the M-node notices
+  // after kFailureDetectUs, quiesces the KNs, collapses shared keys,
+  // re-replicates, and resumes everyone once the modeled repair is done.
+  engine_.ScheduleAfter(kFailureDetectUs, [this, killed_at] {
+    const double now = engine_.now_us();
+    // The engine is single-threaded, so draining every worker's log here
+    // gives ReReplicate the quiescence it requires.
+    for (auto& k : kns_) {
+      if (k->failed) continue;
+      for (auto& ws : k->workers) {
+        Status st = ws->worker->DrainLog();
+        if (!st.ok() && !st.IsBusy()) {
+          DINOMO_LOG_STREAM(Warn) << "post-kill drain failed: " << st.ToString();
+        }
+      }
+    }
+    // Shared keys are collapsed conservatively (their slots and shared
+    // writes were primary-only); the M-node re-replicates hot keys later.
+    auto table = routing_.Snapshot();
+    for (const auto& [key_hash, owners] : table->replicated) {
+      const dpm::DpmPlacement pl = pool_->PlacementOf(key_hash);
+      if (pl.primary >= 0 && pool_->alive(pl.primary)) {
+        Status st = pool_->node(pl.primary)->RemoveIndirect(0, key_hash);
+        (void)st;  // NotFound when the slot died with its node
+      }
+      routing_.ClearReplication(key_hash);
+    }
+    auto repair = pool_->ReReplicate();
+    if (!repair.ok()) {
+      DINOMO_LOG_STREAM(Error) << "re-replication failed: "
+                               << repair.status().ToString();
+    }
+    DINOMO_CHECK(repair.ok());
+    double done = now + kReconfigOverheadUs;
+    if (repair.value().bytes_copied > 0) {
+      done = std::max(done, link_.Reserve(now, repair.value().bytes_copied));
+      done = std::max(
+          done, dpm_pool_.Reserve(
+                    now, repair.value().entries_copied * kRepairPerEntryUs));
+    }
+    for (auto& k : kns_) {
+      if (k->failed) continue;
+      k->unavailable_until = std::max(k->unavailable_until, done);
+    }
+    PushRouting();
+    pool_->NoteRecoveryWindow(done - killed_at);
   });
 }
 

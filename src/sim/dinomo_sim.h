@@ -10,6 +10,7 @@
 #include "cluster/routing.h"
 #include "core/cluster.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 #include "mnode/policy.h"
 #include "net/fault.h"
@@ -26,6 +27,10 @@ struct DinomoSimOptions {
   SystemVariant variant = SystemVariant::kDinomo;
   int num_kns = 4;
   dpm::DpmOptions dpm;
+  /// DPM pool size (DINOMO-N forces 1; see DpmPoolOptions).
+  int dpm_nodes = 1;
+  /// Copies of each log batch (2 = primary + mirror, replicate-before-ack).
+  int replication_factor = 1;
   kn::KnOptions kn;  // per-node template (ids filled in)
   /// DPM processor threads: merge work and two-sided RPCs contend here.
   int dpm_threads = 4;
@@ -79,7 +84,9 @@ class DinomoSim {
   DinomoSim& operator=(const DinomoSim&) = delete;
 
   Engine* engine() { return &engine_; }
-  dpm::DpmNode* dpm() { return dpm_.get(); }
+  /// DPM node 0 — the whole pool in single-node configurations.
+  dpm::DpmNode* dpm() { return pool_->node(0); }
+  dpm::DpmPool* pool() { return pool_.get(); }
   /// Non-null iff options.faults was non-empty.
   net::FaultInjector* fault_injector() { return injector_.get(); }
   /// Closed-loop ops abandoned after exhausting their retry budget
@@ -94,6 +101,12 @@ class DinomoSim {
   /// Runs the closed loop for `duration_us` of virtual time. Statistics
   /// ignore the first `warmup_us`.
   void Run(double duration_us, double warmup_us = 0.0);
+
+  /// Flushes every live worker's buffered log batches to the DPM pool.
+  /// Acked writes may sit in KN-side batches (served from the buffer on
+  /// reads) until a flush; benchmarks call this before auditing
+  /// durability directly against the DPM indexes.
+  void DrainLogs();
 
   // ----- Results -----
 
@@ -125,6 +138,10 @@ class DinomoSim {
   void ScheduleLoadChange(double at_us, int client_threads);
   /// Fail-stop kills the idx-th active KN at `at_us`.
   void ScheduleKill(double at_us, int kn_index);
+  /// Fail-stop kills DPM pool node `node` at `at_us`: mirror promotion,
+  /// KN failover recovery, and (after the detection delay) a modeled
+  /// re-replication + routing round, exactly like Cluster::KillDpm.
+  void ScheduleDpmKill(double at_us, int node);
   /// Switches every client's workload spec at `at_us` (e.g. Zipf 0.5 ->
   /// Zipf 2 for the load-balancing experiment).
   void ScheduleWorkloadChange(double at_us, const workload::WorkloadSpec& s);
@@ -179,6 +196,7 @@ class DinomoSim {
   void DoReplicate(uint64_t key_hash, int replication);
   void DoDereplicate(uint64_t key_hash);
   void DoKill(int kn_index);
+  void DoDpmKill(int node);
   mnode::ClusterMetrics CollectEpochMetrics();
 
   DinomoSimOptions options_;
@@ -191,10 +209,10 @@ class DinomoSim {
   obs::Gauge& link_utilization_;
   obs::Gauge& dpm_utilization_;
   Engine engine_;
-  // Declared before dpm_ so the injector outlives the fabric and DPM node
-  // that hold raw pointers to it.
+  // Declared before pool_ so the injector outlives the fabrics and DPM
+  // nodes that hold raw pointers to it.
   std::unique_ptr<net::FaultInjector> injector_;
-  std::unique_ptr<dpm::DpmNode> dpm_;
+  std::unique_ptr<dpm::DpmPool> pool_;
   cluster::RoutingService routing_;
   mnode::PolicyEngine policy_;
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 #include "obs/metrics.h"
 
@@ -52,6 +53,7 @@ TEST(ContentionTest, ConcurrentWorkersKeepLastWriteWins) {
   dopt.unmerged_segment_threshold = 64;
   dopt.metrics = &registry;
   dpm::DpmNode dpm(dopt);
+  dpm::DpmPool pool(&dpm);
 
   std::vector<std::unique_ptr<kn::KnWorker>> workers;
   for (int i = 0; i < kWriters; ++i) {
@@ -62,7 +64,7 @@ TEST(ContentionTest, ConcurrentWorkersKeepLastWriteWins) {
     kno.cache_bytes = 1 * kMiB;
     kno.batch_max_ops = 4;
     kno.metrics = &registry;
-    workers.push_back(std::make_unique<kn::KnWorker>(kno, 0, &dpm));
+    workers.push_back(std::make_unique<kn::KnWorker>(kno, 0, &pool));
   }
   // Route acks exactly as the cluster runtime does: owner = kn_id<<8 |
   // worker_idx, and OnOwnerBatchMerged is the only cross-thread entry
@@ -71,7 +73,7 @@ TEST(ContentionTest, ConcurrentWorkersKeepLastWriteWins) {
     const uint64_t kn_id = ack.owner >> 8;
     ASSERT_GE(kn_id, 1u);
     ASSERT_LE(kn_id, static_cast<uint64_t>(kWriters));
-    workers[kn_id - 1]->OnOwnerBatchMerged(ack.base);
+    workers[kn_id - 1]->OnOwnerBatchMerged(ack.node, ack.base);
   });
   dpm.merge()->StartThreads(2);
 

@@ -12,6 +12,7 @@
 
 #include "common/hash.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 
 namespace dinomo {
@@ -71,7 +72,8 @@ TEST(DpmRecoveryTest, MergedDataSurvivesCrash) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(
         worker.Put("key" + std::to_string(i), "val" + std::to_string(i))
@@ -91,7 +93,8 @@ TEST(DpmRecoveryTest, UnmergedCommittedBatchesReplayOnRecovery) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   // Flush (commit: the durable one-sided write completed) but crash
   // BEFORE the DPM processors merge — recovery must replay the log.
   for (int i = 0; i < 200; ++i) {
@@ -114,7 +117,8 @@ TEST(DpmRecoveryTest, UnflushedBatchIsLostButLogStaysConsistent) {
   kn::KnOptions kopt;
   kopt.kn_id = 1;
   kopt.batch_max_ops = 1000;  // keep everything buffered
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   ASSERT_TRUE(worker.Put("durable", "yes").status.ok());
   ASSERT_TRUE(worker.FlushWrites().status.ok());
   // These stay in KN DRAM (never flushed): not committed, so losing them
@@ -133,7 +137,8 @@ TEST(DpmRecoveryTest, ReplayIsIdempotentAcrossPartialMerges) {
   kn::KnOptions kopt;
   kopt.kn_id = 1;
   kopt.batch_max_ops = 4;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   // Interleave merged and un-merged batches with overwrites, so replay
   // re-applies some already-applied entries.
   for (int round = 0; round < 10; ++round) {
@@ -160,7 +165,8 @@ TEST(DpmRecoveryTest, DeletesSurviveCrash) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   ASSERT_TRUE(worker.Put("keep", "k").status.ok());
   ASSERT_TRUE(worker.Put("drop", "d").status.ok());
   ASSERT_TRUE(worker.Delete("drop").status.ok());
@@ -175,7 +181,8 @@ TEST(DpmRecoveryTest, SharedSlotsRebuiltFromIndirectMarkers) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   ASSERT_TRUE(worker.Put("hot", "v0").status.ok());
   ASSERT_TRUE(worker.DrainLog().ok());
   const uint64_t kh = kn::KeyHash(Slice("hot"));
@@ -202,7 +209,8 @@ TEST(DpmRecoveryTest, SegmentAccountingSurvives) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   const std::string value(4096, 'v');
   for (int i = 0; i < 200; ++i) {
     PutRetry(node.get(), &worker, "k" + std::to_string(i % 8), value);
@@ -218,7 +226,8 @@ TEST(DpmRecoveryTest, SegmentAccountingSurvives) {
 
   // The recovered node keeps working: new writes via a fresh worker land
   // in fresh segments and GC still functions.
-  kn::KnWorker worker2(kopt, 0, node.get());
+  DpmPool dpool2(node.get());
+  kn::KnWorker worker2(kopt, 0, &dpool2);
   for (int i = 0; i < 200; ++i) {
     PutRetry(node.get(), &worker2, "k" + std::to_string(i % 8), value);
   }
@@ -230,12 +239,14 @@ TEST(DpmRecoveryTest, DoubleCrashRecovers) {
   auto node = std::make_unique<DpmNode>(CrashOptions());
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
   ASSERT_TRUE(worker.Put("a", "1").status.ok());
   ASSERT_TRUE(worker.FlushWrites().status.ok());
 
   node = CrashAndRecover(std::move(node));
-  kn::KnWorker worker2(kopt, 0, node.get());
+  DpmPool dpool2(node.get());
+  kn::KnWorker worker2(kopt, 0, &dpool2);
   ASSERT_TRUE(worker2.Put("b", "2").status.ok());
   ASSERT_TRUE(worker2.FlushWrites().status.ok());
 
@@ -261,7 +272,8 @@ TEST(DpmCrashSweepTest, EveryPersistBoundaryRecoversCommittedWrites) {
 
   kn::KnOptions kopt;
   kopt.kn_id = 1;
-  kn::KnWorker worker(kopt, 0, node.get());
+  DpmPool dpool(node.get());
+  kn::KnWorker worker(kopt, 0, &dpool);
 
   // Committed state after each FlushWrites checkpoint ("" = deleted).
   struct Checkpoint {

@@ -13,6 +13,7 @@
 #include "common/histogram.h"
 #include "common/random.h"
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 
 namespace dinomo {
@@ -168,11 +169,12 @@ TEST_P(WorkerModelTest, RandomOpsMatchInMemoryModel) {
   dopt.index_log2_buckets = 6;
   dopt.segment_size = 128 * 1024;
   dpm::DpmNode dpm(dopt);
+  dpm::DpmPool pool(&dpm);
   kn::KnOptions kopt;
   kopt.kn_id = 1;
   kopt.cache_bytes = 64 * 1024;  // small: plenty of evictions
   kopt.batch_max_ops = 3;
-  kn::KnWorker worker(kopt, 0, &dpm);
+  kn::KnWorker worker(kopt, 0, &pool);
 
   std::map<std::string, std::string> model;
   Random rng(seed);

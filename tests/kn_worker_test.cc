@@ -4,6 +4,7 @@
 #include <string>
 
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 
 namespace dinomo {
@@ -22,19 +23,19 @@ dpm::DpmOptions SmallDpm() {
 
 class KnWorkerTest : public ::testing::Test {
  protected:
-  KnWorkerTest() : dpm_(SmallDpm()) {
+  KnWorkerTest() : dpm_(SmallDpm()), pool_(&dpm_) {
     KnOptions kno;
     kno.kn_id = 1;
     kno.fabric_node = 1;
     kno.num_workers = 1;
     kno.cache_bytes = 1 * kMiB;
     kno.batch_max_ops = 4;
-    worker_ = std::make_unique<KnWorker>(kno, 0, &dpm_);
+    worker_ = std::make_unique<KnWorker>(kno, 0, &pool_);
     // Forward merge acks the way the runtimes do, so cached batches are
     // evicted when (and only when) their merge actually completes.
     dpm_.merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
       if (ack.owner == worker_->log_owner()) {
-        worker_->OnOwnerBatchMerged(ack.base);
+        worker_->OnOwnerBatchMerged(ack.node, ack.base);
       }
     });
   }
@@ -42,6 +43,7 @@ class KnWorkerTest : public ::testing::Test {
   void DrainAll() { ASSERT_TRUE(dpm_.merge()->DrainAll().ok()); }
 
   dpm::DpmNode dpm_;
+  dpm::DpmPool pool_;
   std::unique_ptr<KnWorker> worker_;
 };
 
@@ -165,10 +167,11 @@ TEST_F(KnWorkerTest, BusyWhenUnmergedThresholdReached) {
   opt.segment_size = 4096;
   opt.unmerged_segment_threshold = 2;
   dpm::DpmNode dpm(opt);
+  dpm::DpmPool pool(&dpm);
   KnOptions kno;
   kno.kn_id = 1;
   kno.batch_max_ops = 1;  // flush every op
-  KnWorker worker(kno, 0, &dpm);
+  KnWorker worker(kno, 0, &pool);
 
   const std::string value(1024, 'x');
   bool saw_busy = false;
@@ -218,7 +221,7 @@ TEST_F(KnWorkerTest, OutOfOrderMergeAcksEvictByBase) {
   auto bases = worker_->UnmergedBatchBases();
   ASSERT_EQ(bases.size(), 2u);
 
-  worker_->OnOwnerBatchMerged(bases[1]);  // the SECOND batch's ack first
+  worker_->OnOwnerBatchMerged(0, bases[1]);  // the SECOND batch's ack first
 
   auto remaining = worker_->UnmergedBatchBases();
   ASSERT_EQ(remaining.size(), 1u);
@@ -247,7 +250,7 @@ TEST_F(KnWorkerTest, StaleMergeAckAfterOwnershipChangeIsNoOp) {
   ASSERT_EQ(new_bases.size(), 1u);
   ASSERT_NE(new_bases[0], old_bases[0]);
 
-  worker_->OnOwnerBatchMerged(old_bases[0]);  // late ack from the old era
+  worker_->OnOwnerBatchMerged(0, old_bases[0]);  // late ack from the old era
 
   EXPECT_EQ(worker_->UnmergedBatchBases(), new_bases);
   worker_->cache()->Invalidate(KeyHash(Slice("new")));
@@ -362,7 +365,7 @@ TEST_F(SharedKeyTest, TwoWorkersShareTheKeyConsistently) {
   KnOptions kno2;
   kno2.kn_id = 2;
   kno2.fabric_node = 2;
-  KnWorker worker2(kno2, 0, &dpm_);
+  KnWorker worker2(kno2, 0, &pool_);
   auto routing = std::make_shared<cluster::RoutingTable>();
   routing->global_ring.AddNode(1);  // primary
   routing->threads_per_kn = 1;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dpm/dpm_node.h"
+#include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -62,7 +63,7 @@ dpm::DpmOptions SmallDpm(obs::MetricsRegistry* reg) {
 
 class TraceWorkerTest : public ::testing::Test {
  protected:
-  TraceWorkerTest() : dpm_(SmallDpm(&reg_)) {
+  TraceWorkerTest() : dpm_(SmallDpm(&reg_)), pool_(&dpm_) {
     obs::TraceOptions topt;
     topt.sample_every = 1;
     topt.metrics = &reg_;
@@ -74,10 +75,10 @@ class TraceWorkerTest : public ::testing::Test {
     kno.cache_bytes = 1 * kMiB;
     kno.batch_max_ops = 4;
     kno.metrics = &reg_;
-    worker_ = std::make_unique<kn::KnWorker>(kno, 0, &dpm_);
+    worker_ = std::make_unique<kn::KnWorker>(kno, 0, &pool_);
     dpm_.merge()->SetMergeCallback([this](const dpm::MergeAck& ack) {
       if (ack.owner == worker_->log_owner()) {
-        worker_->OnOwnerBatchMerged(ack.base);
+        worker_->OnOwnerBatchMerged(ack.node, ack.base);
       }
     });
   }
@@ -85,6 +86,7 @@ class TraceWorkerTest : public ::testing::Test {
   obs::MetricsRegistry reg_;
   obs::Tracer tracer_;
   dpm::DpmNode dpm_;
+  dpm::DpmPool pool_;
   std::unique_ptr<kn::KnWorker> worker_;
 };
 
