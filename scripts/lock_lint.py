@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Static lock-acquisition-order lint.
+
+Usage: lock_lint.py [--dump-graph] [file ...]
+       (default: all .cc/.h files under src/)
+
+The locking discipline in this repo (DESIGN.md, "Locking discipline") is
+RAII-only: every acquisition goes through the annotated guards from
+common/mutex.h (MutexLock, WriterLock, ReaderLock, SpinLockHolder), so
+nested critical sections are visible statically as one guard constructed
+while another is still in scope. This lint extracts those nestings,
+builds the global lock-order graph, and fails on:
+
+  * an edge that contradicts the canonical order (CANONICAL_ORDER below,
+    outermost first — the same table DESIGN.md documents);
+  * re-acquisition of the same lock while it is already held;
+  * any cycle in the observed graph, including through locks that are
+    not in the canonical table (two functions nesting A->B and B->A
+    deadlock under concurrency even if neither lock is "ranked").
+
+Lock identity is `<file-stem>::<lock-expression>` (e.g. `merge::mu_`),
+which distinguishes the many per-class `mu_` members. Guards adopting an
+already-held lock (`MutexLock lock(x, std::adopt_lock)`) extend the held
+set without creating an edge — the real acquisition site (an ACQUIRE()
+helper such as StripedMap::LockShard) owns the edge.
+
+Deliberate out-of-order acquisitions can be suppressed with a comment on
+the acquiring line or the line directly above it:
+
+    MutexLock inner(a_mu_);  // lock-lint: allow(<why this cannot deadlock>)
+
+The lint only sees direct RAII nesting inside one function body; an
+acquisition hidden behind a function call is Clang Thread Safety
+Analysis's job (EXCLUDES on the callee), not this lint's.
+
+Exits 1 if any finding survives suppression.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from pm_lint import find_functions, strip_comments_and_strings  # noqa: E402
+
+# The canonical lock order, outermost first. Acquiring a lock while
+# holding one that appears LATER in this list is an ordering violation.
+# Keep in sync with DESIGN.md ("Locking discipline").
+CANONICAL_ORDER = [
+    "cluster::admin_mu_",      # cluster admin operations (outermost)
+    "cluster::kns_mu_",        # cluster KN membership map
+    "kvs_node::merge_mu_",     # KN merge-progress events
+    "dpm_pool::mu_",           # DPM pool ring/membership
+    "routing::mu_",            # routing-table master copy
+    "kn_worker::batches_mu_",  # KN worker unmerged-batch tracking
+    "merge::mu_",              # DPM merge queues
+    "dpm_node::seg_index_mu_", # DPM segment index
+    "striped_map::s.mu",       # DPM striped index shards
+    "dpm_node::dir_mu_",       # DPM segment directory (leaf)
+    "dpm_node::sb_mu_",        # DPM superblock (leaf)
+    "cluster::latency_mu_",    # cluster latency histogram (leaf)
+    "pm_pool::mu_",            # PM trace/pending state (leaf)
+    "pm_checker::mu_",         # PM checker line state (leaf)
+    "pm_allocator::mu_",       # PM allocator spinlock (leaf)
+    "clht::retired_mu_",       # CLHT retired-table list (leaf)
+    "fabric::register_mu_",    # fabric node registration (leaf)
+    "fault::mu_",              # fault-injector state (leaf)
+    "clover::ms_mu_",          # Clover metadata chains (leaf)
+    "metrics::mu_",            # metrics registry/group (leaf)
+    "trace::clock_mu_",        # tracer clock (leaf)
+    "trace::attr_mu_",         # tracer phase attribution (leaf)
+    "concurrency::mu_",        # BlockingQueue internals (leaf)
+    "logging::g_log_mutex",    # log serialization (innermost)
+]
+
+RANK = {name: i for i, name in enumerate(CANONICAL_ORDER)}
+
+ALLOW_MARK = "lock-lint: allow("
+
+# `MutexLock lock(expr);` / `MutexLock lock(expr, std::adopt_lock);` etc.
+GUARD_RE = re.compile(
+    r"\b(MutexLock|WriterLock|ReaderLock|SpinLockHolder)\s+\w+\s*"
+    r"\(\s*([^,()]+?)\s*(,\s*std::adopt_lock\s*)?\)")
+
+# Guard internals define the wrappers themselves.
+EXCLUDED_BASENAMES = ("mutex.h", "thread_annotations.h")
+
+
+def lock_id(path, expr):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    expr = re.sub(r"\bthis\s*->\s*", "", expr)
+    expr = re.sub(r"\s+", "", expr)
+    return f"{stem}::{expr}"
+
+
+def collect_edges(path, findings):
+    """Returns [(held_id, acquired_id, "file:line")] for direct RAII
+    nesting in `path`; re-acquisitions go straight into `findings`."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    allow = {i + 1 for i, l in enumerate(raw_lines) if ALLOW_MARK in l}
+    stripped = strip_comments_and_strings(text).splitlines()
+    while len(stripped) < len(raw_lines):
+        stripped.append("")
+
+    edges = []
+    for fstart, fend in find_functions(stripped):
+        depth = 0
+        held = []  # [(lock_id, decl_depth)]
+
+        def track(chunk):
+            nonlocal depth
+            for ch in chunk:
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    while held and held[-1][1] > depth:
+                        held.pop()
+
+        for ln in range(fstart, fend + 1):
+            line = stripped[ln - 1]
+            pos = 0
+            for m in GUARD_RE.finditer(line):
+                track(line[pos:m.start()])
+                pos = m.start()
+                acquired = lock_id(path, m.group(2))
+                adopted = m.group(3) is not None
+                suppressed = ln in allow or (ln - 1) in allow
+                if not adopted and not suppressed:
+                    site = f"{path}:{ln}"
+                    for held_id, _ in held:
+                        if held_id == acquired:
+                            findings.append(
+                                f"{site}: '{acquired}' acquired while "
+                                f"already held (self-deadlock)")
+                        else:
+                            edges.append((held_id, acquired, site))
+                held.append((acquired, depth))
+            track(line[pos:])
+    return edges
+
+
+def check(edges, findings):
+    """Ordering violations against CANONICAL_ORDER, then cycles."""
+    adj = {}
+    for held, acquired, site in edges:
+        adj.setdefault(held, set()).add(acquired)
+        if held in RANK and acquired in RANK and RANK[held] > RANK[acquired]:
+            findings.append(
+                f"{site}: '{acquired}' acquired while holding '{held}' — "
+                f"contradicts the canonical order ('{acquired}' is the "
+                f"outer lock); see DESIGN.md \"Locking discipline\"")
+
+    # DFS cycle detection over every observed lock (ranked or not).
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {}
+    def dfs(node, stack):
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(adj.get(node, ())):
+            c = color.get(nxt, WHITE)
+            if c == GREY:
+                cyc = stack[stack.index(nxt):] + [nxt]
+                findings.append(
+                    "lock-order cycle: " + " -> ".join(cyc) +
+                    " (deadlock: two threads can acquire these in "
+                    "opposite orders)")
+            elif c == WHITE:
+                dfs(nxt, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(adj):
+        if color.get(node, WHITE) == WHITE:
+            dfs(node, [])
+
+
+def default_targets():
+    targets = []
+    for root, _, files in os.walk("src"):
+        for name in sorted(files):
+            if name.endswith((".cc", ".h")) and name not in EXCLUDED_BASENAMES:
+                targets.append(os.path.join(root, name))
+    return targets
+
+
+def main(argv):
+    args = argv[1:]
+    dump = "--dump-graph" in args
+    args = [a for a in args if a != "--dump-graph"]
+    targets = args or default_targets()
+    if not targets:
+        print("lock_lint: no input files (run from the repo root?)")
+        return 2
+
+    findings = []
+    edges = []
+    for path in targets:
+        edges.extend(collect_edges(path, findings))
+    check(edges, findings)
+
+    if dump:
+        print("lock-order graph (held -> acquired @ first site):")
+        seen = set()
+        for held, acquired, site in edges:
+            if (held, acquired) in seen:
+                continue
+            seen.add((held, acquired))
+            print(f"  {held} -> {acquired}  @ {site}")
+        if not edges:
+            print("  (no nested acquisitions)")
+
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"lock_lint: {len(findings)} finding(s)")
+        return 1
+    print(f"lock_lint: OK ({len(targets)} files, {len(edges)} nested "
+          f"acquisition(s), acyclic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

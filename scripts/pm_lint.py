@@ -32,6 +32,13 @@ line directly above it suppresses the finding. An `allow(...)` on the
 declaration that derives the pointer blesses *that variable* for the
 rest of the function.
 
+Suppressions are audited: an `allow(...)` that no longer suppresses any
+finding (the code it blessed was removed or rewritten, or the enclosing
+function gained its own persist barrier) is reported as STALE and fails
+the lint, so dead annotations cannot accumulate and mask future
+findings. Delete the annotation — or demote it to a plain comment if
+the prose is still worth keeping.
+
 Function extents are recognised with column-zero heuristics (Google
 style: signature starts at column 0, closing brace at column 0), which
 is exact for this codebase's .cc files. `src/pm/pm_pool.*` and
@@ -182,16 +189,20 @@ def lint_file(path):
         stripped_lines.append("")
 
     findings = []
+    used = set()  # allow lines that suppressed (or blessed) something
 
-    def suppressed(first, last):
-        return any(ln in allow for ln in range(first - 1, last + 1))
+    def allow_lines(first, last):
+        return [ln for ln in range(first - 1, last + 1) if ln in allow]
 
     for fstart, fend in find_functions(stripped_lines):
         body = "\n".join(stripped_lines[fstart - 1:fend])
         if PERSIST_RE.search(body):
+            # The function's own persist barrier covers its raw writes;
+            # any allow(...) inside it is dead and stays un-"used".
             continue
         tainted = set()
         blessed = set()
+        bless_lines = {}  # var -> allow lines that blessed it
         for stmt, first, last in statements(stripped_lines, fstart, fend):
             if not stmt.strip():
                 continue
@@ -201,38 +212,59 @@ def lint_file(path):
                 m = DERIVE_RE.search(stmt)
                 if m:
                     derived_here = m.group(1)
-                    if suppressed(first, last):
+                    lines = allow_lines(first, last)
+                    if lines:
                         blessed.add(derived_here)
+                        bless_lines.setdefault(derived_here,
+                                               set()).update(lines)
                     else:
                         tainted.add(derived_here)
             # Rule 1: mem*() with a Translate()-derived destination.
             mm = MEM_DST_RE.search(stmt)
             if mm and TRANSLATE_RE.search(mm.group(1)):
-                if not suppressed(first, last):
+                lines = allow_lines(first, last)
+                if lines:
+                    used.update(lines)
+                else:
                     findings.append((first, "mem* write through Translate() "
                                      "with no persist in enclosing function"))
                 continue
             # Rule 2: direct assignment through a Translate() expression.
             if has_translate and DIRECT_WRITE_RE.search(stmt) \
                     and not DERIVE_RE.search(stmt):
-                if not suppressed(first, last):
+                lines = allow_lines(first, last)
+                if lines:
+                    used.update(lines)
+                else:
                     findings.append((first, "raw store through Translate() "
                                      "with no persist in enclosing function"))
                 continue
-            # Rule 3: writes through previously tainted pointer variables.
-            for var in tainted - blessed:
+            # Rule 3: writes through previously derived pointer variables.
+            # A write through a blessed variable marks its blessing allow
+            # as live; a write through a tainted one is a finding unless
+            # suppressed at the write site.
+            for var in tainted | blessed:
                 if var == derived_here:
                     # The deriving statement's own '=' is not a store.
                     continue
                 wr = re.search(r"(?:\*\s*%s|\b%s\s*(?:->|\[)[^=;]*?)\s*"
                                r"(?:[-+|&^]=|(?<![=!<>])=(?!=))" % (var, var),
                                stmt)
-                if wr and not suppressed(first, last):
+                if not wr:
+                    continue
+                if var in blessed:
+                    used.update(bless_lines.get(var, ()))
+                    continue
+                lines = allow_lines(first, last)
+                if lines:
+                    used.update(lines)
+                else:
                     findings.append((first, "raw store through Translate()-"
                                      "derived pointer '%s' with no persist "
                                      "in enclosing function" % var))
                     break
-    return findings
+    stale = sorted(allow - used)
+    return findings, stale
 
 
 def default_targets():
@@ -253,15 +285,23 @@ def main(argv):
         print("pm_lint: no input files (run from the repo root?)")
         return 2
     total = 0
+    stale_total = 0
     for path in targets:
-        for line, msg in lint_file(path):
+        findings, stale = lint_file(path)
+        for line, msg in findings:
             print(f"{path}:{line}: {msg}")
             print("    (persist the range, or annotate the statement with "
                   "'// pm-lint: allow(<reason>)' if the state is volatile "
                   "by design)")
             total += 1
-    if total:
-        print(f"pm_lint: {total} finding(s)")
+        for line in stale:
+            print(f"{path}:{line}: STALE 'pm-lint: allow' annotation — it "
+                  "no longer suppresses any finding; delete it (or demote "
+                  "it to a plain comment)")
+            stale_total += 1
+    if total or stale_total:
+        print(f"pm_lint: {total} finding(s), {stale_total} stale "
+              f"annotation(s)")
         return 1
     print(f"pm_lint: OK ({len(targets)} files clean)")
     return 0

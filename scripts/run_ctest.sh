@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # CI ctest wrapper: always shows failing-test output, and separates test
 # TIMEOUTS from test FAILURES in both the log and the exit code so a hung
-# test is never misread as an assertion failure (and vice versa).
+# test is never misread as an assertion failure (and vice versa). LINT
+# failures (the LintTest.* static-analysis entries registered in
+# tests/CMakeLists.txt) are labeled distinctly from test failures, and a
+# lint-only failure gets its own exit code.
 #
 #   usage: run_ctest.sh [ctest args...]
-#   exit:  0 all passed, 124 at least one test timed out, 1 other failures
+#   exit:  0 all passed, 124 at least one test timed out,
+#          3 only lint checks failed, 1 other failures
 #
 # All arguments are passed through to ctest (e.g. --test-dir build -j 4
 # -R 'Chaos'). --output-on-failure is always appended.
@@ -27,7 +31,27 @@ if grep -q '\*\*\*Timeout' "$log"; then
   exit 124
 fi
 
+# Lint entries are named LintTest.* so static-analysis regressions read
+# as lint problems (fix the code or the lint), not as product test
+# failures.
+failed="$(grep -E '\*\*\*Failed|\*\*\*Exception' "$log" || true)"
+lint_failed="$(printf '%s\n' "$failed" | grep 'LintTest' || true)"
+other_failed="$(printf '%s\n' "$failed" | grep -v 'LintTest' || true)"
+
+if [ -n "$lint_failed" ]; then
+  echo ""
+  echo "::error::ctest: LINT failures (static-analysis tier; see the lint's own output above):"
+  printf '%s\n' "$lint_failed"
+fi
+if [ -n "$other_failed" ]; then
+  echo ""
+  echo "::error::ctest: test failures (no timeouts):"
+  printf '%s\n' "$other_failed"
+  exit 1
+fi
+[ -n "$lint_failed" ] && exit 3
+# ctest failed without marking any test Failed/Timeout (e.g. no tests
+# matched, or an internal error): surface the original status.
 echo ""
-echo "::error::ctest: test failures (no timeouts):"
-grep -E '\*\*\*Failed|\*\*\*Exception' "$log" || true
-exit 1
+echo "::error::ctest: failed with no per-test failure marker (status $status)"
+exit "$status"

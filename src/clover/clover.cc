@@ -64,7 +64,7 @@ void CloverStore::EncodeVersion(char* buf, uint64_t key_hash,
 
 Result<pm::PmPtr> CloverStore::MsLookup(int kn_node, uint64_t key_hash) {
   fabric_->ChargeRpc(kn_node, 16, 16, options_.ms_rpc_cpu_us);
-  std::lock_guard<std::mutex> lock(ms_mu_);
+  MutexLock lock(ms_mu_);
   ms_rpcs_.Inc();
   ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
   auto it = chains_.find(key_hash);
@@ -75,7 +75,7 @@ Result<pm::PmPtr> CloverStore::MsLookup(int kn_node, uint64_t key_hash) {
 Status CloverStore::MsInsert(int kn_node, uint64_t key_hash,
                              pm::PmPtr version) {
   fabric_->ChargeRpc(kn_node, 24, 8, options_.ms_rpc_cpu_us);
-  std::lock_guard<std::mutex> lock(ms_mu_);
+  MutexLock lock(ms_mu_);
   ms_rpcs_.Inc();
   ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
   auto [it, inserted] = chains_.emplace(key_hash, version);
@@ -86,7 +86,7 @@ Status CloverStore::MsInsert(int kn_node, uint64_t key_hash,
 Result<pm::PmPtr> CloverStore::MsAllocateVersion(int kn_node, size_t bytes) {
   // Leased in batches: only every kLeaseBatch-th allocation pays the RPC.
   {
-    std::lock_guard<std::mutex> lock(ms_mu_);
+    MutexLock lock(ms_mu_);
     if (ms_rpcs_.value() % kLeaseBatch == 0) {
       fabric_->ChargeRpc(kn_node, 16, 16, options_.ms_rpc_cpu_us);
       ms_cpu_us_.Add(options_.ms_rpc_cpu_us);
@@ -102,7 +102,7 @@ uint64_t CloverStore::RunGcOnce() {
   // detected by the key-fingerprint check on read.
   std::vector<std::pair<uint64_t, pm::PmPtr>> snapshot;
   {
-    std::lock_guard<std::mutex> lock(ms_mu_);
+    MutexLock lock(ms_mu_);
     snapshot.assign(chains_.begin(), chains_.end());
   }
   uint64_t freed = 0;
@@ -129,7 +129,7 @@ uint64_t CloverStore::RunGcOnce() {
     const dpm::ValuePtr latest_packed =
         PackVersion(latest, VersionSize(latest_hdr->value_len));
     {
-      std::lock_guard<std::mutex> lock(ms_mu_);
+      MutexLock lock(ms_mu_);
       chains_[key] = latest_packed.raw();
     }
     for (size_t i = 0; i + 1 < versions.size(); ++i) {

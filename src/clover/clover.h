@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/static_cache.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "kn/kn_worker.h"
@@ -119,8 +119,9 @@ class CloverStore {
   std::unique_ptr<pm::PmAllocator> alloc_;
   std::unique_ptr<net::Fabric> fabric_;
 
-  std::mutex ms_mu_;
-  std::unordered_map<uint64_t, pm::PmPtr> chains_;  // key -> head version
+  Mutex ms_mu_;
+  // key -> head version
+  std::unordered_map<uint64_t, pm::PmPtr> chains_ GUARDED_BY(ms_mu_);
 };
 
 /// One Clover KVS-node worker: shortcut-only cache over the shared store.

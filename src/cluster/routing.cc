@@ -53,61 +53,63 @@ RoutingService::RoutingService(int threads_per_kn, int virtual_nodes) {
 }
 
 std::shared_ptr<const RoutingTable> RoutingService::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return table_;
 }
 
 uint64_t RoutingService::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return table_->version;
 }
 
-uint64_t RoutingService::Publish(RoutingTable next) {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t RoutingService::Mutate(
+    const std::function<void(RoutingTable&)>& fn) {
+  // Copy, mutate and publish under one critical section so concurrent
+  // mutators serialize on the whole read-modify-write, not just the
+  // publish (see routing.h).
+  MutexLock lock(mu_);
+  RoutingTable next = *table_;
+  fn(next);
   next.version = table_->version + 1;
-  auto snap = std::make_shared<RoutingTable>(std::move(next));
-  table_ = std::move(snap);
+  table_ = std::make_shared<const RoutingTable>(std::move(next));
   return table_->version;
 }
 
 uint64_t RoutingService::AddKn(uint64_t kn) {
-  RoutingTable next = *Snapshot();
-  next.global_ring.AddNode(kn);
-  return Publish(std::move(next));
+  return Mutate([kn](RoutingTable& next) { next.global_ring.AddNode(kn); });
 }
 
 uint64_t RoutingService::RemoveKn(uint64_t kn) {
-  RoutingTable next = *Snapshot();
-  next.global_ring.RemoveNode(kn);
-  // Drop the departed KN from every replica set.
-  for (auto it = next.replicated.begin(); it != next.replicated.end();) {
-    auto& owners = it->second;
-    owners.erase(std::remove(owners.begin(), owners.end(), kn),
-                 owners.end());
-    if (owners.empty()) {
-      it = next.replicated.erase(it);
-    } else {
-      ++it;
+  return Mutate([kn](RoutingTable& next) {
+    next.global_ring.RemoveNode(kn);
+    // Drop the departed KN from every replica set.
+    for (auto it = next.replicated.begin(); it != next.replicated.end();) {
+      auto& owners = it->second;
+      owners.erase(std::remove(owners.begin(), owners.end(), kn),
+                   owners.end());
+      if (owners.empty()) {
+        it = next.replicated.erase(it);
+      } else {
+        ++it;
+      }
     }
-  }
-  return Publish(std::move(next));
+  });
 }
 
 uint64_t RoutingService::SetReplication(uint64_t key_hash,
                                         std::vector<uint64_t> owners) {
-  RoutingTable next = *Snapshot();
-  if (owners.size() <= 1) {
-    next.replicated.erase(key_hash);
-  } else {
-    next.replicated[key_hash] = std::move(owners);
-  }
-  return Publish(std::move(next));
+  return Mutate([key_hash, &owners](RoutingTable& next) {
+    if (owners.size() <= 1) {
+      next.replicated.erase(key_hash);
+    } else {
+      next.replicated[key_hash] = std::move(owners);
+    }
+  });
 }
 
 uint64_t RoutingService::ClearReplication(uint64_t key_hash) {
-  RoutingTable next = *Snapshot();
-  next.replicated.erase(key_hash);
-  return Publish(std::move(next));
+  return Mutate(
+      [key_hash](RoutingTable& next) { next.replicated.erase(key_hash); });
 }
 
 }  // namespace cluster

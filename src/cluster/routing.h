@@ -2,12 +2,13 @@
 #define DINOMO_CLUSTER_ROUTING_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -76,10 +77,17 @@ class RoutingService {
   uint64_t ClearReplication(uint64_t key_hash);
 
  private:
-  uint64_t Publish(RoutingTable next);
+  /// Copies the current table, applies `fn`, and publishes the result as
+  /// the next version — all under mu_. Every mutator goes through here:
+  /// a copy taken outside the lock (snapshot, mutate, publish) would let
+  /// two concurrent mutators each copy the same base table and the
+  /// second publish silently erase the first's change (lost update; see
+  /// RoutingServiceTest.ConcurrentMutatorsDoNotLoseUpdates).
+  uint64_t Mutate(const std::function<void(RoutingTable&)>& fn)
+      EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const RoutingTable> table_;
+  mutable Mutex mu_;
+  std::shared_ptr<const RoutingTable> table_ GUARDED_BY(mu_);
 };
 
 }  // namespace cluster

@@ -3,12 +3,16 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/mutex.h"
+
 namespace dinomo {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+// Innermost lock in the canonical order (DESIGN.md): serializes the final
+// fputs only, so logging is safe from inside any other critical section.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -50,7 +54,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   stream_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fputs(stream_.str().c_str(), stderr);
   }
   if (level_ == LogLevel::kFatal) std::abort();

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace dinomo {
@@ -57,7 +58,7 @@ class StripedMap {
   decltype(auto) WithShard(const K& key, Fn&& fn) {
     Shard& s = shards_[StripeOf(key)];
     LockShard(s);
-    std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+    MutexLock lock(s.mu, std::adopt_lock);
     return std::forward<Fn>(fn)(s.map);
   }
 
@@ -65,7 +66,7 @@ class StripedMap {
   decltype(auto) WithShard(const K& key, Fn&& fn) const {
     const Shard& s = shards_[StripeOf(key)];
     LockShard(s);
-    std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+    MutexLock lock(s.mu, std::adopt_lock);
     return std::forward<Fn>(fn)(s.map);
   }
 
@@ -76,7 +77,7 @@ class StripedMap {
   void ForEachShard(Fn&& fn) {
     for (Shard& s : shards_) {
       LockShard(s);
-      std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+      MutexLock lock(s.mu, std::adopt_lock);
       fn(s.map);
     }
   }
@@ -85,7 +86,7 @@ class StripedMap {
   void ForEachShard(Fn&& fn) const {
     for (const Shard& s : shards_) {
       LockShard(s);
-      std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
+      MutexLock lock(s.mu, std::adopt_lock);
       fn(s.map);
     }
   }
@@ -102,14 +103,17 @@ class StripedMap {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    MapT map;
+    mutable Mutex mu;
+    MapT map GUARDED_BY(mu);
 
     Shard() = default;
     // vector<Shard> needs these; only ever invoked while the vector is
-    // being sized in the constructor, before any concurrent use.
-    Shard(Shard&& other) noexcept : map(std::move(other.map)) {}
-    Shard& operator=(Shard&& other) noexcept {
+    // being sized in the constructor, before any concurrent use — which
+    // is why reading other.map lock-free is safe and the analysis is
+    // waived here.
+    Shard(Shard&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
+        : map(std::move(other.map)) {}
+    Shard& operator=(Shard&& other) noexcept NO_THREAD_SAFETY_ANALYSIS {
       map = std::move(other.map);
       return *this;
     }
@@ -128,13 +132,16 @@ class StripedMap {
     return static_cast<size_t>(h) & (shards_.size() - 1);
   }
 
-  void LockShard(const Shard& s) const {
-    if (s.mu.try_lock()) {
+  /// Contention-counting acquisition: try_lock first so a blocked
+  /// acquisition is observable, then fall back to a blocking Lock. The
+  /// caller adopts the held mutex into a MutexLock guard.
+  void LockShard(const Shard& s) const ACQUIRE(s.mu) {
+    if (s.mu.TryLock()) {
       if (acquired_ != nullptr) acquired_->Inc();
       return;
     }
     if (contended_ != nullptr) contended_->Inc();
-    s.mu.lock();
+    s.mu.Lock();
     if (acquired_ != nullptr) acquired_->Inc();
   }
 

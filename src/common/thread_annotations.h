@@ -1,0 +1,111 @@
+#ifndef DINOMO_COMMON_THREAD_ANNOTATIONS_H_
+#define DINOMO_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (DESIGN.md, "Locking
+/// discipline"). Every mutex in the tree is declared as a *capability*
+/// and every guarded field names its guard, so `-Wthread-safety` proves
+/// at compile time that guarded state is only touched with the right
+/// lock held — the static complement to the TSan job, which can only
+/// catch schedules it happens to execute.
+///
+/// The macros expand to Clang's capability attributes under Clang and to
+/// nothing elsewhere (the local GCC toolchain ignores them; the
+/// `static-analysis` CI job builds with clang -Wthread-safety -Werror).
+///
+/// Usage summary (see common/mutex.h for the annotated lock types):
+///
+///   Mutex mu_;
+///   int count_ GUARDED_BY(mu_);          // field needs mu_ held
+///   int* slot_ PT_GUARDED_BY(mu_);       // pointee needs mu_ held
+///   void RehashLocked() REQUIRES(mu_);   // caller must hold mu_
+///   int Snapshot() const EXCLUDES(mu_);  // caller must NOT hold mu_
+///
+/// Annotation arguments are member expressions; they may reference
+/// function parameters (e.g. `void LockShard(Shard& s) ACQUIRE(s.mu)`).
+
+#if defined(__clang__) && !defined(SWIG)
+#define DINOMO_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DINOMO_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a class to be a capability (a lock type).
+#define CAPABILITY(x) DINOMO_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY DINOMO_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be accessed with the given capability held (shared for
+/// reads, exclusive for writes).
+#define GUARDED_BY(x) DINOMO_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) DINOMO_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability/ies held exclusively on entry (and
+/// does not release them).
+#define REQUIRES(...) \
+  DINOMO_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared access on entry.
+#define REQUIRES_SHARED(...) \
+  DINOMO_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (held on return).
+#define ACQUIRE(...) \
+  DINOMO_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires shared access.
+#define ACQUIRE_SHARED(...) \
+  DINOMO_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define RELEASE(...) \
+  DINOMO_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases shared access.
+#define RELEASE_SHARED(...) \
+  DINOMO_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability whether it is held exclusively or
+/// shared (scoped-guard destructors that may hold either mode).
+#define RELEASE_GENERIC(...) \
+  DINOMO_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  DINOMO_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  DINOMO_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for
+/// self-locking public entry points).
+#define EXCLUDES(...) DINOMO_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; tells
+/// the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  DINOMO_THREAD_ANNOTATION__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DINOMO_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define RETURN_CAPABILITY(x) DINOMO_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Documented lock-ordering hints; clang checks them transitively.
+#define ACQUIRED_BEFORE(...) \
+  DINOMO_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  DINOMO_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function's body is not analyzed. Reserve for code
+/// whose correctness the analysis cannot express (pre-concurrency moves,
+/// condvar internals) and say why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DINOMO_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // DINOMO_COMMON_THREAD_ANNOTATIONS_H_

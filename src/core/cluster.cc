@@ -226,12 +226,15 @@ Status Cluster::Start() {
     node->merge()->StartThreads(options_.dpm_merge_threads);
   }
 
+  // Hold admin_mu_ for the initial KN bring-up: next_kn_id_ is guarded by
+  // it, and an AddKn racing with a slow Start must not interleave.
+  MutexLock admin(admin_mu_);
   for (int i = 0; i < options_.initial_kns; ++i) {
     const uint64_t id = next_kn_id_++;
     auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), pool_.get());
     node->Start();
     {
-      std::lock_guard<std::mutex> lock(kns_mu_);
+      MutexLock lock(kns_mu_);
       kns_[id] = std::move(node);
     }
     routing_.AddKn(id);
@@ -254,7 +257,7 @@ void Cluster::Stop() {
     mnode_thread_.join();
   }
   {
-    std::lock_guard<std::mutex> lock(kns_mu_);
+    MutexLock lock(kns_mu_);
     for (auto& [id, node] : kns_) node->Stop();
   }
   for (int i = 0; i < pool_->num_nodes(); ++i) {
@@ -270,7 +273,7 @@ void Cluster::Stop() {
     // callback never fired — exactly the leak the fault.* gate hunts.
     int64_t leaked = 0;
     {
-      std::lock_guard<std::mutex> lock(kns_mu_);
+      MutexLock lock(kns_mu_);
       for (auto& [id, node] : kns_) leaked += node->in_flight();
     }
     injector_->NoteHungRequests(static_cast<uint64_t>(leaked));
@@ -282,7 +285,7 @@ void Cluster::Stop() {
 }
 
 std::vector<uint64_t> Cluster::ActiveKns() const {
-  std::lock_guard<std::mutex> lock(kns_mu_);
+  MutexLock lock(kns_mu_);
   std::vector<uint64_t> out;
   for (const auto& [id, node] : kns_) {
     if (!node->failed()) out.push_back(id);
@@ -291,7 +294,7 @@ std::vector<uint64_t> Cluster::ActiveKns() const {
 }
 
 kn::KvsNode* Cluster::kn(uint64_t kn_id) {
-  std::lock_guard<std::mutex> lock(kns_mu_);
+  MutexLock lock(kns_mu_);
   auto it = kns_.find(kn_id);
   return it == kns_.end() ? nullptr : it->second.get();
 }
@@ -300,7 +303,7 @@ void Cluster::PushRoutingToAll() {
   auto table = routing_.Snapshot();
   std::vector<kn::KvsNode*> nodes;
   {
-    std::lock_guard<std::mutex> lock(kns_mu_);
+    MutexLock lock(kns_mu_);
     for (auto& [id, node] : kns_) {
       if (!node->failed()) nodes.push_back(node.get());
     }
@@ -349,13 +352,13 @@ Result<uint64_t> Cluster::MigrateData(uint64_t from_kn,
 }
 
 Result<uint64_t> Cluster::AddKn() {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   const uint64_t id = next_kn_id_++;
   auto node = std::make_unique<kn::KvsNode>(MakeKnOptions(id), pool_.get());
   node->SetAvailable(false);
   node->Start();
   {
-    std::lock_guard<std::mutex> lock(kns_mu_);
+    MutexLock lock(kns_mu_);
     kns_[id] = std::move(node);
   }
 
@@ -386,7 +389,7 @@ Result<uint64_t> Cluster::AddKn() {
 }
 
 Status Cluster::RemoveKn(uint64_t kn_id) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   kn::KvsNode* node = kn(kn_id);
   if (node == nullptr) return Status::NotFound("unknown KN");
   if (ActiveKns().size() <= 1) {
@@ -405,14 +408,14 @@ Status Cluster::RemoveKn(uint64_t kn_id) {
   PushRoutingToAll();
   node->Stop();
   {
-    std::lock_guard<std::mutex> lock(kns_mu_);
+    MutexLock lock(kns_mu_);
     kns_.erase(kn_id);
   }
   return Status::Ok();
 }
 
 Status Cluster::KillKn(uint64_t kn_id) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   kn::KvsNode* node = kn(kn_id);
   if (node == nullptr) return Status::NotFound("unknown KN");
 
@@ -439,14 +442,14 @@ Status Cluster::KillKn(uint64_t kn_id) {
 
   PushRoutingToAll();
   {
-    std::lock_guard<std::mutex> lock(kns_mu_);
+    MutexLock lock(kns_mu_);
     kns_.erase(kn_id);
   }
   return Status::Ok();
 }
 
 Status Cluster::KillDpm(int node) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   const auto t0 = std::chrono::steady_clock::now();
 
   // Fail-stop + promotion: the pool marks the node dead, removes it from
@@ -508,7 +511,7 @@ Status Cluster::KillDpm(int node) {
 }
 
 Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   if (options_.variant == SystemVariant::kDinomoN) {
     return Status::NotSupported("DINOMO-N has no selective replication");
   }
@@ -549,7 +552,7 @@ Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
 }
 
 Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   auto table = routing_.Snapshot();
   const std::vector<uint64_t> owners = table->OwnersOf(key_hash);
   if (owners.size() <= 1) return Status::Ok();
@@ -579,14 +582,14 @@ Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
 }
 
 void Cluster::RecordLatency(double us) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
+  MutexLock lock(latency_mu_);
   latency_hist_.Add(us);
 }
 
 mnode::ClusterMetrics Cluster::CollectMetrics(double epoch_seconds) {
   mnode::ClusterMetrics metrics;
   {
-    std::lock_guard<std::mutex> lock(latency_mu_);
+    MutexLock lock(latency_mu_);
     metrics.avg_latency_us = latency_hist_.Average();
     metrics.p99_latency_us = latency_hist_.P99();
     latency_hist_.Reset();

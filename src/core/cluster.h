@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "cluster/routing.h"
 #include "common/backoff.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dpm/dpm_node.h"
 #include "dpm/dpm_pool.h"
@@ -204,14 +204,16 @@ class Cluster {
   cluster::RoutingService routing_;
   mnode::PolicyEngine policy_;
 
-  mutable std::mutex kns_mu_;
-  std::map<uint64_t, std::unique_ptr<kn::KvsNode>> kns_;
-  uint64_t next_kn_id_ = 1;
+  // Outermost locks in the canonical order (DESIGN.md): admin_mu_
+  // serializes whole reconfigurations; kns_mu_ guards only the KN map
+  // and is held for lookups, never across protocol steps.
+  Mutex admin_mu_;
+  mutable Mutex kns_mu_;
+  std::map<uint64_t, std::unique_ptr<kn::KvsNode>> kns_ GUARDED_BY(kns_mu_);
+  uint64_t next_kn_id_ GUARDED_BY(admin_mu_) = 1;
 
-  std::mutex admin_mu_;  // serializes reconfigurations
-
-  std::mutex latency_mu_;
-  Histogram latency_hist_;
+  Mutex latency_mu_;
+  Histogram latency_hist_ GUARDED_BY(latency_mu_);
 
   std::thread mnode_thread_;
   std::atomic<bool> mnode_running_{false};

@@ -128,7 +128,7 @@ void DpmNode::PersistHighWater() {
   // The high-water hook fires outside the allocator's lock, so concurrent
   // allocations race here; serialize the read-check-store on the
   // superblock word.
-  std::lock_guard<std::mutex> lock(sb_mu_);
+  MutexLock lock(sb_mu_);
   const pm::PmPool& ro = *pool_;
   const auto* sb =
       reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
@@ -161,12 +161,12 @@ void DpmNode::RegisterSegment(pm::PmPtr base, const SegmentInfo& info) {
   });
   // Stripe first, index second: a resolver that finds the base in the
   // index is then guaranteed to find the segment in its owner's stripe.
-  std::unique_lock<std::shared_mutex> lock(seg_index_mu_);
+  WriterLock lock(seg_index_mu_);
   seg_index_[base] = SegRef{info.owner, info.gen};
 }
 
 bool DpmNode::LookupSegRef(pm::PmPtr base, SegRef* ref) const {
-  std::shared_lock<std::shared_mutex> lock(seg_index_mu_);
+  ReaderLock lock(seg_index_mu_);
   auto it = seg_index_.find(base);
   if (it == seg_index_.end()) return false;
   *ref = it->second;
@@ -229,7 +229,7 @@ Status DpmNode::InitRecovered() {
     if (info.merged_bytes < info.used_bytes) info.unmerged_batches = 1;
     RegisterSegment(base, info);
     {
-      std::lock_guard<std::mutex> lock(dir_mu_);
+      MutexLock lock(dir_mu_);
       segment_dir_slots_[base] = static_cast<int>(slot);
     }
     segments_allocated_.Inc();
@@ -418,7 +418,7 @@ void DpmNode::NoteSuperseded(pm::PmPtr entry_ptr) {
   pm::PmPtr base = pm::kNullPmPtr;
   SegRef ref;
   {
-    std::shared_lock<std::shared_mutex> lock(seg_index_mu_);
+    ReaderLock lock(seg_index_mu_);
     auto it = seg_index_.upper_bound(entry_ptr);
     if (it == seg_index_.begin()) return;
     --it;
@@ -511,7 +511,7 @@ void DpmNode::MaybeGcOwnerLocked(OwnerSegments& os, pm::PmPtr base,
   alloc_->Free(base);
   os.segments.erase(base);
   {
-    std::unique_lock<std::shared_mutex> lock(seg_index_mu_);
+    WriterLock lock(seg_index_mu_);
     seg_index_.erase(base);
   }
   segments_gced_.Inc();
@@ -523,7 +523,7 @@ Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
       reinterpret_cast<const Superblock*>(ro.Translate(superblock_));
   const auto* dir =
       reinterpret_cast<const SegDirEntry*>(ro.Translate(sb->segdir));
-  std::lock_guard<std::mutex> lock(dir_mu_);
+  MutexLock lock(dir_mu_);
   for (uint64_t slot = 0; slot < sb->segdir_slots; ++slot) {
     if (dir[slot].base != pm::kNullPmPtr) continue;
     const pm::PmPtr entry = sb->segdir + slot * sizeof(SegDirEntry);
@@ -539,7 +539,7 @@ Status DpmNode::DirectoryAdd(pm::PmPtr base, uint64_t owner) {
 }
 
 void DpmNode::DirectoryRemove(pm::PmPtr base) {
-  std::lock_guard<std::mutex> lock(dir_mu_);
+  MutexLock lock(dir_mu_);
   auto it = segment_dir_slots_.find(base);
   if (it == segment_dir_slots_.end()) return;
   const pm::PmPool& ro = *pool_;

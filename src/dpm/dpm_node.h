@@ -5,11 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/striped_map.h"
 #include "dpm/log.h"
@@ -290,14 +289,18 @@ class DpmNode {
   // Base -> (owner, gen) for interior-pointer resolution and RPC owner
   // checks. Read-mostly; writers are segment birth and GC death. Never
   // held while acquiring a stripe.
-  mutable std::shared_mutex seg_index_mu_;
-  std::map<pm::PmPtr, SegRef> seg_index_;
+  mutable SharedMutex seg_index_mu_;
+  std::map<pm::PmPtr, SegRef> seg_index_ GUARDED_BY(seg_index_mu_);
   std::atomic<uint64_t> seg_gen_{0};
 
-  std::mutex dir_mu_;  // persistent segment directory + slot cache
-  std::map<pm::PmPtr, int> segment_dir_slots_;  // base -> directory slot
+  // Persistent segment directory + slot cache. Leaf lock: taken inside
+  // stripe closures, never the other way around.
+  Mutex dir_mu_;
+  std::map<pm::PmPtr, int> segment_dir_slots_ GUARDED_BY(dir_mu_);
 
-  std::mutex sb_mu_;  // superblock high-water persistence
+  // Serializes superblock high-water persistence (guards the PM write,
+  // not a DRAM field). Leaf lock.
+  Mutex sb_mu_;
 
   // key hash -> indirect slot (contention: dpm.lock.shared.*).
   StripedMap<uint64_t, pm::PmPtr> shared_slots_{64};

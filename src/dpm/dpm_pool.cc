@@ -71,13 +71,13 @@ DpmPool::DpmPool(DpmNode* node)
 DpmPool::~DpmPool() = default;
 
 bool DpmPool::alive(int i) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return i >= 0 && i < static_cast<int>(alive_.size()) &&
          alive_[static_cast<size_t>(i)] != 0;
 }
 
 int DpmPool::num_alive() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int n = 0;
   for (char a : alive_) n += a != 0 ? 1 : 0;
   return n;
@@ -90,7 +90,7 @@ DpmPlacement DpmPool::PlacementOf(uint64_t key_hash) const {
   // old generation stamp is simply retried by its user (stale-gen reject),
   // never trusted with mixed state.
   p.generation = generation_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::vector<uint64_t> owners =
       ring_.OwnersOf(key_hash, static_cast<size_t>(replication_factor_));
   if (!owners.empty()) p.primary = static_cast<int>(owners[0]);
@@ -100,7 +100,7 @@ DpmPlacement DpmPool::PlacementOf(uint64_t key_hash) const {
 
 Status DpmPool::CheckRoute(int node, uint64_t gen) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (node < 0 || node >= static_cast<int>(nodes_.size())) {
       return Status::InvalidArgument("no such dpm node");
     }
@@ -144,7 +144,7 @@ Status DpmPool::SealSegment(int node, uint64_t gen, int kn_node,
 
 Status DpmPool::KillNode(int node) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (node < 0 || node >= static_cast<int>(nodes_.size())) {
       return Status::InvalidArgument("no such dpm node");
     }

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dpm/dpm_node.h"
 #include "obs/metrics.h"
@@ -134,9 +134,9 @@ class DpmPool {
   std::vector<std::unique_ptr<DpmNode>> owned_;
   std::vector<DpmNode*> nodes_;
 
-  mutable std::mutex mu_;  // guards ring_ + alive_
-  cluster::HashRing ring_;
-  std::vector<char> alive_;
+  mutable Mutex mu_;
+  cluster::HashRing ring_ GUARDED_BY(mu_);
+  std::vector<char> alive_ GUARDED_BY(mu_);
   std::atomic<uint64_t> generation_{1};
 
   obs::MetricGroup metrics_;  // dpm.pool.*

@@ -94,18 +94,18 @@ void MergeService::UpdateDepthLocked() {
 
 void MergeService::Enqueue(const MergeTask& task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     OwnerQueue& q = queues_[task.owner];
     if (!q.busy && q.tasks.empty()) MarkRunnableLocked(task.owner);
     q.tasks.push_back(task);
     queued_total_++;
     UpdateDepthLocked();
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool MergeService::TryDequeue(MergeTask* task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return PickRunnableLocked(-1, task);
 }
 
@@ -142,18 +142,19 @@ void MergeService::Finish(const MergeTask& task) {
   dpm_->CompleteBatch(task.owner, task.segment, task.data, task.bytes);
   std::function<void(const MergeAck&)> cb;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = queues_.find(task.owner);
     DINOMO_CHECK(it != queues_.end());
     it->second.busy = false;
     if (!it->second.tasks.empty()) MarkRunnableLocked(task.owner);
     queued_total_--;
+    finish_events_++;
     UpdateDepthLocked();
     cb = merge_cb_;
   }
   merged_batches_.Inc();
-  work_cv_.notify_one();
-  drain_cv_.notify_all();
+  work_cv_.NotifyOne();
+  drain_cv_.NotifyAll();
   if (cb) {
     cb(MergeAck{task.owner, task.segment, task.data, task.bytes,
                 dpm_->options().node_id});
@@ -173,7 +174,7 @@ Status MergeService::DrainOwner(uint64_t owner) {
     MergeTask task;
     bool run = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = queues_.find(owner);
       if (it == queues_.end() ||
           (it->second.tasks.empty() && !it->second.busy)) {
@@ -183,8 +184,13 @@ Status MergeService::DrainOwner(uint64_t owner) {
         RemoveRunnableLocked(owner);
         run = true;
       } else {
-        // Another worker is merging this owner's batch; wait for it.
-        drain_cv_.wait(lock);
+        // Another worker is merging this owner's batch; wait until some
+        // batch finishes before re-inspecting the queue. The explicit
+        // predicate (rather than a bare wait) makes a spurious wakeup
+        // re-wait instead of re-scanning, and keys the wait off guarded
+        // state the analysis can see.
+        const uint64_t seen = finish_events_;
+        while (finish_events_ == seen) drain_cv_.Wait(lock);
       }
     }
     if (run) {
@@ -197,7 +203,7 @@ Status MergeService::DrainOwner(uint64_t owner) {
 Status MergeService::DrainAll() {
   std::vector<uint64_t> owners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [owner, q] : queues_) owners.push_back(owner);
   }
   for (uint64_t owner : owners) {
@@ -207,25 +213,25 @@ Status MergeService::DrainAll() {
 }
 
 uint64_t MergeService::PendingBatches(uint64_t owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = queues_.find(owner);
   if (it == queues_.end()) return 0;
   return it->second.tasks.size() + (it->second.busy ? 1 : 0);
 }
 
 uint64_t MergeService::TotalPendingBatches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_total_;
 }
 
 void MergeService::SetMergeCallback(std::function<void(const MergeAck&)> cb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   merge_cb_ = std::move(cb);
 }
 
 void MergeService::StartThreads(int n) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = false;
     num_workers_ = n;
   }
@@ -236,13 +242,13 @@ void MergeService::StartThreads(int n) {
 
 void MergeService::StopThreads() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   num_workers_ = 0;
 }
 
@@ -251,12 +257,14 @@ void MergeService::WorkerLoop(int worker_idx) {
     MergeTask task;
     bool have = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        if (stopping_) return true;
-        if (!runnable_.empty()) return true;
-        return queued_total_ > 0 && AuditRunnableLocked();
-      });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not a wait-lambda): the guarded reads
+      // and the AuditRunnableLocked call stay in this scope, where the
+      // analysis can see mu_ is held.
+      while (!stopping_ && runnable_.empty() &&
+             !(queued_total_ > 0 && AuditRunnableLocked())) {
+        work_cv_.Wait(lock);
+      }
       if (stopping_) return;
       have = PickRunnableLocked(worker_idx, &task);
     }

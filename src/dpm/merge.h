@@ -2,15 +2,14 @@
 #define DINOMO_DPM_MERGE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -96,21 +95,23 @@ class MergeService {
   MergeService& operator=(const MergeService&) = delete;
 
   const MergeProfile& profile() const { return profile_; }
+  /// Pre-start configuration only: Execute reads the profile without a
+  /// lock, so this must not be called once merge traffic flows.
   void set_profile(MergeProfile p) { profile_ = p; }
 
   /// Queues a batch for asynchronous merging.
-  void Enqueue(const MergeTask& task);
+  void Enqueue(const MergeTask& task) EXCLUDES(mu_);
 
   /// Dequeues the next runnable task (per-owner ordering respected).
   /// Returns false if no owner currently has runnable work.
-  bool TryDequeue(MergeTask* task);
+  bool TryDequeue(MergeTask* task) EXCLUDES(mu_);
 
   /// Applies the task to the index. Returns the DPM CPU time consumed
   /// under the current profile. Must be followed by Finish(task).
   double Execute(const MergeTask& task);
 
   /// Marks the task's owner runnable again and fires merge callbacks.
-  void Finish(const MergeTask& task);
+  void Finish(const MergeTask& task) EXCLUDES(mu_);
 
   /// Convenience for real-thread workers and tests: dequeue + execute +
   /// finish. Returns false when idle.
@@ -119,20 +120,20 @@ class MergeService {
   /// Synchronously merges everything queued for `owner`. Used by the
   /// reconfiguration protocol (step 3: "DPM synchronously merges the data
   /// in logs for these KNs") and by failure handling.
-  Status DrainOwner(uint64_t owner);
+  Status DrainOwner(uint64_t owner) EXCLUDES(mu_);
 
   /// Synchronously merges everything queued for all owners.
-  Status DrainAll();
+  Status DrainAll() EXCLUDES(mu_);
 
   /// Number of batches queued (or in flight) for one owner.
-  uint64_t PendingBatches(uint64_t owner) const;
-  uint64_t TotalPendingBatches() const;
+  uint64_t PendingBatches(uint64_t owner) const EXCLUDES(mu_);
+  uint64_t TotalPendingBatches() const EXCLUDES(mu_);
 
   /// Registered callback fired after each batch merge completes. The ack
   /// identifies the exact batch (owner + segment + base), letting the KN
   /// evict its cached copy by base match; the virtual-time engine also
   /// uses it to wake blocked writers.
-  void SetMergeCallback(std::function<void(const MergeAck&)> cb);
+  void SetMergeCallback(std::function<void(const MergeAck&)> cb) EXCLUDES(mu_);
 
   /// Records a standalone merge_exec trace span per executed batch into
   /// `tracer` (nullptr = off). Non-owning; installed by the runtime at
@@ -159,35 +160,39 @@ class MergeService {
   // Invariant: an owner is in runnable_ exactly once iff its queue is
   // !busy with tasks pending. These helpers are the only places that
   // transition it. All require mu_.
-  void MarkRunnableLocked(uint64_t owner);
-  bool PopOwnerTaskLocked(uint64_t owner, MergeTask* task);
-  void RemoveRunnableLocked(uint64_t owner);
+  void MarkRunnableLocked(uint64_t owner) REQUIRES(mu_);
+  bool PopOwnerTaskLocked(uint64_t owner, MergeTask* task) REQUIRES(mu_);
+  void RemoveRunnableLocked(uint64_t owner) REQUIRES(mu_);
   /// Called when the runnable list looks empty: any owner found with
   /// pending, non-busy work is a lost wakeup — count it as a stall and
   /// self-heal by re-listing the owner. Returns true if any were found.
-  bool AuditRunnableLocked();
+  bool AuditRunnableLocked() REQUIRES(mu_);
   /// Picks the next owner for worker `worker_idx` (-1 = no affinity):
   /// oldest runnable owner homed on this worker, else steal the oldest
   /// overall. Returns false when runnable_ is empty.
-  bool PickRunnableLocked(int worker_idx, MergeTask* task);
-  void UpdateDepthLocked();
+  bool PickRunnableLocked(int worker_idx, MergeTask* task) REQUIRES(mu_);
+  void UpdateDepthLocked() REQUIRES(mu_);
 
   void WorkerLoop(int worker_idx);
 
   DpmNode* dpm_;
   MergeProfile profile_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable drain_cv_;
-  std::unordered_map<uint64_t, OwnerQueue> queues_;
-  std::deque<uint64_t> runnable_;  // FIFO of owners with runnable work
-  uint64_t queued_total_ = 0;      // queued + in-flight
-  uint64_t max_depth_seen_ = 0;
-  int num_workers_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar drain_cv_;
+  std::unordered_map<uint64_t, OwnerQueue> queues_ GUARDED_BY(mu_);
+  // FIFO of owners with runnable work.
+  std::deque<uint64_t> runnable_ GUARDED_BY(mu_);
+  uint64_t queued_total_ GUARDED_BY(mu_) = 0;  // queued + in-flight
+  uint64_t max_depth_seen_ GUARDED_BY(mu_) = 0;
+  // Monotonic count of completed batches; DrainOwner's wait predicate
+  // ("some batch finished since I looked") keys off it.
+  uint64_t finish_events_ GUARDED_BY(mu_) = 0;
+  int num_workers_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 
-  std::function<void(const MergeAck&)> merge_cb_;
+  std::function<void(const MergeAck&)> merge_cb_ GUARDED_BY(mu_);
   std::atomic<obs::Tracer*> tracer_{nullptr};
   std::vector<std::thread> workers_;
 

@@ -67,7 +67,7 @@ Result<Clht*> Clht::Recover(pm::PmPool* pool, pm::PmAllocator* alloc,
   // A crash may have interrupted a resize: the resize lock is volatile
   // state; clear it. (The pre-resize table stays authoritative until the
   // new packed header was persisted, which is the last resize step.)
-  h->resize_lock = 0;  // pm-lint: allow(volatile lock word, header persisted below)
+  h->resize_lock = 0;  // volatile lock word; the PersistAddr below covers it
   pool->PersistAddr(h, sizeof(Header));
   Status st = table->CheckConsistency();
   if (!st.ok()) {
@@ -347,7 +347,7 @@ void Clht::DoResize() {
   }
 
   {
-    std::lock_guard<SpinLock> lock(retired_mu_);
+    SpinLockHolder lock(retired_mu_);
     retired_.push_back(view.buckets);
     for (pm::PmPtr p : old_overflow) retired_.push_back(p);
   }
@@ -443,7 +443,7 @@ void Clht::ForEach(
 void Clht::FreeRetiredTables() {
   std::vector<pm::PmPtr> to_free;
   {
-    std::lock_guard<SpinLock> lock(retired_mu_);
+    SpinLockHolder lock(retired_mu_);
     to_free.swap(retired_);
   }
   for (pm::PmPtr p : to_free) alloc_->Free(p);

@@ -6,7 +6,7 @@
 #include <functional>
 #include <vector>
 
-#include "common/concurrency.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/fabric.h"
 #include "pm/pm_allocator.h"
@@ -200,7 +200,7 @@ class Clht {
 
   // Retired bucket arrays awaiting FreeRetiredTables().
   mutable SpinLock retired_mu_;
-  std::vector<pm::PmPtr> retired_;
+  std::vector<pm::PmPtr> retired_ GUARDED_BY(retired_mu_);
 
  public:
   /// Longest chain observed (diagnostics).

@@ -131,7 +131,7 @@ void KnWorker::FailoverRecover() {
   // entries whose segment home moved; re-resolve everything.
   cache_->Clear();
   {
-    std::lock_guard<std::mutex> lock(batches_mu_);
+    MutexLock lock(batches_mu_);
     // A dead node's cached batches were replicated before every ack and
     // merged on the promoted mirror when the pool drained it; the copies
     // are no longer authoritative. Batches on surviving primaries stay —
@@ -303,7 +303,7 @@ Status KnWorker::SearchCachedBatches(const WriteState* st, uint64_t key_hash,
       return deleted ? Status::Aborted("tombstone") : Status::Ok();
     }
   }
-  std::lock_guard<std::mutex> lock(batches_mu_);
+  MutexLock lock(batches_mu_);
   for (auto it = unmerged_batches_.rbegin(); it != unmerged_batches_.rend();
        ++it) {
     if (!it->bloom->MayContain(HashKeySlice(key_hash))) continue;
@@ -701,7 +701,7 @@ Status KnWorker::FlushState(const PlacementKey& pkey, WriteState* st,
   // ack can fire immediately — and it must find this batch to evict, or
   // the stale copy would shadow later merges forever.
   {
-    std::lock_guard<std::mutex> lock(batches_mu_);
+    MutexLock lock(batches_mu_);
     CachedBatch cached;
     cached.bytes.assign(st->batch.data(), len);
     cached.base = dst;
@@ -716,7 +716,7 @@ Status KnWorker::FlushState(const PlacementKey& pkey, WriteState* st,
     // The DPM never accepted the batch (no merge was scheduled): undo
     // the provisional registration. The ops stay buffered in batch, so
     // a later flush repeats the identical protocol.
-    std::lock_guard<std::mutex> lock(batches_mu_);
+    MutexLock lock(batches_mu_);
     for (auto it = unmerged_batches_.rbegin(); it != unmerged_batches_.rend();
          ++it) {
       if (it->base != dst || it->node != p) continue;
@@ -742,7 +742,7 @@ Status KnWorker::FlushState(const PlacementKey& pkey, WriteState* st,
   return Status::Ok();
 }
 
-Status KnWorker::FlushBatchLocked(net::OpCost* cost, double* cpu_us) {
+Status KnWorker::FlushAllStates(net::OpCost* cost, double* cpu_us) {
   (void)cost;
   for (auto& [pkey, st] : write_states_) {
     DINOMO_RETURN_IF_ERROR(FlushState(pkey, &st, cpu_us));
@@ -760,7 +760,7 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
   // They are also primary-only — the slot lives on the key's primary, and
   // the runtimes drop shared mode around a DPM membership change.
   double cpu = 0;
-  Status st = FlushBatchLocked(nullptr, &cpu);
+  Status st = FlushAllStates(nullptr, &cpu);
   out.cpu_us += cpu;
   if (!st.ok()) {
     out.status = st;
@@ -920,7 +920,7 @@ OpResult KnWorker::FlushWrites() {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
   CheckPlacement();
-  out.status = FlushBatchLocked(nullptr, &out.cpu_us);
+  out.status = FlushAllStates(nullptr, &out.cpu_us);
   stats_.busy_us += out.cpu_us;
   return out;
 }
@@ -974,14 +974,14 @@ Status KnWorker::DrainLog() {
 void KnWorker::ResetForOwnershipChange() {
   cache_->Clear();
   {
-    std::lock_guard<std::mutex> lock(batches_mu_);
+    MutexLock lock(batches_mu_);
     unmerged_batches_.clear();
   }
   RefreshIndexHandle();
 }
 
 void KnWorker::OnOwnerBatchMerged(int ack_node, pm::PmPtr batch_base) {
-  std::lock_guard<std::mutex> lock(batches_mu_);
+  MutexLock lock(batches_mu_);
   for (auto it = unmerged_batches_.begin(); it != unmerged_batches_.end();
        ++it) {
     if (it->base == batch_base && it->node == ack_node) {
@@ -997,7 +997,7 @@ void KnWorker::OnOwnerBatchMerged(int ack_node, pm::PmPtr batch_base) {
 }
 
 std::vector<pm::PmPtr> KnWorker::UnmergedBatchBases() const {
-  std::lock_guard<std::mutex> lock(batches_mu_);
+  MutexLock lock(batches_mu_);
   std::vector<pm::PmPtr> bases;
   bases.reserve(unmerged_batches_.size());
   for (const auto& b : unmerged_batches_) bases.push_back(b.base);
@@ -1014,7 +1014,7 @@ void KnWorker::InjectUnmergedBatchForTest(std::string bytes, pm::PmPtr base,
   cached.bytes = std::move(bytes);
   cached.base = base;
   cached.node = inject_node;
-  std::lock_guard<std::mutex> lock(batches_mu_);
+  MutexLock lock(batches_mu_);
   unmerged_batches_.push_back(std::move(cached));
 }
 

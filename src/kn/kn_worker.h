@@ -5,7 +5,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +13,7 @@
 #include "cache/cache.h"
 #include "cluster/routing.h"
 #include "common/bloom.h"
+#include "common/mutex.h"
 #include "common/hash.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -194,11 +194,12 @@ class KnWorker {
   /// (same bytes, different node/pool) and acks that straddle an
   /// ownership change no-ops. Thread-safe; may run concurrently with the
   /// worker thread.
-  void OnOwnerBatchMerged(int node, pm::PmPtr batch_base);
+  void OnOwnerBatchMerged(int node, pm::PmPtr batch_base)
+      EXCLUDES(batches_mu_);
 
   /// Bases of the cached un-merged batches, oldest first. Test seam for
   /// the ack-ordering regression tests.
-  std::vector<pm::PmPtr> UnmergedBatchBases() const;
+  std::vector<pm::PmPtr> UnmergedBatchBases() const EXCLUDES(batches_mu_);
 
   /// Test seam: registers `bytes` (a LogBuilder batch image) as a cached
   /// un-merged batch at `base` on DPM node `node`, bypassing the write
@@ -279,8 +280,10 @@ class KnWorker {
   /// Flushes one placement's pending batch with the replicate-before-ack
   /// protocol (single-write fast path when the placement has no mirror).
   Status FlushState(const PlacementKey& key, WriteState* st, double* cpu_us);
-  /// Flushes every placement's pending batch.
-  Status FlushBatchLocked(net::OpCost* cost, double* cpu_us);
+  /// Flushes every placement's pending batch. Registers cached copies
+  /// under batches_mu_ per placement, so the caller must not hold it.
+  Status FlushAllStates(net::OpCost* cost, double* cpu_us)
+      EXCLUDES(batches_mu_);
   OpResult SharedWrite(const Slice& key, const Slice& value,
                        uint64_t key_hash);
 
@@ -315,8 +318,10 @@ class KnWorker {
   uint64_t next_seq_ = 0;
 
   // Batches written to DPM but not yet merged (authoritative for reads).
-  mutable std::mutex batches_mu_;
-  std::deque<CachedBatch> unmerged_batches_;
+  // batches_mu_ is taken by the worker thread and, via OnOwnerBatchMerged,
+  // by whichever merge thread delivers the ack.
+  mutable Mutex batches_mu_;
+  std::deque<CachedBatch> unmerged_batches_ GUARDED_BY(batches_mu_);
 
   // Statistics.
   WorkerStats stats_;

@@ -28,7 +28,14 @@ void KvsNode::Start() {
 void KvsNode::Stop() {
   if (!running_.exchange(false)) return;
   for (auto& q : queues_) q->Close();
-  merge_cv_.notify_all();
+  // Bump the event counter under the lock before notifying: a Busy
+  // writer that has checked running_ but not yet blocked would otherwise
+  // miss this notify entirely (lost wakeup) and sleep out its timeout.
+  {
+    MutexLock lock(merge_mu_);
+    merge_events_++;
+  }
+  merge_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
   threads_.clear();
   if (!failed_.load()) {
@@ -48,7 +55,11 @@ void KvsNode::Fail() {
   available_.store(false, std::memory_order_release);
   if (!running_.exchange(false)) return;
   for (auto& q : queues_) q->Close();
-  merge_cv_.notify_all();
+  {
+    MutexLock lock(merge_mu_);
+    merge_events_++;
+  }
+  merge_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
   threads_.clear();
   // DRAM contents are lost with the node: caches and un-flushed batches.
@@ -108,16 +119,16 @@ void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
     return;
   }
   std::atomic<int> remaining{static_cast<int>(workers_.size())};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   // The decrement must happen under the lock: the waiter destroys mu/cv
   // as soon as it sees remaining == 0, so a worker that decremented
   // outside the lock could then lock a dead mutex. (mu, cv and remaining
   // outlive every call — the wait below holds this frame open until the
   // last worker has released mu.)
   auto finish_one = [&mu, &cv, &remaining] {
-    std::lock_guard<std::mutex> lock(mu);
-    if (remaining.fetch_sub(1) == 1) cv.notify_all();
+    MutexLock lock(mu);
+    if (remaining.fetch_sub(1) == 1) cv.NotifyAll();
   };
   for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
     Request req;
@@ -133,8 +144,8 @@ void KvsNode::RunOnAllWorkers(const std::function<void(KnWorker*)>& fn) {
       finish_one();
     }
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return remaining.load() == 0; });
+  MutexLock lock(mu);
+  while (remaining.load() != 0) cv.Wait(lock);
 }
 
 void KvsNode::OnBatchMerged(const dpm::MergeAck& ack) {
@@ -143,10 +154,10 @@ void KvsNode::OnBatchMerged(const dpm::MergeAck& ack) {
     workers_[idx]->OnOwnerBatchMerged(ack.node, ack.base);
   }
   {
-    std::lock_guard<std::mutex> lock(merge_mu_);
+    MutexLock lock(merge_mu_);
     merge_events_++;
   }
-  merge_cv_.notify_all();
+  merge_cv_.NotifyAll();
 }
 
 void KvsNode::WorkerLoop(int idx) {
@@ -198,12 +209,19 @@ void KvsNode::WorkerLoop(int idx) {
       const double wait_start =
           trace != nullptr ? trace->tracer()->NowUs() : 0.0;
       {
-        std::unique_lock<std::mutex> lock(merge_mu_);
+        // Bounded wait for merge progress or shutdown. The predicate is
+        // an explicit loop over guarded state (not a wait-lambda) so the
+        // merge_events_ reads are checked against merge_mu_; Stop/Fail
+        // bump the counter under the lock, closing the lost-wakeup
+        // window between the running_ check and the block.
+        MutexLock lock(merge_mu_);
         const uint64_t seen = merge_events_;
-        merge_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
-          return merge_events_ != seen ||
-                 !running_.load(std::memory_order_acquire);
-        });
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+        while (merge_events_ == seen &&
+               running_.load(std::memory_order_acquire)) {
+          if (!merge_cv_.WaitUntil(lock, deadline)) break;  // timed out
+        }
       }
       if (trace != nullptr) {
         trace->RecordWait(obs::SpanKind::kMergeWait, wait_start,
@@ -225,8 +243,8 @@ WorkerStats KvsNode::AggregateStats(bool reset) {
     WorkerStats s;
     if (running_.load(std::memory_order_acquire)) {
       std::atomic<bool> done{false};
-      std::mutex mu;
-      std::condition_variable cv;
+      Mutex mu;
+      CondVar cv;
       Request req;
       req.type = Request::Type::kControl;
       req.control = [&](KnWorker* worker) {
@@ -234,14 +252,14 @@ WorkerStats KvsNode::AggregateStats(bool reset) {
         // Notify while holding the lock: the waiter destroys mu/cv as
         // soon as it observes done, so an unlocked notify could touch a
         // dead condition variable.
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         done = true;
-        cv.notify_all();
+        cv.NotifyAll();
       };
       const int idx = static_cast<int>(&w - &workers_[0]);
       if (queues_[idx]->Push(std::move(req))) {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return done.load(); });
+        MutexLock lock(mu);
+        while (!done.load()) cv.Wait(lock);
       } else {
         // Queue closed under us: the worker thread is exiting, so an
         // inline snapshot no longer races with it.

@@ -2,7 +2,6 @@
 #define DINOMO_KN_KVS_NODE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <string>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "common/concurrency.h"
+#include "common/mutex.h"
 #include "kn/kn_worker.h"
 #include "obs/trace.h"
 
@@ -91,7 +91,7 @@ class KvsNode {
   /// Called (from the merge service callback) when one of this node's
   /// batches merged; wakes Busy writers and evicts the owning worker's
   /// cached batch identified by the ack's base.
-  void OnBatchMerged(const dpm::MergeAck& ack);
+  void OnBatchMerged(const dpm::MergeAck& ack) EXCLUDES(merge_mu_);
 
   /// Aggregated statistics across workers.
   WorkerStats AggregateStats(bool reset);
@@ -116,9 +116,13 @@ class KvsNode {
   std::atomic<bool> available_{true};
   std::atomic<int64_t> in_flight_{0};
 
-  std::mutex merge_mu_;
-  std::condition_variable merge_cv_;
-  uint64_t merge_events_ = 0;
+  // merge_mu_ guards the merge-progress event counter Busy writers wait
+  // on. Stop()/Fail() bump it under the lock too, so a writer blocked in
+  // its wait loop cannot miss the shutdown (lost-wakeup test:
+  // LostWakeupOnStopWhileBusyWaiting).
+  Mutex merge_mu_;
+  CondVar merge_cv_;
+  uint64_t merge_events_ GUARDED_BY(merge_mu_) = 0;
 };
 
 }  // namespace kn

@@ -95,7 +95,7 @@ FaultDecision Fabric::ConsultInjector(int node, bool allow_drop) {
 void Fabric::EnsureRegistered(int node) {
   NodeMetrics& m = counters_[node];
   if (m.registered.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(register_mu_);
+  MutexLock lock(register_mu_);
   if (m.registered.load(std::memory_order_relaxed)) return;
   const std::string prefix = "fabric.node" + std::to_string(node) + ".";
   registry_->RegisterCounter(prefix + "round_trips", &m.round_trips);

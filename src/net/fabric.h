@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/fault.h"
 #include "obs/metrics.h"
@@ -199,7 +199,9 @@ class Fabric {
   LinkProfile profile_;
   obs::MetricsRegistry* registry_;
   std::atomic<FaultInjector*> injector_{nullptr};
-  std::mutex register_mu_;
+  // Leaf lock serializing first-touch metric registration; the
+  // registered flag is double-checked so the hot path stays lock-free.
+  Mutex register_mu_;
   std::vector<NodeMetrics> counters_;
 };
 

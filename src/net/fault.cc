@@ -132,7 +132,7 @@ FaultInjector::FaultInjector(FaultSchedule schedule,
       hung_requests_(metrics_.counter("hung_requests")) {}
 
 void FaultInjector::SetClock(std::function<double()> clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   clock_ = std::move(clock);
 }
 
@@ -157,7 +157,7 @@ bool FaultInjector::EventFires(FaultEvent& ev, uint64_t* fired_count,
 FaultDecision FaultInjector::OnOneSided(int node, bool allow_drop) {
   FaultDecision decision;
   if (schedule_.events.empty()) return decision;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double now = NowUs();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     FaultEvent& ev = schedule_.events[i];
@@ -199,7 +199,7 @@ FaultDecision FaultInjector::OnOneSided(int node, bool allow_drop) {
 
 Status FaultInjector::OnRpc(int node) {
   if (schedule_.events.empty()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double now = NowUs();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     FaultEvent& ev = schedule_.events[i];
@@ -220,7 +220,7 @@ Status FaultInjector::OnRpc(int node) {
 
 int FaultInjector::ClaimFailStop() {
   if (schedule_.events.empty()) return -1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double now = NowUs();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];
@@ -235,7 +235,7 @@ int FaultInjector::ClaimFailStop() {
 
 int FaultInjector::ClaimDpmFailStop() {
   if (schedule_.events.empty()) return -1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double now = NowUs();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];
@@ -249,7 +249,7 @@ int FaultInjector::ClaimDpmFailStop() {
 }
 
 double FaultInjector::NextDpmFailStopAtUs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double next = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];
@@ -261,7 +261,7 @@ double FaultInjector::NextDpmFailStopAtUs() const {
 }
 
 double FaultInjector::NextFailStopAtUs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double next = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& ev = schedule_.events[i];

@@ -5,10 +5,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -183,12 +183,12 @@ class FaultInjector {
   std::function<double()> clock_;
   bool sleep_on_delay_ = false;
 
-  mutable std::mutex mu_;
-  Random rng_;
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
   /// Parallel to schedule_.events: injections charged to each event
   /// (enforces max_count) and whether a kFailStop was claimed.
-  std::vector<uint64_t> fired_;
-  std::vector<bool> failstop_claimed_;
+  std::vector<uint64_t> fired_ GUARDED_BY(mu_);
+  std::vector<bool> failstop_claimed_ GUARDED_BY(mu_);
 
   obs::MetricGroup metrics_;
   obs::Counter& injected_delay_;

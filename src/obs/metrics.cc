@@ -171,12 +171,12 @@ Counter& MetricsRegistry::GetCounterLocked(const std::string& name) {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return GetCounterLocked(name);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = owned_gauge_names_.find(name);
   if (it != owned_gauge_names_.end()) return *it->second;
   owned_gauges_.emplace_back();
@@ -187,7 +187,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = owned_histogram_names_.find(name);
   if (it != owned_histogram_names_.end()) return *it->second;
   owned_histograms_.emplace_back();
@@ -198,23 +198,23 @@ HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 void MetricsRegistry::RegisterCounter(const std::string& name, Counter* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.push_back({name, Kind::kCounter, c});
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name, Gauge* g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.push_back({name, Kind::kGauge, g});
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         HistogramMetric* h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.push_back({name, Kind::kHistogram, h});
 }
 
 void MetricsRegistry::Unregister(const void* metric) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto dead = std::stable_partition(
       entries_.begin(), entries_.end(),
       [metric](const Entry& e) { return e.metric != metric; });
@@ -238,7 +238,7 @@ void MetricsRegistry::Unregister(const void* metric) {
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   auto it = retired_counters_.find(name);
   if (it != retired_counters_.end()) total = it->second;
@@ -251,7 +251,7 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double value = 0.0;
   auto it = retired_gauges_.find(name);
   if (it != retired_gauges_.end()) value = it->second;
@@ -264,7 +264,7 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
 }
 
 bool MetricsRegistry::Has(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Entry& e : entries_) {
     if (e.name == name) return true;
   }
@@ -272,12 +272,12 @@ bool MetricsRegistry::Has(std::string_view name) const {
 }
 
 size_t MetricsRegistry::NumMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.insert(retired_counters_.begin(), retired_counters_.end());
   snap.gauges.insert(retired_gauges_.begin(), retired_gauges_.end());
@@ -305,7 +305,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retired_counters_.clear();
   retired_gauges_.clear();
   retired_histograms_.clear();
@@ -344,7 +344,7 @@ MetricGroup::~MetricGroup() {
 }
 
 Counter& MetricGroup::counter(std::string_view leaf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counter_names_.find(leaf);
   if (it != counter_names_.end()) return *it->second;
   counters_.emplace_back();
@@ -355,7 +355,7 @@ Counter& MetricGroup::counter(std::string_view leaf) {
 }
 
 Gauge& MetricGroup::gauge(std::string_view leaf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauge_names_.find(leaf);
   if (it != gauge_names_.end()) return *it->second;
   gauges_.emplace_back();
@@ -366,7 +366,7 @@ Gauge& MetricGroup::gauge(std::string_view leaf) {
 }
 
 HistogramMetric& MetricGroup::histogram(std::string_view leaf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histogram_names_.find(leaf);
   if (it != histogram_names_.end()) return *it->second;
   histograms_.emplace_back();
@@ -377,7 +377,7 @@ HistogramMetric& MetricGroup::histogram(std::string_view leaf) {
 }
 
 void MetricGroup::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Counter& c : counters_) c.Reset();
   for (Gauge& g : gauges_) g.Reset();
   for (HistogramMetric& h : histograms_) h.Reset();

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "obs/json.h"
 
 namespace dinomo {
@@ -76,21 +76,21 @@ class Gauge {
 class HistogramMetric {
  public:
   void Record(double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.Add(value);
   }
   Histogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_;
   }
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.Reset();
   }
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  mutable Mutex mu_;
+  Histogram hist_ GUARDED_BY(mu_);
 };
 
 /// Percentile summary of a histogram as exported to JSON/CSV.
@@ -180,23 +180,28 @@ class MetricsRegistry {
     void* metric;
   };
 
-  Counter& GetCounterLocked(const std::string& name);
+  Counter& GetCounterLocked(const std::string& name) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
   // Final values of unregistered metrics, keyed by name: counters and
   // histograms accumulate, gauges keep the last value. Merged into reads
   // and snapshots so totals survive component teardown.
-  std::map<std::string, uint64_t, std::less<>> retired_counters_;
-  std::map<std::string, double, std::less<>> retired_gauges_;
-  std::map<std::string, Histogram, std::less<>> retired_histograms_;
+  std::map<std::string, uint64_t, std::less<>> retired_counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> retired_gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> retired_histograms_
+      GUARDED_BY(mu_);
   // Owned metric storage: deques give stable addresses.
-  std::deque<Counter> owned_counters_;
-  std::deque<Gauge> owned_gauges_;
-  std::deque<HistogramMetric> owned_histograms_;
-  std::map<std::string, Counter*, std::less<>> owned_counter_names_;
-  std::map<std::string, Gauge*, std::less<>> owned_gauge_names_;
-  std::map<std::string, HistogramMetric*, std::less<>> owned_histogram_names_;
+  std::deque<Counter> owned_counters_ GUARDED_BY(mu_);
+  std::deque<Gauge> owned_gauges_ GUARDED_BY(mu_);
+  std::deque<HistogramMetric> owned_histograms_ GUARDED_BY(mu_);
+  std::map<std::string, Counter*, std::less<>> owned_counter_names_
+      GUARDED_BY(mu_);
+  std::map<std::string, Gauge*, std::less<>> owned_gauge_names_
+      GUARDED_BY(mu_);
+  std::map<std::string, HistogramMetric*, std::less<>> owned_histogram_names_
+      GUARDED_BY(mu_);
 };
 
 /// Where a component should publish: a registry (nullptr = the global
@@ -240,13 +245,15 @@ class MetricGroup {
 
  private:
   Scope scope_;
-  std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<HistogramMetric> histograms_;
-  std::map<std::string, Counter*, std::less<>> counter_names_;
-  std::map<std::string, Gauge*, std::less<>> gauge_names_;
-  std::map<std::string, HistogramMetric*, std::less<>> histogram_names_;
+  Mutex mu_;
+  std::deque<Counter> counters_ GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ GUARDED_BY(mu_);
+  std::deque<HistogramMetric> histograms_ GUARDED_BY(mu_);
+  std::map<std::string, Counter*, std::less<>> counter_names_
+      GUARDED_BY(mu_);
+  std::map<std::string, Gauge*, std::less<>> gauge_names_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramMetric*, std::less<>> histogram_names_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace obs

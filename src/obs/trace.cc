@@ -81,12 +81,12 @@ void Tracer::Enable(const TraceOptions& options) {
 }
 
 void Tracer::SetClock(std::function<double()> clock) {
-  std::lock_guard<std::mutex> lock(clock_mu_);
+  MutexLock lock(clock_mu_);
   clock_ = std::move(clock);
 }
 
 double Tracer::NowUs() const {
-  std::lock_guard<std::mutex> lock(clock_mu_);
+  MutexLock lock(clock_mu_);
   return clock_ ? clock_() : DefaultNowUs();
 }
 
@@ -104,7 +104,7 @@ void Tracer::Record(const SpanRecord& rec) {
   const size_t k = static_cast<size_t>(rec.kind);
   if (k < static_cast<size_t>(SpanKind::kNumKinds)) {
     {
-      std::lock_guard<std::mutex> lock(attr_mu_);
+      MutexLock lock(attr_mu_);
       phase_total_us_[k] += rec.dur_us;
       phase_count_[k] += 1;
     }
@@ -145,7 +145,7 @@ void Tracer::ResetForMeasurement() {
   trace_rts_.store(0, std::memory_order_relaxed);
   opcost_rts_.store(0, std::memory_order_relaxed);
   trace_bytes_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(attr_mu_);
+  MutexLock lock(attr_mu_);
   for (size_t k = 0; k < static_cast<size_t>(SpanKind::kNumKinds); ++k) {
     phase_total_us_[k] = 0.0;
     phase_count_[k] = 0;
@@ -230,7 +230,7 @@ void Tracer::PublishSummary() {
       .Set(sampled > 0
                ? static_cast<double>(trace_round_trips()) / sampled
                : 0.0);
-  std::lock_guard<std::mutex> lock(attr_mu_);
+  MutexLock lock(attr_mu_);
   const double request_total =
       phase_total_us_[static_cast<size_t>(SpanKind::kRequest)];
   for (size_t k = 0; k < static_cast<size_t>(SpanKind::kNumKinds); ++k) {

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -183,8 +183,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   TraceOptions options_;
 
-  mutable std::mutex clock_mu_;
-  std::function<double()> clock_;  // empty = default wall clock
+  mutable Mutex clock_mu_;
+  // Empty = default wall clock.
+  std::function<double()> clock_ GUARDED_BY(clock_mu_);
 
   std::atomic<uint64_t> sample_counter_{0};
   std::atomic<uint64_t> next_trace_id_{1};
@@ -200,9 +201,11 @@ class Tracer {
 
   // Phase attribution. Totals guarded by attr_mu_ (sampled spans only);
   // duration histograms are registry-owned and internally locked.
-  mutable std::mutex attr_mu_;
-  double phase_total_us_[static_cast<size_t>(SpanKind::kNumKinds)] = {};
-  uint64_t phase_count_[static_cast<size_t>(SpanKind::kNumKinds)] = {};
+  mutable Mutex attr_mu_;
+  double phase_total_us_[static_cast<size_t>(SpanKind::kNumKinds)] GUARDED_BY(
+      attr_mu_) = {};
+  uint64_t phase_count_[static_cast<size_t>(SpanKind::kNumKinds)] GUARDED_BY(
+      attr_mu_) = {};
   HistogramMetric* phase_hist_[static_cast<size_t>(SpanKind::kNumKinds)] = {};
 };
 

@@ -45,7 +45,7 @@ Result<PmPtr> PmAllocator::Alloc(size_t size) {
   PmPtr block = kNullPmPtr;
   PmPtr bumped = kNullPmPtr;
   {
-    std::lock_guard<SpinLock> lock(mu_);
+    SpinLockHolder lock(mu_);
     if (cls >= 0) {
       auto& list = free_lists_[cls];
       if (!list.empty()) {
@@ -95,7 +95,7 @@ void PmAllocator::Free(PmPtr p) {
   const size_t rounded = hdr->block_size;
   const int cls = ClassFor(rounded);
 
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   allocated_bytes_ -= rounded;
   if (cls >= 0 && ClassSize(cls) == rounded) {
     free_lists_[cls].push_back(p);
@@ -111,12 +111,12 @@ void PmAllocator::Free(PmPtr p) {
 }
 
 size_t PmAllocator::allocated_bytes() const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   return allocated_bytes_;
 }
 
 size_t PmAllocator::high_water() const {
-  std::lock_guard<SpinLock> lock(mu_);
+  SpinLockHolder lock(mu_);
   return bump_ - region_start_;
 }
 

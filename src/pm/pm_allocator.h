@@ -4,10 +4,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
-#include "common/concurrency.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "pm/pm_pool.h"
 
@@ -77,11 +76,14 @@ class PmAllocator {
   size_t region_size_;
 
   mutable SpinLock mu_;
-  PmPtr bump_;  // next never-allocated offset
-  std::array<std::vector<PmPtr>, kNumClasses> free_lists_;
+  PmPtr bump_ GUARDED_BY(mu_);  // next never-allocated offset
+  std::array<std::vector<PmPtr>, kNumClasses> free_lists_ GUARDED_BY(mu_);
   // Exact-size free lists for blocks above the largest class.
-  std::vector<std::pair<size_t, std::vector<PmPtr>>> large_free_;
-  size_t allocated_bytes_ = 0;
+  std::vector<std::pair<size_t, std::vector<PmPtr>>> large_free_
+      GUARDED_BY(mu_);
+  size_t allocated_bytes_ GUARDED_BY(mu_) = 0;
+  // Installed once before the allocator sees concurrent callers; invoked
+  // outside mu_ so the hook may take the DPM node's superblock lock.
   std::function<void(pm::PmPtr)> high_water_hook_;
 };
 

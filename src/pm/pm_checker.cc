@@ -89,7 +89,7 @@ void PmChecker::OnStore(PmPtr p, size_t len, const SourceLoc& loc) {
   if (len == 0) return;
   const PmPtr first = p / kLine * kLine;
   const PmPtr last = (p + len - 1) / kLine * kLine;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tracked_stores_.Inc();
   for (PmPtr line = first; line <= last; line += kLine) {
     auto it = lines_.find(line);
@@ -116,7 +116,7 @@ void PmChecker::OnStore(PmPtr p, size_t len, const SourceLoc& loc) {
 
 void PmChecker::OnRawWrite(PmPtr p) {
   const PmPtr line = p / kLine * kLine;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   raw_writes_.Inc();
   // A raw pointer may be used for an arbitrary-length write (or only a
   // read); the only sound move is to forget what we knew about the line.
@@ -132,7 +132,7 @@ void PmChecker::OnFlush(PmPtr p, size_t len, const SourceLoc& loc) {
   if (len == 0) return;
   const PmPtr first = p / kLine * kLine;
   const PmPtr last = (p + len - 1) / kLine * kLine;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   flushes_.Inc();
   // Redundant only when every line in the range is clean AND attributed to
   // a tracked store; any unknown or attribution-less line (raw writes,
@@ -182,7 +182,7 @@ void PmChecker::OnFlush(PmPtr p, size_t len, const SourceLoc& loc) {
 }
 
 void PmChecker::OnFence() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fences_.Inc();
   // Only the lines flushed since the previous fence can transition;
   // walking all of lines_ here was quadratic over a workload.
@@ -199,7 +199,7 @@ void PmChecker::OnPublication(PmPtr p, size_t len, const SourceLoc& loc) {
   const PmPtr first = p / kLine * kLine;
   const PmPtr last = len == 0 ? first : (p + len - 1) / kLine * kLine;
   const std::thread::id self = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   publications_.Inc();
   for (PmPtr line : dirty_) {
     auto it = lines_.find(line);
@@ -215,7 +215,7 @@ void PmChecker::OnPublication(PmPtr p, size_t len, const SourceLoc& loc) {
 }
 
 void PmChecker::OnCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The working image was rolled back to the durable one: every line now
   // holds persisted bytes, but attribution is gone — treat as unknown.
   lines_.clear();
@@ -224,17 +224,17 @@ void PmChecker::OnCrash() {
 }
 
 uint64_t PmChecker::violation_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::vector<PmViolation> PmChecker::violations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return violations_;
 }
 
 void PmChecker::ClearViolations() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Resets the test-facing view only; the pm.check.* counters stay
   // monotonic (CI gates read process-lifetime totals).
   violations_.clear();
@@ -242,7 +242,7 @@ void PmChecker::ClearViolations() {
 }
 
 std::string PmChecker::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const PmViolation& v : violations_) {
     out += v.Describe();
@@ -256,7 +256,7 @@ std::string PmChecker::Report() const {
 }
 
 uint64_t PmChecker::DirtyLineCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // dirty_ is exact: lines enter on a tracked store and leave on the
   // flush that writes them back (or a simulated crash).
   return dirty_.size();

@@ -2,13 +2,14 @@
 #define DINOMO_PM_PM_CHECKER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 #include <version>
+
+#include "common/mutex.h"
 
 #if defined(__cpp_lib_source_location)
 #include <source_location>
@@ -137,18 +138,20 @@ class PmChecker {
   };
 
   void AddViolationLocked(PmViolationKind kind, PmPtr line,
-                          std::string store_site, std::string persist_site);
+                          std::string store_site, std::string persist_site)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<PmPtr, LineInfo> lines_;
+  mutable Mutex mu_;
+  std::unordered_map<PmPtr, LineInfo> lines_ GUARDED_BY(mu_);
   // Exact indexes over lines_ by state, so OnFence touches only the lines
   // flushed since the previous fence and OnPublication scans only the
   // currently-dirty set (scanning all of lines_ made both O(pool lines
   // ever touched) per call — quadratic over a workload).
-  std::unordered_set<PmPtr> dirty_;
-  std::unordered_set<PmPtr> flushed_;
-  std::vector<PmViolation> violations_;
-  uint64_t recorded_ = 0;  // violations since last ClearViolations()
+  std::unordered_set<PmPtr> dirty_ GUARDED_BY(mu_);
+  std::unordered_set<PmPtr> flushed_ GUARDED_BY(mu_);
+  std::vector<PmViolation> violations_ GUARDED_BY(mu_);
+  // Violations since last ClearViolations().
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
 
   obs::MetricGroup metrics_;  // pm.check.*
   obs::Counter& tracked_stores_;

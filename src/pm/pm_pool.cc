@@ -10,6 +10,8 @@ namespace pm {
 namespace {
 
 bool CheckerEnvEnabled() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at pool creation,
+  // before any worker thread exists; nothing in the process calls setenv.
   const char* e = std::getenv("DINOMO_PM_CHECK");
   return e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0 &&
          std::strcmp(e, "off") != 0 && std::strcmp(e, "OFF") != 0;
@@ -112,7 +114,7 @@ void PmPool::Flush(PmPtr p, size_t len, const SourceLoc& loc) {
     const PmPtr line_start = p & ~(kCacheLineSize - 1);
     const PmPtr line_end =
         (p + len + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Snapshot the line contents now: a store between this flush and the
     // fence is not written back (the line would need another CLWB).
     pending_.push_back(PendingFlush{line_start, line_end - line_start,
@@ -124,7 +126,7 @@ void PmPool::Flush(PmPtr p, size_t len, const SourceLoc& loc) {
 void PmPool::Fence() {
   fence_count_.Inc();
   if (durable_ != nullptr || trace_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++boundary_;
     DrainPendingLocked();
   }
@@ -141,7 +143,7 @@ void PmPool::Persist(PmPtr p, size_t len, const SourceLoc& loc) {
   persisted_bytes_.Inc(line_end - line_start);
   if (checker_ != nullptr) checker_->OnFlush(p, len, loc);
   if (durable_ != nullptr || trace_enabled_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++boundary_;
     DrainPendingLocked();  // the implied fence drains earlier flushes too
     CommitLocked(line_start, line_end - line_start, nullptr);
@@ -160,7 +162,7 @@ Status PmPool::SimulateCrash() {
   if (durable_ == nullptr) {
     return Status::NotSupported("pool built without crash simulation");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Unfenced flushes die with the caches.
   pending_.clear();
   pending_blob_.clear();
@@ -176,7 +178,7 @@ void PmPool::EnableChecker() {
 }
 
 void PmPool::EnablePersistTrace() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (trace_enabled_) return;
   trace_enabled_ = true;
   // Boundary numbering starts here: crash-sim pools count fences before
@@ -190,13 +192,13 @@ void PmPool::EnablePersistTrace() {
 }
 
 uint64_t PmPool::persist_boundaries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return boundary_;
 }
 
 std::unique_ptr<PmPool> PmPool::CloneAtBoundary(
     uint64_t boundary, obs::MetricsRegistry* registry) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DINOMO_CHECK(trace_enabled_);
   auto clone = std::make_unique<PmPool>(
       capacity_, /*crash_sim=*/true,

@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "pm/pm_checker.h"
@@ -213,8 +214,9 @@ class PmPool {
   /// mu_. `src` is the snapshot to commit (nullptr = current working
   /// image); pending flushes pass their flush-time snapshot so stores
   /// after the CLWB but before the fence are not leaked into durability.
-  void CommitLocked(PmPtr start, size_t len, const char* src);
-  void DrainPendingLocked();
+  void CommitLocked(PmPtr start, size_t len, const char* src)
+      REQUIRES(mu_);
+  void DrainPendingLocked() REQUIRES(mu_);
 
   size_t capacity_;
   AlignedBuffer base_;
@@ -239,14 +241,16 @@ class PmPool {
     size_t blob_off;
   };
 
-  mutable std::mutex mu_;
-  bool trace_enabled_ = false;
-  uint64_t boundary_ = 0;  // persist boundaries seen (trace mode)
-  std::vector<TraceEntry> trace_;
-  std::string trace_blob_;
-  std::string trace_baseline_;  // durable image at EnablePersistTrace
-  std::vector<PendingFlush> pending_;
-  std::string pending_blob_;
+  mutable Mutex mu_;
+  bool trace_enabled_ GUARDED_BY(mu_) = false;
+  // Persist boundaries seen (trace mode).
+  uint64_t boundary_ GUARDED_BY(mu_) = 0;
+  std::vector<TraceEntry> trace_ GUARDED_BY(mu_);
+  std::string trace_blob_ GUARDED_BY(mu_);
+  // Durable image at EnablePersistTrace.
+  std::string trace_baseline_ GUARDED_BY(mu_);
+  std::vector<PendingFlush> pending_ GUARDED_BY(mu_);
+  std::string pending_blob_ GUARDED_BY(mu_);
 };
 
 }  // namespace pm

@@ -587,6 +587,8 @@ void DinomoSim::MnodeEpoch() {
   mnode::ClusterMetrics metrics = CollectEpochMetrics();
   epoch_started_ = now;
   const mnode::PolicyAction action = policy_.Evaluate(metrics, now / 1e6);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): the sim is single-threaded and
+  // nothing in the process calls setenv.
   if (getenv("DINOMO_SIM_DEBUG") != nullptr) {
     double min_occ = 1.0;
     for (auto& [id, o] : metrics.occupancy) min_occ = std::min(min_occ, o);
