@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "bench_json.h"
+#include "common/logging.h"
 
 namespace {
 
@@ -26,6 +27,8 @@ struct PolicyConfig {
 
 constexpr uint64_t kRecords = 100000;
 constexpr size_t kValueSize = 64;
+
+bool g_icache_enabled = true;
 
 double MeasureRts(const PolicyConfig& policy, double cache_pct,
                   bool write_mix, double duration_us) {
@@ -45,6 +48,7 @@ double MeasureRts(const PolicyConfig& policy, double cache_pct,
   opt.kn.num_workers = 8;
   opt.kn.policy = policy.kind;
   opt.kn.static_value_fraction = policy.fraction;
+  opt.kn.icache_enabled = g_icache_enabled;
   const size_t dataset =
       kRecords * (kValueSize + cache::kValueEntryOverhead);
   opt.kn.cache_bytes = static_cast<size_t>(dataset * cache_pct / 100.0);
@@ -53,6 +57,20 @@ double MeasureRts(const PolicyConfig& policy, double cache_pct,
 
   sim::DinomoSim sim(opt);
   sim.Preload();
+  // Warm up outside the measured counter window. Preload resets the
+  // fabric counters, but the warmup ops below are real traffic: without
+  // the explicit ResetProfileWindow() their round trips (cold icache
+  // fills, first-touch index traversals) would be averaged into the
+  // measured ops' RTs/op — every variant ran with that drift before.
+  const double warmup_us = duration_us / 5.0;
+  sim.Run(warmup_us, 0);
+  const uint64_t warmup_rts = bench::TotalFabricRts(sim);
+  sim.ResetProfileWindow();
+  // Drift guard: the reset must leave the measured window starting at
+  // zero, and the warmup phase must have produced traffic that the old
+  // window would have (wrongly) counted.
+  DINOMO_CHECK(bench::TotalFabricRts(sim) == 0);
+  DINOMO_CHECK(warmup_rts > 0);
   sim.Run(duration_us, 0);
   return sim.CollectProfile().rts_per_op;
 }
@@ -60,7 +78,19 @@ double MeasureRts(const PolicyConfig& policy, double cache_pct,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("table5_rts_per_op", argc, argv);
+  // --icache=0 disables the KN index-metadata cache — the ablation that
+  // shows what the communication-efficient index path buys (DAC misses
+  // pay the full index traversal again). Remaining flags pass through.
+  int icache = 1;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::sscanf(argv[i], "--icache=%d", &icache) == 1) continue;
+    passthrough.push_back(argv[i]);
+  }
+  g_icache_enabled = icache != 0;
+  bench::BenchReporter reporter("table5_rts_per_op",
+                                static_cast<int>(passthrough.size()),
+                                passthrough.data());
   bench::PrintHeader(
       "Table 5: round trips per operation across caching strategies\n"
       "(read-only, uniform 5% working set; lower is better)");
@@ -90,6 +120,7 @@ int main(int argc, char** argv) {
       .Config("workers_per_kn", 8)
       .Config("client_threads", 48)
       .Config("duration_us", duration_us)
+      .Config("icache", g_icache_enabled)
       .Config("seed", sim::DinomoSimOptions().seed);
 
   std::printf("%-8s", "cache%");

@@ -31,5 +31,6 @@ dinomo_gbench(micro_index)
 dinomo_gbench(micro_cache)
 dinomo_gbench(micro_log)
 dinomo_bench(micro_contention)
+dinomo_bench(pipelined_client)
 dinomo_bench(ablation_batching)
 dinomo_bench(ablation_cache_size)

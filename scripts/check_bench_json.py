@@ -37,22 +37,48 @@ REPLICATION_RECOVERY_BUDGET_US = 500e3
 
 # (bench, quick) -> list of (match, field, expected)
 # `match` is a dict of result-row fields that identify the row.
+#
+# table5 history: the index-metadata cache dropped DAC reads from
+# 0.47/0.14 to 0.31/0.03 (repeat misses now resolve the value home
+# without re-walking the index), and fixing the warmup-window bug (cold
+# first-touch traversals used to be averaged into the measured window)
+# pinned shortcut-only reads at exactly 1 RT/op.
 EXPECTATIONS = {
     ("table5_rts_per_op", True): [
         ({"policy": "shortcut-only", "mix": "read", "cache_pct": 4},
-         "rts_per_op", 1.07),
+         "rts_per_op", 1.00),
         ({"policy": "shortcut-only", "mix": "read", "cache_pct": 16},
-         "rts_per_op", 1.07),
+         "rts_per_op", 1.00),
         ({"policy": "DAC", "mix": "read", "cache_pct": 4},
-         "rts_per_op", 0.47),
-        ({"policy": "DAC", "mix": "read", "cache_pct": 16},
-         "rts_per_op", 0.14),
-        ({"policy": "DAC", "mix": "write", "cache_pct": 4},
          "rts_per_op", 0.31),
+        ({"policy": "DAC", "mix": "read", "cache_pct": 16},
+         "rts_per_op", 0.03),
+        ({"policy": "DAC", "mix": "write", "cache_pct": 4},
+         "rts_per_op", 0.21),
         ({"policy": "DAC", "mix": "write", "cache_pct": 16},
-         "rts_per_op", 0.20),
+         "rts_per_op", 0.10),
     ],
 }
+
+# One-sided ceilings for the DINOMO (DAC) request path, independent of
+# the two-sided EXPECTATIONS band above: these are the committed
+# baseline RTs/op, and a report may come in *below* them (improvements
+# land freely) but never above baseline * (1 + TABLE5_REGRESSION_TOL).
+# Raising a ceiling requires editing this table in the same PR and
+# justifying the communication regression in the commit message.
+TABLE5_REGRESSION_TOL = 0.15
+TABLE5_BASELINE = [
+    ({"policy": "DAC", "mix": "read", "cache_pct": 4}, 0.31),
+    ({"policy": "DAC", "mix": "read", "cache_pct": 16}, 0.03),
+    ({"policy": "DAC", "mix": "write", "cache_pct": 4}, 0.21),
+    ({"policy": "DAC", "mix": "write", "cache_pct": 16}, 0.10),
+]
+
+# pipelined_client gate: closed-loop throughput at depth 8 must be at
+# least this multiple of depth 1 (measured 5.4x at --quick; the bound
+# is the ISSUE's acceptance criterion with headroom for scheduler noise
+# in the virtual-time model across toolchains).
+PIPELINE_MIN_SPEEDUP = 2.0
 
 # PM crash-consistency checker violation counters (src/pm/pm_checker.*).
 # When a bench runs with the checker attached (DINOMO_PM_CHECK build or
@@ -71,7 +97,7 @@ SIM_BENCHES = {
     "table5_rts_per_op", "table6_profiling", "fig3_cache_policies",
     "fig4_dpm_compute", "fig5_scalability", "fig6_autoscaling",
     "fig7_load_balancing", "fig8_fault_tolerance", "ablation_batching",
-    "ablation_cache_size",
+    "ablation_cache_size", "pipelined_client",
 }
 
 
@@ -338,10 +364,108 @@ def row_matches(row, match):
     return all(row.get(k) == v for k, v in match.items())
 
 
+def check_table5_regression(path, doc):
+    """Non-regression ceiling for DINOMO (DAC) round trips per op: the
+    drift band in EXPECTATIONS is two-sided and gets updated when RTs/op
+    intentionally move, but this gate is one-sided against the committed
+    TABLE5_BASELINE — a report above baseline * (1 + tol) means the
+    request path started paying communication it didn't before."""
+    if doc.get("bench") != "table5_rts_per_op" or not doc.get("quick"):
+        return True
+    if doc.get("config", {}).get("icache") is False:
+        return True  # ablation run; check_expectations already noted it
+    ok = True
+    results = doc.get("results", [])
+    for match, baseline in TABLE5_BASELINE:
+        rows = [r for r in results if row_matches(r, match)]
+        if len(rows) != 1:
+            ok = fail(f"{path}: expected exactly one row matching {match}, "
+                      f"found {len(rows)}")
+            continue
+        actual = rows[0].get("rts_per_op")
+        if not isinstance(actual, (int, float)):
+            ok = fail(f"{path}: row {match} rts_per_op is {actual!r}")
+            continue
+        ceiling = baseline * (1 + TABLE5_REGRESSION_TOL) + ABS_TOL
+        if actual > ceiling:
+            ok = fail(
+                f"{path}: {match} rts_per_op = {actual:.4f} exceeds the "
+                f"committed baseline {baseline:.4f} (ceiling {ceiling:.4f})"
+                " — round trips per op regressed; if the extra "
+                "communication is intentional, raise TABLE5_BASELINE in "
+                "the same PR and say why")
+        else:
+            print(f"ok: {path}: {match} rts_per_op = {actual:.4f} <= "
+                  f"baseline ceiling {ceiling:.4f}")
+    return ok
+
+
+def check_pipelined_client(path, doc):
+    """Gates for the pipelined_client bench: depth-8 closed-loop
+    throughput must be >= PIPELINE_MIN_SPEEDUP x the depth-1 run of the
+    same report, the doorbell dual round-trip counters (leaf trace spans
+    vs per-request OpCost) must agree within 1% with fusion enabled, and
+    fusion must actually have fired."""
+    if doc.get("bench") != "pipelined_client":
+        return True
+    ok = True
+    results = [r for r in doc.get("results", []) if isinstance(r, dict)]
+    by_depth = {r.get("depth"): r for r in results
+                if r.get("section") == "pipeline_throughput"}
+    d1 = by_depth.get(1, {}).get("mops")
+    d8 = by_depth.get(8, {}).get("mops")
+    if not isinstance(d1, (int, float)) or not isinstance(d8, (int, float)):
+        ok = fail(f"{path}: need pipeline_throughput rows for depth 1 "
+                  f"and depth 8, got depths {sorted(by_depth)}")
+    elif d1 <= 0 or d8 < PIPELINE_MIN_SPEEDUP * d1:
+        ok = fail(
+            f"{path}: depth-8 throughput {d8:.3f} Mops is "
+            f"{d8 / d1 if d1 > 0 else 0:.2f}x depth-1 ({d1:.3f} Mops), "
+            f"below the {PIPELINE_MIN_SPEEDUP:.1f}x gate — the pipelined "
+            "client is no longer overlapping round trips")
+    else:
+        print(f"ok: {path}: depth-8 {d8:.3f} Mops = {d8 / d1:.2f}x "
+              f"depth-1 {d1:.3f} Mops (gate {PIPELINE_MIN_SPEEDUP:.1f}x)")
+    dual = [r for r in results if r.get("section") == "doorbell_dual_counter"]
+    if len(dual) != 1:
+        return fail(f"{path}: expected exactly one doorbell_dual_counter "
+                    f"row, found {len(dual)}")
+    row = dual[0]
+    trace_rts = row.get("trace_round_trips")
+    opcost_rts = row.get("opcost_round_trips")
+    batches = row.get("doorbell_batches")
+    if not isinstance(trace_rts, (int, float)) or trace_rts <= 0 or \
+            not isinstance(opcost_rts, (int, float)) or opcost_rts <= 0:
+        ok = fail(f"{path}: doorbell dual counters missing or zero "
+                  f"(trace={trace_rts!r}, opcost={opcost_rts!r})")
+    elif abs(trace_rts - opcost_rts) / opcost_rts > 0.01:
+        ok = fail(
+            f"{path}: trace round trips {int(trace_rts)} vs OpCost "
+            f"{int(opcost_rts)} differ by more than 1% with doorbell "
+            "fusion enabled — a fused op is traced without being "
+            "charged, or vice versa")
+    else:
+        print(f"ok: {path}: doorbell dual counters agree "
+              f"({int(trace_rts)} vs {int(opcost_rts)})")
+    if not isinstance(batches, (int, float)) or batches < 1:
+        ok = fail(f"{path}: doorbell_batches = {batches!r} — the pipelined "
+                  "GET load never fused a batch; KvsNode run assembly or "
+                  "Fabric::OpBatch is broken")
+    elif ok:
+        print(f"ok: {path}: {int(batches)} doorbell batches fused "
+              f"{int(row.get('doorbell_fused_ops', 0))} ops, saved "
+              f"{int(row.get('doorbell_saved_rts', 0))} round trips")
+    return ok
+
+
 def check_expectations(path, doc):
     key = (doc.get("bench"), bool(doc.get("quick")))
     expectations = EXPECTATIONS.get(key)
     if expectations is None:
+        return True
+    if doc.get("config", {}).get("icache") is False:
+        print(f"ok: {path}: icache-ablation run (--icache=0) — "
+              "skipping drift expectations")
         return True
     ok = True
     results = doc.get("results", [])
@@ -385,7 +509,8 @@ def main(argv):
             continue
         for checker in (check_schema, check_metrics, check_pm_checker,
                         check_faults, check_contention, check_replication,
-                        check_trace_metrics, check_expectations):
+                        check_trace_metrics, check_expectations,
+                        check_table5_regression, check_pipelined_client):
             if not checker(path, doc):
                 ok = False
         if ok:

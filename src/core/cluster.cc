@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -51,7 +52,20 @@ auto RetryTransientRpc(Fn&& fn) -> decltype(fn()) {
 Client::Client(Cluster* cluster)
     : cluster_(cluster),
       table_(cluster->routing()->Snapshot()),
-      salt_(reinterpret_cast<uintptr_t>(this)) {}
+      salt_(reinterpret_cast<uintptr_t>(this)),
+      mbox_(std::make_shared<Mailbox>()) {}
+
+Client::~Client() {
+  // Wait out any submission still owned by a worker thread: its
+  // completion callback will touch the mailbox (kept alive by the
+  // shared_ptr) and its Request still points at our trace context.
+  PumpWhile([this] {
+    for (const auto& [id, op] : ops_) {
+      if (op->in_flight) return true;
+    }
+    return false;
+  });
+}
 
 Result<std::string> Client::Get(const Slice& key) {
   return Execute(kn::Request::Type::kGet, key, Slice());
@@ -67,101 +81,272 @@ Status Client::Delete(const Slice& key) {
 
 Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
                                     const Slice& value) {
-  const uint64_t key_hash = kn::KeyHash(key);
+  return ExecuteAsync(type, key, value).Get();
+}
+
+Client::OpFuture Client::ExecuteAsync(kn::Request::Type type,
+                                      const Slice& key, const Slice& value) {
+  // Bounded window: admit only once fewer than pipeline_depth requests
+  // are unfinished, so a closed-loop caller cannot build an unbounded
+  // queue inside the KNs.
+  const size_t depth = static_cast<size_t>(
+      std::max(1, cluster_->options().pipeline_depth));
+  PumpWhile([this, depth] { return unfinished_ >= depth; });
+
+  auto op = std::make_unique<PendingOp>();
+  PendingOp* p = op.get();
+  p->id = next_op_id_++;
+  p->type = type;
+  p->key = key.ToString();
+  p->value = value.ToString();
+  p->key_hash = kn::KeyHash(key);
   const ClusterOptions& opts = cluster_->options();
-  const auto start = std::chrono::steady_clock::now();
-  const auto deadline =
-      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                  std::chrono::duration<double, std::micro>(
-                      opts.request_deadline_us));
+  p->deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::micro>(opts.request_deadline_us));
   // Fresh backoff per request, seeded deterministically per (client, key)
   // so concurrent clients rejected at the same instant decorrelate.
-  Backoff backoff(opts.client_backoff, salt_ ^ key_hash);
-  // Sampled requests carry a trace from here through the worker and
-  // fabric; the context ends (recording the root span) when it goes out
-  // of scope on any return path.
+  p->backoff = Backoff(opts.client_backoff, salt_ ^ p->key_hash);
+  // Sampled requests carry a trace from submission through the worker and
+  // fabric; the context ends (recording the root span) when the op record
+  // dies on any completion path.
   obs::Tracer* tracer = cluster_->tracer();
-  std::unique_ptr<obs::TraceContext> trace;
   if (tracer->ShouldSample()) {
     const char* name = type == kn::Request::Type::kGet   ? "get"
                        : type == kn::Request::Type::kPut ? "put"
                                                          : "delete";
-    trace = std::make_unique<obs::TraceContext>(tracer, name);
+    p->trace = std::make_unique<obs::TraceContext>(tracer, name);
   }
-  Status last = Status::Unavailable("no KNs");
-  for (int attempt = 0;; ++attempt) {
-    if (attempt > 0) {
-      // Stale routing is refreshed from the RN after a rejection, as a
-      // real client would (§3.4: "the KN they contact will direct them to
-      // a routing node to get the latest mapping information").
-      table_ = cluster_->routing()->Snapshot();
-      const double delay_us = backoff.NextDelayUs();
-      const auto wake =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double, std::micro>(delay_us));
-      if (wake >= deadline) break;
-      const double backoff_start =
-          trace != nullptr ? tracer->NowUs() : 0.0;
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::micro>(delay_us));
-      if (trace != nullptr) {
-        trace->RecordWait(obs::SpanKind::kBackoff, backoff_start,
-                          tracer->NowUs() - backoff_start);
-      }
-    }
-    if (std::chrono::steady_clock::now() >= deadline) break;
-    if (table_->global_ring.empty()) {
-      last = Status::Unavailable("no KNs");
-      continue;
-    }
-    const uint64_t kn_id = table_->RouteFor(key_hash, salt_++);
-    kn::KvsNode* node = cluster_->kn(kn_id);
-    if (node == nullptr) {
-      last = Status::Unavailable("routed to departed KN");
-      continue;
-    }
-    std::promise<kn::OpResult> promise;
-    auto future = promise.get_future();
-    kn::Request req;
-    req.type = type;
-    req.key = key.ToString();
-    req.value = value.ToString();
-    req.done = [&promise](kn::OpResult r) {
-      promise.set_value(std::move(r));
-    };
-    req.trace = trace.get();
-    node->Submit(*table_, std::move(req));
-    // The wait is unbounded on purpose: KvsNode guarantees every
-    // submitted request completes (drain-on-fail), so waiting here can
-    // only take as long as the op itself — the deadline bounds retries.
-    kn::OpResult result = future.get();
-    if (trace != nullptr) {
-      // Accumulated across retries; EndRequest publishes the total for
-      // the trace-vs-OpCost agreement gate.
-      trace->AddOpCostRoundTrips(result.cost.round_trips);
-    }
-    if (result.status.IsWrongOwner() || IsTransient(result.status)) {
-      last = result.status;
-      continue;
-    }
-    last_latency_us_ =
-        result.LatencyUs(cluster_->dpm()->fabric()->profile());
-    if (opts.inject_latency) SpinFor(last_latency_us_);
-    cluster_->RecordLatency(last_latency_us_);
-    if (!result.status.ok()) return result.status;
-    if (type == kn::Request::Type::kGet) {
-      return std::move(result.value);
-    }
-    return std::string();
+  ops_.emplace(p->id, std::move(op));
+  unfinished_++;
+  SubmitOp(p);
+  return OpFuture(this, p->id);
+}
+
+void Client::SubmitOp(PendingOp* op) {
+  op->attempts++;
+  if (op->attempts > 1) {
+    // Stale routing is refreshed from the RN after a rejection, as a
+    // real client would (§3.4: "the KN they contact will direct them to
+    // a routing node to get the latest mapping information").
+    table_ = cluster_->routing()->Snapshot();
   }
-  // Budget exhausted. DeadlineExceeded (not `last`) so callers can tell
-  // "out of time" apart from a definitive rejection.
+  if (Clock::now() >= op->deadline) {
+    FinishDeadline(op);
+    return;
+  }
+  if (table_->global_ring.empty()) {
+    op->last_error = Status::Unavailable("no KNs");
+    ParkOp(op);
+    return;
+  }
+  const uint64_t kn_id = table_->RouteFor(op->key_hash, salt_++);
+  kn::KvsNode* node = cluster_->kn(kn_id);
+  if (node == nullptr) {
+    op->last_error = Status::Unavailable("routed to departed KN");
+    ParkOp(op);
+    return;
+  }
+  kn::Request req;
+  req.type = op->type;
+  req.key = op->key;
+  req.value = op->value;
+  req.trace = op->trace.get();
+  // The callback holds the mailbox alive on its own; op state is only
+  // touched back on the client thread, keyed by id.
+  req.done = [mbox = mbox_, id = op->id](kn::OpResult r) {
+    MutexLock lock(mbox->mu);
+    mbox->ready.emplace_back(id, std::move(r));
+    mbox->cv.NotifyAll();
+  };
+  op->in_flight = true;
+  node->Submit(*table_, std::move(req));
+}
+
+void Client::ParkOp(PendingOp* op) {
+  const auto now = Clock::now();
+  if (now >= op->deadline) {
+    FinishDeadline(op);
+    return;
+  }
+  const double delay_us = op->backoff.NextDelayUs();
+  const auto wake =
+      now + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::micro>(delay_us));
+  if (wake >= op->deadline) {
+    // The remaining budget cannot fit another attempt.
+    FinishDeadline(op);
+    return;
+  }
+  op->parked = true;
+  op->wake = wake;
+  if (op->trace != nullptr) {
+    // The pump resubmits at `wake`; account the pause as backoff.
+    obs::Tracer* tracer = cluster_->tracer();
+    op->trace->RecordWait(obs::SpanKind::kBackoff, tracer->NowUs(),
+                          delay_us);
+  }
+}
+
+void Client::HandleCompletion(uint64_t id, kn::OpResult result) {
+  auto it = ops_.find(id);
+  DINOMO_CHECK(it != ops_.end());
+  PendingOp* op = it->second.get();
+  op->in_flight = false;
+  if (op->done) {
+    // The op was clamped at its deadline while this (late) completion
+    // was still in flight; it only needs absorbing. Drop the record if
+    // the future already harvested the clamped result.
+    if (op->consumed) ops_.erase(it);
+    return;
+  }
+  if (op->trace != nullptr) {
+    // Accumulated across retries; EndRequest publishes the total for
+    // the trace-vs-OpCost agreement gate.
+    op->trace->AddOpCostRoundTrips(result.cost.round_trips);
+  }
+  if (result.status.IsWrongOwner() || IsTransient(result.status)) {
+    op->last_error = result.status;
+    // The time this attempt spent inside the fabric op already counted
+    // against the budget: ParkOp computes the retry wake-up from *now*
+    // and finishes with DeadlineExceeded when the budget is gone, so a
+    // transient fault late in the window cannot push the request past
+    // its deadline by another attempt.
+    ParkOp(op);
+    return;
+  }
+  const double latency_us =
+      result.LatencyUs(cluster_->dpm()->fabric()->profile());
+  if (cluster_->options().inject_latency) SpinFor(latency_us);
+  cluster_->RecordLatency(latency_us);
+  if (!result.status.ok()) {
+    FinishOp(op, result.status, std::string(), latency_us);
+    return;
+  }
+  FinishOp(op, Status::Ok(),
+           op->type == kn::Request::Type::kGet ? std::move(result.value)
+                                               : std::string(),
+           latency_us);
+}
+
+void Client::FinishOp(PendingOp* op, Status status, std::string value,
+                      double latency_us) {
+  op->done = true;
+  DINOMO_CHECK(unfinished_ > 0);
+  unfinished_--;
+  op->latency_us = latency_us;
+  // Every completion path updates the last-latency snapshot — error and
+  // deadline exits included — so a caller polling last_latency_us() can
+  // never read a stale value from an earlier request.
+  last_latency_us_ = latency_us;
+  if (!status.ok()) {
+    op->result = Result<std::string>(std::move(status));
+  } else {
+    op->result = Result<std::string>(std::move(value));
+  }
+}
+
+void Client::FinishDeadline(PendingOp* op) {
+  // Budget exhausted. DeadlineExceeded (not the raw error) so callers can
+  // tell "out of time" apart from a definitive rejection.
   if (cluster_->fault_injector() != nullptr) {
     cluster_->fault_injector()->NoteDeadlineExceeded();
   }
-  return Status::DeadlineExceeded("request deadline exceeded; last error: " +
-                                  last.ToString());
+  FinishOp(op,
+           Status::DeadlineExceeded("request deadline exceeded; last error: " +
+                                    op->last_error.ToString()),
+           std::string(), 0.0);
+}
+
+template <typename Cond>
+void Client::PumpWhile(Cond keep_waiting) {
+  while (keep_waiting()) {
+    // 1. Drain ready completions.
+    std::deque<std::pair<uint64_t, kn::OpResult>> ready;
+    {
+      MutexLock lock(mbox_->mu);
+      ready.swap(mbox_->ready);
+    }
+    for (auto& [id, result] : ready) {
+      HandleCompletion(id, std::move(result));
+    }
+    // 2. Timed events: resubmit parked ops whose backoff elapsed; clamp
+    //    in-flight ops that ran out of budget (their late completion is
+    //    absorbed by HandleCompletion when it arrives).
+    const auto now = Clock::now();
+    auto next_event = Clock::time_point::max();
+    for (auto& [id, op] : ops_) {
+      PendingOp* p = op.get();
+      if (p->done) continue;
+      if (p->parked) {
+        if (p->wake <= now) {
+          p->parked = false;
+          SubmitOp(p);
+        } else {
+          next_event = std::min(next_event, p->wake);
+        }
+      }
+      if (p->done || p->parked) continue;
+      if (p->in_flight) {
+        if (now >= p->deadline) {
+          FinishDeadline(p);
+        } else {
+          next_event = std::min(next_event, p->deadline);
+        }
+      }
+    }
+    if (!keep_waiting()) return;
+    // 3. Sleep until a completion lands or the next timed event.
+    MutexLock lock(mbox_->mu);
+    if (!mbox_->ready.empty()) continue;
+    if (next_event == Clock::time_point::max()) {
+      // Nothing in flight and nothing parked can be what we wait for —
+      // the condition must depend on completions that cannot come.
+      return;
+    }
+    (void)mbox_->cv.WaitUntil(lock, next_event);
+  }
+}
+
+Result<std::string> Client::Harvest(uint64_t id) {
+  PumpWhile([this, id] {
+    auto it = ops_.find(id);
+    return it != ops_.end() && !it->second->done;
+  });
+  auto it = ops_.find(id);
+  DINOMO_CHECK(it != ops_.end());  // Get() may only be called once
+  PendingOp* op = it->second.get();
+  DINOMO_CHECK(op->done);
+  Result<std::string> out = std::move(op->result);
+  if (op->in_flight) {
+    // Clamped at deadline with the submission still outstanding: the
+    // record stays (its trace context is referenced by the worker) until
+    // the late completion is absorbed.
+    op->consumed = true;
+  } else {
+    ops_.erase(it);
+  }
+  return out;
+}
+
+bool Client::OpDone(uint64_t id) {
+  // Drain ready completions without blocking so progress does not depend
+  // on someone else pumping.
+  bool pass = true;
+  PumpWhile([&pass] { return std::exchange(pass, false); });
+  auto it = ops_.find(id);
+  return it == ops_.end() || it->second->done;
+}
+
+Result<std::string> Client::OpFuture::Get() {
+  DINOMO_CHECK(client_ != nullptr && id_ != 0);
+  return client_->Harvest(id_);
+}
+
+bool Client::OpFuture::done() {
+  DINOMO_CHECK(client_ != nullptr && id_ != 0);
+  return client_->OpDone(id_);
 }
 
 // ----- Cluster -----
@@ -317,6 +502,14 @@ void Cluster::PushRoutingToAll() {
       w->cache()->InvalidateIf([table, id](uint64_t key_hash) {
         return !table->IsOwner(key_hash, id);
       });
+      // Same hand-off rule for the index-metadata cache: a pointer for a
+      // range this KN no longer owns could otherwise resurface stale
+      // when the range comes back.
+      if (w->icache() != nullptr) {
+        w->icache()->InvalidateIf([table, id](uint64_t key_hash) {
+          return !table->IsOwner(key_hash, id);
+        });
+      }
     });
   }
 }
@@ -544,8 +737,10 @@ Status Cluster::ReplicateKeyHash(uint64_t key_hash, int replication) {
   PushRoutingToAll();
   kn::KvsNode* node = kn(primary);
   if (node != nullptr && !node->failed()) {
-    node->RunOnAllWorkers(
-        [key_hash](kn::KnWorker* w) { w->cache()->Invalidate(key_hash); });
+    node->RunOnAllWorkers([key_hash](kn::KnWorker* w) {
+      w->cache()->Invalidate(key_hash);
+      if (w->icache() != nullptr) w->icache()->Invalidate(key_hash);
+    });
   }
   ResumeKns({primary});
   return Status::Ok();
@@ -565,6 +760,7 @@ Status Cluster::DereplicateKeyHash(uint64_t key_hash) {
     if (node != nullptr && !node->failed()) {
       node->RunOnAllWorkers([key_hash](kn::KnWorker* w) {
         w->cache()->Invalidate(key_hash);
+        if (w->icache() != nullptr) w->icache()->Invalidate(key_hash);
       });
     }
   }

@@ -1,10 +1,13 @@
 #ifndef DINOMO_CORE_CLUSTER_H_
 #define DINOMO_CORE_CLUSTER_H_
 
+#include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/routing.h"
@@ -58,6 +61,11 @@ struct ClusterOptions {
   /// budget is spent, then the client sees DeadlineExceeded.
   double request_deadline_us = 500'000.0;
   BackoffOptions client_backoff;
+  /// Per-client pipelining window: ExecuteAsync admits up to this many
+  /// unfinished requests before blocking the submitter (closed-loop
+  /// drivers keep the window full to overlap round trips). The sync
+  /// Get/Put/Delete path always runs with one request in flight.
+  int pipeline_depth = 8;
   /// Fault schedule installed into the fabric and DPM RPC entry points at
   /// Start(). Empty = fault-free. kFailStop events name a KN id; the
   /// cluster enacts them via KillKn from a dedicated thread.
@@ -75,27 +83,135 @@ class Cluster;
 /// cached routing snapshot, refreshing it when a KN answers WrongOwner or
 /// is unavailable, exactly as §3.4 describes. Thread-compatible: use one
 /// Client per application thread.
+///
+/// Two request paths share one engine:
+///  - Sync Get/Put/Delete: submit and wait (one request in flight).
+///  - Pipelined: ExecuteAsync returns an OpFuture immediately and admits
+///    up to ClusterOptions::pipeline_depth unfinished requests, so a
+///    closed-loop caller overlaps round trips instead of paying one RTT
+///    per op. Completions are pumped on the client's own thread (inside
+///    ExecuteAsync/Get()/done()), which is where per-request retry,
+///    backoff and deadline decisions run — semantics are identical to the
+///    sync path, per request.
+///
+/// Every request observes its deadline: a request whose underlying op is
+/// still in flight when request_deadline_us elapses completes with
+/// DeadlineExceeded at the deadline (the late fabric op is absorbed when
+/// it finishes; it cannot extend the caller-visible latency).
 class Client {
  public:
+  /// Future-like handle to one pipelined request. Must not outlive the
+  /// Client that issued it; Get() may be called at most once.
+  class OpFuture {
+   public:
+    OpFuture() = default;
+    /// Blocks (driving the client's pipeline) until this op completes;
+    /// returns its result. For Put/Delete the value is empty.
+    Result<std::string> Get();
+    /// Non-blocking completion probe (drains ready completions first).
+    bool done();
+
+   private:
+    friend class Client;
+    OpFuture(Client* client, uint64_t id) : client_(client), id_(id) {}
+    Client* client_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
   explicit Client(Cluster* cluster);
+  /// Waits for in-flight completions before destruction (their callbacks
+  /// reference this client's mailbox and trace contexts).
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   Result<std::string> Get(const Slice& key);
   Status Put(const Slice& key, const Slice& value);
   Status Delete(const Slice& key);
 
-  /// Last operation's modeled service latency, us.
+  /// Pipelined submission; see the class comment.
+  OpFuture GetAsync(const Slice& key) {
+    return ExecuteAsync(kn::Request::Type::kGet, key, Slice());
+  }
+  OpFuture PutAsync(const Slice& key, const Slice& value) {
+    return ExecuteAsync(kn::Request::Type::kPut, key, value);
+  }
+  OpFuture DeleteAsync(const Slice& key) {
+    return ExecuteAsync(kn::Request::Type::kDelete, key, Slice());
+  }
+  OpFuture ExecuteAsync(kn::Request::Type type, const Slice& key,
+                        const Slice& value);
+
+  /// Unfinished pipelined requests (admitted, not yet completed).
+  size_t pipeline_outstanding() const { return unfinished_; }
+
+  /// Last completed operation's modeled service latency, us. Reset to 0
+  /// when the last operation finished without a definitive completion
+  /// (deadline exceeded), so a stale previous value never leaks through.
   double last_latency_us() const { return last_latency_us_; }
 
  private:
   friend class Cluster;
 
+  using Clock = std::chrono::steady_clock;
+
+  /// Completions cross from worker threads to the client thread here.
+  /// shared_ptr so a completion callback can never dangle.
+  struct Mailbox {
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::pair<uint64_t, kn::OpResult>> ready GUARDED_BY(mu);
+  };
+
+  /// One pipelined request's state; lives in ops_ from admission until
+  /// its result is harvested AND no underlying submission is in flight.
+  struct PendingOp {
+    uint64_t id = 0;
+    kn::Request::Type type = kn::Request::Type::kGet;
+    std::string key;
+    std::string value;
+    uint64_t key_hash = 0;
+    Clock::time_point deadline;
+    Backoff backoff;
+    int attempts = 0;
+    std::unique_ptr<obs::TraceContext> trace;
+    bool in_flight = false;  // submitted to a KN, completion pending
+    bool parked = false;     // waiting out a retry backoff
+    Clock::time_point wake;  // valid when parked
+    bool done = false;       // result is final (caller-visible)
+    bool consumed = false;   // future harvested the result
+    Status last_error = Status::Unavailable("no KNs");
+    Result<std::string> result{Status::Unavailable("pending")};
+    double latency_us = 0.0;
+  };
+
   Result<std::string> Execute(kn::Request::Type type, const Slice& key,
                               const Slice& value);
+  Result<std::string> Harvest(uint64_t id);
+  bool OpDone(uint64_t id);
+
+  /// Drives the pipeline until `keep_waiting` turns false: drains the
+  /// mailbox, applies retry/backoff/deadline decisions, resubmits parked
+  /// ops, and sleeps until the next timed event otherwise.
+  template <typename Cond>
+  void PumpWhile(Cond keep_waiting);
+  void SubmitOp(PendingOp* op);
+  void ParkOp(PendingOp* op);
+  void HandleCompletion(uint64_t id, kn::OpResult result);
+  void FinishOp(PendingOp* op, Status status, std::string value,
+                double latency_us);
+  void FinishDeadline(PendingOp* op);
 
   Cluster* cluster_;
   std::shared_ptr<const cluster::RoutingTable> table_;
   uint64_t salt_;
   double last_latency_us_ = 0.0;
+
+  std::shared_ptr<Mailbox> mbox_;
+  std::map<uint64_t, std::unique_ptr<PendingOp>> ops_;
+  uint64_t next_op_id_ = 1;
+  size_t unfinished_ = 0;  // ops in ops_ with done == false
 };
 
 /// The DINOMO cluster (real-thread runtime): DPM node, KVS nodes, routing

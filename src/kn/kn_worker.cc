@@ -69,6 +69,14 @@ KnWorker::KnWorker(const KnOptions& options, int worker_idx,
   const size_t shard_bytes =
       options_.cache_bytes / std::max(1, options_.num_workers);
   cache_ = MakeCache(options_, worker_idx, shard_bytes);
+  // The icache is part of the DINOMO communication-efficient read path;
+  // the shortcut-only policy models the prior-work baseline (DINOMO-S)
+  // and must keep paying the full traversal on a miss.
+  if (options_.icache_enabled &&
+      options_.policy != CachePolicyKind::kShortcutOnly) {
+    icache_ = std::make_unique<IndexCache>(options_.icache_entries,
+                                           options_.metrics);
+  }
   index_handles_.resize(static_cast<size_t>(pool_->num_nodes()));
   known_index_epochs_.resize(static_cast<size_t>(pool_->num_nodes()), 0);
   placement_gen_ = pool_->generation();
@@ -128,8 +136,11 @@ void KnWorker::CheckPlacement() {
 void KnWorker::FailoverRecover() {
   const uint64_t gen = pool_->generation();
   // Cached values and shortcuts may point into a dead node's pool, or at
-  // entries whose segment home moved; re-resolve everything.
+  // entries whose segment home moved; re-resolve everything. The icache's
+  // generation stamps already refuse old-generation entries, but clearing
+  // frees the slots for the new placement immediately.
   cache_->Clear();
+  if (icache_ != nullptr) icache_->Clear();
   {
     MutexLock lock(batches_mu_);
     // A dead node's cached batches were replicated before every ack and
@@ -320,7 +331,8 @@ Status KnWorker::SearchCachedBatches(const WriteState* st, uint64_t key_hash,
 }
 
 OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash,
-                            const dpm::DpmPlacement& pl) {
+                            const dpm::DpmPlacement& pl, bool shared,
+                            DirectReadPlan* plan) {
   OpResult out;
   out.cpu_us = options_.cpu_miss_us;
   if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
@@ -354,6 +366,54 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash,
 
   net::OpCost* cost = net::Fabric::ThreadOpCost();
   const uint32_t rts_before = cost != nullptr ? cost->round_trips : 0;
+
+  // Index-metadata cache: a generation-fresh pointer learned from an
+  // earlier traversal (or this worker's own append) resolves the value
+  // location without the index-lookup round — one one-sided read total.
+  // Recorded as a cache probe, not an index lookup, so trace attribution
+  // shows the index-lookup share falling. Shared keys bypass the icache:
+  // their current version lives behind the indirect slot.
+  if (icache_ != nullptr && !shared) {
+    uint64_t raw = 0;
+    if (icache_->Lookup(key_hash, placement_gen_, n, &raw)) {
+      if (obs::TraceContext* ctx = obs::CurrentTraceContext()) {
+        ctx->RecordLeaf(obs::SpanKind::kCacheProbe, "icache_hit", 0.0);
+      }
+      if (plan != nullptr) {
+        // Split-phase caller: hand the single remaining read back for
+        // doorbell fusion instead of issuing it here.
+        const dpm::ValuePtr vp(raw);
+        plan->ready = true;
+        plan->from_shortcut = false;
+        plan->node = n;
+        plan->key_hash = key_hash;
+        plan->vp = vp;
+        plan->buf.resize(vp.entry_size());
+        out.status = Status::Ok();
+        return out;
+      }
+      std::string value;
+      bool was_indirect = false;
+      Status st = ReadEntryValue(n, dpm::ValuePtr(raw), key_hash, &value,
+                                 &was_indirect);
+      if (st.ok()) {
+        const uint32_t rts_used =
+            cost != nullptr ? cost->round_trips - rts_before : 1;
+        cache_->AdmitOnMiss(key_hash, value, dpm::ValuePtr(raw), rts_used);
+        out.value = std::move(value);
+        out.status = Status::Ok();
+        return out;
+      }
+      if (IsTransient(st)) {
+        // The fabric ate the read; nothing is known about the pointer.
+        out.status = st;
+        return out;
+      }
+      // Fingerprint mismatch: the entry moved (merge GC / racing writer).
+      // Drop the slot and fall through to the authoritative traversal.
+      icache_->NoteStale(key_hash);
+    }
+  }
 
   // Remaining miss work is the DPM-side index traversal plus the value
   // read; group its fabric ops under one phase span.
@@ -408,6 +468,11 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash,
       cache_->AdmitShortcutOnly(key_hash, vp);
     } else {
       cache_->AdmitOnMiss(key_hash, value, vp, rts_used);
+      // Remember where the traversal landed so the next miss for this
+      // key skips the index-lookup round entirely.
+      if (icache_ != nullptr) {
+        icache_->Admit(key_hash, placement_gen_, n, vp.raw());
+      }
     }
     out.value = std::move(value);
     out.status = Status::Ok();
@@ -417,7 +482,7 @@ OpResult KnWorker::MissPath(const Slice& key, uint64_t key_hash,
   return out;
 }
 
-OpResult KnWorker::GetImpl(const Slice& key) {
+OpResult KnWorker::GetImpl(const Slice& key, DirectReadPlan* plan) {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
   CheckPlacement();
@@ -458,6 +523,21 @@ OpResult KnWorker::GetImpl(const Slice& key) {
       ctx->RecordLeaf(obs::SpanKind::kCacheProbe, "shortcut_hit",
                       options_.cpu_shortcut_hit_us);
     }
+    if (plan != nullptr && !r.ptr.indirect() && pl.primary >= 0) {
+      // Split-phase caller: a direct shortcut is exactly one one-sided
+      // read — defer it for doorbell fusion. Indirect (replicated) keys
+      // need the slot dereference first and stay inline.
+      plan->ready = true;
+      plan->from_shortcut = true;
+      plan->node = pl.primary;
+      plan->key_hash = key_hash;
+      plan->vp = r.ptr;
+      plan->buf.resize(r.ptr.entry_size());
+      out.cpu_us = options_.cpu_shortcut_hit_us;
+      out.hit = cache::HitKind::kShortcutHit;
+      stats_.busy_us += out.cpu_us;
+      return out;
+    }
     std::string value;
     bool was_indirect = false;
     Status st = ReadEntryValue(pl.primary, r.ptr, key_hash, &value,
@@ -479,13 +559,59 @@ OpResult KnWorker::GetImpl(const Slice& key) {
   }
 
   stats_.misses++;
-  OpResult miss = MissPath(key, key_hash, pl);
+  OpResult miss = MissPath(key, key_hash, pl, shared, plan);
   out.status = miss.status;
   out.value = std::move(miss.value);
   out.cpu_us = miss.cpu_us;
   out.hit = cache::HitKind::kMiss;
   stats_.busy_us += out.cpu_us;
   return out;
+}
+
+OpResult KnWorker::GetPrepare(const Slice& key, DirectReadPlan* plan) {
+  OpResult out = GetImpl(key, plan);
+  if (plan->ready) return out;  // finished by GetComplete after the fusion
+  return Finish(std::move(out));
+}
+
+OpResult KnWorker::GetComplete(const Slice& key, DirectReadPlan* plan,
+                               OpResult partial) {
+  dpm::LogRecord rec;
+  size_t consumed = 0;
+  Status st = dpm::DecodeEntry(plan->buf.data(), plan->buf.size(), &rec,
+                               &consumed);
+  if (st.ok() && rec.key_hash == plan->key_hash &&
+      rec.op == dpm::LogOp::kPut) {
+    partial.value.assign(rec.value.data(), rec.value.size());
+    partial.status = Status::Ok();
+    if (plan->from_shortcut) {
+      cache_->OnShortcutHit(plan->key_hash, partial.value, plan->vp);
+      stats_.shortcut_hits++;
+    } else {
+      // Mirrors the inline icache-hit path: one round trip total.
+      cache_->AdmitOnMiss(plan->key_hash, partial.value, plan->vp,
+                          /*miss_rts=*/1);
+    }
+    return Finish(std::move(partial));
+  }
+
+  // The fused read came back unusable: either the pointer went stale
+  // (merge GC, tombstone, racing writer) or the fabric dropped the read
+  // and zero-filled the buffer. Both recover the same way — drop the
+  // hint and rerun the full inline path, which re-resolves and carries
+  // its own fault handling. The wasted fused cost stays on the result.
+  if (plan->from_shortcut) {
+    cache_->Invalidate(plan->key_hash);
+  } else if (icache_ != nullptr) {
+    icache_->NoteStale(plan->key_hash);
+    stats_.misses--;  // the rerun below re-counts this op's miss
+  }
+  (void)net::Fabric::TakePendingFault();
+  stats_.reads--;  // the rerun below re-counts this op's read
+  OpResult retry = GetImpl(key);
+  retry.cost.Add(partial.cost);
+  retry.cpu_us += partial.cpu_us;
+  return Finish(std::move(retry));
 }
 
 Status KnWorker::EnsureSegmentsFor(WriteState* st,
@@ -824,6 +950,10 @@ OpResult KnWorker::SharedWrite(const Slice& key, const Slice& value,
                                  packed.raw())) {
       cache_->AdmitShortcutOnly(
           key_hash, dpm::ValuePtr::Pack(slot, 8, /*indirect=*/true));
+      // Any direct pointer learned before the key became shared is now
+      // behind the slot's version; drop it so a later de-replication
+      // cannot resurrect it.
+      if (icache_ != nullptr) icache_->Invalidate(key_hash);
       out.status = Status::Ok();
       return out;
     }
@@ -863,6 +993,13 @@ OpResult KnWorker::PutImpl(const Slice& key, const Slice& value) {
     return out;
   }
   cache_->AdmitOnWrite(key_hash, value, vp);
+  // The appended entry's home is fixed at append time (segment offsets
+  // are reserved before the flush ships the bytes), so the icache can
+  // learn it now; pre-flush reads are satisfied by the batch scan before
+  // the icache is ever consulted.
+  if (icache_ != nullptr) {
+    icache_->Admit(key_hash, placement_gen_, pl.primary, vp.raw());
+  }
   out.cpu_us = options_.cpu_write_us;
 
   if (ws->batch.entries() >= options_.batch_max_ops ||
@@ -902,6 +1039,7 @@ OpResult KnWorker::DeleteImpl(const Slice& key) {
     return out;
   }
   cache_->Invalidate(key_hash);
+  if (icache_ != nullptr) icache_->Invalidate(key_hash);
   out.cpu_us = options_.cpu_write_us;
   if (ws->batch.entries() >= options_.batch_max_ops ||
       ws->batch.bytes() >= options_.batch_max_bytes) {
@@ -973,6 +1111,7 @@ Status KnWorker::DrainLog() {
 
 void KnWorker::ResetForOwnershipChange() {
   cache_->Clear();
+  if (icache_ != nullptr) icache_->Clear();
   {
     MutexLock lock(batches_mu_);
     unmerged_batches_.clear();

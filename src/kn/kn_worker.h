@@ -21,6 +21,7 @@
 #include "dpm/dpm_pool.h"
 #include "dpm/log.h"
 #include "index/clht.h"
+#include "kn/index_cache.h"
 #include "net/fabric.h"
 
 namespace dinomo {
@@ -58,6 +59,22 @@ struct KnOptions {
   /// DINOMO-N: use the KN's private partition index instead of the shared
   /// one.
   bool dinomo_n = false;
+
+  /// KN index-metadata cache (communication-efficient read path): caches
+  /// the ValuePtr each key hash resolved to, stamped with the placement
+  /// generation, so common-case misses skip the dedicated index-lookup
+  /// fabric round. Disabled automatically under the shortcut-only policy,
+  /// which models the prior-work (DINOMO-S) baseline.
+  bool icache_enabled = true;
+  /// Slots in the per-worker index-metadata cache (rounded up to a power
+  /// of two; ~32 bytes each).
+  size_t icache_entries = 1 << 14;
+
+  /// Doorbell batching: a KN worker that finds several GETs queued runs
+  /// their local parts first, then fuses the surviving direct value reads
+  /// into one fabric round per DPM node (Fabric::OpBatch), up to this
+  /// many requests per round. <= 1 disables fusion.
+  int doorbell_max_fuse = 8;
 
   /// If false, a Put/Delete that hits the unmerged-segment threshold
   /// returns Busy instead of blocking (the virtual-time engine reschedules
@@ -118,6 +135,22 @@ struct WorkerStats {
   double key_freq_stddev = 0.0;
 };
 
+/// Phase-A output of a split-phase GET (doorbell fusion): the op reduced
+/// to exactly one one-sided entry read, described here so the runtime can
+/// fuse it with other queued requests' reads into a single fabric round
+/// (Fabric::OpBatch) before finishing each op with GetComplete.
+struct DirectReadPlan {
+  bool ready = false;
+  /// True when the pointer came from the shortcut cache (completion
+  /// refreshes it via OnShortcutHit); false = index-metadata cache.
+  bool from_shortcut = false;
+  int node = -1;  // DPM node whose fabric serves the read
+  uint64_t key_hash = 0;
+  dpm::ValuePtr vp;
+  /// Pre-sized destination the fused read fills; GetComplete decodes it.
+  std::string buf;
+};
+
 /// Maps a user key onto the 64-bit fingerprint used by the DPM index, the
 /// hash ring and the caches. Zero is reserved (CLHT empty slot).
 inline uint64_t KeyHash(const Slice& key) {
@@ -170,6 +203,20 @@ class KnWorker {
   }
   OpResult Delete(const Slice& key) { return Finish(DeleteImpl(key)); }
 
+  /// Split-phase GET, phase A: runs the local part (cache probe, batch
+  /// scan, index resolution). When the op reduces to one direct one-sided
+  /// value read, fills *plan (plan->ready) and returns the partial result
+  /// WITHOUT finishing the op — the caller fuses plan->vp's read with
+  /// other requests' reads (Fabric::OpBatch) into plan->buf, then calls
+  /// GetComplete. Otherwise behaves exactly like Get().
+  OpResult GetPrepare(const Slice& key, DirectReadPlan* plan);
+  /// Split-phase GET, phase C: decodes the fused read in plan->buf,
+  /// verifies the key fingerprint and admits/refreshes the caches. A
+  /// stale pointer (or a dropped fused read) falls back to the full
+  /// inline read path, folding the wasted cost into the result.
+  OpResult GetComplete(const Slice& key, DirectReadPlan* plan,
+                       OpResult partial);
+
   /// Flushes any buffered writes (end of a request burst). Returns the
   /// flush cost, zero if nothing was pending.
   OpResult FlushWrites();
@@ -212,6 +259,9 @@ class KnWorker {
   uint64_t log_owner() const { return (options_.kn_id << 8) | worker_idx_; }
 
   cache::KnCache* cache() { return cache_.get(); }
+  /// Index-metadata cache; nullptr when disabled (shortcut-only policy or
+  /// icache_enabled=false).
+  IndexCache* icache() { return icache_.get(); }
   const KnOptions& options() const { return options_; }
   dpm::DpmPool* pool() const { return pool_; }
 
@@ -266,10 +316,14 @@ class KnWorker {
                              const Slice& key, std::string* value,
                              double* cpu_us);
 
-  // The remote miss path against the key's primary DPM node: index
-  // traversal + value read.
+  // The remote miss path against the key's primary DPM node: icache-hit
+  // direct value read when possible, else index traversal + value read.
+  // `shared` keys (selectively replicated) bypass the icache — their
+  // current version lives behind an indirect slot. A non-null `plan`
+  // turns an icache hit into a deferred fused read (see GetPrepare).
   OpResult MissPath(const Slice& key, uint64_t key_hash,
-                    const dpm::DpmPlacement& pl);
+                    const dpm::DpmPlacement& pl, bool shared,
+                    DirectReadPlan* plan);
 
   // Write machinery.
   Status EnsureSegmentsFor(WriteState* st, const dpm::DpmPlacement& pl,
@@ -287,7 +341,7 @@ class KnWorker {
   OpResult SharedWrite(const Slice& key, const Slice& value,
                        uint64_t key_hash);
 
-  OpResult GetImpl(const Slice& key);
+  OpResult GetImpl(const Slice& key, DirectReadPlan* plan = nullptr);
   OpResult PutImpl(const Slice& key, const Slice& value);
   OpResult DeleteImpl(const Slice& key);
 
@@ -304,6 +358,7 @@ class KnWorker {
   obs::HistogramMetric& op_latency_us_;
   std::shared_ptr<const cluster::RoutingTable> routing_;
   std::unique_ptr<cache::KnCache> cache_;
+  std::unique_ptr<IndexCache> icache_;
 
   // Remote views of each DPM node's metadata index.
   std::vector<index::Clht::RemoteHandle> index_handles_;

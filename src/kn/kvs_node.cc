@@ -1,6 +1,9 @@
 #include "kn/kvs_node.h"
 
 #include <chrono>
+#include <map>
+#include <optional>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -163,14 +166,24 @@ void KvsNode::OnBatchMerged(const dpm::MergeAck& ack) {
 void KvsNode::WorkerLoop(int idx) {
   KnWorker* worker = workers_[idx].get();
   BlockingQueue<Request>* queue = queues_[idx].get();
+  // A non-GET popped while assembling a doorbell run; executed on the
+  // next iteration (queue order is preserved — it was enqueued after the
+  // run's GETs).
+  std::optional<Request> carry;
   while (true) {
-    auto item = queue->TryPop();
-    if (!item.has_value()) {
-      // Queue drained: group-commit boundary — flush buffered writes.
-      OpResult flush = worker->FlushWrites();
-      (void)flush;
-      item = queue->Pop();  // blocks
-      if (!item.has_value()) return;  // closed
+    std::optional<Request> item;
+    if (carry.has_value()) {
+      item = std::move(carry);
+      carry.reset();
+    } else {
+      item = queue->TryPop();
+      if (!item.has_value()) {
+        // Queue drained: group-commit boundary — flush buffered writes.
+        OpResult flush = worker->FlushWrites();
+        (void)flush;
+        item = queue->Pop();  // blocks
+        if (!item.has_value()) return;  // closed
+      }
     }
     Request req = std::move(*item);
     if (req.type == Request::Type::kControl) {
@@ -185,6 +198,27 @@ void KvsNode::WorkerLoop(int idx) {
       dead.status = Status::Unavailable("KN failed");
       if (req.done) req.done(std::move(dead));
       continue;
+    }
+    if (req.type == Request::Type::kGet && options_.doorbell_max_fuse > 1) {
+      // Doorbell fusion: under load, several GETs sit queued behind this
+      // one. Drain a run of them and fuse their direct value reads into
+      // one fabric round per DPM node instead of one round each.
+      std::vector<Request> run;
+      run.push_back(std::move(req));
+      while (static_cast<int>(run.size()) < options_.doorbell_max_fuse) {
+        auto next = queue->TryPop();
+        if (!next.has_value()) break;
+        if (next->type != Request::Type::kGet) {
+          carry = std::move(*next);
+          break;
+        }
+        run.push_back(std::move(*next));
+      }
+      if (run.size() > 1) {
+        ExecuteGetRun(worker, run);
+        continue;
+      }
+      req = std::move(run.front());  // alone in the queue: inline path
     }
     obs::TraceContext* trace = req.trace;
     if (trace != nullptr) trace->FlushWait(trace->tracer()->NowUs());
@@ -233,6 +267,69 @@ void KvsNode::WorkerLoop(int idx) {
       }
     }
     if (req.done) req.done(std::move(result));
+  }
+}
+
+void KvsNode::ExecuteGetRun(KnWorker* worker, std::vector<Request>& run) {
+  struct PendingRead {
+    Request* req = nullptr;
+    OpResult partial;
+    DirectReadPlan plan;
+  };
+  // Phase A: per-request local part. Requests that complete here (value
+  // hit, batch-scan hit, wrong owner, error) or that need more than one
+  // read (index traversal, indirect slot) finish inline; the rest leave
+  // exactly one direct read pending.
+  std::vector<PendingRead> pending;
+  pending.reserve(run.size());
+  for (Request& r : run) {
+    if (r.trace != nullptr) r.trace->FlushWait(r.trace->tracer()->NowUs());
+    obs::ScopedTraceContext trace_scope(r.trace);
+    PendingRead p;
+    p.req = &r;
+    p.partial = worker->GetPrepare(r.key, &p.plan);
+    if (!p.plan.ready) {
+      if (r.done) r.done(std::move(p.partial));
+      continue;
+    }
+    pending.push_back(std::move(p));
+  }
+  // Phase B + C: one fused fabric round per DPM node, then per-request
+  // decode/verify/complete. GETs never return Busy, so no retry loop.
+  std::map<int, std::vector<size_t>> by_node;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    by_node[pending[i].plan.node].push_back(i);
+  }
+  for (auto& [node, idxs] : by_node) {
+    PendingRead& leader = pending[idxs.front()];
+    net::OpCost fused;
+    {
+      // The fused round is charged to the group's first request, whose
+      // trace context carries the doorbell spans (rts=1 on the first
+      // fused op, 0 on the rest — see Fabric::OpBatch::Execute).
+      net::ScopedOpCost cost_scope(&fused);
+      obs::ScopedTraceContext trace_scope(leader.req->trace);
+      net::Fabric::OpBatch batch(pool_->node(node)->fabric(),
+                                 options_.fabric_node);
+      for (size_t i : idxs) {
+        PendingRead& p = pending[i];
+        batch.AddRead(p.plan.vp.offset(), p.plan.buf.data(),
+                      p.plan.buf.size());
+      }
+      batch.Execute();
+    }
+    leader.partial.cost.Add(fused);
+    // A dropped fused read zero-fills its buffer and each affected
+    // request recovers through GetComplete's decode fallback, so the
+    // parked fault (one slot, first wins) must not leak into later ops.
+    (void)net::Fabric::TakePendingFault();
+    for (size_t i : idxs) {
+      PendingRead& p = pending[i];
+      obs::ScopedTraceContext trace_scope(p.req->trace);
+      OpResult result =
+          worker->GetComplete(p.req->key, &p.plan, std::move(p.partial));
+      if (p.req->done) p.req->done(std::move(result));
+    }
   }
 }
 

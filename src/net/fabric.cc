@@ -51,9 +51,17 @@ Fabric::Fabric(pm::PmPool* pool, LinkProfile profile,
                                     : &obs::MetricsRegistry::Global()),
       counters_(kMaxNodes) {
   DINOMO_CHECK(pool != nullptr);
+  registry_->RegisterCounter("fabric.doorbell.batches", &doorbell_batches_);
+  registry_->RegisterCounter("fabric.doorbell.fused_ops",
+                             &doorbell_fused_ops_);
+  registry_->RegisterCounter("fabric.doorbell.saved_rts",
+                             &doorbell_saved_rts_);
 }
 
 Fabric::~Fabric() {
+  registry_->Unregister(&doorbell_batches_);
+  registry_->Unregister(&doorbell_fused_ops_);
+  registry_->Unregister(&doorbell_saved_rts_);
   for (NodeMetrics& m : counters_) {
     if (!m.registered.load(std::memory_order_acquire)) continue;
     registry_->Unregister(&m.round_trips);
@@ -279,6 +287,91 @@ void Fabric::ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
                 profile_.rpc_extra_us + dpm_cpu_us);
 }
 
+void Fabric::OpBatch::AddRead(pm::PmPtr src, void* dst, size_t len) {
+  Pending p;
+  p.is_read = true;
+  p.remote = src;
+  p.dst = dst;
+  p.src = nullptr;
+  p.len = len;
+  ops_.push_back(p);
+}
+
+void Fabric::OpBatch::AddWrite(const void* src, pm::PmPtr dst, size_t len,
+                               const pm::SourceLoc& loc) {
+  Pending p;
+  p.is_read = false;
+  p.remote = dst;
+  p.dst = nullptr;
+  p.src = src;
+  p.len = len;
+  p.loc = loc;
+  ops_.push_back(p);
+}
+
+void Fabric::OpBatch::Execute() {
+  if (ops_.empty()) return;
+  Fabric* f = fabric_;
+  if (ops_.size() == 1) {
+    // No fusion to be had: fall back to the plain op so singleton batches
+    // cost (and trace) exactly what an unbatched op does.
+    const Pending& p = ops_.front();
+    if (p.is_read) {
+      f->Read(node_, p.remote, p.dst, p.len);
+    } else {
+      f->Write(node_, p.src, p.remote, p.len, p.loc);
+    }
+    ops_.clear();
+    return;
+  }
+  uint64_t total_bytes = 0;
+  bool first = true;
+  for (const Pending& p : ops_) {
+    DINOMO_CHECK(f->pool_->Contains(p.remote, p.len));
+    // Each fused op keeps its own fault fate: the doorbell posts N work
+    // requests, and the injector decides per request.
+    const FaultDecision d = f->ConsultInjector(node_, /*allow_drop=*/true);
+    if (p.is_read) {
+      if (d.action == FaultDecision::Action::kDrop) {
+        std::memset(p.dst, 0, p.len);
+        ParkFault(Status::Unavailable("injected drop: doorbell read"));
+      } else {
+        const pm::PmPool& ro = *f->pool_;
+        std::memcpy(p.dst, ro.Translate(p.remote), p.len);
+      }
+    } else {
+      if (d.action == FaultDecision::Action::kDrop) {
+        ParkFault(Status::Unavailable("injected drop: doorbell write"));
+      } else {
+        f->pool_->StoreBytes(p.remote, p.src, p.len, p.loc);
+        f->pool_->Persist(p.remote, p.len, p.loc);
+      }
+    }
+    const uint32_t wire_ops =
+        d.action == FaultDecision::Action::kDuplicate ? 2 : 1;
+    const uint64_t bytes = static_cast<uint64_t>(p.len) * wire_ops;
+    total_bytes += bytes;
+    if (p.is_read) {
+      f->counters_[node_].one_sided_reads.Inc(wire_ops);
+    } else {
+      f->counters_[node_].one_sided_writes.Inc(wire_ops);
+    }
+    // The fused round trip is attributed to the first op's span; the rest
+    // carry only their wire bytes, keeping the trace-derived RT total in
+    // lockstep with the single Charge() below.
+    TraceFabricOp(f->profile_,
+                  p.is_read ? obs::SpanKind::kOneSidedRead
+                            : obs::SpanKind::kOneSidedWrite,
+                  "doorbell", first ? 1 : 0, bytes);
+    first = false;
+  }
+  f->Charge(node_, 1, total_bytes);
+  f->doorbell_batches_.Inc();
+  f->doorbell_fused_ops_.Inc(ops_.size());
+  f->doorbell_saved_rts_.Inc(ops_.size() - 1);
+  ops_.clear();
+}
+
 Fabric::NodeCounters Fabric::counters(int node) const {
   DINOMO_CHECK(node >= 0 && node < kMaxNodes);
   const NodeMetrics& m = counters_[node];
@@ -305,6 +398,9 @@ uint64_t Fabric::TotalWireBytes() const {
 }
 
 void Fabric::ResetCounters() {
+  doorbell_batches_.Reset();
+  doorbell_fused_ops_.Reset();
+  doorbell_saved_rts_.Reset();
   for (NodeMetrics& m : counters_) {
     m.round_trips.Reset();
     m.wire_bytes.Reset();

@@ -149,6 +149,54 @@ class Fabric {
   void ChargeRpc(int node, uint64_t req_bytes, uint64_t resp_bytes,
                  double dpm_cpu_us, const char* what = "rpc");
 
+  /// Doorbell-style batch of independent one-sided ops against a single
+  /// DPM node.
+  ///
+  /// Models the verbs idiom of posting several work requests and ringing
+  /// the doorbell once: the NIC pipelines the ops back-to-back, so the
+  /// whole batch completes in one fabric round trip while every op's wire
+  /// bytes are still paid. The fault injector is consulted per fused op
+  /// (a dropped read zero-fills and parks its error, a dropped write
+  /// lands nothing, a duplicate pays double wire bytes), and each fused
+  /// op records its own trace span — the batch's single round trip rides
+  /// on the first span (rts=0 on the rest) so the trace-vs-OpCost
+  /// round-trip cross-check stays exact. A batch of one degenerates to
+  /// the plain op; a batch of N>=2 saves N-1 round trips and counts into
+  /// the fabric.doorbell.{batches,fused_ops,saved_rts} metrics.
+  class OpBatch {
+   public:
+    OpBatch(Fabric* fabric, int node) : fabric_(fabric), node_(node) {}
+
+    OpBatch(const OpBatch&) = delete;
+    OpBatch& operator=(const OpBatch&) = delete;
+
+    void AddRead(pm::PmPtr src, void* dst, size_t len);
+    void AddWrite(const void* src, pm::PmPtr dst, size_t len,
+                  const pm::SourceLoc& loc = pm::SourceLoc::current());
+
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    int node() const { return node_; }
+
+    /// Executes every queued op in one fused fabric round and clears the
+    /// batch for reuse.
+    void Execute();
+
+   private:
+    struct Pending {
+      bool is_read;
+      pm::PmPtr remote;
+      void* dst;        // read destination (reads only)
+      const void* src;  // write source (writes only)
+      size_t len;
+      pm::SourceLoc loc;
+    };
+
+    Fabric* fabric_;
+    int node_;
+    std::vector<Pending> ops_;
+  };
+
   /// Installs `cost` as the accumulator all fabric calls on this thread
   /// charge into (nullptr to uninstall). Scoped helper below.
   static void SetThreadOpCost(OpCost* cost);
@@ -198,6 +246,11 @@ class Fabric {
   pm::PmPool* pool_;
   LinkProfile profile_;
   obs::MetricsRegistry* registry_;
+  // Doorbell fusion totals across all initiators (registered eagerly;
+  // duplicate names across Fabric instances aggregate in snapshots).
+  obs::Counter doorbell_batches_;
+  obs::Counter doorbell_fused_ops_;
+  obs::Counter doorbell_saved_rts_;
   std::atomic<FaultInjector*> injector_{nullptr};
   // Leaf lock serializing first-touch metric registration; the
   // registered flag is double-checked so the hot path stays lock-free.

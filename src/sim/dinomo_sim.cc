@@ -114,7 +114,7 @@ DinomoSim::~DinomoSim() {
   if (trace_clock_installed_) {
     // End in-flight traces while the virtual clock is still installed,
     // then restore the wall clock for whoever uses the tracer next.
-    for (Stream& s : streams_) s.trace.reset();
+    for (Stream& s : streams_) s.traces.clear();
     tracer_->SetClock(nullptr);
   }
 }
@@ -168,6 +168,11 @@ void DinomoSim::PushRouting() {
       ws->worker->cache()->InvalidateIf([&table, id](uint64_t key_hash) {
         return !table->IsOwner(key_hash, id);
       });
+      if (ws->worker->icache() != nullptr) {
+        ws->worker->icache()->InvalidateIf([&table, id](uint64_t key_hash) {
+          return !table->IsOwner(key_hash, id);
+        });
+      }
     }
   }
 }
@@ -219,12 +224,7 @@ void DinomoSim::Preload() {
     DINOMO_CHECK(pool_->node(i)->merge()->DrainAll().ok());
   }
   // Measurement starts fresh: keep the warm caches, reset the counters.
-  for (int i = 0; i < pool_->num_nodes(); ++i) {
-    pool_->node(i)->fabric()->ResetCounters();
-  }
-  for (auto& k : kns_) {
-    for (auto& ws : k->workers) ws->worker->SnapshotStats(/*reset=*/true);
-  }
+  ResetProfileWindow();
   if (injector_ != nullptr) {
     for (int i = 0; i < pool_->num_nodes(); ++i) {
       pool_->node(i)->fabric()->SetFaultInjector(injector_.get());
@@ -264,34 +264,53 @@ void DinomoSim::DrainLogs() {
 
 void DinomoSim::IssueNext(int stream_idx) {
   Stream& s = streams_[stream_idx];
-  if (!s.active || engine_.now_us() >= run_until_) return;
-  const workload::WorkloadOp op = s.gen->Next();
-  if (tracer_->ShouldSample()) {
-    s.trace = std::make_unique<obs::TraceContext>(
-        tracer_, op.type == workload::OpType::kRead ? "get" : "put");
-    s.trace->set_pid(trace_pid_);
+  // Pipelined closed loop: top the stream's window back up to
+  // pipeline_depth. Depth 1 degenerates to issue-one-await-one.
+  const int depth = std::max(1, options_.pipeline_depth);
+  while (s.active && engine_.now_us() < run_until_ && s.in_flight < depth) {
+    const workload::WorkloadOp op = s.gen->Next();
+    obs::TraceContext* trace = nullptr;
+    if (tracer_->ShouldSample()) {
+      s.traces.push_back(std::make_unique<obs::TraceContext>(
+          tracer_, op.type == workload::OpType::kRead ? "get" : "put"));
+      s.traces.back()->set_pid(trace_pid_);
+      trace = s.traces.back().get();
+    }
+    s.in_flight++;
+    ExecuteOp(stream_idx, op, engine_.now_us(), 0, trace);
   }
-  ExecuteOp(stream_idx, op, engine_.now_us(), 0);
 }
 
 void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
-                          double issue_time, int attempt) {
-  if (!streams_[stream_idx].active) return;
+                          double issue_time, int attempt,
+                          obs::TraceContext* trace) {
+  if (!streams_[stream_idx].active) {
+    // Deactivated (load change) with this op still rescheduling: drop it
+    // and release its window slot so a later reactivation starts clean.
+    Stream& s = streams_[stream_idx];
+    s.in_flight--;
+    for (auto it = s.traces.begin(); it != s.traces.end(); ++it) {
+      if (it->get() == trace) {
+        s.traces.erase(it);
+        break;
+      }
+    }
+    return;
+  }
   const double now = engine_.now_us();
-  obs::TraceContext* trace = streams_[stream_idx].trace.get();
   if (trace != nullptr) trace->FlushWait(now);
   if (attempt > 100) {
     // Give up on this op (e.g. prolonged outage); issue the next one so
     // the closed loop cannot wedge.
     abandoned_ops_++;
-    CompleteOp(stream_idx, issue_time, now);
+    CompleteOp(stream_idx, issue_time, now, trace);
     return;
   }
   auto table = routing_.Snapshot();
   if (table->global_ring.empty()) {
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
     });
     return;
   }
@@ -304,7 +323,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
         k == nullptr ? options_.routing_refresh_us : options_.request_timeout_us;
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(delay, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
     });
     return;
   }
@@ -313,7 +332,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
                                k->unavailable_until);
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAt(at, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
     });
     return;
   }
@@ -351,7 +370,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     auto retry = [=, this] {
       if (*fired) return;
       *fired = true;
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
     };
     ws->parked.push_back(retry);
     if (injector_ != nullptr) {
@@ -362,7 +381,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
   if (r.status.IsWrongOwner() || r.status.IsUnavailable()) {
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
     engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1);
+      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
     });
     return;
   }
@@ -384,20 +403,32 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
         finish, dpm_pool_.Reserve(cpu_done, r.cost.dpm_cpu_us) +
                     profile.rt_latency_us);
   }
-  ws->free_until = finish;
-  k->busy_us_epoch += finish - start;
+  // A pipelined client (depth > 1) completes ops asynchronously, so the
+  // worker core is only occupied for the op's CPU portion — round trips
+  // ride out while the next queued op executes. The classic client holds
+  // the worker until its op's network time has fully elapsed.
+  const double core_free = options_.pipeline_depth > 1 ? cpu_done : finish;
+  ws->free_until = core_free;
+  k->busy_us_epoch += core_free - start;
 
   engine_.ScheduleAt(finish, [=, this] {
-    CompleteOp(stream_idx, issue_time, finish);
+    CompleteOp(stream_idx, issue_time, finish, trace);
   });
 }
 
-void DinomoSim::CompleteOp(int stream_idx, double issue_time,
-                           double finish) {
-  if (streams_[stream_idx].trace != nullptr) {
-    streams_[stream_idx].trace->EndRequest();
-    streams_[stream_idx].trace.reset();
+void DinomoSim::CompleteOp(int stream_idx, double issue_time, double finish,
+                           obs::TraceContext* trace) {
+  Stream& s = streams_[stream_idx];
+  if (trace != nullptr) {
+    trace->EndRequest();
+    for (auto it = s.traces.begin(); it != s.traces.end(); ++it) {
+      if (it->get() == trace) {
+        s.traces.erase(it);
+        break;
+      }
+    }
   }
+  s.in_flight--;
   const double latency = finish - issue_time;
   windows_.Record(finish, latency);
   epoch_latency_.Add(latency);
@@ -444,6 +475,18 @@ void DinomoSim::OnMergeFinished(const dpm::MergeAck& ack) {
 double DinomoSim::ThroughputMops() const {
   const double span = run_until_ - warmup_until_;
   return span > 0 ? completed_after_warmup_ / span : 0.0;
+}
+
+void DinomoSim::ResetProfileWindow() {
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    pool_->node(i)->fabric()->ResetCounters();
+  }
+  for (auto& k : kns_) {
+    for (auto& ws : k->workers) {
+      ws->worker->SnapshotStats(/*reset=*/true);
+      ws->worker->cache()->ResetStats();
+    }
+  }
 }
 
 DinomoSim::Profile DinomoSim::CollectProfile() const {
@@ -735,7 +778,12 @@ void DinomoSim::DoReplicate(uint64_t key_hash, int replication) {
                       static_cast<int>(primary % net::Fabric::kMaxNodes),
                       key_hash);
   if (!slot.ok()) return;
-  for (auto& ws : p->workers) ws->worker->cache()->Invalidate(key_hash);
+  for (auto& ws : p->workers) {
+    ws->worker->cache()->Invalidate(key_hash);
+    if (ws->worker->icache() != nullptr) {
+      ws->worker->icache()->Invalidate(key_hash);
+    }
+  }
   routing_.SetReplication(key_hash, owners);
   // Brief primary pause while ownership metadata propagates ("brief tail
   // latency spikes ... to retrieve the up-to-date ownership mapping").
@@ -750,7 +798,12 @@ void DinomoSim::DoDereplicate(uint64_t key_hash) {
   for (uint64_t id : owners) {
     KnSim* k = FindKn(id);
     if (k == nullptr || k->failed) continue;
-    for (auto& ws : k->workers) ws->worker->cache()->Invalidate(key_hash);
+    for (auto& ws : k->workers) {
+      ws->worker->cache()->Invalidate(key_hash);
+      if (ws->worker->icache() != nullptr) {
+        ws->worker->icache()->Invalidate(key_hash);
+      }
+    }
   }
   Status st = pool_->node(pool_->PlacementOf(key_hash).primary)
                   ->RemoveIndirect(0, key_hash);

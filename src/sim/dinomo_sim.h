@@ -39,6 +39,15 @@ struct DinomoSimOptions {
   int client_threads = 64;
   workload::WorkloadSpec spec;
 
+  /// Requests each closed-loop client stream keeps in flight (the
+  /// pipelined async client). 1 = the classic submit-and-wait client:
+  /// the serving worker is modeled busy until the op's network time has
+  /// elapsed. Depth > 1 overlaps the network wait: the worker core is
+  /// occupied for the op's CPU portion only, and up to `pipeline_depth`
+  /// ops per stream proceed concurrently. Depth 1 is byte-identical to
+  /// the pre-pipelining model.
+  int pipeline_depth = 1;
+
   /// Timeline resolution for throughput/latency series.
   double stats_window_us = 100e3;
   /// Delay for a client to refresh routing after a rejection, us.
@@ -116,7 +125,15 @@ class DinomoSim {
   double P99LatencyUs() const { return run_latency_.P99(); }
   const WindowStats& windows() const { return windows_; }
 
-  /// Table-6 style profile, aggregated across all KNs since Preload.
+  /// Restarts the profile window: fabric round-trip counters, worker op
+  /// counters, and cache hit/miss stats all reset to zero (warm state —
+  /// caches, indexes, logs — is untouched). Benchmarks call this between
+  /// a warmup Run and the measured Run so CollectProfile only sees
+  /// measured-phase traffic; Preload does the same reset internally.
+  void ResetProfileWindow();
+
+  /// Table-6 style profile, aggregated across all KNs since Preload (or
+  /// the most recent ResetProfileWindow).
   struct Profile {
     double cache_hit_ratio = 0.0;
     double value_hit_share = 0.0;
@@ -173,9 +190,13 @@ class DinomoSim {
   struct Stream {
     std::unique_ptr<workload::WorkloadGenerator> gen;
     bool active = false;
-    /// Trace of the in-flight op when it was sampled (spans survive
-    /// reschedules: Busy parks and routing retries become wait spans).
-    std::unique_ptr<obs::TraceContext> trace;
+    /// Ops this stream currently has in flight (≤ pipeline_depth).
+    int in_flight = 0;
+    /// Traces of sampled in-flight ops (one per op with depth > 1; spans
+    /// survive reschedules: Busy parks and routing retries become wait
+    /// spans). Owned here so teardown can end them while the virtual
+    /// clock is still installed; the op closures hold raw pointers.
+    std::vector<std::unique_ptr<obs::TraceContext>> traces;
   };
 
   void AddKnInternal(bool available);
@@ -184,8 +205,9 @@ class DinomoSim {
 
   void IssueNext(int stream_idx);
   void ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
-                 double issue_time, int attempt);
-  void CompleteOp(int stream_idx, double issue_time, double finish);
+                 double issue_time, int attempt, obs::TraceContext* trace);
+  void CompleteOp(int stream_idx, double issue_time, double finish,
+                  obs::TraceContext* trace);
   void PumpMerges();
   void OnMergeFinished(const dpm::MergeAck& ack);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/fault.h"
 #include "pm/pm_pool.h"
 
 namespace dinomo {
@@ -170,6 +171,107 @@ TEST_F(FabricTest, TransferTimeScalesWithBytes) {
   EXPECT_GT(profile.TransferUs(8 * 1024 * 1024), profile.TransferUs(64));
   // An 8 MB segment at 7 GB/s takes ~1.2 ms.
   EXPECT_NEAR(profile.TransferUs(8 * 1024 * 1024), 1198.0, 50.0);
+}
+
+// ----- Doorbell batching -----
+
+TEST_F(FabricTest, OpBatchFusesReadsIntoOneRoundTrip) {
+  const char a[] = "alpha";
+  const char b[] = "bravo";
+  const char c[] = "charlie";
+  fabric_.Write(0, a, 256, sizeof(a));
+  fabric_.Write(0, b, 512, sizeof(b));
+  fabric_.Write(0, c, 768, sizeof(c));
+  const uint64_t base_rts = fabric_.counters(0).round_trips;
+  const uint64_t base_bytes = fabric_.counters(0).wire_bytes;
+  const uint64_t base_reads = fabric_.counters(0).one_sided_reads;
+
+  char ra[8] = {}, rb[8] = {}, rc[8] = {};
+  OpCost cost;
+  {
+    ScopedOpCost scope(&cost);
+    Fabric::OpBatch batch(&fabric_, 0);
+    batch.AddRead(256, ra, sizeof(a));
+    batch.AddRead(512, rb, sizeof(b));
+    batch.AddRead(768, rc, sizeof(c));
+    EXPECT_EQ(batch.size(), 3u);
+    batch.Execute();
+    EXPECT_TRUE(batch.empty());  // cleared for reuse
+  }
+  // Real data movement per fused op...
+  EXPECT_STREQ(ra, "alpha");
+  EXPECT_STREQ(rb, "bravo");
+  EXPECT_STREQ(rc, "charlie");
+  // ...but one fused round trip for the whole doorbell, with every op's
+  // wire bytes still paid and every read still counted.
+  EXPECT_EQ(fabric_.counters(0).round_trips, base_rts + 1);
+  EXPECT_EQ(fabric_.counters(0).wire_bytes,
+            base_bytes + sizeof(a) + sizeof(b) + sizeof(c));
+  EXPECT_EQ(fabric_.counters(0).one_sided_reads, base_reads + 3);
+  EXPECT_EQ(cost.round_trips, 1u);
+  EXPECT_EQ(cost.wire_bytes, sizeof(a) + sizeof(b) + sizeof(c));
+}
+
+TEST_F(FabricTest, OpBatchMixesReadsAndWrites) {
+  const char payload[] = "persist-me";
+  char readback[16] = {};
+  fabric_.Write(1, payload, 1024, sizeof(payload));
+  const uint64_t base_rts = fabric_.counters(1).round_trips;
+
+  Fabric::OpBatch batch(&fabric_, 1);
+  batch.AddWrite(payload, 2048, sizeof(payload));
+  batch.AddRead(1024, readback, sizeof(payload));
+  batch.Execute();
+
+  EXPECT_STREQ(readback, "persist-me");
+  char verify[16] = {};
+  fabric_.Read(1, 2048, verify, sizeof(payload));
+  EXPECT_STREQ(verify, "persist-me");
+  // The fused pair cost 1 RT; the verification read added 1 more.
+  EXPECT_EQ(fabric_.counters(1).round_trips, base_rts + 2);
+}
+
+TEST_F(FabricTest, OpBatchOfOneDegeneratesToPlainOp) {
+  const char msg[] = "solo";
+  fabric_.Write(0, msg, 256, sizeof(msg));
+  const uint64_t base_rts = fabric_.counters(0).round_trips;
+
+  char buf[8] = {};
+  Fabric::OpBatch batch(&fabric_, 0);
+  batch.AddRead(256, buf, sizeof(msg));
+  batch.Execute();
+  EXPECT_STREQ(buf, "solo");
+  EXPECT_EQ(fabric_.counters(0).round_trips, base_rts + 1);
+}
+
+TEST_F(FabricTest, OpBatchDroppedReadZeroFillsAndParksFault) {
+  const char msg[] = "will-be-dropped";
+  fabric_.Write(0, msg, 256, sizeof(msg));
+  fabric_.Write(0, msg, 512, sizeof(msg));
+  (void)Fabric::TakePendingFault();  // start clean
+
+  FaultSchedule schedule;
+  schedule.Drop(/*node=*/-1, /*probability=*/1.0);
+  obs::MetricsRegistry reg;
+  FaultInjector injector(schedule, &reg);
+  fabric_.SetFaultInjector(&injector);
+
+  char ra[16] = {'x'}, rb[16] = {'x'};
+  const uint64_t base_rts = fabric_.counters(0).round_trips;
+  Fabric::OpBatch batch(&fabric_, 0);
+  batch.AddRead(256, ra, sizeof(msg));
+  batch.AddRead(512, rb, sizeof(msg));
+  batch.Execute();
+  fabric_.SetFaultInjector(nullptr);
+
+  // Dropped fused reads zero-fill (no stale/partial data reaches the
+  // caller) and the error is parked for the next safe boundary; the
+  // doorbell itself is still one charged round trip.
+  EXPECT_EQ(ra[0], 0);
+  EXPECT_EQ(rb[0], 0);
+  EXPECT_FALSE(Fabric::TakePendingFault().ok());
+  EXPECT_TRUE(Fabric::TakePendingFault().ok());  // one-shot
+  EXPECT_EQ(fabric_.counters(0).round_trips, base_rts + 1);
 }
 
 }  // namespace

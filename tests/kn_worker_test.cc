@@ -88,12 +88,54 @@ TEST_F(KnWorkerTest, ReadAfterMergeUsesIndex) {
   ASSERT_TRUE(worker_->Put("k", "v3").status.ok());
   ASSERT_TRUE(worker_->FlushWrites().status.ok());
   DrainAll();  // merge ack evicts the cached batch
-  worker_->cache()->Invalidate(KeyHash(Slice("k")));
+  const uint64_t kh = KeyHash(Slice("k"));
+  worker_->cache()->Invalidate(kh);
+  // Defeat the index-metadata cache too (the write path admitted the
+  // entry's location): this read must take the remote traversal.
+  ASSERT_NE(worker_->icache(), nullptr);
+  worker_->icache()->Invalidate(kh);
   auto get = worker_->Get("k");
   ASSERT_TRUE(get.status.ok());
   EXPECT_EQ(get.value, "v3");
   // Remote path: at least index hop + value read.
   EXPECT_GE(get.cost.round_trips, 2u);
+}
+
+TEST_F(KnWorkerTest, RepeatMissUsesIndexMetadataCache) {
+  ASSERT_TRUE(worker_->Put("k", "v3").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  DrainAll();
+  const uint64_t kh = KeyHash(Slice("k"));
+  worker_->cache()->Invalidate(kh);
+  worker_->icache()->Invalidate(kh);
+  auto first = worker_->Get("k");  // traversal; re-admits the icache slot
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_GE(first.cost.round_trips, 2u);
+  worker_->cache()->Invalidate(kh);  // miss again, but keep the icache
+  auto second = worker_->Get("k");
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.value, "v3");
+  // The cached index metadata resolves the location: one value read, no
+  // index-lookup round.
+  EXPECT_EQ(second.cost.round_trips, 1u);
+  EXPECT_GE(worker_->icache()->stats().hits, 1u);
+}
+
+TEST_F(KnWorkerTest, StaleIndexMetadataFallsBackToTraversal) {
+  ASSERT_TRUE(worker_->Put("k", "v3").status.ok());
+  ASSERT_TRUE(worker_->FlushWrites().status.ok());
+  DrainAll();
+  const uint64_t kh = KeyHash(Slice("k"));
+  // Poison the icache with a plausible-but-wrong location: the bytes at
+  // a segment header fail the decode / fingerprint check rather than
+  // aliasing another key's value.
+  auto stale = dpm::ValuePtr::Pack(pm::PmPtr{64}, 64);
+  worker_->icache()->Admit(kh, pool_.generation(), 0, stale.raw());
+  worker_->cache()->Invalidate(kh);
+  auto get = worker_->Get("k");
+  ASSERT_TRUE(get.status.ok()) << get.status.ToString();
+  EXPECT_EQ(get.value, "v3");
+  EXPECT_GE(worker_->icache()->stats().stale, 1u);
 }
 
 TEST_F(KnWorkerTest, DeleteMakesKeyNotFound) {

@@ -1,0 +1,316 @@
+// Pipelined async client tests: correctness of the submit/complete split
+// (Client::ExecuteAsync + OpFuture), the bounded outstanding-request
+// window, the per-request deadline clamp, the last_latency_us error-path
+// regression, and the pipelined chaos soak — N outstanding requests
+// across KN fail-stop and DPM-kill with no future lost, duplicated, or
+// completed after its deadline.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/fault.h"
+#include "obs/metrics.h"
+
+namespace dinomo {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+int SoakSeeds() {
+  if (const char* env = std::getenv("DINOMO_SOAK_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 20;
+}
+
+ClusterOptions SmallCluster(int kns, obs::MetricsRegistry* reg) {
+  ClusterOptions opt;
+  opt.dpm.pool_size = 256 * kMiB;
+  opt.dpm.index_log2_buckets = 6;
+  opt.dpm.segment_size = 256 * 1024;
+  opt.dpm.metrics = reg;
+  opt.kn.num_workers = 2;
+  opt.kn.cache_bytes = 1 * kMiB;
+  opt.kn.batch_max_ops = 4;
+  opt.kn.metrics = reg;
+  opt.initial_kns = kns;
+  opt.dpm_merge_threads = 1;
+  return opt;
+}
+
+// ---------------------------------------------------------------------
+// Pipelining basics
+// ---------------------------------------------------------------------
+
+TEST(PipelineClientTest, PipelinedGetsReturnCorrectValues) {
+  obs::MetricsRegistry reg;
+  ClusterOptions opt = SmallCluster(2, &reg);
+  opt.pipeline_depth = 4;
+  Cluster cluster(opt);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  constexpr int kKeys = 64;
+  auto client = cluster.NewClient();
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(
+        client->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+
+  // Issue everything async; the window blocks the submitter at depth, so
+  // outstanding can never exceed it.
+  std::vector<Client::OpFuture> futures;
+  futures.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    futures.push_back(client->GetAsync("key" + std::to_string(i)));
+    EXPECT_LE(client->pipeline_outstanding(), 4u);
+  }
+  // Harvest out of submission order: completion must be keyed to the
+  // future, not to arrival order.
+  for (int i = kKeys - 1; i >= 0; --i) {
+    Result<std::string> r = futures[i].Get();
+    ASSERT_TRUE(r.ok()) << "key" << i << ": " << r.status().ToString();
+    EXPECT_EQ(r.value(), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(client->pipeline_outstanding(), 0u);
+  cluster.Stop();
+}
+
+TEST(PipelineClientTest, PipelinedPutsVisibleToReads) {
+  obs::MetricsRegistry reg;
+  ClusterOptions opt = SmallCluster(1, &reg);
+  opt.pipeline_depth = 8;
+  Cluster cluster(opt);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  constexpr int kKeys = 48;
+  auto client = cluster.NewClient();
+  std::vector<Client::OpFuture> futures;
+  for (int i = 0; i < kKeys; ++i) {
+    futures.push_back(
+        client->PutAsync("pk" + std::to_string(i), std::to_string(i * 3)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.Get().ok());
+  }
+  for (int i = 0; i < kKeys; ++i) {
+    const auto got = client->Get("pk" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), std::to_string(i * 3));
+  }
+  cluster.Stop();
+}
+
+TEST(PipelineClientTest, DoneIsNonBlockingAndGetIsExactlyOnce) {
+  obs::MetricsRegistry reg;
+  Cluster cluster(SmallCluster(1, &reg));
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto client = cluster.NewClient();
+  ASSERT_TRUE(client->Put("k", "v").ok());
+  Client::OpFuture f = client->GetAsync("k");
+  // done() may be false immediately but must flip without Get() blocking.
+  for (int i = 0; i < 10000 && !f.done(); ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(f.done());
+  const Result<std::string> r = f.Get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v");
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Regression: last_latency_us on error/deadline exit paths
+// ---------------------------------------------------------------------
+
+// last_latency_us_ used to be written only on the success path, so a
+// request that exited with DeadlineExceeded left the previous op's
+// latency visible — a latency SLO monitor polling it would attribute a
+// stale (healthy) figure to a failed request.
+TEST(PipelineClientTest, LastLatencyResetOnDeadlineExit) {
+  obs::MetricsRegistry reg;
+  ClusterOptions opt = SmallCluster(1, &reg);
+  opt.request_deadline_us = 20'000.0;
+  // One-sided ops are untouched, so GETs resolve; PUTs need a segment
+  // RPC, which always rejects -> every Put dies at its deadline.
+  opt.faults.RpcUnavailable(-1, /*probability=*/1.0);
+  Cluster cluster(opt);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto client = cluster.NewClient();
+  // A definitive completion (NotFound counts: the request ran to the
+  // index and back) populates the latency...
+  const auto got = client->Get("absent-key");
+  ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+  EXPECT_GT(client->last_latency_us(), 0.0);
+
+  // ...and a deadline exit must reset it rather than leak the stale one.
+  const Status st = client->Put("k", "v");
+  ASSERT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_EQ(client->last_latency_us(), 0.0);
+
+  // A later success repopulates it.
+  const auto got2 = client->Get("absent-key");
+  ASSERT_TRUE(got2.status().IsNotFound());
+  EXPECT_GT(client->last_latency_us(), 0.0);
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Regression: the retry loop respects the deadline even when time is
+// spent inside failing ops
+// ---------------------------------------------------------------------
+
+// The old loop checked the deadline only before dispatching, so time
+// burned inside a fabric op that came back transient let the request
+// overshoot request_deadline_us by up to one round trip + backoff. Now a
+// parked retry whose wake time would land past the deadline finishes at
+// the deadline instead, and an in-flight op past its deadline is clamped
+// (the late completion is absorbed, not delivered).
+TEST(PipelineClientTest, DeadlineClampBoundsRetryOvershoot) {
+  obs::MetricsRegistry reg;
+  ClusterOptions opt = SmallCluster(1, &reg);
+  opt.request_deadline_us = 30'000.0;
+  opt.faults.RpcUnavailable(-1, /*probability=*/1.0);
+  Cluster cluster(opt);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto client = cluster.NewClient();
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = client->Put("k" + std::to_string(i), "v");
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+    // The whole retry loop, including time inside rejected ops, fits the
+    // budget: the clamp delivers at the deadline, not one backoff past
+    // it. The slack absorbs scheduler noise only.
+    EXPECT_LE(elapsed_us, opt.request_deadline_us + 250e3);
+    EXPECT_GE(elapsed_us, opt.request_deadline_us * 0.5);
+    // Regression (a) again, on every iteration: no stale latency.
+    EXPECT_EQ(client->last_latency_us(), 0.0);
+  }
+  cluster.Stop();
+  EXPECT_GE(reg.CounterValue("fault.deadline_exceeded"), 3u);
+  EXPECT_EQ(reg.CounterValue("fault.hung_requests"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// The pipelined chaos soak (satellite of the async-client work)
+// ---------------------------------------------------------------------
+
+// N outstanding pipelined requests across random fault schedules plus a
+// KN fail-stop (even seeds) or a DPM fail-stop on a replicated pool (odd
+// seeds). Proven per future: it completes exactly once (issued ==
+// harvested, Get() returns), with a legal status (Ok / NotFound /
+// DeadlineExceeded — the client retries transients internally), and not
+// after its deadline plus harness slack. Afterwards: no request left in
+// flight on any surviving KN and zero hung futures.
+TEST(PipelineChaosTest, PipelinedWindowSurvivesKnAndDpmKills) {
+  const int kSeeds = SoakSeeds();
+  constexpr int kKeys = 8;
+  constexpr int kOpsPerThread = 160;
+  constexpr int kWindow = 8;
+  // Completion-time bound: deadline + pump/scheduling slack. Generous
+  // because the harvest loop only pumps the client when it calls into
+  // it, but far below the old unbounded hang this guards against.
+  constexpr double kLateSlackUs = 2e6;
+
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(kSeeds); ++seed) {
+    SCOPED_TRACE("pipelined chaos seed " + std::to_string(seed));
+    const bool dpm_kill = (seed % 2) == 1;
+    obs::MetricsRegistry reg;
+    ClusterOptions opt = SmallCluster(dpm_kill ? 2 : 3, &reg);
+    opt.request_deadline_us = 50'000.0;
+    opt.pipeline_depth = kWindow;
+    opt.faults = net::FaultSchedule::Chaos(seed, /*num_nodes=*/4,
+                                           /*horizon_us=*/150e3);
+    if (dpm_kill) {
+      opt.dpm.pool_size = 128 * kMiB;  // x4 nodes
+      opt.dpm_nodes = 4;
+      opt.replication_factor = 2;
+      opt.faults.DpmFailStop(static_cast<int>(seed % 4), /*at_us=*/20e3);
+    }
+    Cluster cluster(opt);
+    ASSERT_TRUE(cluster.Start().ok());
+
+    std::atomic<bool> violation{false};
+    std::atomic<uint64_t> issued{0};
+    std::atomic<uint64_t> harvested{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = cluster.NewClient();
+        struct Slot {
+          Client::OpFuture future;
+          std::chrono::steady_clock::time_point submitted;
+        };
+        std::vector<Slot> window;
+        window.reserve(kWindow);
+        auto harvest = [&] {
+          for (Slot& s : window) {
+            const Result<std::string> r = s.future.Get();
+            const double elapsed_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - s.submitted)
+                    .count();
+            harvested.fetch_add(1, std::memory_order_relaxed);
+            if (!r.ok() && !r.status().IsNotFound() &&
+                !r.status().IsDeadlineExceeded()) {
+              violation = true;  // transients must be retried internally
+            }
+            if (elapsed_us > opt.request_deadline_us + kLateSlackUs) {
+              violation = true;  // completed after its deadline
+            }
+          }
+          window.clear();
+        };
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const std::string key =
+              "key" + std::to_string((t * 13 + i) % kKeys);
+          Slot s;
+          s.submitted = std::chrono::steady_clock::now();
+          s.future = (i % 3 == 0)
+                         ? client->PutAsync(key, std::to_string(i))
+                         : client->GetAsync(key);
+          issued.fetch_add(1, std::memory_order_relaxed);
+          window.push_back(std::move(s));
+          if (window.size() == kWindow) harvest();
+        }
+        harvest();
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    if (!dpm_kill) {
+      ASSERT_TRUE(cluster.KillKn(cluster.ActiveKns()[0]).ok());
+    }
+    for (auto& th : threads) th.join();
+
+    ASSERT_FALSE(violation.load());
+    // Every issued future was harvested exactly once — none lost to the
+    // kill, none duplicated by the retry path.
+    EXPECT_EQ(issued.load(), harvested.load());
+    EXPECT_EQ(issued.load(),
+              static_cast<uint64_t>(2 * kOpsPerThread));
+    for (uint64_t id : cluster.ActiveKns()) {
+      EXPECT_EQ(cluster.kn(id)->in_flight(), 0) << "kn " << id;
+    }
+    cluster.Stop();
+    EXPECT_EQ(reg.CounterValue("fault.hung_requests"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dinomo

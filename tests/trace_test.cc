@@ -97,6 +97,10 @@ TEST_F(TraceWorkerTest, SpanNestingMatchesRequestLifecycle) {
   ASSERT_TRUE(worker_->FlushWrites().status.ok());
   ASSERT_TRUE(dpm_.merge()->DrainAll().ok());
   worker_->cache()->Invalidate(kn::KeyHash(Slice("alpha")));
+  // Defeat the index-metadata cache too: this test pins the span shape
+  // of the full traversal (the icache fast path has no lookup span).
+  ASSERT_NE(worker_->icache(), nullptr);
+  worker_->icache()->Invalidate(kn::KeyHash(Slice("alpha")));
   tracer_.ResetForMeasurement();
 
   kn::OpResult r;
