@@ -19,6 +19,7 @@ dinomo_bench(fig7_load_balancing)
 dinomo_bench(fig8_fault_tolerance)
 dinomo_bench(table5_rts_per_op)
 dinomo_bench(table6_profiling)
+dinomo_bench(ycsb_e_scans)
 
 function(dinomo_gbench name)
   add_executable(${name} bench/${name}.cc)

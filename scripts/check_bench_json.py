@@ -97,7 +97,7 @@ SIM_BENCHES = {
     "table5_rts_per_op", "table6_profiling", "fig3_cache_policies",
     "fig4_dpm_compute", "fig5_scalability", "fig6_autoscaling",
     "fig7_load_balancing", "fig8_fault_tolerance", "ablation_batching",
-    "ablation_cache_size", "pipelined_client",
+    "ablation_cache_size", "pipelined_client", "ycsb_e_scans",
 }
 
 
@@ -458,6 +458,65 @@ def check_pipelined_client(path, doc):
     return ok
 
 
+def check_ycsb_e_scans(path, doc):
+    """Gates for the YCSB-E scan bench over the ordered DPM index: every
+    scan_mix row must have actually served scans and hold its committed
+    round-trip bound (a fixed descent-from-the-cached-search-layer cost
+    plus ~1 leaf read per returned row and one fused value-read round;
+    the bench emits the bound per row as rts_bound), and the real-thread
+    section must prove the end-to-end ordered-iteration invariant —
+    ascending keys, exact window, empty past-the-end scan."""
+    if doc.get("bench") != "ycsb_e_scans":
+        return True
+    ok = True
+    results = [r for r in doc.get("results", []) if isinstance(r, dict)]
+    mix_rows = [r for r in results if r.get("section") == "scan_mix"]
+    if not mix_rows:
+        ok = fail(f"{path}: no scan_mix rows — the ShortScans sim section "
+                  "did not run")
+    for row in mix_rows:
+        length = row.get("scan_len_max")
+        scans = row.get("scans")
+        if not isinstance(scans, (int, float)) or scans <= 0:
+            ok = fail(f"{path}: scan_mix len={length!r} served scans = "
+                      f"{scans!r} — the workload generator or the kScan "
+                      "dispatch path dropped the scan class")
+            continue
+        rts = row.get("rts_per_op")
+        bound = row.get("rts_bound")
+        if not isinstance(rts, (int, float)) or \
+                not isinstance(bound, (int, float)):
+            ok = fail(f"{path}: scan_mix len={length!r} missing rts_per_op "
+                      f"or rts_bound ({rts!r}, {bound!r})")
+        elif rts > bound:
+            ok = fail(
+                f"{path}: scan_mix len={length!r} rts_per_op = {rts:.2f} "
+                f"exceeds the {bound:.2f} bound — a scan is paying more "
+                "than the leaf walk + one fused value round (search-layer "
+                "cache misses? per-row value reads?)")
+        else:
+            print(f"ok: {path}: scan_mix len={length} rts_per_op = "
+                  f"{rts:.2f} <= {bound:.2f}, {int(scans)} scans served")
+    inv = [r for r in results if r.get("section") == "ordered_invariant"]
+    if len(inv) != 1:
+        return fail(f"{path}: expected exactly one ordered_invariant row, "
+                    f"found {len(inv)}")
+    row = inv[0]
+    rows_returned = row.get("rows")
+    if not isinstance(rows_returned, (int, float)) or rows_returned < 1:
+        ok = fail(f"{path}: ordered_invariant rows = {rows_returned!r} — "
+                  "the wall-clock Client::Scan returned nothing")
+    for flag in ("ordered", "window_exact", "past_end_empty"):
+        if row.get(flag) is not True:
+            ok = fail(f"{path}: ordered_invariant {flag} = "
+                      f"{row.get(flag)!r} — the real-thread scan path "
+                      "broke the ordered-iteration contract")
+    if ok and inv:
+        print(f"ok: {path}: ordered-iteration invariant held over "
+              f"{int(rows_returned)} rows (real threads)")
+    return ok
+
+
 def check_expectations(path, doc):
     key = (doc.get("bench"), bool(doc.get("quick")))
     expectations = EXPECTATIONS.get(key)
@@ -510,7 +569,8 @@ def main(argv):
         for checker in (check_schema, check_metrics, check_pm_checker,
                         check_faults, check_contention, check_replication,
                         check_trace_metrics, check_expectations,
-                        check_table5_regression, check_pipelined_client):
+                        check_table5_regression, check_pipelined_client,
+                        check_ycsb_e_scans):
             if not checker(path, doc):
                 ok = False
         if ok:

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace dinomo {
 
 /// Fast, deterministic xorshift128+ pseudo-random generator. Every workload
@@ -30,9 +32,13 @@ class Random {
   /// Uniform in [0, n). n must be > 0.
   uint64_t Uniform(uint64_t n) { return Next() % n; }
 
-  /// Uniform in [lo, hi]. hi must be >= lo.
+  /// Uniform in [lo, hi], inclusive on both ends. hi must be >= lo. The
+  /// span `hi - lo + 1` wraps to 0 for the full 64-bit range [0, 2^64-1];
+  /// that case is every value, not `Uniform(0)`.
   uint64_t Range(uint64_t lo, uint64_t hi) {
-    return lo + Uniform(hi - lo + 1);
+    DINOMO_CHECK(hi >= lo);
+    const uint64_t span = hi - lo + 1;
+    return span == 0 ? Next() : lo + Uniform(span);
   }
 
   /// Uniform double in [0, 1).

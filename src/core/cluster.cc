@@ -79,13 +79,44 @@ Status Client::Delete(const Slice& key) {
   return Execute(kn::Request::Type::kDelete, key, Slice()).status();
 }
 
+Result<std::vector<kn::ScanRow>> Client::Scan(const Slice& start_key,
+                                              uint32_t count) {
+  OpFuture f =
+      ExecuteAsync(kn::Request::Type::kScan, start_key, Slice(), count);
+  // Harvest by hand: the generic future carries the string result; a
+  // scan's rows travel alongside in the op record.
+  const uint64_t id = f.id_;
+  PumpWhile([this, id] {
+    auto it = ops_.find(id);
+    return it != ops_.end() && !it->second->done;
+  });
+  auto it = ops_.find(id);
+  DINOMO_CHECK(it != ops_.end());
+  PendingOp* op = it->second.get();
+  DINOMO_CHECK(op->done);
+  Status status = op->result.status();
+  std::vector<kn::ScanRow> rows = std::move(op->rows);
+  if (op->in_flight) {
+    // Clamped at deadline with the submission still outstanding; see
+    // Harvest().
+    op->consumed = true;
+  } else {
+    ops_.erase(it);
+  }
+  if (!status.ok()) {
+    return Result<std::vector<kn::ScanRow>>(std::move(status));
+  }
+  return Result<std::vector<kn::ScanRow>>(std::move(rows));
+}
+
 Result<std::string> Client::Execute(kn::Request::Type type, const Slice& key,
                                     const Slice& value) {
   return ExecuteAsync(type, key, value).Get();
 }
 
 Client::OpFuture Client::ExecuteAsync(kn::Request::Type type,
-                                      const Slice& key, const Slice& value) {
+                                      const Slice& key, const Slice& value,
+                                      uint32_t scan_count) {
   // Bounded window: admit only once fewer than pipeline_depth requests
   // are unfinished, so a closed-loop caller cannot build an unbounded
   // queue inside the KNs.
@@ -99,6 +130,7 @@ Client::OpFuture Client::ExecuteAsync(kn::Request::Type type,
   p->type = type;
   p->key = key.ToString();
   p->value = value.ToString();
+  p->scan_count = scan_count;
   p->key_hash = kn::KeyHash(key);
   const ClusterOptions& opts = cluster_->options();
   p->deadline =
@@ -113,9 +145,10 @@ Client::OpFuture Client::ExecuteAsync(kn::Request::Type type,
   // dies on any completion path.
   obs::Tracer* tracer = cluster_->tracer();
   if (tracer->ShouldSample()) {
-    const char* name = type == kn::Request::Type::kGet   ? "get"
-                       : type == kn::Request::Type::kPut ? "put"
-                                                         : "delete";
+    const char* name = type == kn::Request::Type::kGet    ? "get"
+                       : type == kn::Request::Type::kPut  ? "put"
+                       : type == kn::Request::Type::kScan ? "scan"
+                                                          : "delete";
     p->trace = std::make_unique<obs::TraceContext>(tracer, name);
   }
   ops_.emplace(p->id, std::move(op));
@@ -152,6 +185,7 @@ void Client::SubmitOp(PendingOp* op) {
   req.type = op->type;
   req.key = op->key;
   req.value = op->value;
+  req.scan_count = op->scan_count;
   req.trace = op->trace.get();
   // The callback holds the mailbox alive on its own; op state is only
   // touched back on the client thread, keyed by id.
@@ -224,6 +258,7 @@ void Client::HandleCompletion(uint64_t id, kn::OpResult result) {
     FinishOp(op, result.status, std::string(), latency_us);
     return;
   }
+  if (op->type == kn::Request::Type::kScan) op->rows = std::move(result.rows);
   FinishOp(op, Status::Ok(),
            op->type == kn::Request::Type::kGet ? std::move(result.value)
                                                : std::string(),

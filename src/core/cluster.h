@@ -129,6 +129,13 @@ class Client {
   Result<std::string> Get(const Slice& key);
   Status Put(const Slice& key, const Slice& value);
   Status Delete(const Slice& key);
+  /// Range scan: up to `count` rows in ascending key order, starting at
+  /// `start_key` (inclusive). Served from the ordered DPM index by the KN
+  /// that owns the start key's hash; like the sync point ops it runs with
+  /// one request in flight. Sees merged state plus the serving worker's
+  /// own un-merged writes (see KnWorker::Scan for the consistency model).
+  Result<std::vector<kn::ScanRow>> Scan(const Slice& start_key,
+                                        uint32_t count);
 
   /// Pipelined submission; see the class comment.
   OpFuture GetAsync(const Slice& key) {
@@ -141,7 +148,7 @@ class Client {
     return ExecuteAsync(kn::Request::Type::kDelete, key, Slice());
   }
   OpFuture ExecuteAsync(kn::Request::Type type, const Slice& key,
-                        const Slice& value);
+                        const Slice& value, uint32_t scan_count = 0);
 
   /// Unfinished pipelined requests (admitted, not yet completed).
   size_t pipeline_outstanding() const { return unfinished_; }
@@ -171,6 +178,8 @@ class Client {
     kn::Request::Type type = kn::Request::Type::kGet;
     std::string key;
     std::string value;
+    uint32_t scan_count = 0;         // kScan: row limit
+    std::vector<kn::ScanRow> rows;   // kScan: result rows
     uint64_t key_hash = 0;
     Clock::time_point deadline;
     Backoff backoff;

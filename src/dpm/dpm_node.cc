@@ -34,7 +34,8 @@ struct alignas(pm::kCacheLineSize) Superblock {
   pm::PmPtr segdir;
   uint64_t segdir_slots;
   pm::PmPtr high_water;  // allocator bump high-water (absolute offset)
-  uint64_t pad[3];
+  pm::PmPtr ordered_header;  // PmSkipList (range-scan index) header
+  uint64_t pad[2];
 };
 static_assert(sizeof(Superblock) == pm::kCacheLineSize);
 
@@ -103,9 +104,13 @@ void DpmNode::InitFresh() {
                                  options_.index_log2_buckets);
   DINOMO_CHECK(idx.ok());
   index_.reset(idx.value());
+  auto ordered = index::PmSkipList::Create(pool_.get(), alloc_.get());
+  DINOMO_CHECK(ordered.ok());
+  ordered_.reset(ordered.value());
 
   Superblock sb{};
   sb.index_header = index_->header_ptr();
+  sb.ordered_header = ordered_->header_ptr();
   sb.segdir = dir_alloc.value();
   sb.segdir_slots = kSegDirSlots;
   sb.high_water = alloc_->region_start() + alloc_->high_water();
@@ -202,6 +207,15 @@ Status DpmNode::InitRecovered() {
                                   sb->index_header);
   if (!idx.ok()) return idx.status();
   index_.reset(idx.value());
+  if (sb->ordered_header == pm::kNullPmPtr) {
+    return Status::Corruption("superblock missing ordered-index header");
+  }
+  // Recover the ordered index before replaying un-merged log suffixes:
+  // the replay goes through ApplyRecord, which mutates both indexes.
+  auto ordered = index::PmSkipList::Recover(pool_.get(), alloc_.get(),
+                                            sb->ordered_header);
+  if (!ordered.ok()) return ordered.status();
+  ordered_.reset(ordered.value());
   merge_ = std::make_unique<MergeService>(this, options_.merge_profile,
                                           options_.metrics);
   alloc_->SetHighWaterHook([this](pm::PmPtr hw) { PersistHighWater(); (void)hw; });
@@ -446,6 +460,8 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
                           pm::PmPtr entry_ptr, uint32_t entry_size) {
   index::Clht* index = IndexFor(KnOfOwner(owner));
   const ValuePtr packed = ValuePtr::Pack(entry_ptr, entry_size);
+  const uint64_t okey =
+      index::PmSkipList::OrderedKey(rec.key.data(), rec.key.size());
 
   // Selectively-replicated keys are published through their indirect slot
   // by the writing KN's one-sided CAS; the merge only settles GC state.
@@ -459,6 +475,17 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
     if (rec.op == LogOp::kPut && current != packed.raw()) {
       // This version was already superseded through the slot.
       NoteSuperseded(entry_ptr);
+    } else if (rec.op == LogOp::kPut) {
+      // This entry is the slot's live version: reflect it in the ordered
+      // index. Stale versions are skipped — their winning successor's own
+      // merge refreshes the list — so a scan of a shared key serves the
+      // latest *merged* version (scans read committed merge state; the
+      // slot's CAS-published tip is a point-lookup concern).
+      auto prev = ordered_->UpsertHashed(okey, rec.key_hash, packed.raw());
+      DINOMO_CHECK(prev.ok());
+    } else {
+      auto prev = ordered_->Remove(okey);
+      DINOMO_CHECK(prev.ok());
     }
     return;
   }
@@ -466,6 +493,8 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
   if (rec.op == LogOp::kDelete) {
     auto old = index->Remove(rec.key_hash);
     DINOMO_CHECK(old.ok());
+    auto oldo = ordered_->Remove(okey);
+    DINOMO_CHECK(oldo.ok());
     if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
       NoteSuperseded(ValuePtr(old.value()).offset());
     }
@@ -474,6 +503,8 @@ void DpmNode::ApplyRecord(uint64_t owner, const LogRecord& rec,
 
   auto old = index->Upsert(rec.key_hash, packed.raw());
   DINOMO_CHECK(old.ok());
+  auto oldo = ordered_->UpsertHashed(okey, rec.key_hash, packed.raw());
+  DINOMO_CHECK(oldo.ok());
   if (old.value() == packed.raw()) return;  // crash-recovery replay
   if (old.value() != pm::kNullPmPtr && !ValuePtr(old.value()).indirect()) {
     NoteSuperseded(ValuePtr(old.value()).offset());
@@ -649,6 +680,8 @@ DpmStats DpmNode::Stats() const {
   stats.merged_entries = merge_->merged_entries();
   stats.index_count = index_->Count();
   stats.index_epoch = index_->Epoch();
+  stats.ordered_count = ordered_->Count();
+  stats.ordered_version = ordered_->Version();
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include "dpm/log.h"
 #include "dpm/merge.h"
 #include "index/clht.h"
+#include "index/skiplist.h"
 #include "net/fabric.h"
 #include "pm/pm_allocator.h"
 #include "pm/pm_pool.h"
@@ -63,6 +64,8 @@ struct DpmStats {
   uint64_t merged_entries = 0;
   uint64_t index_count = 0;
   uint64_t index_epoch = 0;
+  uint64_t ordered_count = 0;
+  uint64_t ordered_version = 0;
 };
 
 /// The disaggregated-PM node: the shared PM pool, the P-CLHT metadata
@@ -119,6 +122,10 @@ class DpmNode {
   }
   pm::PmAllocator* allocator() { return alloc_.get(); }
   index::Clht* index() { return index_.get(); }
+  /// The ordered (range-scan) index. Shared across KNs even in DINOMO-N
+  /// mode: scans are a shared-metadata workload class; the partitioned
+  /// configuration serves them from the same list.
+  index::PmSkipList* ordered() { return ordered_.get(); }
 
   /// The metadata index serving KN `kn_id`: the shared index in DINOMO
   /// mode, or the KN's private partition index in DINOMO-N mode (created
@@ -280,6 +287,7 @@ class DpmNode {
   std::unique_ptr<pm::PmAllocator> alloc_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<index::Clht> index_;
+  std::unique_ptr<index::PmSkipList> ordered_;
   std::unique_ptr<MergeService> merge_;
 
   pm::PmPtr superblock_ = pm::kNullPmPtr;

@@ -8,6 +8,7 @@
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "index/kv_index.h"
 #include "net/fabric.h"
 #include "pm/pm_allocator.h"
 #include "pm/pm_pool.h"
@@ -45,7 +46,7 @@ namespace index {
 /// Keys are non-zero 64-bit values (the paper's workloads use 8-byte keys;
 /// the KVS layer maps variable-length keys onto 64-bit fingerprints and
 /// verifies the full key stored in the log entry on reads).
-class Clht {
+class Clht : public KvIndex {
  public:
   /// One reader-visible result of a remote lookup.
   struct RemoteResult {
@@ -75,29 +76,29 @@ class Clht {
   static Result<Clht*> Recover(pm::PmPool* pool, pm::PmAllocator* alloc,
                                pm::PmPtr header);
 
-  ~Clht();
+  ~Clht() override;
 
   Clht(const Clht&) = delete;
   Clht& operator=(const Clht&) = delete;
 
   /// PM offset of the header (stable across recovery).
-  pm::PmPtr header_ptr() const { return header_ptr_; }
+  pm::PmPtr header_ptr() const override { return header_ptr_; }
 
   // ----- Local (DPM-processor side) operations -----
 
   /// Inserts or updates key -> value. Returns the previous value pointer,
   /// or kNullPmPtr if the key was absent. Thread-safe.
-  Result<pm::PmPtr> Upsert(uint64_t key, pm::PmPtr value);
+  Result<pm::PmPtr> Upsert(uint64_t key, pm::PmPtr value) override;
 
   /// Removes the key. Returns the removed value pointer, or kNullPmPtr if
   /// the key was absent. Thread-safe.
-  Result<pm::PmPtr> Remove(uint64_t key);
+  Result<pm::PmPtr> Remove(uint64_t key) override;
 
   /// Lock-free local lookup. Returns kNullPmPtr if absent.
-  pm::PmPtr Lookup(uint64_t key) const;
+  pm::PmPtr Lookup(uint64_t key) const override;
 
   /// Approximate number of live entries.
-  uint64_t Count() const;
+  uint64_t Count() const override;
   /// Current bucket-array size.
   uint64_t NumBuckets() const;
   /// Number of completed resizes.
@@ -105,12 +106,13 @@ class Clht {
 
   /// Walks the whole table verifying structural invariants (slot pairs
   /// complete, chain pointers in-pool). Used by crash-recovery tests.
-  Status CheckConsistency() const;
+  Status CheckConsistency() const override;
 
   /// Visits every live (key, value) pair. Quiescent use only (no
   /// concurrent resize); DINOMO-N's data reorganization and recovery
   /// scans use this.
-  void ForEach(const std::function<void(uint64_t, pm::PmPtr)>& fn) const;
+  void ForEach(
+      const std::function<void(uint64_t, pm::PmPtr)>& fn) const override;
 
   /// Frees retired (pre-resize) bucket arrays. Callers must guarantee no
   /// remote reader still holds a handle to them (quiescent point).

@@ -1,0 +1,61 @@
+#ifndef DINOMO_INDEX_KV_INDEX_H_
+#define DINOMO_INDEX_KV_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "pm/pm_pool.h"
+
+namespace dinomo {
+namespace index {
+
+/// Common surface of the DPM-resident metadata indexes: the hash index
+/// (Clht, point lookups) and the ordered index (PmSkipList, range scans)
+/// both map 64-bit keys to opaque PmPtr value pointers, live inside a
+/// PmPool behind a recoverable header, and are mutated only by the DPM
+/// processor's merge path. DpmNode::ApplyRecord drives every implementation
+/// through this interface; structure-specific operations (remote traversal,
+/// range iteration, resize maintenance) stay on the concrete classes.
+///
+/// Contract shared by all implementations:
+///  * keys are 64-bit values (the hash index additionally reserves 0, see
+///    kn::KeyHash); value pointers are opaque to the index (the KVS layer
+///    packs log-entry locations into them);
+///  * Upsert/Remove are thread-safe and persist their mutation before
+///    returning; Lookup is lock-free;
+///  * header_ptr() is stable across crash recovery — a node records it in
+///    its superblock and re-attaches with the implementation's Recover().
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  /// PM offset of the recoverable header (stable across recovery).
+  virtual pm::PmPtr header_ptr() const = 0;
+
+  /// Inserts or updates key -> value. Returns the previous value pointer,
+  /// or kNullPmPtr if the key was absent. Thread-safe.
+  virtual Result<pm::PmPtr> Upsert(uint64_t key, pm::PmPtr value) = 0;
+
+  /// Removes the key. Returns the removed value pointer, or kNullPmPtr if
+  /// the key was absent. Thread-safe.
+  virtual Result<pm::PmPtr> Remove(uint64_t key) = 0;
+
+  /// Lock-free local lookup. Returns kNullPmPtr if absent.
+  virtual pm::PmPtr Lookup(uint64_t key) const = 0;
+
+  /// Approximate number of live entries.
+  virtual uint64_t Count() const = 0;
+
+  /// Walks the structure verifying invariants (crash-recovery tests).
+  virtual Status CheckConsistency() const = 0;
+
+  /// Visits every live (key, value) pair. Quiescent use only.
+  virtual void ForEach(
+      const std::function<void(uint64_t, pm::PmPtr)>& fn) const = 0;
+};
+
+}  // namespace index
+}  // namespace dinomo
+
+#endif  // DINOMO_INDEX_KV_INDEX_H_

@@ -79,6 +79,7 @@ KnWorker::KnWorker(const KnOptions& options, int worker_idx,
   }
   index_handles_.resize(static_cast<size_t>(pool_->num_nodes()));
   known_index_epochs_.resize(static_cast<size_t>(pool_->num_nodes()), 0);
+  slc_.resize(static_cast<size_t>(pool_->num_nodes()));
   placement_gen_ = pool_->generation();
 }
 
@@ -141,6 +142,7 @@ void KnWorker::FailoverRecover() {
   // frees the slots for the new placement immediately.
   cache_->Clear();
   if (icache_ != nullptr) icache_->Clear();
+  for (SearchLayerCache& slc : slc_) slc.Clear();
   {
     MutexLock lock(batches_mu_);
     // A dead node's cached batches were replicated before every ack and
@@ -1054,6 +1056,182 @@ OpResult KnWorker::DeleteImpl(const Slice& key) {
   return out;
 }
 
+Status KnWorker::ScanNode(int n, uint64_t start_okey, uint32_t limit,
+                          std::map<std::string, std::string>* merged) {
+  net::Fabric* fabric = node(n)->fabric();
+  const pm::PmPtr header = node(n)->ordered()->header_ptr();
+  SearchLayerCache& slc = slc_[static_cast<size_t>(n)];
+  if (!slc.EnsureFresh(fabric, options_.fabric_node, header,
+                       placement_gen_)) {
+    return Status::Unavailable("ordered-index search layer unavailable");
+  }
+
+  // Node images fetched during this op, keyed by PM pointer: the descent
+  // revisits its down-level successors, and a node already read this op
+  // costs no second fabric round (its image sits in worker DRAM).
+  std::unordered_map<pm::PmPtr, index::PmSkipList::NodeImage> images;
+  auto read_node = [&](pm::PmPtr p,
+                       index::PmSkipList::NodeImage** img) -> Status {
+    auto it = images.find(p);
+    if (it != images.end()) {
+      *img = &it->second;
+      return Status::Ok();
+    }
+    index::PmSkipList::NodeImage fresh;
+    Status fault = Status::Ok();
+    for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+      (void)net::Fabric::TakePendingFault();
+      const bool ok = index::PmSkipList::ReadRemoteNode(
+          fabric, options_.fabric_node, p, &fresh);
+      fault = net::Fabric::TakePendingFault();
+      if (ok && fault.ok()) {
+        *img = &images.emplace(p, fresh).first->second;
+        return Status::Ok();
+      }
+    }
+    return fault.ok() ? Status::IoError("unreadable skiplist node") : fault;
+  };
+
+  // Remote descent below the cached layer: the cached predecessor starts
+  // at most kSearchLayerHeight levels above the leaves, so the descent is
+  // O(kSearchLayerHeight) expected hops instead of O(log n).
+  pm::PmPtr cur = slc.Seek(start_okey);
+  index::PmSkipList::NodeImage* img = nullptr;
+  DINOMO_RETURN_IF_ERROR(read_node(cur, &img));
+  for (int level = index::PmSkipList::kSearchLayerHeight - 1; level >= 0;
+       --level) {
+    while (level < static_cast<int>(img->height)) {
+      const pm::PmPtr nxt = img->next[level];
+      if (nxt == pm::kNullPmPtr) break;
+      index::PmSkipList::NodeImage* nimg = nullptr;
+      DINOMO_RETURN_IF_ERROR(read_node(nxt, &nimg));
+      if (nimg->okey >= start_okey) break;
+      cur = nxt;
+      img = nimg;
+    }
+  }
+
+  // Level-0 leaf walk: dependent one-sided reads collecting the live
+  // rows' value pointers (tombstones cost a node read but yield no row).
+  struct Pending {
+    uint64_t key_hash;
+    dpm::ValuePtr vp;
+  };
+  std::vector<Pending> pend;
+  pm::PmPtr p = img->next[0];
+  while (p != pm::kNullPmPtr && pend.size() < limit) {
+    index::PmSkipList::NodeImage* pi = nullptr;
+    DINOMO_RETURN_IF_ERROR(read_node(p, &pi));
+    if (pi->okey >= start_okey && !pi->tombstone()) {
+      pend.push_back(Pending{pi->key_hash, dpm::ValuePtr(pi->value)});
+    }
+    p = pi->next[0];
+  }
+  if (pend.empty()) return Status::Ok();
+
+  // ONE fused value-read round for the whole leaf run (the doorbell
+  // OpBatch path): N entry reads, one fabric round trip.
+  std::vector<std::string> bufs(pend.size());
+  net::Fabric::OpBatch batch(fabric, options_.fabric_node);
+  for (size_t i = 0; i < pend.size(); ++i) {
+    bufs[i].resize(pend[i].vp.entry_size());
+    batch.AddRead(pend[i].vp.offset(), bufs[i].data(), bufs[i].size());
+  }
+  (void)net::Fabric::TakePendingFault();
+  batch.Execute();
+  (void)net::Fabric::TakePendingFault();
+
+  for (size_t i = 0; i < pend.size(); ++i) {
+    dpm::LogRecord rec;
+    size_t consumed = 0;
+    Status st =
+        dpm::DecodeEntry(bufs[i].data(), bufs[i].size(), &rec, &consumed);
+    // A row that fails to decode — a dropped fused read (zero fill) or an
+    // entry GC'd between the index walk and the value read — is skipped
+    // rather than failing the scan; the fingerprint check rejects entries
+    // whose segment was reused.
+    if (!st.ok() || rec.key_hash != pend[i].key_hash ||
+        rec.op != dpm::LogOp::kPut) {
+      continue;
+    }
+    // emplace: first writer wins, so a mirror's identical copy of a
+    // replicated row never duplicates (or clobbers) the primary's.
+    merged->emplace(std::string(rec.key.data(), rec.key.size()),
+                    std::string(rec.value.data(), rec.value.size()));
+  }
+  return Status::Ok();
+}
+
+OpResult KnWorker::ScanImpl(const Slice& start_key, uint32_t scan_len,
+                            std::vector<ScanRow>* rows) {
+  OpResult out;
+  net::ScopedOpCost scope(&out.cost);
+  CheckPlacement();
+  rows->clear();
+  stats_.scans++;
+  out.cpu_us = options_.cpu_scan_us;
+  if (scan_len == 0) {
+    out.status = Status::Ok();
+    return out;
+  }
+  const std::string start(start_key.data(), start_key.size());
+  const uint64_t start_okey =
+      index::PmSkipList::OrderedKey(start_key.data(), start_key.size());
+
+  // Keys hash-partition across DPM nodes, so a key *range* spans all of
+  // them: collect each alive node's run and merge by key (lexicographic
+  // order == okey-major order, the ordered index's sort key).
+  std::map<std::string, std::string> merged;
+  for (int n = 0; n < pool_->num_nodes(); ++n) {
+    if (!pool_->alive(n)) continue;
+    Status st = ScanNode(n, start_okey, scan_len, &merged);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+  }
+
+  // Overlay this worker's not-yet-merged writes, which are authoritative
+  // for its partition (§4): oldest batch first, the in-flight builders
+  // last, so a key's newest entry wins.
+  auto overlay = [&](const char* data, size_t len) {
+    out.cpu_us += options_.cpu_segment_scan_us;
+    dpm::LogIterator it(data, len);
+    dpm::LogRecord rec;
+    while (it.Next(&rec)) {
+      std::string k(rec.key.data(), rec.key.size());
+      if (k < start) continue;
+      if (rec.op == dpm::LogOp::kPut) {
+        merged[std::move(k)] = std::string(rec.value.data(),
+                                           rec.value.size());
+      } else {
+        merged.erase(k);
+      }
+    }
+  };
+  {
+    MutexLock lock(batches_mu_);
+    for (const CachedBatch& b : unmerged_batches_) {
+      overlay(b.bytes.data(), b.bytes.size());
+    }
+  }
+  for (const auto& [pkey, ws] : write_states_) {
+    if (ws.batch.entries() > 0) overlay(ws.batch.data(), ws.batch.bytes());
+  }
+
+  rows->reserve(std::min<size_t>(merged.size(), scan_len));
+  for (auto& [k, v] : merged) {
+    if (rows->size() >= scan_len) break;
+    // Aliasing guard: a key longer than 8 bytes sharing the start key's
+    // okey prefix can sort below the start key; drop it here.
+    if (k < start) continue;
+    rows->push_back(ScanRow{k, std::move(v)});
+  }
+  out.status = Status::Ok();
+  stats_.busy_us += out.cpu_us;
+  return out;
+}
+
 OpResult KnWorker::FlushWrites() {
   OpResult out;
   net::ScopedOpCost scope(&out.cost);
@@ -1112,6 +1290,7 @@ Status KnWorker::DrainLog() {
 void KnWorker::ResetForOwnershipChange() {
   cache_->Clear();
   if (icache_ != nullptr) icache_->Clear();
+  for (SearchLayerCache& slc : slc_) slc.Clear();
   {
     MutexLock lock(batches_mu_);
     unmerged_batches_.clear();

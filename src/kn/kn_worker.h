@@ -21,7 +21,9 @@
 #include "dpm/dpm_pool.h"
 #include "dpm/log.h"
 #include "index/clht.h"
+#include "index/skiplist.h"
 #include "kn/index_cache.h"
+#include "kn/search_layer_cache.h"
 #include "net/fabric.h"
 
 namespace dinomo {
@@ -96,10 +98,20 @@ struct KnOptions {
   double cpu_write_us = 6.0;
   double cpu_batch_flush_us = 3.0;
   double cpu_segment_scan_us = 2.0;
+  /// Fixed KN-side cost of a range scan (positioning + row assembly); the
+  /// per-batch overlay scans add cpu_segment_scan_us each on top.
+  double cpu_scan_us = 9.0;
 
   /// Registry this node's workers (and their caches) publish metrics into;
   /// nullptr = the process-wide registry.
   obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One row of a range-scan result: the full key (read back from the log
+/// entry, never from the 8-byte ordering prefix) and its value.
+struct ScanRow {
+  std::string key;
+  std::string value;
 };
 
 /// Outcome of one key-value operation, including everything the runtime
@@ -107,7 +119,8 @@ struct KnOptions {
 /// and the KN CPU time consumed.
 struct OpResult {
   Status status;
-  std::string value;  // reads only
+  std::string value;             // reads only
+  std::vector<ScanRow> rows;     // scans only (the kScan request path)
   net::OpCost cost;
   double cpu_us = 0.0;
   cache::HitKind hit = cache::HitKind::kMiss;
@@ -122,6 +135,7 @@ struct OpResult {
 struct WorkerStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  uint64_t scans = 0;
   uint64_t value_hits = 0;
   uint64_t shortcut_hits = 0;
   uint64_t misses = 0;
@@ -153,8 +167,15 @@ struct DirectReadPlan {
 
 /// Maps a user key onto the 64-bit fingerprint used by the DPM index, the
 /// hash ring and the caches. Zero is reserved (CLHT empty slot).
+///
+/// The FNV byte hash is finalized with Mix64: the global ring consumes
+/// this value positionally (HashRing::OwnerOf lower-bounds it), and raw
+/// FNV of short keys that differ only in their final bytes — e.g. the
+/// workloads' big-endian 8-byte record keys — clusters within a ~2^41
+/// window (the last byte contributes one multiply), which collapsed all
+/// placement onto a handful of owners.
 inline uint64_t KeyHash(const Slice& key) {
-  const uint64_t h = HashSlice(key);
+  const uint64_t h = Mix64(HashSlice(key));
   return h == 0 ? 1 : h;
 }
 
@@ -202,6 +223,23 @@ class KnWorker {
     return Finish(PutImpl(key, value));
   }
   OpResult Delete(const Slice& key) { return Finish(DeleteImpl(key)); }
+
+  /// Range scan (YCSB-E): up to `scan_len` rows with key >= start_key in
+  /// ascending key order, resolved against the ordered DPM index. The
+  /// start position comes from the KN-cached search layer; the leaf walk
+  /// is one-sided node reads; each DPM node's surviving value reads fuse
+  /// into ONE OpBatch round. Results reflect merged DPM state overlaid
+  /// with THIS worker's own un-merged writes — scans are not linearizable
+  /// against other workers' in-flight inserts (see DESIGN.md).
+  OpResult Scan(const Slice& start_key, uint32_t scan_len,
+                std::vector<ScanRow>* rows) {
+    return Finish(ScanImpl(start_key, scan_len, rows));
+  }
+
+  /// Search-layer cache for DPM node `n` (test seam).
+  const SearchLayerCache& search_layer(int n) const {
+    return slc_[static_cast<size_t>(n)];
+  }
 
   /// Split-phase GET, phase A: runs the local part (cache probe, batch
   /// scan, index resolution). When the op reduces to one direct one-sided
@@ -344,6 +382,13 @@ class KnWorker {
   OpResult GetImpl(const Slice& key, DirectReadPlan* plan = nullptr);
   OpResult PutImpl(const Slice& key, const Slice& value);
   OpResult DeleteImpl(const Slice& key);
+  OpResult ScanImpl(const Slice& start_key, uint32_t scan_len,
+                    std::vector<ScanRow>* rows) EXCLUDES(batches_mu_);
+  /// One DPM node's contribution to a scan: position via the cached
+  /// search layer, walk level 0, fuse the value reads, decode into
+  /// *merged (first writer wins — replicas carry identical rows).
+  Status ScanNode(int n, uint64_t start_okey, uint32_t limit,
+                  std::map<std::string, std::string>* merged);
 
   void TrackAccess(uint64_t key_hash);
   /// Publishes one finished operation (count + service latency) to the
@@ -363,6 +408,8 @@ class KnWorker {
   // Remote views of each DPM node's metadata index.
   std::vector<index::Clht::RemoteHandle> index_handles_;
   std::vector<uint64_t> known_index_epochs_;
+  // Cached ordered-index search layer, one per DPM node.
+  std::vector<SearchLayerCache> slc_;
 
   // Placement generation this worker's segments/caches were resolved
   // under; a pool bump triggers FailoverRecover before the next op.

@@ -235,6 +235,12 @@ void KvsNode::WorkerLoop(int idx) {
         case Request::Type::kDelete:
           result = worker->Delete(req.key);
           break;
+        case Request::Type::kScan: {
+          std::vector<ScanRow> rows;
+          result = worker->Scan(req.key, req.scan_count, &rows);
+          result.rows = std::move(rows);
+          break;
+        }
         case Request::Type::kControl:
           break;
       }
@@ -367,6 +373,7 @@ WorkerStats KvsNode::AggregateStats(bool reset) {
     }
     total.reads += s.reads;
     total.writes += s.writes;
+    total.scans += s.scans;
     total.value_hits += s.value_hits;
     total.shortcut_hits += s.shortcut_hits;
     total.misses += s.misses;

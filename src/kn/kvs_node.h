@@ -18,10 +18,12 @@ namespace kn {
 
 /// A request submitted to a KVS node in the real-thread runtime.
 struct Request {
-  enum class Type { kGet, kPut, kDelete, kControl };
+  enum class Type { kGet, kPut, kDelete, kScan, kControl };
   Type type = Type::kGet;
   std::string key;
   std::string value;
+  /// For kScan: maximum rows returned (key is the scan's start key).
+  uint32_t scan_count = 0;
   /// Completion callback; invoked on the worker thread.
   std::function<void(OpResult)> done;
   /// For kControl: arbitrary work executed on the worker thread (routing

@@ -144,6 +144,12 @@ void CloverSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     case workload::OpType::kInsert:
       r = ws->kn->Put(op.key, streams_[stream_idx].gen->Value());
       break;
+    case workload::OpType::kScan:
+      // Clover's index is hash-only; the baseline cannot serve the scan
+      // class. Degrade to a point read of the start key so a mixed spec
+      // still drives load instead of wedging the closed loop.
+      r = ws->kn->Get(op.key);
+      break;
   }
   if (!r.status.ok() && !r.status.IsNotFound()) {
     engine_.ScheduleAfter(1000.0, [=, this] {

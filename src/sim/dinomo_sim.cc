@@ -272,7 +272,9 @@ void DinomoSim::IssueNext(int stream_idx) {
     obs::TraceContext* trace = nullptr;
     if (tracer_->ShouldSample()) {
       s.traces.push_back(std::make_unique<obs::TraceContext>(
-          tracer_, op.type == workload::OpType::kRead ? "get" : "put"));
+          tracer_, op.type == workload::OpType::kRead    ? "get"
+                   : op.type == workload::OpType::kScan ? "scan"
+                                                        : "put"));
       s.traces.back()->set_pid(trace_pid_);
       trace = s.traces.back().get();
     }
@@ -354,6 +356,11 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
       case workload::OpType::kInsert:
         r = ws->worker->Put(op.key, streams_[stream_idx].gen->Value());
         break;
+      case workload::OpType::kScan: {
+        std::vector<kn::ScanRow> rows;
+        r = ws->worker->Scan(op.key, op.scan_len, &rows);
+        break;
+      }
     }
   }
   if (trace != nullptr) trace->AddOpCostRoundTrips(r.cost.round_trips);
@@ -524,7 +531,8 @@ DinomoSim::Profile DinomoSim::CollectProfile() const {
     for (const auto& ws : k->workers) {
       auto stats =
           const_cast<kn::KnWorker*>(ws->worker.get())->SnapshotStats(false);
-      requests += stats.reads + stats.writes;
+      requests += stats.reads + stats.writes + stats.scans;
+      p.scans += stats.scans;
     }
   }
   if (requests > 0) p.rts_per_op = static_cast<double>(rts) / requests;

@@ -139,6 +139,9 @@ class DinomoSim {
     double value_hit_share = 0.0;
     double rts_per_op = 0.0;
     uint64_t ops = 0;
+    /// Range scans served (kScan requests; not part of `ops`, which
+    /// counts point lookups by cache outcome).
+    uint64_t scans = 0;
   };
   Profile CollectProfile() const;
 

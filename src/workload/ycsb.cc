@@ -1,5 +1,7 @@
 #include "workload/ycsb.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -51,7 +53,18 @@ WorkloadSpec WorkloadSpec::WriteHeavyInsert(uint64_t records, double theta) {
   return spec;
 }
 
+WorkloadSpec WorkloadSpec::ShortScans(uint64_t records, double theta) {
+  WorkloadSpec spec;
+  spec.record_count = records;
+  spec.read_proportion = 0.0;
+  spec.insert_proportion = 0.05;
+  spec.scan_proportion = 0.95;
+  spec.zipf_theta = theta;
+  return spec;
+}
+
 const char* WorkloadSpec::MixName() const {
+  if (scan_proportion > 0) return "95s/5i";
   if (read_proportion >= 1.0) return "100r";
   if (read_proportion >= 0.95) {
     return update_proportion > 0 ? "95r/5u" : "95r/5i";
@@ -60,9 +73,23 @@ const char* WorkloadSpec::MixName() const {
 }
 
 std::string KeyForRecord(uint64_t record_id) {
+  // Big-endian: lexicographic key order == numeric record order, which
+  // the ordered index's scans rely on. (The little-endian memcpy this
+  // replaces made KeyForRecord(256) sort before KeyForRecord(1).)
   std::string key(8, '\0');
-  std::memcpy(key.data(), &record_id, 8);
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<char>(record_id >> (56 - 8 * i));
+  }
   return key;
+}
+
+uint64_t RecordForKey(const std::string& key) {
+  DINOMO_CHECK(key.size() == 8);
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id = (id << 8) | static_cast<uint8_t>(key[i]);
+  }
+  return id;
 }
 
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec,
@@ -85,21 +112,47 @@ uint64_t WorkloadGenerator::NextRecord() {
   return spec_.zipf_theta > 0 ? zipf_.Next() : uniform_.Next();
 }
 
+uint64_t WorkloadGenerator::RecentInsertId() {
+  // Latest-distribution style: log-uniform distance back from the newest
+  // insert, so the most recent inserts dominate (as YCSB's "latest"
+  // skews its Zipfian over recency).
+  const uint64_t back = static_cast<uint64_t>(std::pow(
+                            static_cast<double>(inserts_),
+                            rng_.NextDouble())) - 1;
+  const uint64_t idx = inserts_ - 1 - std::min(back, inserts_ - 1);
+  return (1ULL << 48) | (generator_id_ << 32) | idx;
+}
+
 WorkloadOp WorkloadGenerator::Next() {
   WorkloadOp op;
   const double p = rng_.NextDouble();
   if (p < spec_.read_proportion) {
     op.type = OpType::kRead;
-    op.key = KeyForRecord(NextRecord());
+    // Insert mixes must also read what they insert: without this, every
+    // read drew from the preloaded space only and read-after-insert was
+    // untested by every bench.
+    if (inserts_ > 0 && spec_.insert_proportion > 0 &&
+        rng_.Bernoulli(spec_.read_inserted_proportion)) {
+      op.key = KeyForRecord(RecentInsertId());
+    } else {
+      op.key = KeyForRecord(NextRecord());
+    }
   } else if (p < spec_.read_proportion + spec_.update_proportion) {
     op.type = OpType::kUpdate;
     op.key = KeyForRecord(NextRecord());
-  } else {
+  } else if (p < spec_.read_proportion + spec_.update_proportion +
+                     spec_.insert_proportion ||
+             spec_.scan_proportion <= 0) {
     op.type = OpType::kInsert;
     // Insert ids live above the preloaded space, partitioned by
     // generator so parallel clients never collide.
     const uint64_t id = (1ULL << 48) | (generator_id_ << 32) | inserts_++;
     op.key = KeyForRecord(id);
+  } else {
+    op.type = OpType::kScan;
+    op.key = KeyForRecord(NextRecord());
+    op.scan_len = 1 + static_cast<uint32_t>(rng_.Uniform(
+                          std::max<uint32_t>(1, spec_.scan_len_max)));
   }
   return op;
 }

@@ -21,6 +21,16 @@ struct WorkloadSpec {
   double insert_proportion = 0.0;
   /// Zipfian theta; <= 0 selects the uniform generator.
   double zipf_theta = 0.99;
+  /// Short range scans (YCSB-E style). A scan starts at a workload-chosen
+  /// key and asks for `1 + Uniform(scan_len_max)` records in key order.
+  double scan_proportion = 0.0;
+  uint32_t scan_len_max = 100;
+  /// Probability that a read targets one of this generator's own
+  /// acknowledged inserts instead of the preloaded space (YCSB
+  /// latest-distribution style, skewed toward the most recent insert).
+  /// Only meaningful for mixes with inserts; ignored until the generator
+  /// has issued at least one insert.
+  double read_inserted_proportion = 0.2;
   /// If non-zero, reads/updates draw only from the first
   /// `working_set_count` records (the Figure-3 experiment uses a uniform
   /// working set of 5% of the dataset).
@@ -34,19 +44,28 @@ struct WorkloadSpec {
   static WorkloadSpec ReadMostlyInsert(uint64_t records, double theta);
   static WorkloadSpec WriteHeavyUpdate(uint64_t records, double theta);
   static WorkloadSpec WriteHeavyInsert(uint64_t records, double theta);
+  /// YCSB-E: 95% short scans / 5% inserts, the ordered-index workload.
+  static WorkloadSpec ShortScans(uint64_t records, double theta);
 
   const char* MixName() const;
 };
 
-enum class OpType { kRead, kUpdate, kInsert };
+enum class OpType { kRead, kUpdate, kInsert, kScan };
 
 struct WorkloadOp {
   OpType type = OpType::kRead;
   std::string key;
+  /// Records requested by a kScan op (>= 1); 0 for point ops.
+  uint32_t scan_len = 0;
 };
 
-/// 8-byte binary key for a record id, as the paper's 8 B keys.
+/// 8-byte binary key for a record id, as the paper's 8 B keys. Big-endian
+/// so lexicographic key order equals numeric record order — the ordered
+/// index and the scan workloads depend on this.
 std::string KeyForRecord(uint64_t record_id);
+
+/// Inverse of KeyForRecord. key.size() must be 8.
+uint64_t RecordForKey(const std::string& key);
 
 /// One client thread's operation stream. Deterministic given (spec, id).
 /// Inserts draw from a per-generator id space so concurrent generators
@@ -64,6 +83,9 @@ class WorkloadGenerator {
 
  private:
   uint64_t NextRecord();
+  /// One of this generator's own issued inserts, skewed toward the most
+  /// recent (call only when inserts_ > 0).
+  uint64_t RecentInsertId();
 
   WorkloadSpec spec_;
   uint64_t generator_id_;

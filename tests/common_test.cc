@@ -155,6 +155,25 @@ TEST(RandomTest, UniformInRange) {
   }
 }
 
+TEST(RandomTest, FullSpanRangeDoesNotDivideByZero) {
+  // Regression: Range(0, UINT64_MAX) computed hi - lo + 1 == 0 and fed it
+  // to Uniform's modulo — UB. The full span must return every value with
+  // no truncation instead.
+  Random r(11);
+  bool high_bit_seen = false;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = r.Range(0, UINT64_MAX);
+    if (v >> 63) high_bit_seen = true;
+  }
+  EXPECT_TRUE(high_bit_seen);  // a %-truncated span could never set bit 63
+  // Degenerate single-point span still works.
+  EXPECT_EQ(r.Range(42, 42), 42u);
+  // And a maximal-but-not-full span exercises the lo + Uniform path.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(r.Range(1, UINT64_MAX), 1u);
+  }
+}
+
 TEST(RandomTest, NextDoubleInUnitInterval) {
   Random r(9);
   for (int i = 0; i < 1000; ++i) {

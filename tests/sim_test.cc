@@ -158,6 +158,21 @@ TEST(DinomoSimTest, DinomoNWorksAndScales) {
   EXPECT_GT(sim.ThroughputMops(), 0.0);
 }
 
+TEST(DinomoSimTest, ShortScanWorkloadMakesProgress) {
+  // YCSB-E: the scan workload class the ordered DPM index opens. The sim
+  // must drive worker->Scan end-to-end (scans show up in the profile) and
+  // still make closed-loop progress.
+  auto opt = SmallSim(SystemVariant::kDinomo, 2);
+  opt.spec = workload::WorkloadSpec::ShortScans(5000, 0.99);
+  opt.spec.value_size = 256;
+  opt.spec.scan_len_max = 20;
+  DinomoSim sim(opt);
+  sim.Preload();
+  sim.Run(200e3, 50e3);
+  EXPECT_GT(sim.ThroughputMops(), 0.0);
+  EXPECT_GT(sim.CollectProfile().scans, 0u);
+}
+
 TEST(DinomoSimTest, KillKnDipsThenRecovers) {
   auto opt = SmallSim(SystemVariant::kDinomo, 4);
   opt.stats_window_us = 50e3;

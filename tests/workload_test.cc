@@ -36,6 +36,74 @@ TEST(WorkloadTest, KeysAreEightBytes) {
   EXPECT_NE(KeyForRecord(1), KeyForRecord(2));
 }
 
+TEST(WorkloadTest, KeyOrderMatchesRecordOrder) {
+  // Regression: the little-endian encoding this guards against made
+  // KeyForRecord(256) < KeyForRecord(1) lexicographically, so an ordered
+  // index iterated records out of numeric order.
+  const uint64_t ids[] = {0,    1,       2,          255,
+                          256,  257,     65535,      65536,
+                          1u << 20,      (1ULL << 32) - 1, 1ULL << 32,
+                          1ULL << 48,    (1ULL << 48) | 7, UINT64_MAX};
+  for (uint64_t i : ids) {
+    EXPECT_EQ(RecordForKey(KeyForRecord(i)), i);
+    for (uint64_t j : ids) {
+      EXPECT_EQ(KeyForRecord(i) < KeyForRecord(j), i < j)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(WorkloadTest, ReadsSampleAcknowledgedInserts) {
+  // Regression: insert-mix reads drew only from [0, record_count), so no
+  // bench ever read back a key it inserted. Reads must now hit the
+  // generator's own inserts with roughly read_inserted_proportion, and
+  // only ids the generator has actually issued.
+  auto spec = WorkloadSpec::WriteHeavyInsert(1000, 0.99);
+  WorkloadGenerator gen(spec, 3);
+  int reads = 0;
+  int insert_reads = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto op = gen.Next();
+    if (op.type != OpType::kRead) continue;
+    reads++;
+    const uint64_t id = RecordForKey(op.key);
+    if (id < (1ULL << 48)) continue;
+    insert_reads++;
+    // Issued by THIS generator, and already handed out (acknowledged in
+    // the closed-loop model) — never a not-yet-issued id.
+    EXPECT_EQ((id >> 32) & 0xffff, 3u);
+    EXPECT_LT(id & 0xffffffff, gen.inserts_issued());
+  }
+  ASSERT_GT(reads, 0);
+  EXPECT_NEAR(insert_reads / static_cast<double>(reads),
+              spec.read_inserted_proportion, 0.05);
+}
+
+TEST(WorkloadTest, ShortScanMixShape) {
+  auto spec = WorkloadSpec::ShortScans(1000, 0.99);
+  spec.scan_len_max = 50;
+  EXPECT_STREQ(spec.MixName(), "95s/5i");
+  WorkloadGenerator gen(spec, 1);
+  int scans = 0;
+  int inserts = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    const auto op = gen.Next();
+    if (op.type == OpType::kScan) {
+      scans++;
+      EXPECT_GE(op.scan_len, 1u);
+      EXPECT_LE(op.scan_len, 50u);
+      EXPECT_LT(RecordForKey(op.key), 1000u);  // starts in preload space
+    } else {
+      ASSERT_EQ(op.type, OpType::kInsert);
+      inserts++;
+      EXPECT_EQ(op.scan_len, 0u);
+    }
+  }
+  EXPECT_NEAR(scans / static_cast<double>(kOps), 0.95, 0.02);
+  EXPECT_NEAR(inserts / static_cast<double>(kOps), 0.05, 0.02);
+}
+
 TEST(WorkloadTest, MixProportionsRoughlyHold) {
   WorkloadGenerator gen(WorkloadSpec::WriteHeavyUpdate(1000, 0.99), 1);
   int reads = 0;
@@ -59,8 +127,7 @@ TEST(WorkloadTest, InsertsNeverCollideWithPreloadOrEachOther) {
       const auto op = gen->Next();
       if (op.type != OpType::kInsert) continue;
       EXPECT_TRUE(inserted.insert(op.key).second) << "duplicate insert";
-      uint64_t id;
-      memcpy(&id, op.key.data(), 8);
+      const uint64_t id = RecordForKey(op.key);
       EXPECT_GE(id, 1ULL << 48) << "insert landed in preload space";
     }
   }
