@@ -103,6 +103,12 @@ int main(int argc, char** argv) {
       .Config("base_streams", kBaseStreams)
       .Config("burst_streams", kBurstStreams)
       .Config("duration_us", kDuration)
+      // Closed-loop driver: every latency below is a *service* latency
+      // (issue -> completion of ops the driver chose to send), subject to
+      // coordinated omission under overload. Intended-send latency needs a
+      // configured arrival rate; see bench/storm_autoscaling and
+      // EXPERIMENTS.md "Latency bases".
+      .Config("latency_basis", "service")
       .Config("seed", sim::DinomoSimOptions().seed);
   RunSystem(SystemVariant::kDinomo, "DINOMO", &reporter);
   // The DINOMO-N reorganization stalls make this leg ~10x slower; skip it

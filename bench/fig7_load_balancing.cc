@@ -106,6 +106,12 @@ int main(int argc, char** argv) {
       .Config("num_kns", kKns)
       .Config("client_threads", kStreams)
       .Config("duration_us", g_duration)
+      // Closed-loop driver: every latency below is a *service* latency
+      // (issue -> completion of ops the driver chose to send), subject to
+      // coordinated omission under overload. Intended-send latency needs a
+      // configured arrival rate; see bench/storm_autoscaling and
+      // EXPERIMENTS.md "Latency bases".
+      .Config("latency_basis", "service")
       .Config("seed", sim::DinomoSimOptions().seed);
   const double dinomo = RunDinomo(SystemVariant::kDinomo,
                                   "DINOMO (selective replication)", true);

@@ -127,6 +127,12 @@ int main(int argc, char** argv) {
       .Config("duration_us", kDuration)
       .Config("dpm_nodes", dpm_nodes)
       .Config("replication_factor", replication_factor)
+      // Closed-loop driver: every latency below is a *service* latency
+      // (issue -> completion of ops the driver chose to send), subject to
+      // coordinated omission under overload. Intended-send latency needs a
+      // configured arrival rate; see bench/storm_autoscaling and
+      // EXPERIMENTS.md "Latency bases".
+      .Config("latency_basis", "service")
       .Config("seed", sim::DinomoSimOptions().seed);
   // DINOMO-N's reorganization stall dominates the wall-clock; skip it in
   // the CI smoke run.

@@ -192,6 +192,12 @@ int main(int argc, char** argv) {
       .Config("client_threads", 64)
       .Config("rt_latency_us", 12.0)
       .Config("duration_us", duration_us)
+      // Closed-loop driver: every latency below is a *service* latency
+      // (issue -> completion of ops the driver chose to send), subject to
+      // coordinated omission under overload. Intended-send latency needs a
+      // configured arrival rate; see bench/storm_autoscaling and
+      // EXPERIMENTS.md "Latency bases".
+      .Config("latency_basis", "service")
       .Config("seed", sim::DinomoSimOptions().seed);
 
   double depth1_mops = 0.0;

@@ -17,6 +17,7 @@ dinomo_bench(fig5_scalability)
 dinomo_bench(fig6_autoscaling)
 dinomo_bench(fig7_load_balancing)
 dinomo_bench(fig8_fault_tolerance)
+dinomo_bench(storm_autoscaling)
 dinomo_bench(table5_rts_per_op)
 dinomo_bench(table6_profiling)
 dinomo_bench(ycsb_e_scans)

@@ -98,7 +98,13 @@ SIM_BENCHES = {
     "fig4_dpm_compute", "fig5_scalability", "fig6_autoscaling",
     "fig7_load_balancing", "fig8_fault_tolerance", "ablation_batching",
     "ablation_cache_size", "pipelined_client", "ycsb_e_scans",
+    "storm_autoscaling",
 }
+
+# storm_autoscaling gate: the open-loop engine delivers essentially all
+# offered traffic across the run (the spike backlog must drain before the
+# end), despite latencies being measured from intended send.
+STORM_MIN_DELIVERED_RATIO = 0.95
 
 
 def fail(msg):
@@ -517,6 +523,73 @@ def check_ycsb_e_scans(path, doc):
     return ok
 
 
+def check_storm_autoscaling(path, doc):
+    """Gates for the open-loop storm bench (bench/storm_autoscaling): the
+    rack-scale diurnal base load must run SLO-clean before the flash
+    spike (coordinated-omission-free p99 < SLO in every pre-spike
+    window), the SLO autoscaler must both scale up under the spike and
+    decay back down after the backlog drains, and the offered-vs-
+    delivered gap over the whole run must stay bounded."""
+    if doc.get("bench") != "storm_autoscaling":
+        return True
+    ok = True
+    config = doc.get("config", {})
+    base_kns = config.get("base_kns")
+    dpm_nodes = config.get("dpm_nodes")
+    if not isinstance(base_kns, (int, float)) or base_kns < 100:
+        ok = fail(f"{path}: base_kns = {base_kns!r} — the storm must run "
+                  "at rack scale (>= 100 KNs)")
+    if not isinstance(dpm_nodes, (int, float)) or dpm_nodes < 10:
+        ok = fail(f"{path}: dpm_nodes = {dpm_nodes!r} — the storm must "
+                  "run against >= 10 DPM nodes")
+    if config.get("latency_basis") != "intended-send":
+        ok = fail(f"{path}: latency_basis = "
+                  f"{config.get('latency_basis')!r} — storm latencies "
+                  "must be measured from intended arrival time")
+    rows = [r for r in doc.get("results", [])
+            if isinstance(r, dict) and r.get("section") == "summary"]
+    if len(rows) != 1:
+        return fail(f"{path}: expected exactly one summary row, "
+                    f"found {len(rows)}")
+    row = rows[0]
+    pre = row.get("slo_violation_s_before_spike")
+    if not isinstance(pre, (int, float)) or pre > 0:
+        ok = fail(f"{path}: slo_violation_s_before_spike = {pre!r} — the "
+                  "diurnal base load alone breached the p99 SLO; either "
+                  "capacity regressed or the intended-send accounting is "
+                  "charging phantom queueing delay")
+    ups = row.get("scale_ups")
+    downs = row.get("scale_downs")
+    if not isinstance(ups, (int, float)) or ups < 1:
+        ok = fail(f"{path}: scale_ups = {ups!r} — the autoscaler never "
+                  "reacted to a spike ~1.4x over capacity")
+    if not isinstance(downs, (int, float)) or downs < 1:
+        ok = fail(f"{path}: scale_downs = {downs!r} — the autoscaler "
+                  "scaled up but never decayed after the spike passed; "
+                  "the clear/hysteresis path is broken")
+    peak = row.get("peak_kns")
+    final = row.get("final_kns")
+    if not isinstance(peak, (int, float)) or peak <= base_kns:
+        ok = fail(f"{path}: peak_kns = {peak!r} vs base {base_kns!r} — "
+                  "no KN was actually added under the spike")
+    elif not isinstance(final, (int, float)) or final >= peak:
+        ok = fail(f"{path}: final_kns = {final!r} did not come back down "
+                  f"from peak {peak!r}")
+    delivered = row.get("delivered_ratio")
+    if not isinstance(delivered, (int, float)) or \
+            delivered < STORM_MIN_DELIVERED_RATIO:
+        ok = fail(
+            f"{path}: delivered_ratio = {delivered!r} < "
+            f"{STORM_MIN_DELIVERED_RATIO} — the open-loop backlog never "
+            "drained; offered traffic is being dropped or stranded")
+    if ok:
+        print(f"ok: {path}: storm gates clean (pre-spike violations 0 s, "
+              f"KNs {int(base_kns)} -> {int(peak)} -> {int(final)}, "
+              f"{int(ups)} up / {int(downs)} down, "
+              f"delivered {delivered:.4f})")
+    return ok
+
+
 def check_expectations(path, doc):
     key = (doc.get("bench"), bool(doc.get("quick")))
     expectations = EXPECTATIONS.get(key)
@@ -570,7 +643,7 @@ def main(argv):
                         check_faults, check_contention, check_replication,
                         check_trace_metrics, check_expectations,
                         check_table5_regression, check_pipelined_client,
-                        check_ycsb_e_scans):
+                        check_ycsb_e_scans, check_storm_autoscaling):
             if not checker(path, doc):
                 ok = False
         if ok:

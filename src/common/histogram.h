@@ -35,6 +35,7 @@ class Histogram {
 
   double P50() const { return Percentile(50.0); }
   double P99() const { return Percentile(99.0); }
+  double P999() const { return Percentile(99.9); }
 
   /// One-line summary for experiment logs.
   std::string ToString() const;

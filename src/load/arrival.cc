@@ -1,0 +1,143 @@
+#include "load/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dinomo {
+namespace load {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Exponential gap with mean 1/rate_per_us. 1 - NextDouble() is in (0, 1],
+// so the log never sees zero.
+double ExpGap(Random* rng, double rate_per_us) {
+  return -std::log(1.0 - rng->NextDouble()) / rate_per_us;
+}
+}  // namespace
+
+RateSchedule RateSchedule::Constant(double rate_ops_per_s) {
+  DINOMO_CHECK(rate_ops_per_s >= 0);
+  RateSchedule s;
+  s.segments_[0].rate_ops_per_s = rate_ops_per_s;
+  return s;
+}
+
+RateSchedule RateSchedule::Diurnal(double trough_ops_per_s,
+                                   double peak_ops_per_s, double period_us,
+                                   int steps_per_period, double horizon_us) {
+  DINOMO_CHECK(period_us > 0 && steps_per_period > 0);
+  DINOMO_CHECK(peak_ops_per_s >= trough_ops_per_s);
+  RateSchedule s;
+  s.segments_.clear();
+  const double step_us = period_us / steps_per_period;
+  const double mid = 0.5 * (trough_ops_per_s + peak_ops_per_s);
+  const double amp = 0.5 * (peak_ops_per_s - trough_ops_per_s);
+  const int steps = static_cast<int>(std::ceil(horizon_us / step_us));
+  for (int i = 0; i < std::max(1, steps); ++i) {
+    const double t_mid = (i + 0.5) * step_us;
+    // Trough at t=0, peak at t=period/2.
+    const double rate = mid - amp * std::cos(2.0 * M_PI * t_mid / period_us);
+    s.segments_.push_back({i * step_us, rate});
+  }
+  return s;
+}
+
+void RateSchedule::InsertBoundary(double t_us) {
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].start_us == t_us) return;
+    if (segments_[i].start_us > t_us) {
+      segments_.insert(segments_.begin() + i,
+                       {t_us, segments_[i - 1].rate_ops_per_s});
+      return;
+    }
+  }
+  segments_.push_back({t_us, segments_.back().rate_ops_per_s});
+}
+
+RateSchedule& RateSchedule::AddSpike(double at_us, double duration_us,
+                                     double rate_ops_per_s) {
+  DINOMO_CHECK(at_us >= 0 && duration_us > 0);
+  InsertBoundary(at_us);
+  InsertBoundary(at_us + duration_us);
+  for (auto& seg : segments_) {
+    if (seg.start_us >= at_us && seg.start_us < at_us + duration_us) {
+      seg.rate_ops_per_s = std::max(seg.rate_ops_per_s, rate_ops_per_s);
+    }
+  }
+  return *this;
+}
+
+double RateSchedule::RateAt(double t_us) const {
+  double rate = segments_.front().rate_ops_per_s;
+  for (const Segment& seg : segments_) {
+    if (seg.start_us > t_us) break;
+    rate = seg.rate_ops_per_s;
+  }
+  return rate;
+}
+
+double RateSchedule::MaxRate() const {
+  double max_rate = 0.0;
+  for (const Segment& seg : segments_) {
+    max_rate = std::max(max_rate, seg.rate_ops_per_s);
+  }
+  return max_rate;
+}
+
+double RateSchedule::ExpectedArrivals(double t_us) const {
+  double total = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const double begin = segments_[i].start_us;
+    if (begin >= t_us) break;
+    const double end = i + 1 < segments_.size()
+                           ? std::min(segments_[i + 1].start_us, t_us)
+                           : t_us;
+    total += (end - begin) * segments_[i].rate_ops_per_s / 1e6;
+  }
+  return total;
+}
+
+PoissonProcess::PoissonProcess(double rate_ops_per_s, uint64_t seed)
+    : rate_per_us_(rate_ops_per_s / 1e6), rng_(seed) {
+  DINOMO_CHECK(rate_ops_per_s > 0);
+}
+
+double PoissonProcess::NextArrivalUs() {
+  t_us_ += ExpGap(&rng_, rate_per_us_);
+  return t_us_;
+}
+
+ScheduledArrivalProcess::ScheduledArrivalProcess(RateSchedule schedule,
+                                                 uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed) {}
+
+double ScheduledArrivalProcess::NextArrivalUs() {
+  const auto& segs = schedule_.segments();
+  for (;;) {
+    const double seg_end =
+        seg_ + 1 < segs.size() ? segs[seg_ + 1].start_us : kInf;
+    const double rate_per_us = segs[seg_].rate_ops_per_s / 1e6;
+    if (rate_per_us <= 0) {
+      if (seg_end == kInf) return kInf;  // idle forever
+      t_us_ = seg_end;
+      seg_++;
+      continue;
+    }
+    const double candidate = t_us_ + ExpGap(&rng_, rate_per_us);
+    if (candidate < seg_end) {
+      t_us_ = candidate;
+      return t_us_;
+    }
+    // The gap crossed into the next segment: restart the exponential draw
+    // at the boundary (memorylessness makes this exact).
+    t_us_ = seg_end;
+    seg_++;
+  }
+}
+
+}  // namespace load
+}  // namespace dinomo

@@ -1,0 +1,106 @@
+#ifndef DINOMO_LOAD_ARRIVAL_H_
+#define DINOMO_LOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dinomo {
+namespace load {
+
+/// Piecewise-constant offered-rate schedule in ops/s over virtual
+/// microseconds. Built from a constant, a diurnal sinusoid sampled into
+/// steps, or both, then optionally overlaid with spikes. Segments cover
+/// [0, inf); the last segment's rate holds forever.
+class RateSchedule {
+ public:
+  struct Segment {
+    double start_us = 0.0;
+    double rate_ops_per_s = 0.0;
+  };
+
+  /// A flat schedule at `rate_ops_per_s`.
+  static RateSchedule Constant(double rate_ops_per_s);
+
+  /// A day-curve: rate swings sinusoidally between `trough` and `peak`
+  /// ops/s with the given period, discretized into `steps_per_period`
+  /// equal steps (each step holds the sinusoid's value at its midpoint),
+  /// repeating out to `horizon_us`. Starts at the trough.
+  static RateSchedule Diurnal(double trough_ops_per_s, double peak_ops_per_s,
+                              double period_us, int steps_per_period,
+                              double horizon_us);
+
+  /// Overlays a spike: within [at_us, at_us + duration_us) the rate is
+  /// max(base rate, rate_ops_per_s). Returns *this for chaining.
+  RateSchedule& AddSpike(double at_us, double duration_us,
+                         double rate_ops_per_s);
+
+  /// Rate in effect at time t_us.
+  double RateAt(double t_us) const;
+  /// Highest rate anywhere in the schedule.
+  double MaxRate() const;
+  /// Expected number of arrivals in [0, t_us) — the schedule's integral.
+  double ExpectedArrivals(double t_us) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  /// Splits the segment containing t_us so a boundary lands exactly there.
+  void InsertBoundary(double t_us);
+
+  // Sorted by start_us; segments_[0].start_us == 0.
+  std::vector<Segment> segments_{{0.0, 0.0}};
+};
+
+/// A stream of absolute intended arrival times (virtual us,
+/// non-decreasing). Implementations are deterministic given their seed.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Next absolute arrival time in us. +infinity = no further arrivals
+  /// (the schedule's rate is zero from here on out).
+  virtual double NextArrivalUs() = 0;
+};
+
+/// Homogeneous Poisson arrivals: exponential interarrival gaps at a fixed
+/// rate.
+class PoissonProcess : public ArrivalProcess {
+ public:
+  PoissonProcess(double rate_ops_per_s, uint64_t seed);
+
+  double NextArrivalUs() override;
+
+ private:
+  double rate_per_us_;
+  double t_us_ = 0.0;
+  Random rng_;
+};
+
+/// Non-homogeneous Poisson arrivals over a RateSchedule. Within a segment
+/// gaps are exponential at that segment's rate; crossing a boundary
+/// restarts the draw at the new rate, which is exact for Poisson processes
+/// (memorylessness), not an approximation. Zero-rate segments are skipped
+/// without consuming randomness, so the draw sequence — and therefore the
+/// whole arrival sequence — is seed-deterministic regardless of how many
+/// idle segments the schedule contains.
+class ScheduledArrivalProcess : public ArrivalProcess {
+ public:
+  ScheduledArrivalProcess(RateSchedule schedule, uint64_t seed);
+
+  double NextArrivalUs() override;
+
+  const RateSchedule& schedule() const { return schedule_; }
+
+ private:
+  RateSchedule schedule_;
+  double t_us_ = 0.0;
+  size_t seg_ = 0;  // index of the segment containing t_us_
+  Random rng_;
+};
+
+}  // namespace load
+}  // namespace dinomo
+
+#endif  // DINOMO_LOAD_ARRIVAL_H_

@@ -1,0 +1,117 @@
+#include "load/op_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace dinomo {
+namespace load {
+
+namespace {
+constexpr char kHeader[] = "dinomo-op-trace-v1";
+
+char TypeChar(workload::OpType t) {
+  switch (t) {
+    case workload::OpType::kRead:
+      return 'r';
+    case workload::OpType::kUpdate:
+      return 'u';
+    case workload::OpType::kInsert:
+      return 'i';
+    case workload::OpType::kScan:
+      return 's';
+  }
+  return '?';
+}
+
+bool TypeFromChar(char c, workload::OpType* out) {
+  switch (c) {
+    case 'r':
+      *out = workload::OpType::kRead;
+      return true;
+    case 'u':
+      *out = workload::OpType::kUpdate;
+      return true;
+    case 'i':
+      *out = workload::OpType::kInsert;
+      return true;
+    case 's':
+      *out = workload::OpType::kScan;
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+std::string OpTrace::Serialize() const {
+  std::string out(kHeader);
+  out += '\n';
+  char line[128];
+  for (const TimedOp& op : ops) {
+    // %.17g round-trips any double exactly; keys are the 8-byte record
+    // encoding printed as 16 hex digits.
+    snprintf(line, sizeof(line), "%.17g %u %c %016" PRIx64 " %u\n",
+             op.intended_us, op.tenant, TypeChar(op.op.type),
+             workload::RecordForKey(op.op.key), op.op.scan_len);
+    out += line;
+  }
+  return out;
+}
+
+Result<OpTrace> OpTrace::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::Corruption("op trace: bad header");
+  }
+  OpTrace trace;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (line.empty()) continue;
+    double intended = 0.0;
+    unsigned tenant = 0;
+    char type = 0;
+    uint64_t rec = 0;
+    unsigned scan_len = 0;
+    if (sscanf(line.c_str(), "%lg %u %c %" SCNx64 " %u", &intended, &tenant,
+               &type, &rec, &scan_len) != 5) {
+      return Status::Corruption("op trace: malformed line " +
+                                std::to_string(lineno));
+    }
+    TimedOp op;
+    op.intended_us = intended;
+    op.tenant = tenant;
+    if (!TypeFromChar(type, &op.op.type)) {
+      return Status::Corruption("op trace: bad op type at line " +
+                                std::to_string(lineno));
+    }
+    op.op.key = workload::KeyForRecord(rec);
+    op.op.scan_len = scan_len;
+    trace.ops.push_back(std::move(op));
+  }
+  return trace;
+}
+
+Status OpTrace::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("op trace: cannot open " + path);
+  out << Serialize();
+  out.flush();
+  if (!out) return Status::IoError("op trace: write failed for " + path);
+  return Status::Ok();
+}
+
+Result<OpTrace> OpTrace::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("op trace: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace load
+}  // namespace dinomo

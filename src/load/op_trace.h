@@ -1,0 +1,71 @@
+#ifndef DINOMO_LOAD_OP_TRACE_H_
+#define DINOMO_LOAD_OP_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "load/traffic.h"
+
+namespace dinomo {
+namespace load {
+
+/// A recorded op stream: the trace-replay half of the open-loop engine.
+/// Stored as a line-oriented text file ("dinomo-op-trace-v1" header, one
+/// `intended_us tenant type key_hex scan_len` line per op) so traces can
+/// be inspected, filtered, and diffed with standard tools. Timestamps are
+/// printed with round-trip precision: save → load reproduces the exact
+/// doubles, so a replayed run is bit-identical to the recorded one.
+struct OpTrace {
+  std::vector<TimedOp> ops;
+
+  Status SaveTo(const std::string& path) const;
+  static Result<OpTrace> LoadFrom(const std::string& path);
+
+  /// In-memory (de)serialization; the file API wraps these.
+  std::string Serialize() const;
+  static Result<OpTrace> Parse(const std::string& text);
+};
+
+/// Tees every op pulled from `inner` into `out` (record mode). Neither
+/// pointer is owned; both must outlive the source.
+class RecordingSource : public TrafficSource {
+ public:
+  RecordingSource(TrafficSource* inner, OpTrace* out)
+      : inner_(inner), out_(out) {}
+
+  bool Next(TimedOp* op) override {
+    if (!inner_->Next(op)) return false;
+    out_->ops.push_back(*op);
+    return true;
+  }
+
+ private:
+  TrafficSource* inner_;
+  OpTrace* out_;
+};
+
+/// Replays a recorded trace (replay mode). time_scale stretches (> 1) or
+/// compresses (< 1) the intended timestamps; 1.0 replays verbatim.
+class ReplaySource : public TrafficSource {
+ public:
+  explicit ReplaySource(const OpTrace* trace, double time_scale = 1.0)
+      : trace_(trace), scale_(time_scale) {}
+
+  bool Next(TimedOp* out) override {
+    if (pos_ >= trace_->ops.size()) return false;
+    *out = trace_->ops[pos_++];
+    if (scale_ != 1.0) out->intended_us *= scale_;
+    return true;
+  }
+
+ private:
+  const OpTrace* trace_;
+  size_t pos_ = 0;
+  double scale_;
+};
+
+}  // namespace load
+}  // namespace dinomo
+
+#endif  // DINOMO_LOAD_OP_TRACE_H_

@@ -1,0 +1,58 @@
+#ifndef DINOMO_LOAD_OPEN_LOOP_RUNNER_H_
+#define DINOMO_LOAD_OPEN_LOOP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "core/cluster.h"
+#include "load/traffic.h"
+
+namespace dinomo {
+namespace load {
+
+struct OpenLoopRunnerOptions {
+  /// Stop pulling arrivals once their intended time passes this (wall
+  /// microseconds from Run() start).
+  double duration_us = 1e6;
+  /// Payload for Put-type ops.
+  size_t value_size = 1024;
+};
+
+/// What one open-loop wall-clock run measured.
+struct OpenLoopReport {
+  /// Latency from *intended* arrival time — includes any time the driver
+  /// fell behind schedule, so queueing collapse is visible instead of
+  /// silently omitted (coordinated omission).
+  Histogram intended_latency_us;
+  /// Latency from the actual submit instant (the classic closed-loop
+  /// number, for comparison).
+  Histogram service_latency_us;
+  uint64_t offered = 0;    // arrivals the schedule produced
+  uint64_t completed = 0;  // ops that finished (NotFound counts)
+  uint64_t errors = 0;     // non-OK, non-NotFound completions
+  double elapsed_us = 0.0;
+};
+
+/// Drives a real (wall-clock) Cluster from a TrafficSource through the
+/// pipelined async client: each op is submitted at its intended arrival
+/// time (or as soon as the pipeline window admits it, if the driver has
+/// fallen behind — the lateness is charged to the op's intended latency).
+/// Single-threaded: one Client, up to its pipeline_depth ops in flight.
+class OpenLoopRunner {
+ public:
+  OpenLoopRunner(Cluster* cluster, TrafficSource* source,
+                 OpenLoopRunnerOptions options);
+
+  OpenLoopReport Run();
+
+ private:
+  Cluster* cluster_;
+  TrafficSource* source_;
+  OpenLoopRunnerOptions options_;
+};
+
+}  // namespace load
+}  // namespace dinomo
+
+#endif  // DINOMO_LOAD_OPEN_LOOP_RUNNER_H_

@@ -1,0 +1,69 @@
+#include "load/traffic.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dinomo {
+namespace load {
+
+OpenLoopSource::OpenLoopSource(std::unique_ptr<ArrivalProcess> arrivals,
+                               OpenLoopSpec spec)
+    : arrivals_(std::move(arrivals)),
+      spec_(std::move(spec)),
+      rng_(spec_.seed * 0x9e3779b9ULL + 17) {
+  DINOMO_CHECK(arrivals_ != nullptr);
+  DINOMO_CHECK(!spec_.tenants.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < spec_.tenants.size(); ++i) {
+    const TenantSpec& t = spec_.tenants[i];
+    DINOMO_CHECK(t.weight > 0 && t.spec.record_count > 0);
+    Tenant tenant;
+    tenant.spec = t;
+    // Distinct generator ids keep per-tenant insert id spaces disjoint.
+    tenant.gen = std::make_unique<workload::WorkloadGenerator>(
+        t.spec, spec_.seed * 131 + i);
+    tenant.churn_seed = Mix64(spec_.seed * 2654435761ULL + i);
+    tenants_.push_back(std::move(tenant));
+    total += t.weight;
+    cum_weight_.push_back(total);
+  }
+  for (double& w : cum_weight_) w /= total;
+}
+
+bool OpenLoopSource::Next(TimedOp* out) {
+  const double t = arrivals_->NextArrivalUs();
+  if (!std::isfinite(t) || t >= spec_.horizon_us) return false;
+  // Weighted tenant pick (one draw per op, after the arrival draw, so the
+  // sequence is reproducible).
+  const double p = rng_.NextDouble();
+  size_t idx = 0;
+  while (idx + 1 < cum_weight_.size() && p >= cum_weight_[idx]) idx++;
+  Tenant& tenant = tenants_[idx];
+
+  out->intended_us = t;
+  out->tenant = static_cast<uint32_t>(idx);
+  out->op = tenant.gen->Next();
+  // Map the generator's record id into the tenant's private range.
+  // Insert-space ids (bit 48 set) pass through untouched: they are
+  // already unique per generator and read-after-insert must hit the same
+  // id that was inserted.
+  uint64_t rec = workload::RecordForKey(out->op.key);
+  if ((rec & (1ULL << 48)) == 0) {
+    uint64_t local = rec % tenant.spec.spec.record_count;
+    if (tenant.spec.hot_churn_interval_us > 0) {
+      // Rotate the whole range by a per-epoch offset: the zipf head (the
+      // hot set) lands on fresh records every churn epoch.
+      const uint64_t epoch =
+          static_cast<uint64_t>(t / tenant.spec.hot_churn_interval_us);
+      local = (local + Mix64(epoch ^ tenant.churn_seed)) %
+              tenant.spec.spec.record_count;
+    }
+    out->op.key = workload::KeyForRecord(tenant.spec.key_base + local);
+  }
+  return true;
+}
+
+}  // namespace load
+}  // namespace dinomo

@@ -1,0 +1,87 @@
+#ifndef DINOMO_LOAD_TRAFFIC_H_
+#define DINOMO_LOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "load/arrival.h"
+#include "workload/ycsb.h"
+
+namespace dinomo {
+namespace load {
+
+/// One open-loop operation: a workload op stamped with the moment it was
+/// *supposed* to enter the system. Latency is measured from intended_us
+/// regardless of when the driver actually managed to send it — the
+/// coordinated-omission-free accounting.
+struct TimedOp {
+  double intended_us = 0.0;
+  uint32_t tenant = 0;
+  workload::WorkloadOp op;
+};
+
+/// A stream of timed operations in non-decreasing intended order.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Fills *out with the next op; false = source exhausted.
+  virtual bool Next(TimedOp* out) = 0;
+};
+
+/// One tenant of the open-loop engine: an op mix over a private slice of
+/// the preloaded record space.
+struct TenantSpec {
+  /// Share of arrivals routed to this tenant (normalized over all
+  /// tenants).
+  double weight = 1.0;
+  /// Mix + skew. spec.record_count is the size of this tenant's key
+  /// range; reads/updates/scans stay inside it.
+  workload::WorkloadSpec spec;
+  /// First preloaded record id of the tenant's range. Ranges of different
+  /// tenants should not overlap (nothing enforces it — shared ranges are
+  /// a legitimate contended configuration).
+  uint64_t key_base = 0;
+  /// If > 0, the tenant's hot set rotates every this-many us: the zipf
+  /// head is remapped to a different region of the range each churn
+  /// epoch, modeling trending-key turnover.
+  double hot_churn_interval_us = 0.0;
+};
+
+struct OpenLoopSpec {
+  std::vector<TenantSpec> tenants;
+  uint64_t seed = 42;
+  /// Stop producing arrivals at this intended time.
+  double horizon_us = std::numeric_limits<double>::infinity();
+};
+
+/// The open-loop generator: arrivals from an ArrivalProcess, each assigned
+/// to a weighted-random tenant, with the tenant's workload generator
+/// supplying the op. Deterministic given (process seed, spec.seed).
+class OpenLoopSource : public TrafficSource {
+ public:
+  OpenLoopSource(std::unique_ptr<ArrivalProcess> arrivals, OpenLoopSpec spec);
+
+  bool Next(TimedOp* out) override;
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    std::unique_ptr<workload::WorkloadGenerator> gen;
+    uint64_t churn_seed = 0;
+  };
+
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  OpenLoopSpec spec_;
+  std::vector<Tenant> tenants_;
+  std::vector<double> cum_weight_;
+  Random rng_;
+};
+
+}  // namespace load
+}  // namespace dinomo
+
+#endif  // DINOMO_LOAD_TRAFFIC_H_

@@ -94,5 +94,60 @@ PolicyAction PolicyEngine::Evaluate(const ClusterMetrics& metrics,
   return action;
 }
 
+SloAutoscaler::Decision SloAutoscaler::Observe(const SloSample& sample,
+                                               double now_s) {
+  Decision decision;
+  if (now_s < cooldown_until_s_) {
+    state_ = State::kCooldown;
+    breach_streak_ = 0;
+    clear_streak_ = 0;
+    return decision;
+  }
+  // An idle window (nothing offered, nothing completed) says nothing
+  // about the tail; hold state without advancing either streak.
+  if (sample.offered == 0 && sample.completed == 0) {
+    state_ = State::kSteady;
+    return decision;
+  }
+  const bool collapsed = sample.offered > 0 && sample.completed == 0;
+  const bool breached =
+      collapsed || (sample.completed > 0 && sample.p99_us > params_.p99_slo_us);
+  const bool clear = !breached && sample.completed > 0 &&
+                     sample.p99_us < params_.clear_fraction * params_.p99_slo_us;
+  if (breached) {
+    clear_streak_ = 0;
+    breach_streak_++;
+    state_ = State::kBreaching;
+    if (breach_streak_ >= params_.breach_windows &&
+        sample.active_kns < params_.max_kns) {
+      decision.delta_kns =
+          std::min(params_.scale_up_step, params_.max_kns - sample.active_kns);
+      scale_ups_++;
+      breach_streak_ = 0;
+      cooldown_until_s_ = now_s + params_.cooldown_s;
+      state_ = State::kCooldown;
+    }
+  } else if (clear) {
+    breach_streak_ = 0;
+    clear_streak_++;
+    state_ = State::kClearing;
+    if (clear_streak_ >= params_.clear_windows &&
+        sample.active_kns > params_.min_kns) {
+      decision.delta_kns = -std::min(params_.scale_down_step,
+                                     sample.active_kns - params_.min_kns);
+      scale_downs_++;
+      clear_streak_ = 0;
+      cooldown_until_s_ = now_s + params_.cooldown_s;
+      state_ = State::kCooldown;
+    }
+  } else {
+    // Inside the hysteresis band: healthy but not comfortably so.
+    breach_streak_ = 0;
+    clear_streak_ = 0;
+    state_ = State::kSteady;
+  }
+  return decision;
+}
+
 }  // namespace mnode
 }  // namespace dinomo

@@ -98,6 +98,91 @@ class PolicyEngine {
   double last_change_s_ = -1e18;
 };
 
+/// Tunables of the open-loop SLO autoscaler (the storm-bench policy).
+/// Unlike PolicyParams' occupancy-based rules, this scaler reacts purely
+/// to the client-observed tail: windowed p99 measured from *intended*
+/// arrival time, which is the number a latency SLO is actually written
+/// against under open-loop traffic.
+struct SloAutoscalerParams {
+  /// The p99 target, us (intended-send basis).
+  double p99_slo_us = 2000.0;
+  /// Consecutive breached windows before scaling up.
+  int breach_windows = 2;
+  /// Consecutive clear windows (p99 below clear_fraction * slo) before
+  /// scaling down. Larger than breach_windows: adding capacity is urgent,
+  /// shedding it is not.
+  int clear_windows = 6;
+  /// Hysteresis band: "clear" means p99 < clear_fraction * p99_slo_us.
+  /// Windows between the two thresholds reset both streaks (steady).
+  double clear_fraction = 0.5;
+  /// Seconds after any scaling action during which no further action is
+  /// taken (lets the reconfiguration and the new capacity take effect
+  /// before re-judging the tail).
+  double cooldown_s = 0.2;
+  int min_kns = 1;
+  int max_kns = 256;
+  /// KNs added per scale-up action (breaches demand a fast response).
+  int scale_up_step = 4;
+  /// KNs removed per scale-down action (decay is deliberately gentle).
+  int scale_down_step = 1;
+};
+
+/// One autoscaler evaluation window's observations.
+struct SloSample {
+  /// Windowed p99 from intended arrival time, us. Ignored when
+  /// completed == 0.
+  double p99_us = 0.0;
+  uint64_t offered = 0;    // arrivals this window
+  uint64_t completed = 0;  // completions this window
+  int active_kns = 0;
+};
+
+/// Windowed-p99 SLO autoscaler: breach/clear hysteresis with streak
+/// requirements and a post-action cooldown. Pure decision logic like
+/// PolicyEngine — callers execute the returned delta — so the same state
+/// machine drives the virtual-time sim and is unit-testable in isolation.
+///
+/// State machine:
+///   Steady   --breach window--> Breaching (streak counts up)
+///   Breaching --streak == breach_windows--> scale UP, enter Cooldown
+///   Steady   --clear window--> Clearing (streak counts up)
+///   Clearing --streak == clear_windows--> scale DOWN, enter Cooldown
+///   Cooldown --cooldown_s elapsed--> Steady (streaks reset)
+/// A window that is neither breached nor clear (inside the hysteresis
+/// band) resets both streaks. A window with offered traffic but zero
+/// completions is a breach: total queueing collapse has no p99 to
+/// measure, which is the strongest possible SLO violation.
+class SloAutoscaler {
+ public:
+  enum class State { kSteady, kBreaching, kClearing, kCooldown };
+
+  struct Decision {
+    /// KNs to add (> 0) or remove (< 0) right now; 0 = hold.
+    int delta_kns = 0;
+  };
+
+  explicit SloAutoscaler(const SloAutoscalerParams& params)
+      : params_(params) {}
+
+  const SloAutoscalerParams& params() const { return params_; }
+
+  /// Feed one window; returns the (possibly zero) scaling decision.
+  Decision Observe(const SloSample& sample, double now_s);
+
+  State state() const { return state_; }
+  int scale_ups() const { return scale_ups_; }
+  int scale_downs() const { return scale_downs_; }
+
+ private:
+  SloAutoscalerParams params_;
+  State state_ = State::kSteady;
+  int breach_streak_ = 0;
+  int clear_streak_ = 0;
+  double cooldown_until_s_ = -1e18;
+  int scale_ups_ = 0;
+  int scale_downs_ = 0;
+};
+
 }  // namespace mnode
 }  // namespace dinomo
 

@@ -83,6 +83,23 @@ class HistogramMetric {
     MutexLock lock(mu_);
     return hist_;
   }
+  /// Folds another histogram in (exact bucket-wise sum: the merged
+  /// percentiles are identical to recording every sample into one
+  /// histogram, since all Histograms share one bucket layout). This is
+  /// how per-worker / per-KN latency distributions roll up into a
+  /// fleet-wide p99/p999 without shipping raw samples.
+  void Merge(const Histogram& other) {
+    MutexLock lock(mu_);
+    hist_.Merge(other);
+  }
+  /// Merge from another metric. Snapshots `other` first, so locks are
+  /// never held on both metrics at once (no ordering constraint, and
+  /// self-merge doubles the contents rather than deadlocking).
+  void Merge(const HistogramMetric& other) {
+    const Histogram snap = other.snapshot();
+    MutexLock lock(mu_);
+    hist_.Merge(snap);
+  }
   void Reset() {
     MutexLock lock(mu_);
     hist_.Reset();

@@ -115,6 +115,7 @@ DinomoSim::~DinomoSim() {
     // End in-flight traces while the virtual clock is still installed,
     // then restore the wall clock for whoever uses the tracer next.
     for (Stream& s : streams_) s.traces.clear();
+    open_traces_.clear();
     tracer_->SetClock(nullptr);
   }
 }
@@ -199,6 +200,10 @@ void DinomoSim::Preload() {
     for (int tries = 0; tries < 100; ++tries) {
       r = w->Put(key, value);
       if (r.status.ok()) break;
+      if (!r.status.IsBusy()) {
+        DINOMO_LOG_STREAM(Error)
+            << "preload put rejected: " << r.status.ToString();
+      }
       DINOMO_CHECK(r.status.IsBusy());
       // Busy = some node hit the unmerged-segment threshold. The shared
       // FIFO merge queue can be arbitrarily deep, so nibbling at it one
@@ -238,10 +243,13 @@ void DinomoSim::Run(double duration_us, double warmup_us) {
   run_until_ = now + duration_us;
   warmup_until_ = now + warmup_us;
   for (int i = 0; i < static_cast<int>(streams_.size()); ++i) {
-    if (!streams_[i].active) {
-      streams_[i].active = true;
-      IssueNext(i);
-    }
+    // (Re)prime every stream, not just inactive ones. IssueNext is a
+    // no-op while a stream's window is full, but a stream whose last
+    // completion landed exactly on a previous run's end boundary has an
+    // empty window and no pending event — skipping it here would leave it
+    // silent for the rest of the run.
+    streams_[i].active = true;
+    IssueNext(i);
   }
   engine_.RunUntil(run_until_);
   const double elapsed = engine_.now_us();
@@ -308,13 +316,28 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     CompleteOp(stream_idx, issue_time, now, trace);
     return;
   }
+  auto retry = [=, this] {
+    ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
+  };
+  const double finish =
+      TryServe(op, streams_[stream_idx].gen->Value(), trace,
+               /*async_worker=*/options_.pipeline_depth > 1, retry);
+  if (finish < 0) return;
+  engine_.ScheduleAt(finish, [=, this] {
+    CompleteOp(stream_idx, issue_time, finish, trace);
+  });
+}
+
+double DinomoSim::TryServe(const workload::WorkloadOp& op,
+                           const std::string& put_value,
+                           obs::TraceContext* trace, bool async_worker,
+                           const std::function<void()>& retry) {
+  const double now = engine_.now_us();
   auto table = routing_.Snapshot();
   if (table->global_ring.empty()) {
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
-    engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
-    });
-    return;
+    engine_.ScheduleAfter(options_.routing_refresh_us, retry);
+    return -1.0;
   }
   const uint64_t kh = kn::KeyHash(op.key);
   const uint64_t kn_id = table->RouteFor(kh, salt_++);
@@ -324,19 +347,15 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     const double delay =
         k == nullptr ? options_.routing_refresh_us : options_.request_timeout_us;
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
-    engine_.ScheduleAfter(delay, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
-    });
-    return;
+    engine_.ScheduleAfter(delay, retry);
+    return -1.0;
   }
   if (k->unavailable_until > now) {
     const double at = std::max(now + options_.routing_refresh_us,
                                k->unavailable_until);
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
-    engine_.ScheduleAt(at, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
-    });
-    return;
+    engine_.ScheduleAt(at, retry);
+    return -1.0;
   }
   const int widx = table->ThreadFor(kh, kn_id);
   WorkerSim* ws = k->workers[widx].get();
@@ -354,7 +373,7 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
         break;
       case workload::OpType::kUpdate:
       case workload::OpType::kInsert:
-        r = ws->worker->Put(op.key, streams_[stream_idx].gen->Value());
+        r = ws->worker->Put(op.key, put_value);
         break;
       case workload::OpType::kScan: {
         std::vector<kn::ScanRow> rows;
@@ -374,23 +393,21 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
     // whichever fires second from re-executing the op.
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kMergeWait, now);
     auto fired = std::make_shared<bool>(false);
-    auto retry = [=, this] {
+    auto once = [fired, retry] {
       if (*fired) return;
       *fired = true;
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
+      retry();
     };
-    ws->parked.push_back(retry);
+    ws->parked.push_back(once);
     if (injector_ != nullptr) {
-      engine_.ScheduleAt(now + options_.request_timeout_us, retry);
+      engine_.ScheduleAt(now + options_.request_timeout_us, once);
     }
-    return;
+    return -1.0;
   }
   if (r.status.IsWrongOwner() || r.status.IsUnavailable()) {
     if (trace != nullptr) trace->MarkWait(obs::SpanKind::kBackoff, now);
-    engine_.ScheduleAfter(options_.routing_refresh_us, [=, this] {
-      ExecuteOp(stream_idx, op, issue_time, attempt + 1, trace);
-    });
-    return;
+    engine_.ScheduleAfter(options_.routing_refresh_us, retry);
+    return -1.0;
   }
 
   // Time the operation: worker CPU, then the network (latency per round
@@ -410,17 +427,15 @@ void DinomoSim::ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
         finish, dpm_pool_.Reserve(cpu_done, r.cost.dpm_cpu_us) +
                     profile.rt_latency_us);
   }
-  // A pipelined client (depth > 1) completes ops asynchronously, so the
-  // worker core is only occupied for the op's CPU portion — round trips
-  // ride out while the next queued op executes. The classic client holds
-  // the worker until its op's network time has fully elapsed.
-  const double core_free = options_.pipeline_depth > 1 ? cpu_done : finish;
+  // An asynchronously-served op (pipelined closed-loop client, or any
+  // open-loop op) occupies the worker core for its CPU portion only —
+  // round trips ride out while the next queued op executes. The classic
+  // submit-and-wait client holds the worker until its op's network time
+  // has fully elapsed.
+  const double core_free = async_worker ? cpu_done : finish;
   ws->free_until = core_free;
   k->busy_us_epoch += core_free - start;
-
-  engine_.ScheduleAt(finish, [=, this] {
-    CompleteOp(stream_idx, issue_time, finish, trace);
-  });
+  return finish;
 }
 
 void DinomoSim::CompleteOp(int stream_idx, double issue_time, double finish,
@@ -476,6 +491,190 @@ void DinomoSim::OnMergeFinished(const dpm::MergeAck& ack) {
   parked.swap(ws->parked);
   for (auto& retry : parked) {
     engine_.ScheduleAfter(0.0, std::move(retry));
+  }
+}
+
+// ----- Open-loop engine -----
+
+void DinomoSim::RunOpenLoop(const OpenLoopOptions& opts, double duration_us,
+                            double warmup_us) {
+  DINOMO_CHECK(opts.source != nullptr);
+  // The autoscaler consumes the per-epoch occupancy counters that
+  // CollectEpochMetrics also resets; running both would corrupt both.
+  DINOMO_CHECK(!opts.autoscale || !mnode_enabled_);
+  const double now = engine_.now_us();
+  open_source_ = opts.source;
+  open_stats_ = std::make_unique<OpenLoopStats>(options_.stats_window_us);
+  open_value_.assign(opts.value_size, 'o');
+  open_run_until_ = now + duration_us;
+  open_warmup_until_ = now + warmup_us;
+  // Closed-loop bookkeeping (MnodeEpoch's rescheduling guard) keys off
+  // run_until_; keep it in sync so both engines can share hooks.
+  run_until_ = open_run_until_;
+  warmup_until_ = open_warmup_until_;
+  open_exhausted_ = false;
+  open_in_flight_ = 0;
+  open_interval_latency_.Reset();
+  open_interval_offered_ = 0;
+  if (opts.autoscale) {
+    autoscaler_ = std::make_unique<mnode::SloAutoscaler>(opts.autoscaler);
+    autoscaler_interval_us_ = opts.autoscaler_interval_us;
+    engine_.ScheduleAfter(autoscaler_interval_us_,
+                          [this] { AutoscalerEval(); });
+  }
+  OpenScheduleNextArrival();
+  engine_.RunUntil(open_run_until_);
+  open_stats_->in_flight_at_end = open_in_flight_;
+  if (autoscaler_ != nullptr) {
+    open_stats_->scale_ups = autoscaler_->scale_ups();
+    open_stats_->scale_downs = autoscaler_->scale_downs();
+  }
+  const double elapsed = engine_.now_us();
+  const double span = open_run_until_ - open_warmup_until_;
+  throughput_mops_.Set(
+      span > 0 ? open_stats_->completed_after_warmup / span : 0.0);
+  link_utilization_.Set(link_.Utilization(elapsed));
+  dpm_utilization_.Set(dpm_pool_.Utilization(elapsed));
+}
+
+void DinomoSim::OpenScheduleNextArrival() {
+  if (open_exhausted_) return;
+  load::TimedOp timed;
+  if (!open_source_->Next(&timed) || timed.intended_us >= open_run_until_) {
+    open_exhausted_ = true;
+    return;
+  }
+  // Arrivals are injected at their intended instant — never earlier, and
+  // never held back by completions (that is the whole point). An arrival
+  // stamped in the past (e.g. a replayed trace older than now) goes in
+  // immediately; its lateness is charged to intended latency.
+  const double at = std::max(timed.intended_us, engine_.now_us());
+  engine_.ScheduleAt(at, [this, timed] {
+    OpenIssue(timed);
+    OpenScheduleNextArrival();
+  });
+}
+
+void DinomoSim::OpenIssue(const load::TimedOp& timed) {
+  OpenLoopStats& stats = *open_stats_;
+  stats.offered++;
+  const size_t widx =
+      static_cast<size_t>(timed.intended_us / stats.windows.window_us());
+  if (stats.offered_per_window.size() <= widx) {
+    stats.offered_per_window.resize(widx + 1);
+  }
+  stats.offered_per_window[widx]++;
+  open_interval_offered_++;
+  auto op = std::make_shared<OpenOp>();
+  op->op = timed.op;
+  op->intended_us = timed.intended_us;
+  if (tracer_->ShouldSample()) {
+    open_traces_.push_back(std::make_unique<obs::TraceContext>(
+        tracer_, op->op.type == workload::OpType::kRead   ? "get"
+                 : op->op.type == workload::OpType::kScan ? "scan"
+                                                          : "put"));
+    open_traces_.back()->set_pid(trace_pid_);
+    op->trace = open_traces_.back().get();
+  }
+  open_in_flight_++;
+  OpenExecute(std::move(op));
+}
+
+void DinomoSim::OpenExecute(std::shared_ptr<OpenOp> op) {
+  const double now = engine_.now_us();
+  if (op->trace != nullptr) op->trace->FlushWait(now);
+  if (op->attempt > 100) {
+    // Same retry budget as the closed loop: a prolonged outage must not
+    // pin ops forever.
+    open_stats_->abandoned++;
+    open_in_flight_--;
+    OpenDropTrace(op->trace);
+    return;
+  }
+  // Service latency measures from the dispatch that got served; every
+  // earlier rejected attempt's wait lands only in intended latency.
+  op->dispatch_us = now;
+  std::shared_ptr<OpenOp> self = op;
+  auto retry = [this, self] {
+    self->attempt++;
+    OpenExecute(self);
+  };
+  const double finish =
+      TryServe(op->op, open_value_, op->trace, /*async_worker=*/true, retry);
+  if (finish < 0) return;
+  engine_.ScheduleAt(finish,
+                     [this, self, finish] { OpenComplete(self, finish); });
+}
+
+void DinomoSim::OpenComplete(const std::shared_ptr<OpenOp>& op,
+                             double finish) {
+  if (op->trace != nullptr) {
+    op->trace->EndRequest();
+    OpenDropTrace(op->trace);
+  }
+  open_in_flight_--;
+  OpenLoopStats& stats = *open_stats_;
+  stats.completed++;
+  const double intended_lat = finish - op->intended_us;
+  const double service_lat = finish - op->dispatch_us;
+  stats.windows.Record(finish, intended_lat);
+  open_interval_latency_.Add(intended_lat);
+  if (finish >= open_warmup_until_) {
+    stats.intended_latency.Add(intended_lat);
+    stats.service_latency.Add(service_lat);
+    stats.completed_after_warmup++;
+    op_latency_us_.Record(intended_lat);
+  }
+}
+
+void DinomoSim::OpenDropTrace(obs::TraceContext* trace) {
+  if (trace == nullptr) return;
+  for (auto it = open_traces_.begin(); it != open_traces_.end(); ++it) {
+    if (it->get() == trace) {
+      open_traces_.erase(it);
+      return;
+    }
+  }
+}
+
+void DinomoSim::AutoscalerEval() {
+  const double now = engine_.now_us();
+  mnode::SloSample sample;
+  sample.p99_us = open_interval_latency_.P99();
+  sample.completed = open_interval_latency_.count();
+  sample.offered = open_interval_offered_;
+  sample.active_kns = NumActiveKns();
+  open_interval_latency_.Reset();
+  open_interval_offered_ = 0;
+  const mnode::SloAutoscaler::Decision decision =
+      autoscaler_->Observe(sample, now / 1e6);
+  if (decision.delta_kns > 0) {
+    for (int i = 0; i < decision.delta_kns; ++i) DoAddKn();
+  } else {
+    for (int i = 0; i < -decision.delta_kns; ++i) {
+      // Retire the KN that did the least work since the last eval; its
+      // keys rehash onto the survivors.
+      uint64_t victim = 0;
+      double min_busy = 0.0;
+      bool found = false;
+      for (const auto& k : kns_) {
+        if (k->failed) continue;
+        if (!found || k->busy_us_epoch < min_busy) {
+          min_busy = k->busy_us_epoch;
+          victim = k->kn_id;
+          found = true;
+        }
+      }
+      if (found) DoRemoveKn(victim);
+    }
+  }
+  // Occupancy counters only feed victim choice here; restart them so the
+  // next decision reflects post-change traffic.
+  for (const auto& k : kns_) k->busy_us_epoch = 0.0;
+  open_stats_->kn_trajectory.emplace_back(now, NumActiveKns());
+  if (now < open_run_until_) {
+    engine_.ScheduleAfter(autoscaler_interval_us_,
+                          [this] { AutoscalerEval(); });
   }
 }
 
@@ -544,6 +743,18 @@ DinomoSim::Profile DinomoSim::CollectProfile() const {
 void DinomoSim::ScheduleLoadChange(double at_us, int client_threads) {
   engine_.ScheduleAt(at_us, [this, client_threads] {
     const int current = static_cast<int>(streams_.size());
+    // Reactivate parked streams first: a previous load drop deactivates
+    // streams without removing them, so a later rise back to (or below)
+    // the old count must wake them rather than allocate. Pre-fix, a
+    // down-then-up schedule took the else branch on the way back up
+    // (deactivated streams still count toward streams_.size()) and
+    // reactivated nothing — offered load never recovered.
+    for (int i = 0; i < std::min(client_threads, current); ++i) {
+      if (!streams_[i].active) {
+        streams_[i].active = true;
+        IssueNext(i);
+      }
+    }
     if (client_threads > current) {
       for (int i = current; i < client_threads; ++i) {
         Stream s;

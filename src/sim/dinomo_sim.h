@@ -2,9 +2,11 @@
 #define DINOMO_SIM_DINOMO_SIM_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/routing.h"
@@ -12,6 +14,7 @@
 #include "dpm/dpm_node.h"
 #include "dpm/dpm_pool.h"
 #include "kn/kn_worker.h"
+#include "load/traffic.h"
 #include "mnode/policy.h"
 #include "net/fault.h"
 #include "obs/metrics.h"
@@ -168,6 +171,56 @@ class DinomoSim {
   /// Enables the M-node: a policy epoch every options.mnode_epoch_us.
   void EnableMnode();
 
+  // ----- Open-loop engine (storm / autoscaling experiments) -----
+
+  struct OpenLoopOptions {
+    /// Arrival-stamped op stream; must outlive the run.
+    load::TrafficSource* source = nullptr;
+    /// Payload for Put-type ops.
+    size_t value_size = 1024;
+    /// Windowed-p99 SLO autoscaler (mutually exclusive with EnableMnode:
+    /// both would consume the per-epoch occupancy counters).
+    bool autoscale = false;
+    mnode::SloAutoscalerParams autoscaler;
+    /// Autoscaler evaluation interval, us.
+    double autoscaler_interval_us = 50e3;
+  };
+
+  struct OpenLoopStats {
+    explicit OpenLoopStats(double window_us) : windows(window_us) {}
+    /// Latency from the op's *intended* arrival time — includes every
+    /// retry, park and queueing delay, so overload shows up instead of
+    /// being coordinated-omitted. The SLO numbers. Post-warmup.
+    Histogram intended_latency;
+    /// Latency from the op's final dispatch to a worker (the closed-loop
+    /// style number, for comparison). Post-warmup.
+    Histogram service_latency;
+    uint64_t offered = 0;     // arrivals injected
+    uint64_t completed = 0;   // ops finished (all, including warmup)
+    uint64_t completed_after_warmup = 0;
+    uint64_t abandoned = 0;   // retry budget exhausted
+    uint64_t in_flight_at_end = 0;
+    /// Completions with intended-basis latency, per stats window.
+    WindowStats windows;
+    /// Arrivals per stats window (indexed like `windows`), i.e. the
+    /// offered-load curve actually generated.
+    std::vector<uint64_t> offered_per_window;
+    /// (virtual us, active KNs) after each autoscaler evaluation.
+    std::vector<std::pair<double, int>> kn_trajectory;
+    int scale_ups = 0;
+    int scale_downs = 0;
+  };
+
+  /// Runs `duration_us` of open-loop traffic: ops from opts.source enter
+  /// the system at their intended arrival times, independent of
+  /// completions (arrivals outrun completions under overload and queueing
+  /// shows up in the intended-basis latency). Histograms skip the first
+  /// `warmup_us`. The closed-loop streams stay idle.
+  void RunOpenLoop(const OpenLoopOptions& opts, double duration_us,
+                   double warmup_us = 0.0);
+  /// Stats of the last RunOpenLoop (nullptr before the first call).
+  const OpenLoopStats* open_loop_stats() const { return open_stats_.get(); }
+
   int NumActiveKns() const;
   /// KN ids currently serving.
   std::vector<uint64_t> ActiveKnIds() const;
@@ -206,13 +259,42 @@ class DinomoSim {
   KnSim* FindKn(uint64_t kn_id);
   void PushRouting();
 
+  /// One in-flight open-loop op. Held by shared_ptr in the engine's event
+  /// closures so retries and completions share its mutable state.
+  struct OpenOp {
+    workload::WorkloadOp op;
+    double intended_us = 0.0;
+    /// When the attempt that finally got served was dispatched.
+    double dispatch_us = 0.0;
+    int attempt = 0;
+    obs::TraceContext* trace = nullptr;  // owned by open_traces_
+  };
+
   void IssueNext(int stream_idx);
   void ExecuteOp(int stream_idx, const workload::WorkloadOp& op,
                  double issue_time, int attempt, obs::TraceContext* trace);
   void CompleteOp(int stream_idx, double issue_time, double finish,
                   obs::TraceContext* trace);
+  /// Shared service core of both driver loops: routes the op, runs the
+  /// real worker code, applies the timing model, and returns the finish
+  /// time. Any disposition that cannot serve now (empty ring, dead KN,
+  /// reconfiguration window, Busy park, wrong owner) schedules `retry`
+  /// itself and returns a negative value. `async_worker` selects the
+  /// pipelined-server occupancy model (worker core busy for the CPU
+  /// portion only).
+  double TryServe(const workload::WorkloadOp& op, const std::string& put_value,
+                  obs::TraceContext* trace, bool async_worker,
+                  const std::function<void()>& retry);
   void PumpMerges();
   void OnMergeFinished(const dpm::MergeAck& ack);
+
+  // Open-loop internals.
+  void OpenScheduleNextArrival();
+  void OpenIssue(const load::TimedOp& timed);
+  void OpenExecute(std::shared_ptr<OpenOp> op);
+  void OpenComplete(const std::shared_ptr<OpenOp>& op, double finish);
+  void OpenDropTrace(obs::TraceContext* trace);
+  void AutoscalerEval();
 
   // M-node actions in virtual time.
   void MnodeEpoch();
@@ -260,6 +342,23 @@ class DinomoSim {
   bool mnode_enabled_ = false;
   double epoch_started_ = 0.0;
   uint64_t abandoned_ops_ = 0;
+
+  // Open-loop run state (live only inside RunOpenLoop).
+  load::TrafficSource* open_source_ = nullptr;
+  std::unique_ptr<OpenLoopStats> open_stats_;
+  std::string open_value_;
+  double open_run_until_ = 0.0;
+  double open_warmup_until_ = 0.0;
+  bool open_exhausted_ = true;
+  uint64_t open_in_flight_ = 0;
+  /// Traces of sampled in-flight open-loop ops (see Stream::traces for
+  /// the ownership rationale).
+  std::vector<std::unique_ptr<obs::TraceContext>> open_traces_;
+  std::unique_ptr<mnode::SloAutoscaler> autoscaler_;
+  double autoscaler_interval_us_ = 0.0;
+  /// Intended-basis latency + arrivals since the last autoscaler eval.
+  Histogram open_interval_latency_;
+  uint64_t open_interval_offered_ = 0;
 };
 
 }  // namespace sim
